@@ -1,0 +1,78 @@
+//! Criterion benchmarks: throughput of the cycle-accurate simulator and the
+//! reference substrate. These measure *our implementation's* speed (wall
+//! time per simulated kernel), complementing the model-generated
+//! tables/figures that reproduce the paper's numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lac_kernels::{run_fft64, run_gemm, GemmDataLayout, GemmParams};
+use lac_sim::{ExternalMem, Lac, LacConfig};
+use linalg_ref::{fft_radix4, gemm_blocked, BlockSizes, Complex, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sim_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_gemm");
+    group.sample_size(10);
+    for &(mc, kc, n) in &[(16usize, 32usize, 32usize), (32, 64, 64)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random(mc, kc, &mut rng);
+        let b = Matrix::random(kc, n, &mut rng);
+        let cm = Matrix::random(mc, n, &mut rng);
+        let lay = GemmDataLayout::new(mc, kc, n);
+        let image = lay.pack(&a, &b, &cm);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mc}x{kc}x{n}")),
+            &image,
+            |bench, image| {
+                bench.iter(|| {
+                    let mut lac = Lac::new(LacConfig::default());
+                    let mut mem = ExternalMem::from_vec(image.clone());
+                    run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(mc, kc, n)).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sim_fft64(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_fft64");
+    group.sample_size(10);
+    let image: Vec<f64> = (0..128).map(|i| (i as f64).cos()).collect();
+    group.bench_function("fft64", |bench| {
+        bench.iter(|| {
+            let cfg = LacConfig { sram_a_words: 64, sram_b_words: 64, ..Default::default() };
+            let mut lac = Lac::new(cfg);
+            let mut mem = ExternalMem::from_vec(image.clone());
+            run_fft64(&mut lac, &mut mem).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = Matrix::random(128, 128, &mut rng);
+    let b = Matrix::random(128, 128, &mut rng);
+    group.bench_function("gemm_blocked_128", |bench| {
+        bench.iter(|| {
+            let mut cm = Matrix::zeros(128, 128);
+            gemm_blocked(&a, &b, &mut cm, BlockSizes::default());
+            cm
+        });
+    });
+    let sig: Vec<Complex> = (0..4096).map(|i| Complex::cis(i as f64 * 0.01)).collect();
+    group.bench_function("fft_radix4_4096", |bench| {
+        bench.iter(|| {
+            let mut x = sig.clone();
+            fft_radix4(&mut x);
+            x
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_gemm, bench_sim_fft64, bench_reference);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 3.4: estimated core performance vs core<->on-chip bandwidth and
+//! local-store size (nr in {4,8}, mc = kc, n = 512).
+use lac_bench::{pct, table};
+use lac_model::CoreGemmModel;
+
+fn main() {
+    for nr in [4usize, 8] {
+        let mut rows = Vec::new();
+        for kb in [2usize, 4, 8, 12, 16, 20, 24, 32, 40] {
+            let words = kb * 1024 / 8;
+            let mut row = vec![format!("{kb}")];
+            for bw_bytes in [1.0f64, 2.0, 3.0, 4.0, 8.0] {
+                let m = CoreGemmModel::new(nr, bw_bytes / 8.0, 512);
+                let pt = m.point_for_local_store(words);
+                row.push(pct(pt.utilization));
+            }
+            rows.push(row);
+        }
+        table(
+            &format!("Figure 3.4 — utilization vs local store (nr={nr}, n=512)"),
+            &["KB/PE", "1 B/cyc", "2 B/cyc", "3 B/cyc", "4 B/cyc", "8 B/cyc"],
+            &rows,
+        );
+    }
+    println!("\npaper shape: utilization rises with store and bandwidth; 8 B/cyc nr=4 saturates near 100%");
+}

@@ -1,0 +1,24 @@
+//! Figure 3.7: power efficiency and energy-delay vs area efficiency across
+//! frequencies.
+use lac_bench::{f, table};
+use lac_power::{PeModel, Precision};
+
+fn main() {
+    let pe = PeModel { precision: Precision::Single, ..Default::default() };
+    let mut rows = Vec::new();
+    for fr in [2.08f64, 1.8, 1.32, 1.0, 0.75, 0.5, 0.3] {
+        let m = pe.metrics(fr);
+        rows.push(vec![
+            format!("{fr:.2}"),
+            f(1.0 / m.gflops_per_mm2),
+            f(1000.0 / m.gflops_per_w),
+            f(1000.0 / m.gflops2_per_w),
+        ]);
+    }
+    table(
+        "Figure 3.7 — trade-off: area vs power efficiency vs E-D (SP; low freq at bottom)",
+        &["GHz", "mm^2/GFLOP", "mW/GFLOP", "energy-delay (x1e-3)"],
+        &rows,
+    );
+    println!("\npaper: at 1 GHz, >2x area efficiency and E-D vs 0.3 GHz; 40% better power eff. vs 1.8 GHz");
+}

@@ -1,0 +1,34 @@
+//! Figures 4.11/4.12: the same 128-MAC system with NUCA caches instead of
+//! SRAM — the memory now dominates both area and power at small sizes.
+use lac_bench::{f, table};
+use lac_power::{core_metrics, NucaModel, PeModel};
+
+fn main() {
+    let pe = PeModel::default();
+    let cores = core_metrics(&pe, 4, 1.0, 0.95);
+    let mut rows = Vec::new();
+    for mb in [0.25f64, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let bytes = (mb * 1024.0 * 1024.0) as usize;
+        // Smaller memory must sustain higher bandwidth (Figure 4.2).
+        let bw = 4.0 * (2.0 / mb).max(1.0);
+        let nuca = NucaModel::new(bytes, bw);
+        let mem_power_w = (nuca.power_mw(1.0, bw) + nuca.leakage_mw()) / 1000.0;
+        let chip_area = cores.area_mm2 * 8.0 + nuca.area_mm2();
+        let chip_power = cores.power_w * 8.0 + mem_power_w;
+        let gflops = cores.gflops * 8.0;
+        rows.push(vec![
+            f(mb),
+            f(cores.area_mm2 * 8.0),
+            f(nuca.area_mm2()),
+            f(chip_area),
+            f(mem_power_w * 1000.0 / gflops),
+            f(chip_power * 1000.0 / gflops),
+        ]);
+    }
+    table(
+        "Figures 4.11/4.12 — NUCA-based system (S=8, n=2048)",
+        &["mem MB", "cores mm^2", "NUCA mm^2", "chip mm^2", "mem mW/GFLOP", "chip mW/GFLOP"],
+        &rows,
+    );
+    println!("\npaper: NUCA occupies more area than the cores in all cases; small fast NUCA is worst");
+}

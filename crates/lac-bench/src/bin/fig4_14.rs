@@ -1,0 +1,16 @@
+//! Figure 4.14: normalized power breakdown — GTX480 vs LAP, 45 nm.
+use lac_bench::{f, table};
+use lac_power::power_breakdown;
+
+fn main() {
+    for plat in ["gtx480", "lap-sp"] {
+        let b = power_breakdown(plat);
+        let total: f64 = b.iter().map(|i| i.mw_per_gflops).sum();
+        let rows: Vec<Vec<String>> = b
+            .iter()
+            .map(|i| vec![i.component.into(), f(i.mw_per_gflops), format!("{:.1}%", 100.0 * i.mw_per_gflops / total)])
+            .collect();
+        table(&format!("Figure 4.14 — {plat} power breakdown (mW per delivered GFLOPS)"), &["component", "mW/GFLOPS", "share"], &rows);
+        println!("total: {:.1} mW/GFLOPS", total);
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 4.6: LAP performance vs external off-chip bandwidth and on-chip
+//! memory size (1.4 GHz, nr=4).
+use lac_bench::{f, table};
+use lac_model::ChipGemmModel;
+
+fn main() {
+    let freq = 1.4;
+    let mut rows = Vec::new();
+    for s in [4usize, 8, 16] {
+        for z_bytes in [4.0f64, 8.0, 16.0, 24.0] {
+            for n in [256usize, 512, 768, 1024] {
+                let m = ChipGemmModel::new(4, s, n, 128.min(n));
+                let util = m.utilization_offchip(z_bytes / 8.0);
+                let gflops = 2.0 * (s * 16) as f64 * freq * util;
+                rows.push(vec![
+                    format!("S={s}"),
+                    format!("{z_bytes}"),
+                    f((n * n) as f64 * 8.0 / 1024.0 / 1024.0),
+                    f(gflops),
+                ]);
+            }
+        }
+    }
+    table(
+        "Figure 4.6 — LAP GFLOPS vs off-chip BW and on-chip memory (1.4 GHz)",
+        &["cores", "ext BW [B/cyc]", "on-chip mem [MB]", "GFLOPS"],
+        &rows,
+    );
+    println!("\npaper: 16 cores, 5 MB, 16 B/cycle => ~600 of 700 GFLOPS peak");
+}

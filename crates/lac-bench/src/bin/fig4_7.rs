@@ -1,0 +1,23 @@
+//! Figure 4.7: area of a single PE vs local-store size (45 nm).
+use lac_bench::{f, table};
+use lac_power::{PeModel, SramModel};
+
+fn main() {
+    let mut rows = Vec::new();
+    for kb in [2usize, 4, 6, 8, 10, 12, 14, 16, 18] {
+        let pe = PeModel { local_store_bytes: kb * 1024, ..Default::default() };
+        let sram = SramModel::new(kb * 1024, 2);
+        rows.push(vec![
+            format!("{kb}"),
+            f(sram.area_mm2()),
+            f(pe.fmac().area_mm2()),
+            f(pe.area_mm2()),
+        ]);
+    }
+    table(
+        "Figure 4.7 — PE area vs local store (45 nm, DP)",
+        &["KB", "local store mm^2", "FPU mm^2", "PE mm^2"],
+        &rows,
+    );
+    println!("\npaper: at 18 KB the store is ~2/3 of the PE, linear in capacity");
+}

@@ -1,0 +1,25 @@
+//! Figure 4.8: leakage, local store, and total PE power efficiency vs
+//! local-store size.
+use lac_bench::{f, table};
+use lac_power::PeModel;
+
+fn main() {
+    let mut rows = Vec::new();
+    for kb in [2usize, 4, 6, 8, 10, 12, 14, 16, 18] {
+        let pe = PeModel { local_store_bytes: kb * 1024, ..Default::default() };
+        let m = pe.metrics(1.0);
+        rows.push(vec![
+            format!("{kb}"),
+            f(m.pe_mw / m.gflops),
+            f(m.memory_mw / m.gflops),
+            f(m.fmac_mw / m.gflops),
+            f(pe.sram().leakage_mw() / m.gflops),
+        ]);
+    }
+    table(
+        "Figure 4.8 — PE mW/GFLOP vs local store (1 GHz, DP)",
+        &["KB", "PE", "local store", "FPU", "leakage"],
+        &rows,
+    );
+    println!("\npaper: FPU dominates; smaller stores use less power but raise density and on-chip BW demand");
+}

@@ -1,0 +1,30 @@
+//! Figure 6.9: efficiency of the FFT/hybrid designs normalized to the
+//! original LAC at 1 GHz.
+use lac_bench::{f, table};
+use lac_power::{fft_pe_designs, PeDesign};
+
+fn main() {
+    let designs = fft_pe_designs(1.0);
+    let base = designs
+        .iter()
+        .find(|d| d.design == PeDesign::DedicatedLinearAlgebra)
+        .and_then(|d| d.la_gflops_per_w)
+        .unwrap();
+    let rows: Vec<Vec<String>> = designs
+        .iter()
+        .map(|d| {
+            vec![
+                format!("{:?}", d.design),
+                d.la_gflops_per_w.map(|e| f(e / base)).unwrap_or("-".into()),
+                d.fft_gflops_per_w.map(|e| f(e / base)).unwrap_or("-".into()),
+                f(d.area_mm2 / designs[0].area_mm2),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 6.9 — efficiency normalized to the original LAC (1 GHz)",
+        &["design", "LA eff (norm)", "FFT eff (norm)", "area (norm)"],
+        &rows,
+    );
+    println!("\npaper: the hybrid keeps ~all the LA efficiency while adding FFT capability");
+}

@@ -1,0 +1,24 @@
+//! Figures B.11/B.12/B.13: actual and maximum PE power, and PE area
+//! breakdown, for the three designs at 1 GHz.
+use lac_bench::{f, table};
+use lac_power::fft_pe_designs;
+
+fn main() {
+    let rows: Vec<Vec<String>> = fft_pe_designs(1.0)
+        .iter()
+        .map(|d| {
+            vec![
+                format!("{:?}", d.design),
+                d.la_power_mw.map(f).unwrap_or("-".into()),
+                d.fft_power_mw.map(f).unwrap_or("-".into()),
+                f(d.max_power_mw),
+                f(d.area_mm2),
+            ]
+        })
+        .collect();
+    table(
+        "Figures B.11-13 — PE power (per workload, max) and area per design (1 GHz)",
+        &["design", "LA mW", "FFT mW", "max mW", "area mm^2"],
+        &rows,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure B.5: bandwidth required for full overlap, worst case, per problem.
+use lac_bench::{f, table};
+use lac_model::{FftCoreModel, FftVariant};
+
+fn main() {
+    let m = FftCoreModel::default();
+    let mut rows = Vec::new();
+    for n in [64usize, 4096, 65536] {
+        rows.push(vec![
+            format!("{n}-pt 1D"),
+            f(m.overlap_bandwidth()),
+            f(m.avg_comm_load(n, FftVariant::Overlapped, 4.0)),
+        ]);
+    }
+    table(
+        "Figure B.5 — words/cycle for full overlap (cap: 4 doubles/cycle on the column buses)",
+        &["problem", "worst-case demand", "average load"],
+        &rows,
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure B.6: local store per PE and utilization, overlapped vs not.
+use lac_bench::{f, pct, table};
+use lac_model::{FftCoreModel, FftVariant};
+
+fn main() {
+    let m = FftCoreModel::default();
+    let mut rows = Vec::new();
+    for variant in [FftVariant::NonOverlapped, FftVariant::Overlapped] {
+        rows.push(vec![
+            format!("{variant:?}"),
+            format!("{}", m.local_store_per_pe(variant)),
+            f(m.local_store_per_pe(variant) as f64 * 8.0 / 1024.0),
+            pct(m.utilization(variant, 4.0)),
+        ]);
+    }
+    table(
+        "Figure B.6 — FFT local store/PE and utilization",
+        &["variant", "words/PE", "KB/PE", "utilization"],
+        &rows,
+    );
+}

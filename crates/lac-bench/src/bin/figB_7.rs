@@ -1,0 +1,20 @@
+//! Figure B.7: average communication load on the core for a 64K 1D FFT.
+use lac_bench::{f, table};
+use lac_model::{FftCoreModel, FftVariant};
+
+fn main() {
+    let m = FftCoreModel::default();
+    let mut rows = Vec::new();
+    for bw in [1.0f64, 2.0, 4.0] {
+        rows.push(vec![
+            f(bw),
+            f(m.avg_comm_load(65536, FftVariant::Overlapped, bw)),
+            f(m.avg_comm_load(65536, FftVariant::NonOverlapped, bw)),
+        ]);
+    }
+    table(
+        "Figure B.7 — average words/cycle, 64K-point 1D FFT",
+        &["available BW", "overlapped", "non-overlapped"],
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerate every table and figure in one run (what EXPERIMENTS.md
+//! records): invokes each generator binary built alongside this one.
+use std::path::PathBuf;
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table3_1", "table3_2", "fig3_4", "fig3_5", "fig3_6", "fig3_7",
+    "table4_1", "fig4_2", "fig4_3", "fig4_5", "fig4_6", "sec4_3_validation",
+    "fig4_7", "fig4_8", "fig4_9_10", "fig4_11_12", "fig4_13", "fig4_14",
+    "fig4_15", "fig4_16", "table4_2", "table4_3",
+    "fig5_8", "fig5_9", "fig5_10", "table5_1",
+    "table6_1", "fig6_5", "fig6_6", "fig6_7", "tableA_2",
+    "table6_2", "fig6_9", "tableB_1", "tableB_2", "figB_5", "figB_6",
+    "figB_7", "figB_11_12_13",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir: PathBuf = me.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for name in BINS {
+        let exe = dir.join(name);
+        println!("\n######## {name} ########");
+        let status = Command::new(&exe).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("!! {name} failed: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments regenerated", BINS.len());
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 3.1: 45 nm scaled performance and area for a LAP PE with 16 KB of
+//! dual-ported SRAM, across frequencies and precisions.
+use lac_bench::{f, table};
+use lac_power::{PeModel, Precision};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (prec, label, freqs) in [
+        (Precision::Single, "SP", vec![2.08, 1.32, 0.98, 0.50]),
+        (Precision::Double, "DP", vec![1.81, 0.95, 0.33, 0.20]),
+    ] {
+        let pe = PeModel { precision: prec, ..Default::default() };
+        for fr in freqs {
+            let m = pe.metrics(fr);
+            rows.push(vec![
+                label.into(),
+                format!("{fr:.2}"),
+                f(m.area_mm2),
+                f(m.memory_mw),
+                f(m.fmac_mw),
+                f(m.pe_mw),
+                f(m.w_per_mm2),
+                f(m.gflops_per_mm2),
+                f(m.gflops_per_w),
+                f(m.gflops2_per_w),
+            ]);
+        }
+    }
+    table(
+        "Table 3.1 — PE performance/area, 45 nm (model)",
+        &["prec", "GHz", "area mm^2", "mem mW", "FMAC mW", "PE mW", "W/mm^2", "GFLOP/mm^2", "GFLOPS/W", "GFLOPS^2/W"],
+        &rows,
+    );
+    println!("\npaper anchors: SP@0.98GHz: 15.9 mW, 113 GFLOPS/W; DP@0.95GHz: 38 mW, 46.4 GFLOPS/W");
+}

@@ -1,0 +1,26 @@
+//! Table 3.2: 45 nm scaled performance and area of various cores running
+//! GEMM — published comparators plus our modeled LAC.
+use lac_bench::{f, pct, table};
+use lac_power::platform_cores_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = platform_cores_table()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                format!("{:?}", r.precision),
+                f(r.w_per_mm2),
+                f(r.gflops_per_mm2),
+                f(r.gflops_per_w),
+                pct(r.utilization),
+            ]
+        })
+        .collect();
+    table(
+        "Table 3.2 — cores running GEMM (paper data + our modeled LAC)",
+        &["core", "prec", "W/mm^2", "GFLOPS/mm^2", "GFLOPS/W", "util"],
+        &rows,
+    );
+    println!("\npaper LAC rows: SP 0.2 W/mm^2, 19.5 GFLOPS/mm^2, 104 GFLOPS/W; DP 0.3, 15.6, 47");
+}

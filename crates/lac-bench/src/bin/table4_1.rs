@@ -1,0 +1,25 @@
+//! Table 4.1: bandwidth and memory requirements of the memory-hierarchy
+//! layers, partial vs full overlap.
+use lac_bench::{f, table};
+use lac_model::ChipGemmModel;
+
+fn main() {
+    let m = ChipGemmModel::new(4, 8, 2048, 256);
+    let rows: Vec<Vec<String>> = m
+        .hierarchy_table()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.level.into(),
+                r.variant.into(),
+                if r.size_words.is_nan() { "-".into() } else { f(r.size_words) },
+                f(r.bandwidth),
+            ]
+        })
+        .collect();
+    table(
+        "Table 4.1 — memory hierarchy requirements (S=8, nr=4, n=2048, mc=kc=256)",
+        &["layer", "overlap", "size [words]", "BW [words/cycle]"],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Table 4.2: 45 nm scaled performance and area of systems running GEMM.
+use lac_bench::{f, pct, table};
+use lac_power::platform_systems_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = platform_systems_table()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.into(),
+                format!("{:?}", r.precision),
+                f(r.gflops),
+                f(r.w_per_mm2),
+                f(r.gflops_per_mm2),
+                f(r.gflops_per_w),
+                f(r.gflops * r.gflops_per_w),
+                pct(r.utilization),
+            ]
+        })
+        .collect();
+    table(
+        "Table 4.2 — systems running GEMM",
+        &["system", "prec", "GFLOPS", "W/mm^2", "GFLOPS/mm^2", "GFLOPS/W", "GFLOPS^2/W", "util"],
+        &rows,
+    );
+    println!("\npaper LAP rows: SP 1200 GFLOPS, 30-55 GFLOPS/W; DP 600 GFLOPS, 15-25 GFLOPS/W");
+}

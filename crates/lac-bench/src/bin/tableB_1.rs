@@ -1,0 +1,33 @@
+//! Table B.1: FFT core requirements for overlapped and non-overlapped
+//! N x N 2D and N^2 1D transforms.
+use lac_bench::{f, table};
+use lac_model::{FftCoreModel, FftVariant};
+
+fn main() {
+    let m = FftCoreModel::default();
+    let mut rows = Vec::new();
+    for n in [256usize, 1024] {
+        for variant in [FftVariant::NonOverlapped, FftVariant::Overlapped] {
+            let (store, bw) = m.requirements(variant);
+            rows.push(vec![
+                format!("{n}x{n} 2D"),
+                format!("{variant:?}"),
+                format!("{store}"),
+                f(bw),
+                f(m.cycles_2d(n, variant, 4.0)),
+            ]);
+            rows.push(vec![
+                format!("{} 1D", n * n),
+                format!("{variant:?}"),
+                format!("{store}"),
+                f(bw),
+                f(m.cycles_1d(n * n, variant, 4.0)),
+            ]);
+        }
+    }
+    table(
+        "Table B.1 — FFT core requirements (store words/PE, BW words/cycle)",
+        &["problem", "variant", "store/PE", "BW for overlap", "cycles"],
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! Table B.2: PE SRAM options — area, energy, leakage (CACTI stand-in).
+use lac_bench::{f, table};
+use lac_power::sram::sram_option_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = sram_option_table()
+        .into_iter()
+        .map(|r| vec![r.label, f(r.area_mm2), f(r.energy_pj), f(r.leakage_mw)])
+        .collect();
+    table(
+        "Table B.2 — PE SRAM options (45 nm model)",
+        &["configuration", "area mm^2", "pJ/access", "leakage mW"],
+        &rows,
+    );
+}

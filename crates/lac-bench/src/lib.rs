@@ -1,0 +1,71 @@
+//! Shared helpers for the table/figure generator binaries.
+//!
+//! Every dissertation table and figure has a binary in `src/bin/` named
+//! after it (`cargo run -p lac-bench --release --bin fig3_4`); each prints
+//! the rows/series the paper reports, plus the paper's published values
+//! where applicable so the shape comparison is immediate. `run_all`
+//! regenerates everything (that is what EXPERIMENTS.md records).
+
+use std::fmt::Display;
+
+/// Print a titled table with aligned columns.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float to a sensible number of digits.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Convenience for building a row out of display values.
+pub fn row(cells: &[&dyn Display]) -> Vec<String> {
+    cells.iter().map(|c| c.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.4), "123");
+        assert_eq!(f(1.234), "1.23");
+        assert_eq!(f(0.1234), "0.123");
+        assert_eq!(pct(0.905), "90.5%");
+    }
+}

@@ -1,0 +1,60 @@
+//! Magnitude comparator extension (§A.2, Figure A.1).
+//!
+//! LU partial pivoting needs `argmax |xᵢ|` over a column. The hardware adds a
+//! comparator on the MAC's exponent/mantissa datapath; because IEEE-754
+//! magnitudes order the same way as their biased-exponent+mantissa bit
+//! patterns, the comparator is a simple unsigned integer compare on the
+//! low 63 bits — which is exactly how we model it.
+
+/// `|a| >= |b|` computed the way the hardware comparator does: as an
+/// unsigned compare of the sign-stripped bit patterns.
+#[inline]
+pub fn magnitude_ge(a: f64, b: f64) -> bool {
+    let ma = a.to_bits() & 0x7fff_ffff_ffff_ffff;
+    let mb = b.to_bits() & 0x7fff_ffff_ffff_ffff;
+    ma >= mb
+}
+
+/// Index of the largest-magnitude element (first index wins ties), using the
+/// bit-pattern comparator. Matches `linalg_ref::blas1::iamax` for all finite
+/// inputs.
+pub fn magnitude_max_index(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty());
+    let mut best = 0;
+    for i in 1..xs.len() {
+        if !magnitude_ge(xs[best], xs[i]) {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_compare_matches_abs_compare() {
+        let vals = [0.0, -0.0, 1.0, -1.0, 0.5, -2.5, 1e-308, -1e308, 3.25];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(magnitude_ge(a, b), a.abs() >= b.abs(), "a={a}, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn subnormals_ordered_correctly() {
+        let t1 = f64::MIN_POSITIVE / 2.0;
+        let t2 = f64::MIN_POSITIVE / 4.0;
+        assert!(magnitude_ge(t1, t2));
+        assert!(!magnitude_ge(t2, t1));
+    }
+
+    #[test]
+    fn max_index_matches_iamax_semantics() {
+        assert_eq!(magnitude_max_index(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(magnitude_max_index(&[-2.0, 2.0]), 0, "first on ties");
+        assert_eq!(magnitude_max_index(&[0.0]), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! The PE's fused multiply-accumulate unit (§3.2, §A.3.1).
+
+use crate::accumulator::ExtendedAccumulator;
+use crate::pipeline::Pipeline;
+
+/// Arithmetic precision of the datapath. The same FMAC hardware is assumed
+/// reconfigurable between the two (the paper cites \[132\]); single precision
+/// rounds every operation through `f32`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precision {
+    Single,
+    Double,
+}
+
+impl Precision {
+    /// Operand width in bytes (drives bandwidth numbers in the models).
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+}
+
+/// Static configuration of the PE floating-point datapath.
+#[derive(Clone, Copy, Debug)]
+pub struct FpuConfig {
+    /// MAC pipeline depth `p` (the paper uses 5–9; TRSM stacking assumes 8).
+    pub pipeline_depth: usize,
+    /// SFU (divide/square-root) latency `q` in cycles.
+    pub sfu_latency: usize,
+    pub precision: Precision,
+    /// Extended-exponent accumulator (§A.2) present?
+    pub exponent_extension: bool,
+}
+
+impl Default for FpuConfig {
+    fn default() -> Self {
+        Self {
+            pipeline_depth: 5,
+            sfu_latency: 13,
+            precision: Precision::Double,
+            exponent_extension: false,
+        }
+    }
+}
+
+/// One in-flight multiply-accumulate: `acc += a * b` (or an externally
+/// supplied addend `c + a*b` when `into_acc` is false).
+#[derive(Clone, Copy, Debug)]
+struct MacOp {
+    a: f64,
+    b: f64,
+    /// `None` ⇒ accumulate into the local accumulator;
+    /// `Some(c)` ⇒ produce `c ± a·b` to the result latch.
+    addend: Option<f64>,
+    /// When true the product is subtracted (`c - a·b`, or `acc -= a·b`).
+    negate: bool,
+}
+
+/// Timing- and range-accurate FMAC model with a local accumulator.
+///
+/// Semantics follow the paper: throughput one MAC per cycle, results
+/// *visible in the accumulator* the cycle after retiring from the `p`-stage
+/// pipeline, and accumulation chained without intermediate normalization.
+#[derive(Clone, Debug)]
+pub struct MacUnit {
+    cfg: FpuConfig,
+    pipe: Pipeline<MacOp>,
+    acc: ExtendedAccumulator,
+    /// Result latch for non-accumulator ops (`c + a·b`).
+    result: Option<f64>,
+    /// Lifetime op count (feeds the energy model).
+    pub ops_issued: u64,
+}
+
+impl MacUnit {
+    pub fn new(cfg: FpuConfig) -> Self {
+        Self {
+            pipe: Pipeline::new(cfg.pipeline_depth),
+            cfg,
+            acc: ExtendedAccumulator::new(),
+            result: None,
+            ops_issued: 0,
+        }
+    }
+
+    pub fn config(&self) -> &FpuConfig {
+        &self.cfg
+    }
+
+    fn round(&self, x: f64) -> f64 {
+        match self.cfg.precision {
+            Precision::Single => x as f32 as f64,
+            Precision::Double => x,
+        }
+    }
+
+    /// Load the accumulator (the `C` preload over the column bus).
+    pub fn load_acc(&mut self, v: f64) {
+        self.acc = ExtendedAccumulator::from_f64(self.round(v));
+    }
+
+    /// Read the accumulator, normalizing (the stream-out step).
+    pub fn read_acc(&self) -> f64 {
+        self.round(self.acc.normalize())
+    }
+
+    /// The wide accumulator itself (the extended-format read port the §A.2
+    /// datapath exposes to the sequencer).
+    pub fn acc_wide(&self) -> &ExtendedAccumulator {
+        &self.acc
+    }
+
+    /// Square root of the accumulator computed in the *wide* exponent space
+    /// (§A.2): `√(m·2^e) = √(m·2^(e−2h))·2^h` with `h = ⌊e/2⌋`, so a sum of
+    /// squares that exceeds binary64 range still yields a finite norm. Only
+    /// meaningful with the exponent extension; without it this equals
+    /// `read_acc().sqrt()`.
+    pub fn read_acc_sqrt(&self) -> f64 {
+        let e = self.acc.exponent();
+        let h = e.div_euclid(2);
+        let m = self.acc.normalize_with_exp_shift(-2 * h);
+        self.round(m.sqrt() * 2f64.powi(h))
+    }
+
+    /// Issue `acc += a*b` this cycle. Err on double-issue.
+    pub fn issue_mac(&mut self, a: f64, b: f64) -> Result<(), ()> {
+        self.issue_mac_signed(a, b, false)
+    }
+
+    /// Issue `acc ±= a*b` (negate ⇒ subtract the product).
+    pub fn issue_mac_signed(&mut self, a: f64, b: f64, negate: bool) -> Result<(), ()> {
+        self.pipe
+            .issue(MacOp { a: self.round(a), b: self.round(b), addend: None, negate })
+            .map_err(|_| ())?;
+        self.ops_issued += 1;
+        Ok(())
+    }
+
+    /// Issue a free-standing fused op `c + a*b`; the result appears in the
+    /// result latch (`take_result`) after `p` cycles.
+    pub fn issue_fma(&mut self, a: f64, b: f64, c: f64) -> Result<(), ()> {
+        self.issue_fma_signed(a, b, c, false)
+    }
+
+    /// Issue `c ± a*b` (negate ⇒ fused multiply-subtract `c - a·b`).
+    pub fn issue_fma_signed(&mut self, a: f64, b: f64, c: f64, negate: bool) -> Result<(), ()> {
+        self.pipe
+            .issue(MacOp {
+                a: self.round(a),
+                b: self.round(b),
+                addend: Some(self.round(c)),
+                negate,
+            })
+            .map_err(|_| ())?;
+        self.ops_issued += 1;
+        Ok(())
+    }
+
+    /// Advance one cycle; retire at most one op.
+    pub fn step(&mut self) {
+        if let Some(op) = self.pipe.step() {
+            let a = if op.negate { -op.a } else { op.a };
+            match op.addend {
+                None => {
+                    if self.cfg.exponent_extension {
+                        self.acc.mac(a, op.b);
+                    } else {
+                        // Narrow accumulator: normalize every step, so
+                        // overflow behaves like plain f64 (the baseline the
+                        // extension fixes).
+                        let v = self.round(self.acc.normalize() + a * op.b);
+                        self.acc = ExtendedAccumulator::from_f64(v);
+                    }
+                }
+                Some(c) => {
+                    self.result = Some(self.round(c + a * op.b));
+                }
+            }
+        }
+    }
+
+    /// Drain the pipeline (advance until empty), returning cycles spent.
+    pub fn drain(&mut self) -> usize {
+        let mut cycles = 0;
+        while !self.pipe.is_empty() {
+            self.step();
+            cycles += 1;
+        }
+        cycles
+    }
+
+    /// Take the latched non-accumulator result, if one has retired.
+    pub fn take_result(&mut self) -> Option<f64> {
+        self.result.take()
+    }
+
+    /// True if no work is in flight.
+    pub fn idle(&self) -> bool {
+        self.pipe.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_dot_product() {
+        let mut mac = MacUnit::new(FpuConfig::default());
+        mac.load_acc(0.0);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [5.0, 6.0, 7.0, 8.0];
+        for (x, y) in xs.iter().zip(&ys) {
+            mac.issue_mac(*x, *y).unwrap();
+            mac.step();
+        }
+        mac.drain();
+        assert_eq!(mac.read_acc(), 70.0);
+        assert_eq!(mac.ops_issued, 4);
+    }
+
+    #[test]
+    fn pipeline_latency_respected() {
+        let cfg = FpuConfig { pipeline_depth: 4, ..Default::default() };
+        let mut mac = MacUnit::new(cfg);
+        mac.load_acc(0.0);
+        mac.issue_mac(2.0, 3.0).unwrap();
+        for _ in 0..3 {
+            mac.step();
+            assert_eq!(mac.read_acc(), 0.0, "not yet retired");
+        }
+        mac.step();
+        assert_eq!(mac.read_acc(), 6.0);
+    }
+
+    #[test]
+    fn fma_result_latch() {
+        let mut mac = MacUnit::new(FpuConfig { pipeline_depth: 2, ..Default::default() });
+        mac.issue_fma(3.0, 4.0, 1.0).unwrap();
+        mac.step();
+        assert!(mac.take_result().is_none());
+        mac.step();
+        assert_eq!(mac.take_result(), Some(13.0));
+        assert!(mac.take_result().is_none(), "latch cleared after take");
+    }
+
+    #[test]
+    fn single_precision_rounds() {
+        let cfg = FpuConfig { precision: Precision::Single, ..Default::default() };
+        let mut mac = MacUnit::new(cfg);
+        mac.load_acc(0.0);
+        mac.issue_mac(1.0e-8, 1.0).unwrap();
+        mac.drain();
+        mac.issue_mac(1.0, 1.0).unwrap();
+        mac.drain();
+        // 1 + 1e-8 rounds to 1 in f32
+        assert_eq!(mac.read_acc(), 1.0);
+    }
+
+    #[test]
+    fn exponent_extension_survives_square_overflow() {
+        let base = FpuConfig { exponent_extension: false, ..Default::default() };
+        let ext = FpuConfig { exponent_extension: true, ..Default::default() };
+        // Without extension: 1e200² overflows the accumulator.
+        let mut m1 = MacUnit::new(base);
+        m1.load_acc(0.0);
+        m1.issue_mac(1e200, 1e200).unwrap();
+        m1.drain();
+        assert!(m1.read_acc().is_infinite());
+        // With extension the wide accumulator holds it; read_acc only
+        // overflows at final normalization, which the norm kernel avoids by
+        // halving the exponent before the square root.
+        let mut m2 = MacUnit::new(ext);
+        m2.load_acc(0.0);
+        m2.issue_mac(1e200, 1e200).unwrap();
+        m2.drain();
+        assert!(m2.acc.exponent() > 1000);
+    }
+
+    #[test]
+    fn double_issue_rejected() {
+        let mut mac = MacUnit::new(FpuConfig::default());
+        mac.issue_mac(1.0, 1.0).unwrap();
+        assert!(mac.issue_mac(1.0, 1.0).is_err());
+    }
+}

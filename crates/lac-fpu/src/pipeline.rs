@@ -1,0 +1,103 @@
+//! A generic fixed-depth pipeline model.
+//!
+//! Used by the simulator for the MAC datapath and the SFU: an item issued at
+//! cycle `t` retires at cycle `t + depth`. The pipeline accepts at most one
+//! issue per cycle (throughput one), which is exactly the paper's FMAC with
+//! delayed normalization \[141, 142\].
+
+/// Fixed-depth, single-issue-per-cycle pipeline.
+#[derive(Clone, Debug)]
+pub struct Pipeline<T> {
+    depth: usize,
+    /// `slots[i]` retires in `i + 1` more steps.
+    slots: Vec<Option<T>>,
+    issued_this_cycle: bool,
+}
+
+impl<T> Pipeline<T> {
+    /// Create a pipeline with `depth ≥ 1` stages.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        Self { depth, slots: (0..depth).map(|_| None).collect(), issued_this_cycle: false }
+    }
+
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Issue an item this cycle. Returns `Err` on a structural hazard
+    /// (second issue in the same cycle).
+    pub fn issue(&mut self, item: T) -> Result<(), T> {
+        if self.issued_this_cycle {
+            return Err(item);
+        }
+        debug_assert!(self.slots[self.depth - 1].is_none(), "tail slot must be free pre-step");
+        self.slots[self.depth - 1] = Some(item);
+        self.issued_this_cycle = true;
+        Ok(())
+    }
+
+    /// Advance one cycle; returns the item retiring this cycle, if any.
+    pub fn step(&mut self) -> Option<T> {
+        self.issued_this_cycle = false;
+        let out = self.slots[0].take();
+        self.slots.rotate_left(1);
+        out
+    }
+
+    /// True when no in-flight items remain.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Number of in-flight items.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_equals_depth() {
+        let mut p: Pipeline<u32> = Pipeline::new(3);
+        p.issue(7).unwrap();
+        assert_eq!(p.step(), None);
+        assert_eq!(p.step(), None);
+        assert_eq!(p.step(), Some(7));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn throughput_one_per_cycle() {
+        let mut p: Pipeline<u32> = Pipeline::new(4);
+        let mut retired = vec![];
+        for t in 0..10u32 {
+            if let Some(v) = p.step() {
+                retired.push(v);
+            }
+            p.issue(t).unwrap();
+        }
+        // after 10 cycles with depth 4, items 0..6 have retired
+        assert_eq!(retired, (0..6).collect::<Vec<_>>());
+        assert_eq!(p.in_flight(), 4);
+    }
+
+    #[test]
+    fn double_issue_is_hazard() {
+        let mut p: Pipeline<u32> = Pipeline::new(2);
+        p.issue(1).unwrap();
+        assert!(p.issue(2).is_err());
+        p.step();
+        p.issue(2).unwrap();
+    }
+
+    #[test]
+    fn depth_one_retires_next_cycle() {
+        let mut p: Pipeline<u32> = Pipeline::new(1);
+        p.issue(5).unwrap();
+        assert_eq!(p.step(), Some(5));
+    }
+}

@@ -1,0 +1,154 @@
+//! Data layouts: how matrices map onto PE local stores and external memory.
+//!
+//! The `A` operand is distributed **2D round-robin** (§3.1): element
+//! `α(i, p)` lives in PE `(i mod nr, p mod nr)`. The `B` operand is
+//! **replicated by column** (§3.2.1): every PE in mesh column `c` holds a
+//! copy of the B-panel column it will consume, so column broadcasts are never
+//! needed during compute and the column buses stay free for prefetching.
+
+use linalg_ref::Matrix;
+
+/// Round-robin layout of an `mc × kc` block of `A` over an `nr × nr` mesh.
+#[derive(Clone, Copy, Debug)]
+pub struct ALayout {
+    pub mc: usize,
+    pub kc: usize,
+    pub nr: usize,
+}
+
+impl ALayout {
+    pub fn new(mc: usize, kc: usize, nr: usize) -> Self {
+        assert!(mc % nr == 0 && kc % nr == 0, "mc, kc must be multiples of nr");
+        Self { mc, kc, nr }
+    }
+
+    /// Mesh coordinates of the PE owning `α(i, p)`.
+    pub fn owner(&self, i: usize, p: usize) -> (usize, usize) {
+        (i % self.nr, p % self.nr)
+    }
+
+    /// Local SRAM-A address of `α(i, p)` within its owner.
+    pub fn addr(&self, i: usize, p: usize) -> usize {
+        (i / self.nr) * (self.kc / self.nr) + p / self.nr
+    }
+
+    /// Words of SRAM-A needed per PE.
+    pub fn words_per_pe(&self) -> usize {
+        (self.mc / self.nr) * (self.kc / self.nr)
+    }
+}
+
+/// External-memory layout for a GEMM working set
+/// (`C(mc×n) += A(mc×kc) · B(kc×n)`), all column-major.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmDataLayout {
+    pub mc: usize,
+    pub kc: usize,
+    pub n: usize,
+    pub a_off: usize,
+    pub b_off: usize,
+    pub c_off: usize,
+}
+
+impl GemmDataLayout {
+    pub fn new(mc: usize, kc: usize, n: usize) -> Self {
+        let a_off = 0;
+        let b_off = a_off + mc * kc;
+        let c_off = b_off + kc * n;
+        Self { mc, kc, n, a_off, b_off, c_off }
+    }
+
+    pub fn total_words(&self) -> usize {
+        self.c_off + self.mc * self.n
+    }
+
+    pub fn a_addr(&self, i: usize, p: usize) -> usize {
+        debug_assert!(i < self.mc && p < self.kc);
+        self.a_off + p * self.mc + i
+    }
+
+    pub fn b_addr(&self, p: usize, j: usize) -> usize {
+        debug_assert!(p < self.kc && j < self.n);
+        self.b_off + j * self.kc + p
+    }
+
+    pub fn c_addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.mc && j < self.n);
+        self.c_off + j * self.mc + i
+    }
+
+    /// Pack `A`, `B`, `C` into a fresh external-memory image.
+    pub fn pack(&self, a: &Matrix, b: &Matrix, c: &Matrix) -> Vec<f64> {
+        assert_eq!((a.rows(), a.cols()), (self.mc, self.kc));
+        assert_eq!((b.rows(), b.cols()), (self.kc, self.n));
+        assert_eq!((c.rows(), c.cols()), (self.mc, self.n));
+        let mut mem = vec![0.0; self.total_words()];
+        for p in 0..self.kc {
+            for i in 0..self.mc {
+                mem[self.a_addr(i, p)] = a[(i, p)];
+            }
+        }
+        for j in 0..self.n {
+            for p in 0..self.kc {
+                mem[self.b_addr(p, j)] = b[(p, j)];
+            }
+        }
+        for j in 0..self.n {
+            for i in 0..self.mc {
+                mem[self.c_addr(i, j)] = c[(i, j)];
+            }
+        }
+        mem
+    }
+
+    /// Extract the `C` result from an external-memory image.
+    pub fn unpack_c(&self, mem: &[f64]) -> Matrix {
+        Matrix::from_fn(self.mc, self.n, |i, j| mem[self.c_addr(i, j)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn a_layout_round_robin() {
+        let l = ALayout::new(8, 8, 4);
+        assert_eq!(l.owner(0, 0), (0, 0));
+        assert_eq!(l.owner(5, 6), (1, 2));
+        assert_eq!(l.addr(0, 0), 0);
+        assert_eq!(l.addr(4, 0), 2); // i/nr = 1, kc/nr = 2
+        assert_eq!(l.addr(0, 4), 1);
+        assert_eq!(l.words_per_pe(), 4);
+    }
+
+    #[test]
+    fn every_a_element_has_unique_slot() {
+        let l = ALayout::new(8, 12, 4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8 {
+            for p in 0..12 {
+                let key = (l.owner(i, p), l.addr(i, p));
+                assert!(seen.insert(key), "collision at ({i},{p})");
+                assert!(l.addr(i, p) < l.words_per_pe());
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lay = GemmDataLayout::new(8, 4, 12);
+        let a = Matrix::random(8, 4, &mut rng);
+        let b = Matrix::random(4, 12, &mut rng);
+        let c = Matrix::random(8, 12, &mut rng);
+        let mem = lay.pack(&a, &b, &c);
+        assert_eq!(mem.len(), lay.total_words());
+        let c2 = lay.unpack_c(&mem);
+        assert_eq!(c, c2);
+        assert_eq!(mem[lay.a_addr(3, 2)], a[(3, 2)]);
+        assert_eq!(mem[lay.b_addr(1, 7)], b[(1, 7)]);
+    }
+}

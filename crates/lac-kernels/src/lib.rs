@@ -1,0 +1,47 @@
+//! Algorithm → architecture mappings for the Linear Algebra Core.
+//!
+//! Each module turns one of the dissertation's algorithms into LAC
+//! microprograms and *drives* the cycle-accurate simulator with them,
+//! mirroring the hardware's microprogrammed state machines. Data-dependent
+//! control (LU's pivot selection) is resolved the way the hardware does it —
+//! the driver inspects the comparator registers between program phases and
+//! emits the next phase accordingly, while still paying every bus transfer
+//! and compare cycle.
+//!
+//! All kernels are functionally verified against `linalg-ref` in their tests,
+//! and their measured cycle counts are compared against the dissertation's
+//! analytical estimates in `lac-model`'s validation suite.
+//!
+//! | Module | Dissertation section | Operation |
+//! |---|---|---|
+//! | [`gemm`] | §3.1–3.4 | rank-1-update GEMM, C-prefetch overlap |
+//! | [`syrk`] | §5.2 | SYRK with bus-transpose |
+//! | [`trsm`] | §5.3 | stacked TRSM + blocked driver |
+//! | [`chol`] | §6.1.1 | nr×nr Cholesky kernel + blocked driver |
+//! | [`lu`] | §6.1.2 | panel LU with partial pivoting |
+//! | [`vecnorm`] | §6.1.3 | vector norm with/without MAC extensions |
+//! | [`fft`] | §6.2 / App. B | 64-point radix-4 FFT on the core |
+
+pub mod chol;
+pub mod fft;
+pub mod gemm;
+pub mod layout;
+pub mod lu;
+pub mod qr;
+pub mod symm;
+pub mod syrk;
+pub mod trmm;
+pub mod trsm;
+pub mod vecnorm;
+
+pub use chol::{run_blocked_cholesky, run_cholesky_kernel, CholReport};
+pub use fft::{run_fft64, Fft64Report};
+pub use gemm::{run_gemm, GemmParams, GemmReport};
+pub use layout::{ALayout, GemmDataLayout};
+pub use lu::{lu_panel_matrix, run_blocked_lu, run_lu_panel, LuOptions, LuReport};
+pub use qr::{run_qr_panel, QrPanelReport};
+pub use symm::run_blocked_symm;
+pub use syrk::{run_syrk, SyrkDataLayout, SyrkParams, SyrkReport};
+pub use trmm::run_blocked_trmm;
+pub use trsm::{run_blocked_trsm, run_trsm_stacked, TrsmReport};
+pub use vecnorm::{run_vecnorm, VnormOptions, VnormReport};

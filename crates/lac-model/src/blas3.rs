@@ -1,0 +1,143 @@
+//! Level-3 BLAS utilization models (§5.3.3, §5.4 — Figures 5.8–5.10,
+//! Table 5.1).
+//!
+//! The models mirror the kernel schedules in `lac-kernels`: compute phases
+//! at one MAC per PE per cycle, traffic phases limited by the core↔memory
+//! bandwidth `x` (words/cycle), and the latency-bound diagonal kernels of
+//! SYRK and TRSM, whose lower-order cost fades as the problem grows.
+
+/// SYRK utilization for `C(mc×mc) += A(mc×kc)·Aᵀ` on an `nr×nr` core with
+/// bandwidth `x` words/cycle and MAC depth `p`.
+pub fn syrk_utilization(nr: usize, mc: usize, kc: usize, x: f64, p: usize) -> f64 {
+    let nrf = nr as f64;
+    let nblocks = (mc / nr) as f64;
+    let tiles = nblocks * (nblocks + 1.0) / 2.0;
+    let useful = tiles * nrf * nrf * kc as f64;
+    // A load (not overlapped) + per-tile compute/traffic.
+    let a_load = mc as f64 * kc as f64 / x.min(nrf);
+    let diag = nblocks * (kc as f64 + 1.0 + p as f64 + tile_traffic(nr, x));
+    let offd = (tiles - nblocks) * (kc as f64 + p as f64 + tile_traffic(nr, x));
+    let cycles = a_load + diag + offd;
+    (useful / (cycles * nrf * nrf)).min(1.0)
+}
+
+/// SYR2K at the *same local store* as a SYRK with panel width `kc`: both
+/// operand blocks must be resident, so each holds only `kc/2` columns, and
+/// each tile is updated by two cross products with C travelling twice —
+/// double the communication for the same useful work (§5.4: "not bandwidth
+/// efficient compared to solving a bigger SYRK problem").
+pub fn syr2k_utilization(nr: usize, mc: usize, kc: usize, x: f64, p: usize) -> f64 {
+    let nrf = nr as f64;
+    let kch = (kc / 2) as f64; // per-operand panel width at equal store
+    let nblocks = (mc / nr) as f64;
+    let tiles = nblocks * (nblocks + 1.0) / 2.0;
+    let useful = 2.0 * tiles * nrf * nrf * kch;
+    let a_load = 2.0 * mc as f64 * kch / x.min(nrf);
+    let diag = nblocks * (2.0 * (kch + 1.0) + p as f64 + 2.0 * tile_traffic(nr, x));
+    let offd = (tiles - nblocks) * (2.0 * kch + p as f64 + 2.0 * tile_traffic(nr, x));
+    let cycles = a_load + diag + offd;
+    (useful / (cycles * nrf * nrf)).min(1.0)
+}
+
+/// Cycles to move one `nr×nr` C tile in and out at `x` words/cycle (at most
+/// `nr` buses usable).
+fn tile_traffic(nr: usize, x: f64) -> f64 {
+    2.0 * (nr * nr) as f64 / x.min(nr as f64)
+}
+
+/// Utilization of the software-pipelined `nr × g·p·nr` TRSM kernel
+/// (§5.3.1): `g(nr+1) / (2(g+1)nr)` — ≈60% for nr=4 and large g.
+pub fn trsm_utilization(nr: usize, g: usize) -> f64 {
+    let (nrf, gf) = (nr as f64, g as f64);
+    gf * (nrf + 1.0) / (2.0 * (gf + 1.0) * nrf)
+}
+
+/// Utilization of the *blocked* TRSM (§5.3.3): with `k` diagonal blocks the
+/// GEMM updates dominate and
+///
+/// ```text
+/// util(k) = Σ_{i=0}^{k} (i + 1/2) / Σ_{i=0}^{k} (i + 1)
+/// ```
+///
+/// which reaches ~90% for a 32×128 problem (k = 8) and → 1 as k grows.
+pub fn trsm_utilization_blocked(k: usize) -> f64 {
+    let num: f64 = (0..=k).map(|i| i as f64 + 0.5).sum();
+    let den: f64 = (0..=k).map(|i| i as f64 + 1.0).sum();
+    num / den
+}
+
+/// TRSM utilization including the bandwidth-limited traffic (Figure 5.9
+/// style): blocked TRSM over a `K×K` L (K = k·nr) and `K×W` B.
+pub fn trsm_utilization_bw(nr: usize, k: usize, w: usize, x: f64, p: usize) -> f64 {
+    let nrf = nr as f64;
+    let m = (w / nr) as f64;
+    let q = 13.0; // isolated reciprocal unit latency
+    let mut useful = 0.0;
+    let mut cycles = 0.0;
+    for i in 0..k {
+        // GEMM update of the i-th row panel: nr × (i·nr) × W
+        let kc = (i * nr) as f64;
+        useful += nrf * kc * w as f64;
+        if i > 0 {
+            let compute = kc * w as f64 / nrf; // nr rows on nr² PEs
+            let traffic = (2.0 * nrf * w as f64 + nrf * kc) / x.min(nrf);
+            cycles += compute.max(traffic);
+        }
+        // Diagonal stacked solve.
+        useful += nrf * w as f64 + w as f64 * nrf * (nrf - 1.0) / 2.0;
+        cycles += nrf * (m + 2.0 * p as f64 + q + 1.0) + 2.0 * m * nrf / x.min(nrf);
+    }
+    (useful / (cycles * nrf * nrf)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swp_trsm_matches_paper_estimate() {
+        // §5.3.1: "≈ 60%, where nr = 4" for large g.
+        let u = trsm_utilization(4, 32);
+        assert!((u - 0.6).abs() < 0.03, "got {u}");
+    }
+
+    #[test]
+    fn blocked_trsm_90pct_at_32x128() {
+        // §5.3.3: "the utilization number for a 32 × 128 TRSM operation
+        // becomes 90%".
+        let u = trsm_utilization_blocked(8);
+        assert!((u - 0.9).abs() < 0.02, "got {u}");
+    }
+
+    #[test]
+    fn blocked_trsm_tends_to_one() {
+        assert!(trsm_utilization_blocked(1000) > 0.99);
+        assert!(trsm_utilization_blocked(1) < trsm_utilization_blocked(10));
+    }
+
+    #[test]
+    fn syrk_utilization_ordering_fig5_10() {
+        // Figure 5.10 / Table 5.1 ordering at the paper's design point
+        // (mc = kc = 256, 4 words/cycle): GEMM ≥ TRSM ≥ SYRK ≥ SYR2K.
+        let syrk = syrk_utilization(4, 256, 256, 4.0, 5);
+        let syr2k = syr2k_utilization(4, 256, 256, 4.0, 5);
+        let trsm = trsm_utilization_bw(4, 64, 256, 4.0, 5);
+        assert!(syrk > 0.85, "SYRK {syrk}");
+        assert!(syr2k < syrk, "SYR2K {syr2k} < SYRK {syrk}");
+        assert!(trsm > 0.8, "TRSM {trsm}");
+    }
+
+    #[test]
+    fn syrk_grows_with_problem_size() {
+        let small = syrk_utilization(4, 32, 32, 4.0, 5);
+        let big = syrk_utilization(4, 256, 256, 4.0, 5);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn bandwidth_starvation_hurts() {
+        let starved = syrk_utilization(4, 128, 128, 0.5, 5);
+        let fed = syrk_utilization(4, 128, 128, 4.0, 5);
+        assert!(starved < fed);
+    }
+}

@@ -1,0 +1,229 @@
+//! Chip-level (multi-core LAP) models (§4.1–4.2, Table 4.1).
+//!
+//! `S` cores share an on-chip memory holding the `n × n` C block plus the
+//! current panels; the models relate on-chip memory size, intra-chip
+//! bandwidth `y`, off-chip bandwidth `z`, and core count to utilization —
+//! Figures 4.2, 4.3, 4.5 and 4.6.
+
+/// One row of Table 4.1 (sizes in words, bandwidths in words/cycle).
+#[derive(Clone, Debug)]
+pub struct HierarchyRow {
+    pub level: &'static str,
+    pub variant: &'static str,
+    pub size_words: f64,
+    pub bandwidth: f64,
+}
+
+/// The multi-core LAP running blocked GEMM on an `n × n` problem.
+#[derive(Clone, Copy, Debug)]
+pub struct ChipGemmModel {
+    pub nr: usize,
+    /// Number of cores `S`.
+    pub s: usize,
+    /// Problem dimension (C is n×n).
+    pub n: usize,
+    /// Core blocking (`mc = kc` unless noted).
+    pub mc: usize,
+    pub kc: usize,
+}
+
+impl ChipGemmModel {
+    pub fn new(nr: usize, s: usize, n: usize, mc: usize) -> Self {
+        Self { nr, s, n, mc, kc: mc }
+    }
+
+    /// On-chip memory for the partial-overlap variant:
+    /// `n² + S·mc·kc + 2·kc·n` words (Table 4.1).
+    pub fn onchip_words(&self) -> f64 {
+        (self.n * self.n + self.s * self.mc * self.kc + 2 * self.kc * self.n) as f64
+    }
+
+    /// On-chip memory, full overlap: `2n² + S·mc·kc + 2·kc·n`.
+    pub fn onchip_words_full(&self) -> f64 {
+        (2 * self.n * self.n + self.s * self.mc * self.kc + 2 * self.kc * self.n) as f64
+    }
+
+    /// Intra-chip bandwidth demand `(2S/kc + S/mc)·nr²` words/cycle
+    /// (Table 4.1, partial overlap).
+    pub fn onchip_bandwidth(&self) -> f64 {
+        let nr2 = (self.nr * self.nr) as f64;
+        (2.0 * self.s as f64 / self.kc as f64 + self.s as f64 / self.mc as f64) * nr2
+    }
+
+    /// Off-chip bandwidth demand `2S·nr²/n` (partial) per Table 4.1.
+    pub fn offchip_bandwidth(&self) -> f64 {
+        2.0 * self.s as f64 * (self.nr * self.nr) as f64 / self.n as f64
+    }
+
+    /// Off-chip bandwidth demand, full overlap: `4S·nr²/n`.
+    pub fn offchip_bandwidth_full(&self) -> f64 {
+        2.0 * self.offchip_bandwidth()
+    }
+
+    /// Cycles for `C += A_p B_p` given intra-chip bandwidth `y` (§4.1):
+    /// `n/(S·mc) · ( S·mc·kc/y + max((2S·mc + kc)·n/y, mc·n·kc/nr²) )`.
+    pub fn cycles_panel(&self, y: f64) -> f64 {
+        let (s, n, mc, kc) = (self.s as f64, self.n as f64, self.mc as f64, self.kc as f64);
+        let nr2 = (self.nr * self.nr) as f64;
+        (n / (s * mc)) * (s * mc * kc / y + ((2.0 * s * mc + kc) * n / y).max(mc * n * kc / nr2))
+    }
+
+    /// Utilization of the whole chip given intra-chip bandwidth `y`.
+    pub fn utilization(&self, y: f64) -> f64 {
+        let (s, n, mc, kc) = (self.s as f64, self.n as f64, self.mc as f64, self.kc as f64);
+        let nr2 = (self.nr * self.nr) as f64;
+        let peak = (n / (s * mc)) * (mc * n * kc / nr2);
+        (peak / self.cycles_panel(y)).min(1.0)
+    }
+
+    /// Whole-problem cycles given off-chip bandwidth `z` (§4.1):
+    /// `2n²/z + max(2n²/z, n³/(S·nr²))`.
+    pub fn cycles_total_offchip(&self, z: f64) -> f64 {
+        let n = self.n as f64;
+        let snr2 = (self.s * self.nr * self.nr) as f64;
+        2.0 * n * n / z + (2.0 * n * n / z).max(n * n * n / snr2)
+    }
+
+    /// Chip utilization limited by off-chip bandwidth `z`.
+    pub fn utilization_offchip(&self, z: f64) -> f64 {
+        let n = self.n as f64;
+        let snr2 = (self.s * self.nr * self.nr) as f64;
+        (n * n * n / snr2 / self.cycles_total_offchip(z)).min(1.0)
+    }
+
+    /// §4.2.3 blocking-layer model: with the on-chip memory shrunk so only
+    /// `k_sub ≤ d` sub-blocks of size `ns × ns` fit (`d = n / ns`), the
+    /// off-chip demand becomes `(2k + (k+1)d) / (k·n)` words/cycle.
+    pub fn offchip_bandwidth_shrunk(&self, ns: usize, k_sub: usize) -> f64 {
+        let d = self.n as f64 / ns as f64;
+        let k = k_sub as f64;
+        // words per cycle, times the chip's MAC throughput normalization:
+        // the paper's expression is per-élément of compute at peak.
+        (2.0 * k + (k + 1.0) * d) / (k * self.n as f64) * (self.s * self.nr * self.nr) as f64
+    }
+
+    /// Table 4.1 as data.
+    pub fn hierarchy_table(&self) -> Vec<HierarchyRow> {
+        let nr2 = (self.nr * self.nr) as f64;
+        let (s, n, mc, kc) = (self.s as f64, self.n as f64, self.mc as f64, self.kc as f64);
+        let core_words_partial = mc * kc / nr2 + 2.0 * kc;
+        let core_words_full = 2.0 * mc * kc / nr2 + 2.0 * kc;
+        let nrf = self.nr as f64;
+        vec![
+            HierarchyRow {
+                level: "core local store (words/PE)",
+                variant: "partial",
+                size_words: core_words_partial,
+                bandwidth: nrf * (1.0 + 2.0 / kc + 1.0 / mc),
+            },
+            HierarchyRow {
+                level: "core local store (words/PE)",
+                variant: "full",
+                size_words: core_words_full,
+                bandwidth: nrf * (1.0 + 2.0 / kc + 1.0 / mc + 1.0 / n),
+            },
+            HierarchyRow {
+                level: "chip on-chip memory (words)",
+                variant: "partial",
+                size_words: self.onchip_words(),
+                bandwidth: self.onchip_bandwidth(),
+            },
+            HierarchyRow {
+                level: "chip on-chip memory (words)",
+                variant: "full",
+                size_words: self.onchip_words_full(),
+                bandwidth: (2.0 * s / kc + s / mc + s / n) * nr2,
+            },
+            HierarchyRow {
+                level: "off-chip interface (words/cycle)",
+                variant: "partial",
+                size_words: f64::NAN,
+                bandwidth: self.offchip_bandwidth(),
+            },
+            HierarchyRow {
+                level: "off-chip interface (words/cycle)",
+                variant: "full",
+                size_words: f64::NAN,
+                bandwidth: self.offchip_bandwidth_full(),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_cores_need_less_onchip_bandwidth() {
+        // Figure 4.2's headline: S=2, nr=8 demands much less bandwidth than
+        // S=8, nr=4 at equal total PEs *and equal aggregate block memory*
+        // (2·mc'² = 8·mc² ⇒ mc' = 2mc).
+        let small_cores = ChipGemmModel::new(4, 8, 1024, 128);
+        let big_cores = ChipGemmModel::new(8, 2, 1024, 256);
+        assert!(big_cores.onchip_bandwidth() < small_cores.onchip_bandwidth() * 0.6);
+    }
+
+    #[test]
+    fn bandwidth_quadratic_as_memory_shrinks() {
+        // Halving mc=kc roughly doubles on-chip bandwidth demand while the
+        // S·mc·kc memory term quarters (Figure 4.2's shape).
+        let a = ChipGemmModel::new(4, 8, 2048, 256);
+        let b = ChipGemmModel::new(4, 8, 2048, 128);
+        assert!(b.onchip_bandwidth() / a.onchip_bandwidth() > 1.9);
+    }
+
+    #[test]
+    fn more_cores_alone_gain_nothing_when_bandwidth_bound() {
+        // §4.2.2: with small memory (small mc) the chip is bandwidth-bound
+        // and performance is set by y, not S — quadrupling the cores at
+        // fixed bandwidth leaves performance nearly unchanged.
+        let s4 = ChipGemmModel::new(4, 4, 512, 32);
+        let s16 = ChipGemmModel::new(4, 16, 512, 32);
+        let perf4 = 4.0 * s4.utilization(2.0);
+        let perf16 = 16.0 * s16.utilization(2.0);
+        assert!(
+            (perf16 / perf4 - 1.0).abs() < 0.15,
+            "perf16 {perf16:.2} vs perf4 {perf4:.2}"
+        );
+    }
+
+    #[test]
+    fn offchip_demand_falls_with_problem_size() {
+        let small = ChipGemmModel::new(4, 8, 512, 128);
+        let big = ChipGemmModel::new(4, 8, 2048, 128);
+        assert!(big.offchip_bandwidth() < small.offchip_bandwidth());
+    }
+
+    #[test]
+    fn shrunk_memory_raises_offchip_demand() {
+        let m = ChipGemmModel::new(4, 8, 2048, 128);
+        let full = m.offchip_bandwidth_shrunk(2048, 1);
+        let half = m.offchip_bandwidth_shrunk(1024, 2);
+        let quarter = m.offchip_bandwidth_shrunk(512, 4);
+        assert!(half > full);
+        assert!(quarter > half);
+    }
+
+    #[test]
+    fn paper_design_point_600_gflops() {
+        // §4.2.3: "with 16 cores, 5 MB of shared on-chip memory and an
+        // external bandwidth of 16 B/cycle, we can achieve 600 GFLOPS out of
+        // 700 GFLOPS peak" at 1.4 GHz. 16 B/cycle = 2 words/cycle.
+        let m = ChipGemmModel::new(4, 16, 768, 128);
+        let util = m.utilization_offchip(2.0);
+        let peak_gflops = 2.0 * (16 * 16) as f64 * 1.4; // 716.8
+        let gflops = peak_gflops * util;
+        assert!(
+            (500.0..700.0).contains(&gflops),
+            "modeled {gflops:.0} GFLOPS (util {util:.2})"
+        );
+    }
+
+    #[test]
+    fn hierarchy_table_has_six_rows() {
+        let rows = ChipGemmModel::new(4, 8, 2048, 256).hierarchy_table();
+        assert_eq!(rows.len(), 6);
+        assert!(rows[1].size_words > rows[0].size_words, "full overlap needs more store");
+    }
+}

@@ -1,0 +1,185 @@
+//! Single-core GEMM performance model (§3.4).
+//!
+//! For one `C_i += A_{i,p} · B_p` with an `mc × kc` resident `A` block,
+//! bandwidth `x` words/cycle between the core and on-chip memory, and an
+//! `nr × nr` mesh:
+//!
+//! ```text
+//! cycles = mc·kc/x  +  max( (2mc + kc)·n / x ,  mc·n·kc / nr² )
+//! ```
+//!
+//! — the A block load is not overlapped (partial overlap), while C traffic
+//! and B panels stream against the compute. Peak needs the `max` to be
+//! compute-bound. Local-store capacity follows §3.4: `(mc + 2nr²)·kc` words
+//! aggregated over the PEs for the partial-overlap variant and
+//! `2(mc + nr²)·kc` for full overlap.
+
+/// Model of one LAC running the blocked GEMM inner kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreGemmModel {
+    pub nr: usize,
+    /// Core ↔ on-chip memory bandwidth in words (elements) per cycle.
+    pub bandwidth: f64,
+    /// Problem dimension `n` (C is mc×n per block row, the paper uses 512).
+    pub n: usize,
+    /// MAC pipeline depth (only used by the refined estimate).
+    pub pipeline: usize,
+}
+
+/// One evaluated design point.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreModelPoint {
+    pub mc: usize,
+    pub kc: usize,
+    /// Aggregate local store, words (all PEs, partial-overlap variant).
+    pub local_store_words: usize,
+    /// Local store per PE in KBytes at 8 B/word.
+    pub local_store_kb_per_pe: f64,
+    pub cycles: f64,
+    pub utilization: f64,
+}
+
+impl CoreGemmModel {
+    pub fn new(nr: usize, bandwidth: f64, n: usize) -> Self {
+        Self { nr, bandwidth, n, pipeline: 5 }
+    }
+
+    /// Aggregate local-store words needed for an `mc × kc` block
+    /// (partial-overlap variant: current A + double-buffered B panels).
+    pub fn local_store_words(&self, mc: usize, kc: usize) -> usize {
+        mc * kc + 2 * kc * self.nr * self.nr
+    }
+
+    /// Cycles for one `C_i += A_{i,p} B_p` (partial overlap).
+    pub fn cycles(&self, mc: usize, kc: usize) -> f64 {
+        let x = self.bandwidth;
+        let n = self.n as f64;
+        let (mc, kc) = (mc as f64, kc as f64);
+        let nr2 = (self.nr * self.nr) as f64;
+        mc * kc / x + ((2.0 * mc + kc) * n / x).max(mc * n * kc / nr2)
+    }
+
+    /// Utilization against the `mc·n·kc / nr²` compute-bound floor.
+    pub fn utilization(&self, mc: usize, kc: usize) -> f64 {
+        let nr2 = (self.nr * self.nr) as f64;
+        let peak = mc as f64 * self.n as f64 * kc as f64 / nr2;
+        (peak / self.cycles(mc, kc)).min(1.0)
+    }
+
+    /// Evaluate the square-block design point (`mc = kc`) that fits a given
+    /// per-PE local store (in words), i.e. one point of Figure 3.4's x-axis.
+    pub fn point_for_local_store(&self, words_per_pe: usize) -> CoreModelPoint {
+        // Solve (kc² + 2·nr²·kc) / nr² ≤ nr² · wpp  for kc = mc, kc multiple of nr.
+        let nr2 = (self.nr * self.nr) as f64;
+        let total = nr2 * words_per_pe as f64;
+        // kc² + 2·nr²·kc − total = 0
+        let kc = ((-2.0 * nr2 + (4.0 * nr2 * nr2 + 4.0 * total).sqrt()) / 2.0).floor() as usize;
+        let kc = (kc / self.nr * self.nr).max(self.nr);
+        self.point(kc, kc)
+    }
+
+    /// Evaluate an explicit `(mc, kc)` point.
+    pub fn point(&self, mc: usize, kc: usize) -> CoreModelPoint {
+        CoreModelPoint {
+            mc,
+            kc,
+            local_store_words: self.local_store_words(mc, kc),
+            local_store_kb_per_pe: self.local_store_words(mc, kc) as f64 * 8.0
+                / (self.nr * self.nr) as f64
+                / 1024.0,
+            cycles: self.cycles(mc, kc),
+            utilization: self.utilization(mc, kc),
+        }
+    }
+
+    /// Minimum bandwidth (words/cycle) for 100% utilization at `mc = kc`
+    /// (the Figure 3.5 curve): compute time must cover both transfer terms.
+    pub fn peak_bandwidth(&self, kc: usize) -> f64 {
+        let n = self.n as f64;
+        let kcf = kc as f64;
+        let nr2 = (self.nr * self.nr) as f64;
+        let compute = kcf * n * kcf / nr2; // mc = kc
+        // Need (2mc + kc)·n / x ≤ compute AND amortize the A load: the
+        // paper's peak condition keeps the streaming term under compute.
+        (2.0 * kcf + kcf) * n / compute
+    }
+
+    /// Refined cycle estimate matching the simulator's overlapped schedule:
+    /// per-tile overhead of `p` cycles plus the un-overlapped A-block load
+    /// and first B panel (used by the validation tests).
+    pub fn cycles_scheduled(&self, mc: usize, kc: usize) -> f64 {
+        let nr = self.nr as f64;
+        let tiles = (mc / self.nr) as f64 * (self.n / self.nr) as f64;
+        let a_load = mc as f64 * kc as f64 / nr.min(self.bandwidth);
+        let b_first = kc as f64;
+        a_load + b_first + tiles * (kc as f64 + self.pipeline as f64) + 2.0 * nr + 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_monotone_in_bandwidth() {
+        let mut last = 0.0;
+        for bw in [1.0, 2.0, 3.0, 4.0, 8.0] {
+            let m = CoreGemmModel::new(4, bw, 512);
+            let u = m.utilization(128, 128);
+            assert!(u >= last, "bw {bw}");
+            last = u;
+        }
+        assert!(last > 0.99, "8 words/cycle reaches peak");
+    }
+
+    #[test]
+    fn utilization_monotone_in_local_store() {
+        let m = CoreGemmModel::new(4, 2.0, 512);
+        let mut last = 0.0;
+        for wpp in [256usize, 512, 1024, 2048, 4096] {
+            let pt = m.point_for_local_store(wpp);
+            assert!(pt.utilization >= last - 1e-12, "wpp {wpp}");
+            last = pt.utilization;
+        }
+    }
+
+    #[test]
+    fn fig3_4_shape_100pct_reachable() {
+        // The paper: with 4 B/cycle (0.5 words DP? — the figure's axis is
+        // bytes/cycle; at 8-byte words 8 B/cycle = 1 word) nr=4 reaches high
+        // utilization for moderate stores. Sanity-check the trend only.
+        let m = CoreGemmModel::new(4, 1.0, 512); // 8 B/cycle
+        let pt = m.point_for_local_store(2048); // 16 KB/PE
+        assert!(pt.utilization > 0.85, "got {}", pt.utilization);
+    }
+
+    #[test]
+    fn doubling_nr_quadruples_compute_and_doubles_bw_demand() {
+        // §3.5: "by doubling the dimension nr while fixing the local store
+        // size, the bandwidth demand doubles and performance quadruples".
+        let m4 = CoreGemmModel::new(4, 1e9, 512);
+        let m8 = CoreGemmModel::new(8, 1e9, 512);
+        let c4 = m4.cycles(128, 128);
+        let c8 = m8.cycles(128, 128);
+        assert!((c4 / c8 - 4.0).abs() < 0.2, "compute ratio {}", c4 / c8);
+        assert!((m8.peak_bandwidth(128) / m4.peak_bandwidth(128) - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn peak_bandwidth_falls_with_kc() {
+        let m = CoreGemmModel::new(4, 4.0, 512);
+        assert!(m.peak_bandwidth(256) < m.peak_bandwidth(64));
+    }
+
+    #[test]
+    fn local_store_solver_inverts_capacity() {
+        let m = CoreGemmModel::new(4, 4.0, 512);
+        for wpp in [512usize, 1024, 2048] {
+            let pt = m.point_for_local_store(wpp);
+            assert!(pt.local_store_words <= 16 * wpp, "fits");
+            // next size up would not fit
+            let bigger = m.local_store_words(pt.kc + 4, pt.kc + 4);
+            assert!(bigger > 16 * wpp, "maximal");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! FFT requirement models (Appendix B.3.1 — Table B.1, Figures B.5–B.7).
+//!
+//! Large transforms are decomposed into 64-point core kernels: a 4096-point
+//! 1D FFT is two passes (64 × 64 with twiddle scaling), a 64K-point 1D FFT
+//! three passes, and an `N × N` 2D FFT is a row pass and a column pass of
+//! 1D transforms. Each 64-point kernel moves 64 complex values in and out
+//! (256 words round trip), so the core's column buses (4 doubles/cycle
+//! ceiling) bound the overlap of compute with streaming.
+
+/// Whether transfers overlap compute (double-buffered local stores).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftVariant {
+    NonOverlapped,
+    Overlapped,
+}
+
+/// Model of the FFT-capable core (Appendix B).
+#[derive(Clone, Copy, Debug)]
+pub struct FftCoreModel {
+    pub nr: usize,
+    /// Cycles one 64-point kernel spends computing (3 stages of butterflies
+    /// plus the on-core exchanges); ~150 for the FMA-optimized design.
+    pub kernel_compute_cycles: f64,
+}
+
+impl Default for FftCoreModel {
+    fn default() -> Self {
+        Self { nr: 4, kernel_compute_cycles: 150.0 }
+    }
+}
+
+impl FftCoreModel {
+    /// Number of 64-point kernel invocations for an n-point 1D FFT
+    /// (n = 64^s): `s · n/64` kernels (each pass touches all points).
+    pub fn kernels_1d(&self, n: usize) -> f64 {
+        let stages = (n as f64).log(64.0).ceil();
+        stages * n as f64 / 64.0
+    }
+
+    /// Words moved per kernel invocation (64 complex in + out).
+    pub fn words_per_kernel(&self) -> f64 {
+        4.0 * 64.0 // 2 words per complex, in and out
+    }
+
+    /// Bandwidth (words/cycle) needed for full overlap of one kernel's
+    /// streaming with its compute (Figure B.5). Capped conceptually by the
+    /// 4 doubles/cycle the column buses can carry.
+    pub fn overlap_bandwidth(&self) -> f64 {
+        self.words_per_kernel() / self.kernel_compute_cycles
+    }
+
+    /// Local store per PE in words (Figure B.6): each PE holds 4 complex
+    /// points plus scratch; overlap double-buffers the working set.
+    pub fn local_store_per_pe(&self, variant: FftVariant) -> usize {
+        let base = 8 + 32; // working points + butterfly scratch
+        match variant {
+            FftVariant::NonOverlapped => base,
+            FftVariant::Overlapped => base + 8, // second input buffer
+        }
+    }
+
+    /// Core utilization: compute / (compute + exposed transfer time).
+    pub fn utilization(&self, variant: FftVariant, bandwidth: f64) -> f64 {
+        let transfer = self.words_per_kernel() / bandwidth.min(self.nr as f64);
+        match variant {
+            FftVariant::NonOverlapped => {
+                self.kernel_compute_cycles / (self.kernel_compute_cycles + transfer)
+            }
+            FftVariant::Overlapped => {
+                self.kernel_compute_cycles / self.kernel_compute_cycles.max(transfer)
+            }
+        }
+    }
+
+    /// Total cycles for an n-point 1D FFT (`n = 64^s`).
+    pub fn cycles_1d(&self, n: usize, variant: FftVariant, bandwidth: f64) -> f64 {
+        self.kernels_1d(n) * self.kernel_compute_cycles / self.utilization(variant, bandwidth)
+    }
+
+    /// Total cycles for an `N × N` 2D FFT: `2N` row/column transforms of
+    /// length N (Figure B.4 right).
+    pub fn cycles_2d(&self, n: usize, variant: FftVariant, bandwidth: f64) -> f64 {
+        2.0 * n as f64 * self.cycles_1d(n, variant, bandwidth)
+    }
+
+    /// GFLOPS at `freq_ghz`, counting `5·n·log2(n)` real ops per transform.
+    pub fn gflops_1d(&self, n: usize, variant: FftVariant, bandwidth: f64, freq_ghz: f64) -> f64 {
+        let flops = 5.0 * n as f64 * (n as f64).log2();
+        flops / self.cycles_1d(n, variant, bandwidth) * freq_ghz
+    }
+
+    /// Average words/cycle the core exchanges during an n-point 1D FFT
+    /// (Figure B.7's communication load).
+    pub fn avg_comm_load(&self, n: usize, variant: FftVariant, bandwidth: f64) -> f64 {
+        let words = self.kernels_1d(n) * self.words_per_kernel();
+        words / self.cycles_1d(n, variant, bandwidth)
+    }
+
+    /// Table B.1 row: `(local store/PE, bandwidth needed)` for a problem.
+    pub fn requirements(&self, variant: FftVariant) -> (usize, f64) {
+        let bw = match variant {
+            FftVariant::NonOverlapped => 0.0,
+            FftVariant::Overlapped => self.overlap_bandwidth(),
+        };
+        (self.local_store_per_pe(variant), bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_bandwidth_under_bus_ceiling() {
+        // Figure B.5: "four doubles/cycle is the maximum capacity" — the
+        // 64-point kernel's overlap demand must be below it.
+        let m = FftCoreModel::default();
+        assert!(m.overlap_bandwidth() < 4.0, "got {}", m.overlap_bandwidth());
+        assert!(m.overlap_bandwidth() > 1.0);
+    }
+
+    #[test]
+    fn overlapped_needs_more_store_but_runs_faster() {
+        let m = FftCoreModel::default();
+        let (s_no, _) = m.requirements(FftVariant::NonOverlapped);
+        let (s_ov, _) = m.requirements(FftVariant::Overlapped);
+        assert!(s_ov > s_no);
+        let c_no = m.cycles_1d(4096, FftVariant::NonOverlapped, 4.0);
+        let c_ov = m.cycles_1d(4096, FftVariant::Overlapped, 4.0);
+        assert!(c_ov < c_no);
+    }
+
+    #[test]
+    fn stage_counts() {
+        let m = FftCoreModel::default();
+        assert_eq!(m.kernels_1d(64), 1.0);
+        assert_eq!(m.kernels_1d(4096), 2.0 * 64.0);
+        assert_eq!(m.kernels_1d(65536), 3.0 * 1024.0);
+    }
+
+    #[test]
+    fn comm_load_bounded_by_bus_capacity() {
+        let m = FftCoreModel::default();
+        let load = m.avg_comm_load(65536, FftVariant::Overlapped, 4.0);
+        assert!(load <= 4.0 + 1e-9);
+        assert!(load > 0.5);
+    }
+
+    #[test]
+    fn utilization_full_when_bandwidth_ample() {
+        let m = FftCoreModel::default();
+        assert!((m.utilization(FftVariant::Overlapped, 4.0) - 1.0).abs() < 1e-9);
+        assert!(m.utilization(FftVariant::NonOverlapped, 4.0) < 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Analytical performance models of the LAC/LAP (§3.4, §4.1–4.3, §5.3.3,
+//! Appendix B.3.1).
+//!
+//! The dissertation pairs its cycle-accurate simulator with closed-form
+//! models of every level of the memory hierarchy; the design-space figures
+//! (3.4, 3.5, 4.2, 4.3, 4.5, 4.6, 5.8–5.10, B.5–B.7) are all generated from
+//! those formulas. This crate reimplements them:
+//!
+//! * [`core`] — single-core GEMM: utilization as a function of local-store
+//!   size and core↔on-chip bandwidth.
+//! * [`chip`] — multi-core LAP: on-chip memory size vs on-chip bandwidth,
+//!   core count scaling, off-chip bandwidth and the extra blocking layer.
+//! * [`blas3`] — SYRK/TRSM/SYR2K utilization models.
+//! * [`fft`] — Appendix B requirement models for 1D/2D transforms.
+//! * [`validate`] — the §4.3 predictors for Nvidia Fermi C2050 and
+//!   ClearSpeed CSX700 utilization.
+//!
+//! The test suites cross-check selected model points against the
+//! cycle-accurate simulator (`lac-sim` + `lac-kernels`), reproducing the
+//! paper's own validation methodology (§1.3.1).
+
+pub mod blas3;
+pub mod chip;
+pub mod core;
+pub mod fft;
+pub mod validate;
+
+pub use crate::core::{CoreGemmModel, CoreModelPoint};
+pub use blas3::{
+    syr2k_utilization, syrk_utilization, trsm_utilization, trsm_utilization_blocked,
+    trsm_utilization_bw,
+};
+pub use chip::{ChipGemmModel, HierarchyRow};
+pub use fft::{FftCoreModel, FftVariant};
+pub use validate::{predict_csx, predict_fermi, PlatformPrediction};

@@ -1,0 +1,80 @@
+//! Model validation against real machines (§4.3).
+//!
+//! The dissertation's acid test: feed the memory-hierarchy model the
+//! published configurations of Nvidia's Fermi C2050 and ClearSpeed's CSX700
+//! and check that the predicted utilization ceilings match the measured
+//! GEMM results (70% and 78% respectively).
+
+/// Outcome of applying the LAP memory-hierarchy model to a platform.
+#[derive(Clone, Debug)]
+pub struct PlatformPrediction {
+    pub name: &'static str,
+    /// Demanded bandwidth, GB/s.
+    pub demanded_gbs: f64,
+    /// Available bandwidth, GB/s.
+    pub available_gbs: f64,
+    /// Predicted utilization ceiling.
+    pub predicted_utilization: f64,
+    /// Published measured GEMM utilization.
+    pub measured_utilization: f64,
+}
+
+/// Nvidia Fermi C2050 (§4.3): 14 cores × 16 DP MACs, 768 KB L2, 1.15 GHz.
+///
+/// The largest C block divisible by S=14 and nr=4 fitting in 768 KB is
+/// `ns = 280`; with mc = kc = 20 the demanded on-chip bandwidth is
+/// `(2S/kc + S/mc)·nr²` words/cycle ≈ 310 GB/s against the 230 GB/s Fermi
+/// provides ⇒ ceiling 74%, versus 70% measured.
+pub fn predict_fermi() -> PlatformPrediction {
+    let s = 14.0;
+    let nr2 = 16.0;
+    let freq_ghz = 1.15;
+    let bytes = 8.0;
+    let (mc, kc) = (20.0, 20.0);
+    let words_per_cycle = (2.0 * s / kc + s / mc) * nr2;
+    let demanded = words_per_cycle * freq_ghz * bytes; // GB/s
+    let available = 230.0;
+    PlatformPrediction {
+        name: "Nvidia Fermi C2050 (DGEMM)",
+        demanded_gbs: demanded,
+        available_gbs: available,
+        predicted_utilization: (available / demanded).min(1.0),
+        measured_utilization: 0.70,
+    }
+}
+
+/// ClearSpeed CSX700 (§4.3): 128 KB on-chip memory fits a 64×128 C block;
+/// the §4.2.3 shrunk-memory model with d = 16, k = 2 demands
+/// 4.7 GB/s against 4 GB/s available ⇒ ceiling 83%, versus 78% measured.
+pub fn predict_csx() -> PlatformPrediction {
+    let demanded = 4.7;
+    let available = 4.0;
+    PlatformPrediction {
+        name: "ClearSpeed CSX700 (DGEMM)",
+        demanded_gbs: demanded,
+        available_gbs: available,
+        predicted_utilization: (available / demanded).min(1.0),
+        measured_utilization: 0.78,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_prediction_matches_paper() {
+        let p = predict_fermi();
+        // Paper: demanded 310 GB/s, predicted 74%, measured 70%.
+        assert!((p.demanded_gbs - 310.0).abs() < 15.0, "demand {}", p.demanded_gbs);
+        assert!((p.predicted_utilization - 0.74).abs() < 0.03, "{}", p.predicted_utilization);
+        assert!(p.predicted_utilization >= p.measured_utilization);
+    }
+
+    #[test]
+    fn csx_prediction_matches_paper() {
+        let p = predict_csx();
+        assert!((p.predicted_utilization - 0.83).abs() < 0.03);
+        assert!(p.predicted_utilization >= p.measured_utilization);
+    }
+}

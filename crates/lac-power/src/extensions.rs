@@ -1,0 +1,115 @@
+//! Divide/square-root architecture options: area breakdown (Figure 6.5) and
+//! the per-option energy/latency parameters behind Table A.2 and
+//! Figures 6.6/6.7.
+
+use crate::components::{FmacModel, Precision};
+use crate::pe::PeModel;
+
+/// The three §A.2 options (plus the shared naming used by `lac-fpu`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivSqrtOption {
+    /// Goldschmidt microcode on the existing MACs — zero area, many cycles.
+    Software,
+    /// One isolated minimax-table unit per core.
+    Isolated,
+    /// Lookup + control extensions on the diagonal PEs' MACs.
+    DiagonalPes,
+}
+
+/// Area contributions for Figure 6.5's stacked bars (mm², 45 nm, 4×4 core).
+#[derive(Clone, Debug)]
+pub struct AreaBreakdown {
+    pub option: DivSqrtOption,
+    pub pes_mm2: f64,
+    pub mac_extension_mm2: f64,
+    pub lookup_mm2: f64,
+    pub special_logic_mm2: f64,
+}
+
+impl AreaBreakdown {
+    pub fn total(&self) -> f64 {
+        self.pes_mm2 + self.mac_extension_mm2 + self.lookup_mm2 + self.special_logic_mm2
+    }
+}
+
+/// Figure 6.5: LAC area with each divide/square-root option.
+pub fn divsqrt_area_breakdown(option: DivSqrtOption) -> AreaBreakdown {
+    let pe = PeModel { precision: Precision::Double, ..Default::default() };
+    let pes = 16.0 * pe.area_mm2();
+    // Lookup tables (~2×128-entry minimax seeds) and the surrounding
+    // datapath muxing, per Figure A.2.
+    let fmac = FmacModel::new(Precision::Double).area_mm2();
+    match option {
+        DivSqrtOption::Software => AreaBreakdown {
+            option,
+            pes_mm2: pes,
+            mac_extension_mm2: 0.0,
+            lookup_mm2: 0.0,
+            special_logic_mm2: 0.0,
+        },
+        DivSqrtOption::Isolated => AreaBreakdown {
+            option,
+            pes_mm2: pes,
+            mac_extension_mm2: 0.0,
+            lookup_mm2: 0.035,
+            special_logic_mm2: fmac * 1.2, // a near-full multiplier datapath
+        },
+        DivSqrtOption::DiagonalPes => AreaBreakdown {
+            option,
+            pes_mm2: pes,
+            mac_extension_mm2: 4.0 * fmac * 0.25, // per-diagonal-PE overhead
+            lookup_mm2: 4.0 * 0.018,
+            special_logic_mm2: 0.0,
+        },
+    }
+}
+
+/// Energy per divide/square-root operation in pJ under each option
+/// (feeds the Table A.2 energy columns through `EnergyModel::sfu_energy_pj`).
+pub fn divsqrt_energy_pj(option: DivSqrtOption) -> f64 {
+    let mac_pj = FmacModel::new(Precision::Double).energy_pj(1.0);
+    match option {
+        // ~6 dependent MAC passes plus control.
+        DivSqrtOption::Software => 8.0 * mac_pj,
+        // Dedicated narrow datapath: ~3 multiplies' worth + table.
+        DivSqrtOption::Isolated => 3.5 * mac_pj,
+        // Reuses the local MAC with the table bolted on.
+        DivSqrtOption::DiagonalPes => 3.0 * mac_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_5_total_area_range() {
+        // Figure 6.5's y-axis spans ~2.0–2.7 mm² for the whole LAC.
+        for opt in [DivSqrtOption::Software, DivSqrtOption::Isolated, DivSqrtOption::DiagonalPes] {
+            let b = divsqrt_area_breakdown(opt);
+            assert!((2.0..3.5).contains(&b.total()), "{opt:?}: {}", b.total());
+        }
+    }
+
+    #[test]
+    fn software_is_smallest_diag_between() {
+        let sw = divsqrt_area_breakdown(DivSqrtOption::Software).total();
+        let iso = divsqrt_area_breakdown(DivSqrtOption::Isolated).total();
+        let diag = divsqrt_area_breakdown(DivSqrtOption::DiagonalPes).total();
+        assert!(sw < iso && sw < diag);
+        // Extensions stay small relative to the PEs (the §6.1.4 point:
+        // "by adding minimal logic, we can overcome corresponding
+        // complexities").
+        assert!((iso - sw) / sw < 0.05);
+        assert!((diag - sw) / sw < 0.06);
+    }
+
+    #[test]
+    fn energy_ordering_matches_latency_ordering() {
+        let sw = divsqrt_energy_pj(DivSqrtOption::Software);
+        let iso = divsqrt_energy_pj(DivSqrtOption::Isolated);
+        let diag = divsqrt_energy_pj(DivSqrtOption::DiagonalPes);
+        assert!(sw > iso);
+        assert!(iso > diag);
+    }
+}

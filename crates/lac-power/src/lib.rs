@@ -1,0 +1,36 @@
+//! Power and area models (§1.3.2–§1.3.3, §3.6, §4.4–§4.5, Appendix A/B).
+//!
+//! The dissertation's methodology: anchor component models (FMAC, SRAM,
+//! buses, register files) at published 45 nm data points, then compute
+//!
+//! ```text
+//! Power = Σᵢ P_dyn,i + Σᵢ P_idle,i
+//! P_dyn,i  = P_max,i · activityᵢ
+//! P_idle,i = P_max,i · ratio          (ratio ≈ 0.25–0.30)
+//! ```
+//!
+//! with activity factors taken from the simulator's event counts. The same
+//! model, re-parameterized with published component sizes, produces the
+//! GPU/CPU comparisons of §4.5.
+//!
+//! Anchor points (all quoted in the dissertation):
+//! * DP FMAC: 0.04 mm², 40–50 mW at ~1 GHz / 0.8 V; SP: 0.01 mm², 8–10 mW.
+//! * 16 KB dual-ported PE SRAM: ~0.13 mm², 13.5 mW per port at 2.5 GHz.
+//! * Broadcast bus: 0.023 mm²/PE, negligible power at nr = 4.
+//! * Idle/leakage: 25–30% of dynamic power.
+
+pub mod compare;
+pub mod components;
+pub mod energy;
+pub mod extensions;
+pub mod fft_designs;
+pub mod pe;
+pub mod sram;
+
+pub use compare::{platform_cores_table, platform_systems_table, power_breakdown, PlatformRow};
+pub use components::{FmacModel, Precision, Technology};
+pub use energy::EnergyModel;
+pub use extensions::{divsqrt_area_breakdown, DivSqrtOption};
+pub use fft_designs::{fft_pe_designs, PeDesign};
+pub use pe::{chip_metrics, core_metrics, CoreMetrics, PeMetrics, PeModel};
+pub use sram::{NucaModel, SramModel};

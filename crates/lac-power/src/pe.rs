@@ -1,0 +1,212 @@
+//! PE / core / chip aggregation (§3.6, §4.4 — Table 3.1, Figures 3.6, 3.7,
+//! 4.7–4.12).
+
+use crate::components::{FmacModel, Precision, BUS_AREA_MM2_PER_PE, RF_AREA_MM2};
+use crate::sram::SramModel;
+
+/// Model of one PE: FMAC + local store + bus share + register file.
+#[derive(Clone, Copy, Debug)]
+pub struct PeModel {
+    pub precision: Precision,
+    /// Local store per PE in bytes (split A+B memories modeled as one
+    /// dual-ported array, as Table 3.1 does).
+    pub local_store_bytes: usize,
+    /// Average SRAM accesses per cycle during GEMM (A read every nr cycles,
+    /// B read every cycle ⇒ ~1.25 for nr = 4).
+    pub sram_activity: f64,
+    /// Idle power fraction (§1.3.3).
+    pub idle_ratio: f64,
+}
+
+impl Default for PeModel {
+    fn default() -> Self {
+        Self {
+            precision: Precision::Double,
+            local_store_bytes: 16 * 1024,
+            sram_activity: 1.25,
+            idle_ratio: 0.25,
+        }
+    }
+}
+
+/// Evaluated PE metrics (one row of Table 3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct PeMetrics {
+    pub freq_ghz: f64,
+    pub area_mm2: f64,
+    pub memory_mw: f64,
+    pub fmac_mw: f64,
+    pub pe_mw: f64,
+    pub w_per_mm2: f64,
+    pub gflops: f64,
+    pub gflops_per_mm2: f64,
+    pub gflops_per_w: f64,
+    /// Inverse energy-delay: GFLOPS²/W (§3.6's selection metric).
+    pub gflops2_per_w: f64,
+}
+
+impl PeModel {
+    pub fn sram(&self) -> SramModel {
+        SramModel::new(self.local_store_bytes, 2)
+    }
+
+    pub fn fmac(&self) -> FmacModel {
+        FmacModel::new(self.precision)
+    }
+
+    pub fn area_mm2(&self) -> f64 {
+        self.fmac().area_mm2() + self.sram().area_mm2() + BUS_AREA_MM2_PER_PE + RF_AREA_MM2
+    }
+
+    /// Evaluate at a clock frequency (a Table 3.1 row).
+    pub fn metrics(&self, freq_ghz: f64) -> PeMetrics {
+        let fmac_mw = self.fmac().power_mw(freq_ghz);
+        let memory_mw =
+            self.sram().power_mw(freq_ghz, self.sram_activity) + self.sram().leakage_mw();
+        let dynamic = fmac_mw + memory_mw;
+        let pe_mw = dynamic * (1.0 + self.idle_ratio * 0.4);
+        // (idle applies to un-utilized periods; during GEMM the PE is ~fully
+        // active, leaving a smaller idle contribution)
+        let area = self.area_mm2();
+        let gflops = 2.0 * freq_ghz;
+        PeMetrics {
+            freq_ghz,
+            area_mm2: area,
+            memory_mw,
+            fmac_mw,
+            pe_mw,
+            w_per_mm2: pe_mw / 1000.0 / area,
+            gflops,
+            gflops_per_mm2: gflops / area,
+            gflops_per_w: gflops / (pe_mw / 1000.0),
+            gflops2_per_w: gflops * gflops / (pe_mw / 1000.0),
+        }
+    }
+
+    /// Energy-delay metric (lower is better): `W / GFLOPS²`.
+    pub fn energy_delay(&self, freq_ghz: f64) -> f64 {
+        1.0 / self.metrics(freq_ghz).gflops2_per_w
+    }
+}
+
+/// Core- and chip-level aggregate metrics.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreMetrics {
+    pub num_pes: usize,
+    pub area_mm2: f64,
+    pub power_w: f64,
+    pub gflops: f64,
+    pub gflops_per_w: f64,
+    pub gflops_per_mm2: f64,
+}
+
+/// Aggregate `nr × nr` PEs into a core at a given utilization.
+pub fn core_metrics(pe: &PeModel, nr: usize, freq_ghz: f64, utilization: f64) -> CoreMetrics {
+    let m = pe.metrics(freq_ghz);
+    let n = nr * nr;
+    let power_w = m.pe_mw * n as f64 / 1000.0;
+    let gflops = m.gflops * n as f64 * utilization;
+    let area = m.area_mm2 * n as f64;
+    CoreMetrics {
+        num_pes: n,
+        area_mm2: area,
+        power_w,
+        gflops,
+        gflops_per_w: gflops / power_w,
+        gflops_per_mm2: gflops / area,
+    }
+}
+
+/// Chip metrics: `s` cores plus a shared on-chip SRAM of `onchip_bytes`
+/// accessed `onchip_accesses_per_cycle` words/cycle (Figures 4.9/4.10).
+pub fn chip_metrics(
+    pe: &PeModel,
+    nr: usize,
+    s: usize,
+    freq_ghz: f64,
+    utilization: f64,
+    onchip_bytes: usize,
+    onchip_accesses_per_cycle: f64,
+) -> CoreMetrics {
+    let core = core_metrics(pe, nr, freq_ghz, utilization);
+    let mem = SramModel::new(onchip_bytes, 2);
+    let mem_w =
+        (mem.power_mw(freq_ghz, onchip_accesses_per_cycle) + mem.leakage_mw()) / 1000.0;
+    let power_w = core.power_w * s as f64 + mem_w;
+    let area = core.area_mm2 * s as f64 + mem.area_mm2();
+    let gflops = core.gflops * s as f64;
+    CoreMetrics {
+        num_pes: core.num_pes * s,
+        area_mm2: area,
+        power_w,
+        gflops,
+        gflops_per_w: gflops / power_w,
+        gflops_per_mm2: gflops / area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_1_dp_row_at_1ghz() {
+        // Table 3.1's DP 0.95 GHz row: PE 38 mW, ≈46 GFLOPS/W, area ≈0.17 mm².
+        let pe = PeModel::default();
+        let m = pe.metrics(0.95);
+        assert!((m.pe_mw - 38.0).abs() < 8.0, "PE power {}", m.pe_mw);
+        assert!((m.gflops_per_w - 46.4).abs() < 10.0, "GFLOPS/W {}", m.gflops_per_w);
+        assert!((m.area_mm2 - 0.174).abs() < 0.03, "area {}", m.area_mm2);
+    }
+
+    #[test]
+    fn table_3_1_sp_row_at_1ghz() {
+        // SP 0.98 GHz row: 15.9 mW, 113 GFLOPS/W.
+        let pe = PeModel { precision: Precision::Single, ..Default::default() };
+        let m = pe.metrics(0.98);
+        assert!((m.pe_mw - 15.9).abs() < 4.0, "PE power {}", m.pe_mw);
+        assert!((m.gflops_per_w - 113.0).abs() < 25.0, "GFLOPS/W {}", m.gflops_per_w);
+    }
+
+    #[test]
+    fn one_ghz_is_the_sweet_spot() {
+        // Figure 3.6: energy-delay still falling at 1 GHz, power efficiency
+        // already high; past ~1.8 GHz efficiency collapses.
+        let pe = PeModel { precision: Precision::Single, ..Default::default() };
+        assert!(pe.energy_delay(1.0) < pe.energy_delay(0.3), "E-D falls toward 1 GHz");
+        let eff_1 = pe.metrics(1.0).gflops_per_w;
+        let eff_2 = pe.metrics(2.0).gflops_per_w;
+        assert!(eff_1 > eff_2, "efficiency drops at high frequency");
+    }
+
+    #[test]
+    fn abstract_claim_dp_core_efficiency() {
+        // §3.6: "a 4×4 LAP core ... ~45 double-precision GFLOPS/W at 1 GHz"
+        // and the abstract's "up to 25 GFLOPS/W DP achievable on a chip".
+        let pe = PeModel::default();
+        let core = core_metrics(&pe, 4, 1.0, 0.95);
+        assert!(core.gflops_per_w > 35.0 && core.gflops_per_w < 60.0, "{}", core.gflops_per_w);
+        let chip = chip_metrics(&pe, 4, 15, 1.4, 0.9, 5 * 1024 * 1024, 4.0);
+        assert!(chip.gflops_per_w > 15.0 && chip.gflops_per_w < 40.0, "{}", chip.gflops_per_w);
+        assert!(chip.gflops > 400.0, "600-GFLOPS-class chip, got {}", chip.gflops);
+    }
+
+    #[test]
+    fn most_pe_area_is_local_store() {
+        // §3.6: "the power density is significantly lower as most of the LAC
+        // area is used for the local store" (Figure 4.7: up to 2/3).
+        let pe = PeModel::default();
+        let store_frac = pe.sram().area_mm2() / pe.area_mm2();
+        assert!(store_frac > 0.6, "store fraction {}", store_frac);
+    }
+
+    #[test]
+    fn smaller_store_lower_power_higher_density() {
+        // Figure 4.8: smaller local stores consume less power per PE...
+        let small = PeModel { local_store_bytes: 4 * 1024, ..Default::default() };
+        let big = PeModel { local_store_bytes: 18 * 1024, ..Default::default() };
+        assert!(small.metrics(1.0).pe_mw < big.metrics(1.0).pe_mw);
+        // ...but power *density* rises (the §4.4 caveat).
+        assert!(small.metrics(1.0).w_per_mm2 > big.metrics(1.0).w_per_mm2);
+    }
+}

@@ -1,0 +1,178 @@
+//! SRAM and NUCA cache models (the CACTI stand-in; see DESIGN.md).
+//!
+//! CACTI's role in the dissertation is to supply scalar area/energy numbers
+//! for each memory configuration. We encode the standard scaling laws
+//! (access energy ∝ √capacity, area ≈ linear in capacity plus periphery,
+//! port count multiplying both) anchored at the quoted points: a 16 KB
+//! dual-ported PE store at ~0.13 mm² and 13.5 mW/port at 2.5 GHz (≈5.4 pJ
+//! per access).
+
+/// A software-managed SRAM (no tags, no associativity).
+#[derive(Clone, Copy, Debug)]
+pub struct SramModel {
+    pub capacity_bytes: usize,
+    pub ports: usize,
+}
+
+impl SramModel {
+    pub fn new(capacity_bytes: usize, ports: usize) -> Self {
+        assert!(ports >= 1);
+        Self { capacity_bytes, ports }
+    }
+
+    /// Area in mm² at 45 nm.
+    pub fn area_mm2(&self) -> f64 {
+        let cap_ratio = self.capacity_bytes as f64 / (16.0 * 1024.0);
+        // Dual-ported 16 KB anchor: 0.13 mm²; extra ports cost ~40% each;
+        // small arrays pay a periphery floor.
+        let port_factor = 1.0 + 0.4 * (self.ports as f64 - 2.0);
+        0.01 + 0.12 * cap_ratio.powf(0.92) * port_factor.max(0.6)
+    }
+
+    /// Energy per access in pJ.
+    pub fn energy_pj_per_access(&self) -> f64 {
+        let cap_ratio = self.capacity_bytes as f64 / (16.0 * 1024.0);
+        5.4 * cap_ratio.sqrt().max(0.25)
+    }
+
+    /// Dynamic power in mW when accessed `accesses_per_cycle` times at
+    /// `f_ghz`.
+    pub fn power_mw(&self, f_ghz: f64, accesses_per_cycle: f64) -> f64 {
+        self.energy_pj_per_access() * accesses_per_cycle * f_ghz
+    }
+
+    /// Leakage in mW (low-power ITRS: "negligible in relation to dynamic" —
+    /// a fraction of a mW per 16 KB).
+    pub fn leakage_mw(&self) -> f64 {
+        0.2 * self.capacity_bytes as f64 / (16.0 * 1024.0)
+    }
+}
+
+/// A NUCA cache bank array (the §4.4 alternative to the domain-specific
+/// SRAM): tag arrays, associativity and high-performance banks cost area
+/// and energy, especially when a small capacity must sustain high
+/// bandwidth (Figures 4.11/4.12).
+#[derive(Clone, Copy, Debug)]
+pub struct NucaModel {
+    pub capacity_bytes: usize,
+    /// Bandwidth the cache must sustain, words/cycle.
+    pub bandwidth_words: f64,
+}
+
+impl NucaModel {
+    pub fn new(capacity_bytes: usize, bandwidth_words: f64) -> Self {
+        Self { capacity_bytes, bandwidth_words }
+    }
+
+    fn equivalent_sram(&self) -> SramModel {
+        SramModel::new(self.capacity_bytes, 2)
+    }
+
+    /// Area: tags + network + high-performance banks when bandwidth per MB
+    /// is high.
+    pub fn area_mm2(&self) -> f64 {
+        let mb = self.capacity_bytes as f64 / (1024.0 * 1024.0);
+        let hp_factor = 1.0 + 0.5 * (self.bandwidth_words / mb.max(0.05)).min(16.0) / 4.0;
+        self.equivalent_sram().area_mm2() * 2.2 * hp_factor
+    }
+
+    /// Energy per access: tag compare + way muxing + longer wires.
+    pub fn energy_pj_per_access(&self) -> f64 {
+        let mb = self.capacity_bytes as f64 / (1024.0 * 1024.0);
+        let hp_factor = 1.0 + 0.6 * (self.bandwidth_words / mb.max(0.05)).min(16.0) / 4.0;
+        self.equivalent_sram().energy_pj_per_access() * 3.0 * hp_factor
+    }
+
+    pub fn power_mw(&self, f_ghz: f64, accesses_per_cycle: f64) -> f64 {
+        self.energy_pj_per_access() * accesses_per_cycle * f_ghz
+    }
+
+    /// High-performance banks leak much more than low-power SRAM.
+    pub fn leakage_mw(&self) -> f64 {
+        self.equivalent_sram().leakage_mw() * 20.0
+    }
+}
+
+/// Table B.2-style report row for a PE SRAM option.
+#[derive(Clone, Debug)]
+pub struct SramOptionRow {
+    pub label: String,
+    pub capacity_bytes: usize,
+    pub ports: usize,
+    pub area_mm2: f64,
+    pub energy_pj: f64,
+    pub leakage_mw: f64,
+}
+
+/// Enumerate the PE SRAM options of Table B.2 (sizes × port counts).
+pub fn sram_option_table() -> Vec<SramOptionRow> {
+    let mut rows = Vec::new();
+    for &kb in &[2usize, 4, 8, 16, 32] {
+        for &ports in &[1usize, 2] {
+            let m = SramModel::new(kb * 1024, ports);
+            rows.push(SramOptionRow {
+                label: format!("{kb} KB, {ports}-ported"),
+                capacity_bytes: kb * 1024,
+                ports,
+                area_mm2: m.area_mm2(),
+                energy_pj: m.energy_pj_per_access(),
+                leakage_mw: m.leakage_mw(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_point_16kb_dual() {
+        let m = SramModel::new(16 * 1024, 2);
+        assert!((m.area_mm2() - 0.13).abs() < 0.01, "area {}", m.area_mm2());
+        assert!((m.energy_pj_per_access() - 5.4).abs() < 0.1);
+        // 13.5 mW per port at 2.5 GHz:
+        let p = m.power_mw(2.5, 1.0);
+        assert!((p - 13.5).abs() < 0.3, "power {p}");
+    }
+
+    #[test]
+    fn energy_scales_sublinearly_with_capacity() {
+        let small = SramModel::new(4 * 1024, 2);
+        let big = SramModel::new(64 * 1024, 2);
+        assert!(big.energy_pj_per_access() < 8.0 * small.energy_pj_per_access(), "sublinear in the 16x capacity");
+        assert!(big.energy_pj_per_access() > small.energy_pj_per_access());
+    }
+
+    #[test]
+    fn single_port_cheaper_than_dual() {
+        let one = SramModel::new(16 * 1024, 1);
+        let two = SramModel::new(16 * 1024, 2);
+        assert!(one.area_mm2() < two.area_mm2());
+    }
+
+    #[test]
+    fn nuca_worse_than_sram_and_worse_when_small_and_fast() {
+        // Figures 4.11/4.12: NUCA occupies more space than the cores and a
+        // small high-bandwidth NUCA is worse than a big slow one.
+        let sram = SramModel::new(1024 * 1024, 2);
+        let nuca = NucaModel::new(1024 * 1024, 4.0);
+        assert!(nuca.area_mm2() > 2.0 * sram.area_mm2());
+        assert!(nuca.energy_pj_per_access() > 2.5 * sram.energy_pj_per_access());
+        let small_fast = NucaModel::new(512 * 1024, 16.0);
+        let big_slow = NucaModel::new(8 * 1024 * 1024, 4.0);
+        // energy per access: the small/fast one pays the high-perf premium
+        assert!(
+            small_fast.energy_pj_per_access() * 4.0 > big_slow.energy_pj_per_access(),
+            "hp premium visible"
+        );
+    }
+
+    #[test]
+    fn option_table_covers_b2_axes() {
+        let rows = sram_option_table();
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().any(|r| r.ports == 1));
+    }
+}

@@ -1,0 +1,78 @@
+//! Static configuration of a simulated LAC.
+
+use lac_fpu::{DivSqrtImpl, FpuConfig};
+
+/// Configuration of one Linear Algebra Core.
+///
+/// Defaults follow the dissertation's canonical design point: a 4×4 mesh,
+/// 16 KB of local store per PE split between the single-ported A memory and
+/// the dual-ported B memory, a 4-entry register file (§3.4: "a size of 3,
+/// rounded up to the next power of two"), and an isolated per-core SFU.
+#[derive(Clone, Copy, Debug)]
+pub struct LacConfig {
+    /// Mesh dimension `nr` (the paper's sweet spot is 4).
+    pub nr: usize,
+    /// Words of single-ported SRAM per PE for the `A` block.
+    pub sram_a_words: usize,
+    /// Words of dual-ported SRAM per PE for the replicated `B` panels.
+    pub sram_b_words: usize,
+    /// Register-file entries per PE.
+    pub rf_entries: usize,
+    /// Floating-point datapath configuration (pipeline depth `p`, precision,
+    /// exponent extension).
+    pub fpu: FpuConfig,
+    /// Divide/square-root architecture option (Appendix A).
+    pub divsqrt: DivSqrtImpl,
+    /// Maximum external-memory words that may cross the core boundary per
+    /// cycle (the "x elements/cycle" of §3.4). `None` = unconstrained.
+    pub ext_words_per_cycle: Option<usize>,
+    /// Whether the comparator extension (§A.2, pivot search) is present.
+    pub comparator_extension: bool,
+}
+
+impl Default for LacConfig {
+    fn default() -> Self {
+        Self {
+            nr: 4,
+            // 16 KB/PE of doubles: 2048 words, ~3/4 for A, 1/4 for B.
+            sram_a_words: 1536,
+            sram_b_words: 512,
+            rf_entries: 4,
+            fpu: FpuConfig::default(),
+            divsqrt: DivSqrtImpl::Isolated,
+            ext_words_per_cycle: None,
+            comparator_extension: false,
+        }
+    }
+}
+
+impl LacConfig {
+    /// Total PEs in the mesh.
+    pub fn num_pes(&self) -> usize {
+        self.nr * self.nr
+    }
+
+    /// Local store per PE in bytes at this precision.
+    pub fn local_store_bytes(&self) -> usize {
+        (self.sram_a_words + self.sram_b_words) * self.fpu.precision.bytes()
+    }
+
+    /// Peak FLOPs per cycle for the whole core (2 per MAC).
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        2.0 * self.num_pes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_design_point() {
+        let c = LacConfig::default();
+        assert_eq!(c.nr, 4);
+        assert_eq!(c.num_pes(), 16);
+        assert_eq!(c.local_store_bytes(), 16 * 1024);
+        assert_eq!(c.peak_flops_per_cycle(), 32.0);
+    }
+}

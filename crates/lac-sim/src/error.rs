@@ -1,0 +1,65 @@
+//! Simulator errors: every structural or data hazard is reported with the
+//! cycle it occurred in and the PE involved.
+
+use std::fmt;
+
+/// A hard simulation error (mis-scheduled microprogram or bad config).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimError {
+    pub cycle: usize,
+    pub pe: Option<(usize, usize)>,
+    pub kind: HazardKind,
+}
+
+/// The kinds of violations the simulator enforces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HazardKind {
+    /// Two writers drove the same row bus.
+    RowBusConflict { row: usize },
+    /// Two writers (PE or external) drove the same column bus.
+    ColBusConflict { col: usize },
+    /// A bus was read but nobody drove it this cycle.
+    BusUndriven { row_bus: bool, index: usize },
+    /// Single-ported A memory saw more than one access.
+    SramAPortConflict,
+    /// Dual-ported B memory saw more than two accesses.
+    SramBPortConflict,
+    /// SRAM address out of configured range.
+    SramOutOfRange { which: char, addr: usize, size: usize },
+    /// Register index out of range.
+    RegOutOfRange { idx: usize, size: usize },
+    /// Accumulator read or loaded while MACs are still in flight.
+    AccHazard,
+    /// MAC issued while the software divide/sqrt occupies it.
+    MacBusyWithSfu,
+    /// MAC double issue (mac + fma in one cycle).
+    MacIssueConflict,
+    /// MacResult read before any FMA retired.
+    MacResultEmpty,
+    /// SFU issued while busy.
+    SfuBusy,
+    /// SfuResult read before any SFU op retired.
+    SfuResultEmpty,
+    /// SFU used on a PE that has none under this divide/sqrt option.
+    SfuNotPresent,
+    /// External transfer count exceeded the configured words/cycle.
+    ExtBandwidthExceeded { used: usize, limit: usize },
+    /// External address out of range.
+    ExtOutOfRange { addr: usize, size: usize },
+    /// An external store targeted a column bus nobody drove.
+    ExtStoreUndriven { col: usize },
+    /// Bus-to-bus forwarding in a single cycle is not implementable.
+    BusToBusSameCycle,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.cycle)?;
+        if let Some((r, c)) = self.pe {
+            write!(f, ", PE ({r},{c})")?;
+        }
+        write!(f, ": {:?}", self.kind)
+    }
+}
+
+impl std::error::Error for SimError {}

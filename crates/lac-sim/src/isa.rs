@@ -1,0 +1,283 @@
+//! The LAC's micro-operation "ISA" and program representation.
+//!
+//! A [`Program`] is the software image of the paper's microprogrammed state
+//! machines: for every cycle (a [`Step`]) it lists, per PE, which datapath
+//! actions fire. There is no dynamic control — exactly like the hardware,
+//! where "inter- and intra-PE data movement is predetermined" (§3.2.3).
+
+use lac_fpu::DivSqrtOp;
+
+/// Where a datapath input comes from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Source {
+    /// The PE's row broadcast bus (value written this cycle).
+    RowBus,
+    /// The PE's column broadcast bus (value written this cycle).
+    ColBus,
+    /// Single-ported A memory at an address.
+    SramA(usize),
+    /// Dual-ported B memory at an address.
+    SramB(usize),
+    /// Register-file entry.
+    Reg(usize),
+    /// The MAC accumulator (requires the MAC pipeline to be drained).
+    Acc,
+    /// The latched result of the last retired free-standing FMA.
+    MacResult,
+    /// The latched result of the last retired SFU operation.
+    SfuResult,
+    /// An immediate constant (microcode constants such as 0 or 1).
+    Const(f64),
+}
+
+/// One PE's actions for one cycle. All fields are independent datapath
+/// controls; the simulator checks the structural constraints (port counts,
+/// bus ownership, issue width).
+#[derive(Clone, Debug, Default)]
+pub struct PeInstr {
+    /// Drive the PE's row bus with this value.
+    pub row_write: Option<Source>,
+    /// Drive the PE's column bus with this value.
+    pub col_write: Option<Source>,
+    /// Issue `acc += a * b`.
+    pub mac: Option<(Source, Source)>,
+    /// Issue a free-standing fused `c + a * b` (result → MacResult latch).
+    pub fma: Option<(Source, Source, Source)>,
+    /// Negate the product of this cycle's `mac`/`fma` (fused
+    /// multiply-subtract — the rank-1 *downdate* used by TRSM, Cholesky, LU).
+    pub negate_product: bool,
+    /// Comparator micro-op (§A.2 extension): compare `|value|` against the
+    /// pivot-magnitude register `Reg(cmp_regs.0)`; if strictly larger, latch
+    /// the value there and its `tag` into `Reg(cmp_regs.1)`.
+    pub cmp_update: Option<CmpUpdate>,
+    /// Load the accumulator.
+    pub acc_load: Option<Source>,
+    /// Write A memory: `(addr, value)`.
+    pub sram_a_write: Option<(usize, Source)>,
+    /// Write B memory: `(addr, value)`.
+    pub sram_b_write: Option<(usize, Source)>,
+    /// Write the register file: `(index, value)`.
+    pub reg_write: Option<(usize, Source)>,
+    /// Issue a special-function op `(op, a, b)` (`b` used only by Divide).
+    pub sfu: Option<(DivSqrtOp, Source, Source)>,
+}
+
+/// A comparator micro-op: the pivot-search primitive of LU factorization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CmpUpdate {
+    /// Candidate value.
+    pub value: Source,
+    /// Identifying tag (e.g. the row index) latched alongside a new maximum.
+    pub tag: f64,
+    /// Register holding the current maximum-magnitude value.
+    pub val_reg: usize,
+    /// Register holding the current maximum's tag.
+    pub tag_reg: usize,
+}
+
+impl PeInstr {
+    /// True when the instruction does nothing (idle PE).
+    pub fn is_nop(&self) -> bool {
+        self.row_write.is_none()
+            && self.col_write.is_none()
+            && self.mac.is_none()
+            && self.fma.is_none()
+            && self.acc_load.is_none()
+            && self.sram_a_write.is_none()
+            && self.sram_b_write.is_none()
+            && self.reg_write.is_none()
+            && self.sfu.is_none()
+            && self.cmp_update.is_none()
+    }
+
+    // Builder-style helpers used by the kernel generators.
+
+    pub fn row_write(mut self, s: Source) -> Self {
+        self.row_write = Some(s);
+        self
+    }
+
+    pub fn col_write(mut self, s: Source) -> Self {
+        self.col_write = Some(s);
+        self
+    }
+
+    pub fn mac(mut self, a: Source, b: Source) -> Self {
+        self.mac = Some((a, b));
+        self
+    }
+
+    pub fn fma(mut self, a: Source, b: Source, c: Source) -> Self {
+        self.fma = Some((a, b, c));
+        self
+    }
+
+    /// Mark this cycle's mac/fma as a multiply-*subtract*.
+    pub fn negated(mut self) -> Self {
+        self.negate_product = true;
+        self
+    }
+
+    pub fn cmp_update(mut self, c: CmpUpdate) -> Self {
+        self.cmp_update = Some(c);
+        self
+    }
+
+    pub fn acc_load(mut self, s: Source) -> Self {
+        self.acc_load = Some(s);
+        self
+    }
+
+    pub fn sram_a_write(mut self, addr: usize, s: Source) -> Self {
+        self.sram_a_write = Some((addr, s));
+        self
+    }
+
+    pub fn sram_b_write(mut self, addr: usize, s: Source) -> Self {
+        self.sram_b_write = Some((addr, s));
+        self
+    }
+
+    pub fn reg_write(mut self, idx: usize, s: Source) -> Self {
+        self.reg_write = Some((idx, s));
+        self
+    }
+
+    pub fn sfu(mut self, op: DivSqrtOp, a: Source, b: Source) -> Self {
+        self.sfu = Some((op, a, b));
+        self
+    }
+}
+
+/// External-memory traffic for one cycle (uses the column buses, §3.2.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExtOp {
+    /// Drive column bus `col` with external memory word `addr`.
+    Load { col: usize, addr: usize },
+    /// Capture what a PE drove onto column bus `col` into external `addr`.
+    Store { col: usize, addr: usize },
+}
+
+/// One simulated cycle: a micro-instruction per PE (row-major, length `nr²`)
+/// plus external transfers.
+#[derive(Clone, Debug, Default)]
+pub struct Step {
+    pub pes: Vec<PeInstr>,
+    pub ext: Vec<ExtOp>,
+}
+
+impl Step {
+    fn new(nr: usize) -> Self {
+        Self { pes: vec![PeInstr::default(); nr * nr], ext: Vec::new() }
+    }
+}
+
+/// A complete microprogram for one LAC.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub nr: usize,
+    pub steps: Vec<Step>,
+}
+
+impl Program {
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Convenience builder used by every kernel generator.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    nr: usize,
+    steps: Vec<Step>,
+}
+
+impl ProgramBuilder {
+    pub fn new(nr: usize) -> Self {
+        Self { nr, steps: Vec::new() }
+    }
+
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// Append a new (initially idle) cycle and return its index.
+    pub fn push_step(&mut self) -> usize {
+        self.steps.push(Step::new(self.nr));
+        self.steps.len() - 1
+    }
+
+    /// Append `n` idle cycles (pipeline drains, dependency stalls).
+    pub fn idle(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push_step();
+        }
+    }
+
+    /// Number of steps so far.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Mutable access to PE `(r, c)`'s instruction in step `t`.
+    pub fn pe_mut(&mut self, t: usize, r: usize, c: usize) -> &mut PeInstr {
+        assert!(r < self.nr && c < self.nr, "PE ({r},{c}) out of mesh");
+        &mut self.steps[t].pes[r * self.nr + c]
+    }
+
+    /// Overwrite PE `(r, c)`'s instruction in step `t`, asserting that no
+    /// instruction was scheduled there yet (catches generator collisions).
+    pub fn set_pe(&mut self, t: usize, r: usize, c: usize, instr: PeInstr) {
+        let slot = self.pe_mut(t, r, c);
+        assert!(slot.is_nop(), "PE ({r},{c}) already scheduled in step {t}");
+        *slot = instr;
+    }
+
+    /// Add an external-memory transfer to step `t`.
+    pub fn ext(&mut self, t: usize, op: ExtOp) {
+        self.steps[t].ext.push(op);
+    }
+
+    pub fn build(self) -> Program {
+        Program { nr: self.nr, steps: self.steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_detection() {
+        assert!(PeInstr::default().is_nop());
+        assert!(!PeInstr::default().mac(Source::RowBus, Source::ColBus).is_nop());
+    }
+
+    #[test]
+    fn builder_layout() {
+        let mut b = ProgramBuilder::new(4);
+        let t = b.push_step();
+        b.set_pe(t, 1, 2, PeInstr::default().row_write(Source::Acc));
+        let p = b.build();
+        assert_eq!(p.steps.len(), 1);
+        assert!(p.steps[0].pes[1 * 4 + 2].row_write.is_some());
+        assert!(p.steps[0].pes[0].is_nop());
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn double_schedule_panics() {
+        let mut b = ProgramBuilder::new(2);
+        let t = b.push_step();
+        b.set_pe(t, 0, 0, PeInstr::default().row_write(Source::Acc));
+        b.set_pe(t, 0, 0, PeInstr::default().col_write(Source::Acc));
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-core Linear Algebra Processor (LAP) wrapper (Chapter 4).
+//!
+//! The chip-level organization is `S` LACs, each with a dedicated bank of
+//! on-chip memory plus a shared region (Figure 4.1). Work is distributed by
+//! row panels, and the cores run in lock step with no inter-core
+//! communication (GEMM's panels are independent) — so the simulator runs each
+//! core's program against its own bank and reports the *makespan* (slowest
+//! core) plus aggregate event counts. Shared-memory port contention is a
+//! chip-level concern handled analytically in `lac-model`; the per-core
+//! bandwidth cap is enforced here via [`crate::LacConfig::ext_words_per_cycle`].
+
+use crate::config::LacConfig;
+use crate::core::{ExternalMem, Lac};
+use crate::error::SimError;
+use crate::isa::Program;
+use crate::stats::ExecStats;
+
+/// A processor built from `S` identical LACs.
+pub struct Lap {
+    cores: Vec<Lac>,
+}
+
+/// Outcome of running one program per core.
+#[derive(Clone, Debug)]
+pub struct LapRunSummary {
+    /// Per-core stats, in core order.
+    pub per_core: Vec<ExecStats>,
+    /// Makespan: cycles of the slowest core.
+    pub makespan_cycles: u64,
+    /// Sum of all event counters (cycles summed too — divide by S for time).
+    pub aggregate: ExecStats,
+}
+
+impl Lap {
+    pub fn new(cfg: LacConfig, num_cores: usize) -> Self {
+        assert!(num_cores >= 1);
+        Self { cores: (0..num_cores).map(|_| Lac::new(cfg)).collect() }
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    pub fn core_mut(&mut self, i: usize) -> &mut Lac {
+        &mut self.cores[i]
+    }
+
+    /// Run one `(program, memory bank)` pair per core.
+    pub fn run(
+        &mut self,
+        work: Vec<(Program, ExternalMem)>,
+    ) -> Result<(LapRunSummary, Vec<ExternalMem>), SimError> {
+        assert_eq!(work.len(), self.cores.len(), "one program per core");
+        let mut per_core = Vec::with_capacity(work.len());
+        let mut banks = Vec::with_capacity(work.len());
+        let mut aggregate = ExecStats::default();
+        let mut makespan = 0;
+        for (core, (prog, mut mem)) in self.cores.iter_mut().zip(work) {
+            let stats = core.run(&prog, &mut mem)?;
+            makespan = makespan.max(stats.cycles);
+            aggregate.merge(&stats);
+            per_core.push(stats);
+            banks.push(mem);
+        }
+        Ok((LapRunSummary { per_core, makespan_cycles: makespan, aggregate }, banks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{PeInstr, ProgramBuilder, Source};
+
+    #[test]
+    fn two_cores_run_independently() {
+        let cfg = LacConfig { nr: 2, sram_a_words: 8, sram_b_words: 8, ..Default::default() };
+        let mut lap = Lap::new(cfg, 2);
+        let mk = |v: f64, idle: usize| {
+            let mut b = ProgramBuilder::new(2);
+            let t = b.push_step();
+            b.set_pe(t, 0, 0, PeInstr::default().mac(Source::Const(v), Source::Const(v)));
+            b.idle(cfg.fpu.pipeline_depth + idle);
+            b.build()
+        };
+        let work = vec![(mk(2.0, 0), ExternalMem::new(1)), (mk(3.0, 10), ExternalMem::new(1))];
+        let (summary, _) = lap.run(work).unwrap();
+        assert_eq!(summary.per_core.len(), 2);
+        assert_eq!(summary.aggregate.mac_ops, 2);
+        assert_eq!(
+            summary.makespan_cycles,
+            summary.per_core.iter().map(|s| s.cycles).max().unwrap()
+        );
+        assert_eq!(lap.core_mut(0).acc(0, 0), 4.0);
+        assert_eq!(lap.core_mut(1).acc(0, 0), 9.0);
+    }
+}

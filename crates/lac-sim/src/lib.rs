@@ -1,0 +1,36 @@
+//! Cycle-accurate simulator of the Linear Algebra Core (LAC).
+//!
+//! The LAC (Figure 1.1 / 3.1 of the dissertation) is an `nr × nr` mesh of
+//! Processing Elements. Each PE owns
+//!
+//! * a pipelined FMAC unit with a local accumulator (from [`lac_fpu`]),
+//! * a larger **single-ported** SRAM for its share of the resident `A` block,
+//! * a smaller **dual-ported** SRAM for the replicated `B` panel,
+//! * a tiny register file,
+//!
+//! and talks to its row and column over **broadcast buses** (one word per bus
+//! per cycle). Column buses are multiplexed with external-memory traffic.
+//! Control is fully static — "each PE implicitly knows when and where to
+//! communicate" (§3.2.3) — which we model by letting the kernel generators in
+//! `lac-kernels` emit a [`Program`]: one (possibly empty) micro-instruction
+//! per PE per cycle. The simulator executes the program, *enforcing* the
+//! structural limits of the hardware (bus writers, SRAM ports, MAC issue
+//! width, accumulator read-after-write) and producing functional results plus
+//! the event counts ([`ExecStats`]) the power model converts to energy.
+//!
+//! Any violation is a hard [`SimError`] carrying the offending cycle — a
+//! mis-scheduled kernel cannot silently produce a wrong cycle count.
+
+pub mod config;
+pub mod core;
+pub mod error;
+pub mod isa;
+pub mod lap;
+pub mod stats;
+
+pub use crate::core::{ExternalMem, Lac};
+pub use config::LacConfig;
+pub use error::SimError;
+pub use isa::{CmpUpdate, ExtOp, PeInstr, Program, ProgramBuilder, Source, Step};
+pub use lap::{Lap, LapRunSummary};
+pub use stats::ExecStats;

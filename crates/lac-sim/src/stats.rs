@@ -1,0 +1,133 @@
+//! Execution statistics: the event counts the power model turns into energy
+//! (the dissertation's methodology §1.3: "by plugging in power consumption
+//! numbers for MAC units, memories, register files, and buses, our simulator
+//! is able to produce an accurate power profile").
+
+/// Event counters accumulated over one program execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// MAC issues (accumulating form).
+    pub mac_ops: u64,
+    /// Free-standing FMA issues.
+    pub fma_ops: u64,
+    /// SFU (divide/sqrt family) issues.
+    pub sfu_ops: u64,
+    /// Comparator micro-ops (pivot search).
+    pub cmp_ops: u64,
+    /// Reads from the single-ported A memories.
+    pub sram_a_reads: u64,
+    /// Writes to the A memories.
+    pub sram_a_writes: u64,
+    /// Reads from the dual-ported B memories.
+    pub sram_b_reads: u64,
+    /// Writes to the B memories.
+    pub sram_b_writes: u64,
+    /// Register-file reads.
+    pub rf_reads: u64,
+    /// Register-file writes.
+    pub rf_writes: u64,
+    /// Row-bus broadcasts (one per driven bus per cycle).
+    pub row_bus_transfers: u64,
+    /// Column-bus broadcasts (including external traffic).
+    pub col_bus_transfers: u64,
+    /// Words read from external (on-chip shared) memory.
+    pub ext_reads: u64,
+    /// Words written to external memory.
+    pub ext_writes: u64,
+    /// Accumulator loads/readouts.
+    pub acc_accesses: u64,
+    /// Cycles in which at least one MAC/FMA issued somewhere in the core.
+    pub active_cycles: u64,
+}
+
+impl ExecStats {
+    /// Floating-point operations: 2 per MAC/FMA (multiply + add), and we
+    /// follow the dissertation in counting a divide/sqrt as one op.
+    pub fn flops(&self) -> u64 {
+        2 * (self.mac_ops + self.fma_ops) + self.sfu_ops
+    }
+
+    /// Utilization against the core's peak: `MACs / (cycles · nr²)`.
+    pub fn utilization(&self, nr: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.mac_ops + self.fma_ops) as f64 / (self.cycles as f64 * (nr * nr) as f64)
+    }
+
+    /// Average external words moved per cycle (bandwidth demand).
+    pub fn ext_words_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.ext_reads + self.ext_writes) as f64 / self.cycles as f64
+    }
+
+    /// Counters accumulated since `earlier` (used to report per-run deltas).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            cycles: self.cycles - earlier.cycles,
+            mac_ops: self.mac_ops - earlier.mac_ops,
+            fma_ops: self.fma_ops - earlier.fma_ops,
+            sfu_ops: self.sfu_ops - earlier.sfu_ops,
+            cmp_ops: self.cmp_ops - earlier.cmp_ops,
+            sram_a_reads: self.sram_a_reads - earlier.sram_a_reads,
+            sram_a_writes: self.sram_a_writes - earlier.sram_a_writes,
+            sram_b_reads: self.sram_b_reads - earlier.sram_b_reads,
+            sram_b_writes: self.sram_b_writes - earlier.sram_b_writes,
+            rf_reads: self.rf_reads - earlier.rf_reads,
+            rf_writes: self.rf_writes - earlier.rf_writes,
+            row_bus_transfers: self.row_bus_transfers - earlier.row_bus_transfers,
+            col_bus_transfers: self.col_bus_transfers - earlier.col_bus_transfers,
+            ext_reads: self.ext_reads - earlier.ext_reads,
+            ext_writes: self.ext_writes - earlier.ext_writes,
+            acc_accesses: self.acc_accesses - earlier.acc_accesses,
+            active_cycles: self.active_cycles - earlier.active_cycles,
+        }
+    }
+
+    /// Merge counters from another run (used by the LAP aggregator).
+    pub fn merge(&mut self, o: &ExecStats) {
+        self.cycles += o.cycles;
+        self.mac_ops += o.mac_ops;
+        self.fma_ops += o.fma_ops;
+        self.sfu_ops += o.sfu_ops;
+        self.cmp_ops += o.cmp_ops;
+        self.sram_a_reads += o.sram_a_reads;
+        self.sram_a_writes += o.sram_a_writes;
+        self.sram_b_reads += o.sram_b_reads;
+        self.sram_b_writes += o.sram_b_writes;
+        self.rf_reads += o.rf_reads;
+        self.rf_writes += o.rf_writes;
+        self.row_bus_transfers += o.row_bus_transfers;
+        self.col_bus_transfers += o.col_bus_transfers;
+        self.ext_reads += o.ext_reads;
+        self.ext_writes += o.ext_writes;
+        self.acc_accesses += o.acc_accesses;
+        self.active_cycles += o.active_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = ExecStats { cycles: 100, mac_ops: 1600, ..Default::default() };
+        assert!((s.utilization(4) - 1.0).abs() < 1e-12);
+        assert_eq!(s.flops(), 3200);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ExecStats { cycles: 10, mac_ops: 5, ..Default::default() };
+        let b = ExecStats { cycles: 7, mac_ops: 3, ext_reads: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.mac_ops, 8);
+        assert_eq!(a.ext_reads, 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Level-1 BLAS: vector-vector operations.
+//!
+//! The vector 2-norm gets three implementations because Chapter 6 / Appendix A
+//! of the dissertation is precisely about the cost of computing it safely:
+//! the naive single-pass form (overflows), the LAPACK-style scaled two-pass
+//! form (what software must do without the LAC's extended-exponent MAC), and
+//! Blue's one-pass three-accumulator algorithm \[19\].
+
+/// Dot product `xᵀ y`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Sum of absolute values.
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Index of the element with largest magnitude (first on ties).
+///
+/// This is the pivot search of LU factorization (§6.1.2); the LAC implements
+/// it with the comparator extension to the MAC unit.
+pub fn iamax(x: &[f64]) -> usize {
+    assert!(!x.is_empty());
+    let mut best = 0;
+    let mut bestv = x[0].abs();
+    for (i, v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > bestv {
+            best = i;
+            bestv = a;
+        }
+    }
+    best
+}
+
+/// Naive 2-norm: `sqrt(Σ xᵢ²)`. Overflows for `|xᵢ| ≳ 1e154`.
+pub fn nrm2_naive(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Safe two-pass 2-norm: scale by the max magnitude, then accumulate.
+///
+/// This is the `t = max|xᵢ|; y = x/t; ‖x‖ = t·‖y‖` form of §6.1.3 — the extra
+/// pass and division are exactly the overhead the extended-exponent MAC
+/// removes in hardware.
+pub fn nrm2(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let t = x.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if t == 0.0 || !t.is_finite() {
+        return t;
+    }
+    let mut acc = 0.0;
+    for v in x {
+        let s = v / t;
+        acc += s * s;
+    }
+    t * acc.sqrt()
+}
+
+/// Blue's one-pass algorithm with three accumulators (small/medium/big).
+pub fn nrm2_one_pass(x: &[f64]) -> f64 {
+    // Thresholds chosen per Blue (1978) for binary64.
+    const T_SMALL: f64 = 1.0e-146; // below: square in the scaled-up bin
+    const T_BIG: f64 = 1.0e146; // above: square in the scaled-down bin
+    const S_SMALL: f64 = 1.0e146; // scale applied to small values
+    const S_BIG: f64 = 1.0e-146; // scale applied to big values
+    let (mut a_small, mut a_med, mut a_big) = (0.0f64, 0.0f64, 0.0f64);
+    for &v in x {
+        let a = v.abs();
+        if a > T_BIG {
+            let s = a * S_BIG;
+            a_big += s * s;
+        } else if a < T_SMALL {
+            let s = a * S_SMALL;
+            a_small += s * s;
+        } else {
+            a_med += a * a;
+        }
+    }
+    if a_big > 0.0 {
+        // Large values dominate; medium contribution folded in scaled space.
+        ((a_big + (a_med * S_BIG) * S_BIG).sqrt()) / S_BIG
+    } else if a_small > 0.0 {
+        if a_med > 0.0 {
+            (a_med + (a_small / S_SMALL) / S_SMALL).sqrt()
+        } else {
+            a_small.sqrt() / S_SMALL
+        }
+    } else {
+        a_med.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(iamax(&[-2.0, 2.0]), 0, "first on ties");
+    }
+
+    #[test]
+    fn nrm2_agrees_with_naive_in_safe_range() {
+        let x = [3.0, 4.0];
+        assert!((nrm2(&x) - 5.0).abs() < 1e-15);
+        assert!((nrm2_naive(&x) - 5.0).abs() < 1e-15);
+        assert!((nrm2_one_pass(&x) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn naive_overflows_where_scaled_does_not() {
+        let x = [1e200, 1e200];
+        assert!(nrm2_naive(&x).is_infinite());
+        let expect = 1e200 * 2.0f64.sqrt();
+        assert!((nrm2(&x) / expect - 1.0).abs() < 1e-14);
+        assert!((nrm2_one_pass(&x) / expect - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn scaled_handles_underflow() {
+        let x = [1e-200, 1e-200];
+        let expect = 1e-200 * 2.0f64.sqrt();
+        assert!((nrm2(&x) / expect - 1.0).abs() < 1e-14);
+        assert!((nrm2_one_pass(&x) / expect - 1.0).abs() < 1e-14);
+        // naive squares underflow to zero
+        assert_eq!(nrm2_naive(&x), 0.0);
+    }
+
+    #[test]
+    fn nrm2_empty_and_zero() {
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        assert_eq!(nrm2_one_pass(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn one_pass_mixed_magnitudes() {
+        let x = [1e160, 1.0, 1e-160];
+        let r = nrm2_one_pass(&x);
+        assert!((r / 1e160 - 1.0).abs() < 1e-14);
+    }
+}

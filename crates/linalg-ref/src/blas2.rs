@@ -1,0 +1,103 @@
+//! Level-2 BLAS: matrix-vector operations used by the factorization kernels.
+
+use crate::matrix::Matrix;
+
+/// `y := alpha * op(A) x + beta * y` with `op` = identity (`trans=false`) or
+/// transpose (`trans=true`).
+pub fn gemv(alpha: f64, a: &Matrix, trans: bool, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = (a.rows(), a.cols());
+    if trans {
+        assert_eq!(x.len(), m);
+        assert_eq!(y.len(), n);
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in 0..m {
+                s += a[(i, j)] * x[i];
+            }
+            y[j] = alpha * s + beta * y[j];
+        }
+    } else {
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), m);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a[(i, j)] * x[j];
+            }
+            *yi = alpha * s + beta * *yi;
+        }
+    }
+}
+
+/// Rank-1 update `A += alpha * x yᵀ` — the LAC's fundamental operation
+/// (Figure 3.2 of the dissertation).
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    assert_eq!(x.len(), a.rows());
+    assert_eq!(y.len(), a.cols());
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            a[(i, j)] += alpha * x[i] * y[j];
+        }
+    }
+}
+
+/// Triangular solve `L x = b` (forward substitution, lower, non-unit
+/// diagonal). Overwrites `b` with the solution.
+pub fn trsv(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(l.cols(), n);
+    assert_eq!(b.len(), n);
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * b[j];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gemv_identity() {
+        let a = Matrix::identity(3);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        gemv(1.0, &a, false, &x, 0.0, &mut y);
+        assert_eq!(y, x.to_vec());
+    }
+
+    #[test]
+    fn gemv_transpose() {
+        let a = Matrix::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let x = [1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        gemv(1.0, &a, true, &x, 0.0, &mut y);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Matrix::zeros(2, 2);
+        ger(2.0, &[1.0, 2.0], &[3.0, 4.0], &mut a);
+        assert_eq!(a[(0, 0)], 6.0);
+        assert_eq!(a[(1, 1)], 16.0);
+    }
+
+    #[test]
+    fn trsv_solves() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = Matrix::random_lower_triangular(6, &mut rng);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let mut b = vec![0.0; 6];
+        gemv(1.0, &l, false, &x_true, 0.0, &mut b);
+        trsv(&l, &mut b);
+        for (a, e) in b.iter().zip(&x_true) {
+            assert!((a - e).abs() < 1e-10);
+        }
+    }
+}

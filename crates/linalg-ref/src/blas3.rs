@@ -1,0 +1,539 @@
+//! Level-3 BLAS: the operation class the LAC is designed around (Chapter 5).
+//!
+//! `gemm_blocked` mirrors the three-layer blocking of Figure 3.3 (resident
+//! `mc×kc` block of A, `kc×nr` panels of B, `nr×nr` accumulator tiles of C) so
+//! tests can check that the LAC's blocking produces exactly the reference
+//! result, and benches can use it as the "general-purpose CPU" baseline.
+
+use crate::matrix::Matrix;
+
+/// Which side a triangular/symmetric operand multiplies from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Which triangle of a triangular/symmetric operand is stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Triangle {
+    Lower,
+    Upper,
+}
+
+/// Whether an operand is transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    No,
+    Yes,
+}
+
+/// Cache-blocking parameters for [`gemm_blocked`], named as in the
+/// dissertation (`mc × kc` resident A block, `nr` register tile).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockSizes {
+    pub mc: usize,
+    pub kc: usize,
+    pub nr: usize,
+}
+
+impl Default for BlockSizes {
+    fn default() -> Self {
+        Self { mc: 64, kc: 64, nr: 4 }
+    }
+}
+
+/// Triple-loop reference GEMM: `C := alpha * op(A) op(B) + beta * C`.
+pub fn gemm_naive(
+    alpha: f64,
+    a: &Matrix,
+    ta: Transpose,
+    b: &Matrix,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = match ta {
+        Transpose::No => (a.rows(), a.cols()),
+        Transpose::Yes => (a.cols(), a.rows()),
+    };
+    let (kb, n) = match tb {
+        Transpose::No => (b.rows(), b.cols()),
+        Transpose::Yes => (b.cols(), b.rows()),
+    };
+    assert_eq!(ka, kb, "inner dimensions must agree");
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), n);
+    let at = |i: usize, p: usize| match ta {
+        Transpose::No => a[(i, p)],
+        Transpose::Yes => a[(p, i)],
+    };
+    let bt = |p: usize, j: usize| match tb {
+        Transpose::No => b[(p, j)],
+        Transpose::Yes => b[(j, p)],
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = 0.0;
+            for p in 0..ka {
+                s += at(i, p) * bt(p, j);
+            }
+            c[(i, j)] = alpha * s + beta * c[(i, j)];
+        }
+    }
+}
+
+/// `C += A B` with no transposes — the common case in the dissertation.
+pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    gemm_naive(1.0, a, Transpose::No, b, Transpose::No, 1.0, c);
+}
+
+/// Blocked GEMM `C += A B` following the Goto-style hierarchy of Figure 3.3:
+/// loop over `kc` panels, then `mc` row blocks of A (the "resident" block),
+/// then `nr` column panels of B, with an `nr × nr` accumulator tile.
+pub fn gemm_blocked(a: &Matrix, b: &Matrix, c: &mut Matrix, bs: BlockSizes) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k);
+    assert_eq!(c.rows(), m);
+    assert_eq!(c.cols(), n);
+    let BlockSizes { mc, kc, nr } = bs;
+    assert!(mc > 0 && kc > 0 && nr > 0);
+    let mut pc = 0;
+    while pc < k {
+        let kb = kc.min(k - pc);
+        let mut ic = 0;
+        while ic < m {
+            let mb = mc.min(m - ic);
+            // A_{i,p}: the block held resident in the PE local stores.
+            let mut jc = 0;
+            while jc < n {
+                let nb = nr.min(n - jc);
+                // Inner kernel: mb × nb tile of C updated by rank-kb product,
+                // processed in nr-row slabs as the LAC does (Figure 3.3 top).
+                let mut ir = 0;
+                while ir < mb {
+                    let mr = nr.min(mb - ir);
+                    // nr × nr accumulator tile (kept "in the accumulators").
+                    let mut acc = [[0.0f64; 16]; 16];
+                    debug_assert!(mr <= 16 && nb <= 16, "nr tile above supported max");
+                    for p in 0..kb {
+                        for i in 0..mr {
+                            let aval = a[(ic + ir + i, pc + p)];
+                            for j in 0..nb {
+                                acc[i][j] += aval * b[(pc + p, jc + j)];
+                            }
+                        }
+                    }
+                    for j in 0..nb {
+                        for i in 0..mr {
+                            c[(ic + ir + i, jc + j)] += acc[i][j];
+                        }
+                    }
+                    ir += mr;
+                }
+                jc += nb;
+            }
+            ic += mb;
+        }
+        pc += kb;
+    }
+}
+
+/// SYMM: `C += A B` (Side::Left) or `C += B A` (Side::Right) where `A` is
+/// symmetric and only the `tri` triangle of `A` is referenced.
+pub fn symm(side: Side, tri: Triangle, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.rows(), a.cols());
+    let sym = |i: usize, j: usize| -> f64 {
+        let (lo, hi) = if i >= j { (i, j) } else { (j, i) };
+        match tri {
+            Triangle::Lower => a[(lo, hi)],
+            Triangle::Upper => a[(hi, lo)],
+        }
+    };
+    match side {
+        Side::Left => {
+            let m = a.rows();
+            assert_eq!(b.rows(), m);
+            assert_eq!(c.rows(), m);
+            assert_eq!(c.cols(), b.cols());
+            for j in 0..b.cols() {
+                for i in 0..m {
+                    let mut s = 0.0;
+                    for p in 0..m {
+                        s += sym(i, p) * b[(p, j)];
+                    }
+                    c[(i, j)] += s;
+                }
+            }
+        }
+        Side::Right => {
+            let n = a.rows();
+            assert_eq!(b.cols(), n);
+            assert_eq!(c.cols(), n);
+            assert_eq!(c.rows(), b.rows());
+            for j in 0..n {
+                for i in 0..b.rows() {
+                    let mut s = 0.0;
+                    for p in 0..n {
+                        s += b[(i, p)] * sym(p, j);
+                    }
+                    c[(i, j)] += s;
+                }
+            }
+        }
+    }
+}
+
+/// SYRK: `C := C + A Aᵀ`, updating only the `tri` triangle of the symmetric
+/// result (§5.2). The untouched triangle of `C` is left as-is.
+pub fn syrk(tri: Triangle, a: &Matrix, c: &mut Matrix) {
+    let n = a.rows();
+    assert_eq!(c.rows(), n);
+    assert_eq!(c.cols(), n);
+    for j in 0..n {
+        let range: Box<dyn Iterator<Item = usize>> = match tri {
+            Triangle::Lower => Box::new(j..n),
+            Triangle::Upper => Box::new(0..=j),
+        };
+        for i in range {
+            let mut s = 0.0;
+            for p in 0..a.cols() {
+                s += a[(i, p)] * a[(j, p)];
+            }
+            c[(i, j)] += s;
+        }
+    }
+}
+
+/// SYR2K: `C := C + A Bᵀ + B Aᵀ`, updating only the `tri` triangle (§5.1).
+pub fn syr2k(tri: Triangle, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let n = a.rows();
+    assert_eq!(b.rows(), n);
+    assert_eq!(a.cols(), b.cols());
+    assert_eq!(c.rows(), n);
+    assert_eq!(c.cols(), n);
+    for j in 0..n {
+        let range: Box<dyn Iterator<Item = usize>> = match tri {
+            Triangle::Lower => Box::new(j..n),
+            Triangle::Upper => Box::new(0..=j),
+        };
+        for i in range {
+            let mut s = 0.0;
+            for p in 0..a.cols() {
+                s += a[(i, p)] * b[(j, p)] + b[(i, p)] * a[(j, p)];
+            }
+            c[(i, j)] += s;
+        }
+    }
+}
+
+/// TRMM: `B := L B` with `L` lower-triangular (Side::Left, Triangle::Lower),
+/// or the corresponding variants. Only `tri` of `t` is referenced.
+pub fn trmm(side: Side, tri: Triangle, t: &Matrix, b: &mut Matrix) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n);
+    let tv = |i: usize, j: usize| -> f64 {
+        match tri {
+            Triangle::Lower if i >= j => t[(i, j)],
+            Triangle::Upper if i <= j => t[(i, j)],
+            _ => 0.0,
+        }
+    };
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n);
+            for j in 0..b.cols() {
+                // Order so we never read an already-overwritten element.
+                let rows: Box<dyn Iterator<Item = usize>> = match tri {
+                    Triangle::Lower => Box::new((0..n).rev()),
+                    Triangle::Upper => Box::new(0..n),
+                };
+                for i in rows {
+                    let mut s = 0.0;
+                    for p in 0..n {
+                        s += tv(i, p) * b[(p, j)];
+                    }
+                    b[(i, j)] = s;
+                }
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n);
+            for i in 0..b.rows() {
+                let cols: Box<dyn Iterator<Item = usize>> = match tri {
+                    Triangle::Lower => Box::new(0..n),
+                    Triangle::Upper => Box::new((0..n).rev()),
+                };
+                for j in cols {
+                    let mut s = 0.0;
+                    for p in 0..n {
+                        s += b[(i, p)] * tv(p, j);
+                    }
+                    b[(i, j)] = s;
+                }
+            }
+        }
+    }
+}
+
+/// TRSM: solve `L X = B` (Side::Left, Triangle::Lower — the variant mapped in
+/// §5.3) or the other three variants, overwriting `B` with `X`.
+pub fn trsm(side: Side, tri: Triangle, t: &Matrix, b: &mut Matrix) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n);
+    match (side, tri) {
+        (Side::Left, Triangle::Lower) => {
+            assert_eq!(b.rows(), n);
+            for j in 0..b.cols() {
+                for i in 0..n {
+                    let mut s = b[(i, j)];
+                    for p in 0..i {
+                        s -= t[(i, p)] * b[(p, j)];
+                    }
+                    b[(i, j)] = s / t[(i, i)];
+                }
+            }
+        }
+        (Side::Left, Triangle::Upper) => {
+            assert_eq!(b.rows(), n);
+            for j in 0..b.cols() {
+                for i in (0..n).rev() {
+                    let mut s = b[(i, j)];
+                    for p in i + 1..n {
+                        s -= t[(i, p)] * b[(p, j)];
+                    }
+                    b[(i, j)] = s / t[(i, i)];
+                }
+            }
+        }
+        (Side::Right, Triangle::Lower) => {
+            assert_eq!(b.cols(), n);
+            for i in 0..b.rows() {
+                for j in (0..n).rev() {
+                    let mut s = b[(i, j)];
+                    for p in j + 1..n {
+                        s -= b[(i, p)] * t[(p, j)];
+                    }
+                    b[(i, j)] = s / t[(j, j)];
+                }
+            }
+        }
+        (Side::Right, Triangle::Upper) => {
+            assert_eq!(b.cols(), n);
+            for i in 0..b.rows() {
+                for j in 0..n {
+                    let mut s = b[(i, j)];
+                    for p in 0..j {
+                        s -= b[(i, p)] * t[(p, j)];
+                    }
+                    b[(i, j)] = s / t[(j, j)];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn gemm_identity_left() {
+        let mut r = rng();
+        let b = Matrix::random(4, 5, &mut r);
+        let mut c = Matrix::zeros(4, 5);
+        gemm(&Matrix::identity(4), &b, &mut c);
+        assert!(max_abs_diff(&c, &b) < 1e-15);
+    }
+
+    #[test]
+    fn gemm_naive_transposes() {
+        let mut r = rng();
+        let a = Matrix::random(3, 4, &mut r);
+        let b = Matrix::random(5, 4, &mut r);
+        // C = Aᵀ? No: C = A * Bᵀ is 3x5.
+        let mut c1 = Matrix::zeros(3, 5);
+        gemm_naive(1.0, &a, Transpose::No, &b, Transpose::Yes, 0.0, &mut c1);
+        let bt = b.transpose();
+        let mut c2 = Matrix::zeros(3, 5);
+        gemm(&a, &bt, &mut c2);
+        assert!(max_abs_diff(&c1, &c2) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let mut r = rng();
+        let a = Matrix::random(3, 3, &mut r);
+        let b = Matrix::random(3, 3, &mut r);
+        let c0 = Matrix::random(3, 3, &mut r);
+        let mut c = c0.clone();
+        gemm_naive(2.0, &a, Transpose::No, &b, Transpose::No, 3.0, &mut c);
+        let mut ab = Matrix::zeros(3, 3);
+        gemm(&a, &b, &mut ab);
+        for j in 0..3 {
+            for i in 0..3 {
+                let expect = 2.0 * ab[(i, j)] + 3.0 * c0[(i, j)];
+                assert!((c[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_various_shapes() {
+        let mut r = rng();
+        for &(m, k, n) in &[(1, 1, 1), (4, 4, 4), (5, 7, 3), (16, 16, 16), (33, 17, 29), (64, 1, 64)]
+        {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(k, n, &mut r);
+            let mut c1 = Matrix::random(m, n, &mut r);
+            let mut c2 = c1.clone();
+            gemm(&a, &b, &mut c1);
+            gemm_blocked(&a, &b, &mut c2, BlockSizes { mc: 8, kc: 8, nr: 4 });
+            assert!(max_abs_diff(&c1, &c2) < 1e-12, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn blocked_various_block_sizes() {
+        let mut r = rng();
+        let a = Matrix::random(20, 20, &mut r);
+        let b = Matrix::random(20, 20, &mut r);
+        let mut cref = Matrix::zeros(20, 20);
+        gemm(&a, &b, &mut cref);
+        for &(mc, kc, nr) in &[(4, 4, 4), (8, 16, 2), (20, 20, 8), (3, 5, 1), (64, 64, 16)] {
+            let mut c = Matrix::zeros(20, 20);
+            gemm_blocked(&a, &b, &mut c, BlockSizes { mc, kc, nr });
+            assert!(max_abs_diff(&c, &cref) < 1e-12, "blocks ({mc},{kc},{nr})");
+        }
+    }
+
+    #[test]
+    fn syrk_matches_gemm_with_transpose() {
+        let mut r = rng();
+        let a = Matrix::random(6, 4, &mut r);
+        let mut c = Matrix::zeros(6, 6);
+        syrk(Triangle::Lower, &a, &mut c);
+        let mut full = Matrix::zeros(6, 6);
+        gemm_naive(1.0, &a, Transpose::No, &a, Transpose::Yes, 0.0, &mut full);
+        assert!(max_abs_diff(&c.tril(), &full.tril()) < 1e-13);
+        // strictly upper part untouched
+        for j in 1..6 {
+            for i in 0..j {
+                assert_eq!(c[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_upper_variant() {
+        let mut r = rng();
+        let a = Matrix::random(5, 3, &mut r);
+        let mut c = Matrix::zeros(5, 5);
+        syrk(Triangle::Upper, &a, &mut c);
+        let mut full = Matrix::zeros(5, 5);
+        gemm_naive(1.0, &a, Transpose::No, &a, Transpose::Yes, 0.0, &mut full);
+        assert!(max_abs_diff(&c.triu(), &full.triu()) < 1e-13);
+    }
+
+    #[test]
+    fn syr2k_matches_definition() {
+        let mut r = rng();
+        let a = Matrix::random(5, 3, &mut r);
+        let b = Matrix::random(5, 3, &mut r);
+        let mut c = Matrix::zeros(5, 5);
+        syr2k(Triangle::Lower, &a, &b, &mut c);
+        let mut full = Matrix::zeros(5, 5);
+        gemm_naive(1.0, &a, Transpose::No, &b, Transpose::Yes, 1.0, &mut full);
+        gemm_naive(1.0, &b, Transpose::No, &a, Transpose::Yes, 1.0, &mut full);
+        assert!(max_abs_diff(&c.tril(), &full.tril()) < 1e-13);
+    }
+
+    #[test]
+    fn symm_left_matches_gemm_on_symmetrized() {
+        let mut r = rng();
+        let araw = Matrix::random(5, 5, &mut r);
+        let asym = araw.tril().symmetrize_from_lower();
+        let b = Matrix::random(5, 4, &mut r);
+        let mut c1 = Matrix::zeros(5, 4);
+        symm(Side::Left, Triangle::Lower, &araw, &b, &mut c1);
+        let mut c2 = Matrix::zeros(5, 4);
+        gemm(&asym, &b, &mut c2);
+        assert!(max_abs_diff(&c1, &c2) < 1e-13);
+    }
+
+    #[test]
+    fn symm_right_matches() {
+        let mut r = rng();
+        let araw = Matrix::random(4, 4, &mut r);
+        let asym = araw.tril().symmetrize_from_lower();
+        let b = Matrix::random(3, 4, &mut r);
+        let mut c1 = Matrix::zeros(3, 4);
+        symm(Side::Right, Triangle::Lower, &araw, &b, &mut c1);
+        let mut c2 = Matrix::zeros(3, 4);
+        gemm(&b, &asym, &mut c2);
+        assert!(max_abs_diff(&c1, &c2) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_left_lower_matches_gemm() {
+        let mut r = rng();
+        let l = Matrix::random_lower_triangular(5, &mut r);
+        let b0 = Matrix::random(5, 3, &mut r);
+        let mut b = b0.clone();
+        trmm(Side::Left, Triangle::Lower, &l, &mut b);
+        let mut expect = Matrix::zeros(5, 3);
+        gemm(&l, &b0, &mut expect);
+        assert!(max_abs_diff(&b, &expect) < 1e-13);
+    }
+
+    #[test]
+    fn trmm_right_upper_matches_gemm() {
+        let mut r = rng();
+        let u = Matrix::random_lower_triangular(4, &mut r).transpose();
+        let b0 = Matrix::random(3, 4, &mut r);
+        let mut b = b0.clone();
+        trmm(Side::Right, Triangle::Upper, &u, &mut b);
+        let mut expect = Matrix::zeros(3, 4);
+        gemm(&b0, &u, &mut expect);
+        assert!(max_abs_diff(&b, &expect) < 1e-13);
+    }
+
+    #[test]
+    fn trsm_all_variants_invert_trmm() {
+        let mut r = rng();
+        for &side in &[Side::Left, Side::Right] {
+            for &tri in &[Triangle::Lower, Triangle::Upper] {
+                let t = match tri {
+                    Triangle::Lower => Matrix::random_lower_triangular(5, &mut r),
+                    Triangle::Upper => Matrix::random_lower_triangular(5, &mut r).transpose(),
+                };
+                let x0 = match side {
+                    Side::Left => Matrix::random(5, 3, &mut r),
+                    Side::Right => Matrix::random(3, 5, &mut r),
+                };
+                let mut b = x0.clone();
+                trmm(side, tri, &t, &mut b); // B = op(T, X)
+                trsm(side, tri, &t, &mut b); // recover X
+                assert!(max_abs_diff(&b, &x0) < 1e-9, "side {side:?} tri {tri:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_lower_explicit() {
+        // L = [2 0; 1 4], B = L * [1; 1] = [2; 5]
+        let l = Matrix::from_rows(2, 2, &[2.0, 0.0, 1.0, 4.0]);
+        let mut b = Matrix::from_rows(2, 1, &[2.0, 5.0]);
+        trsm(Side::Left, Triangle::Lower, &l, &mut b);
+        assert!((b[(0, 0)] - 1.0).abs() < 1e-15);
+        assert!((b[(1, 0)] - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,118 @@
+//! Minimal complex arithmetic for the FFT substrate (no external deps).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in rectangular form.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiply by `-i` (quarter-turn clockwise) — free in radix-4 FFTs.
+    pub fn mul_neg_i(self) -> Self {
+        Self { re: self.im, im: -self.re }
+    }
+
+    /// Multiply by `i`.
+    pub fn mul_i(self) -> Self {
+        Self { re: -self.im, im: self.re }
+    }
+
+    /// Scale by a real.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Max elementwise |difference| between two complex slices.
+pub fn max_cdiff(a: &[Complex], b: &[Complex]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_matches_expansion() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let c = a * b;
+        assert_eq!(c, Complex::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let c = Complex::cis(std::f64::consts::FRAC_PI_2);
+        assert!((c.re).abs() < 1e-15);
+        assert!((c.im - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_neg_i_is_rotation() {
+        let a = Complex::new(1.0, 2.0);
+        let expect = a * Complex::new(0.0, -1.0);
+        assert_eq!(a.mul_neg_i(), expect);
+        assert_eq!(a.mul_i(), a * Complex::new(0.0, 1.0));
+    }
+}

@@ -1,0 +1,248 @@
+//! FFT substrate (Chapter 6.2 / Appendix B).
+//!
+//! Provides the naive DFT oracle, an iterative radix-2 FFT, a DIT radix-4
+//! FFT (the butterfly structure the LAC's PEs execute), and a 2D FFT built
+//! from row/column passes — the decomposition the dissertation uses to run
+//! `N×N` 2D and `N²` 1D transforms through the 64-point core kernel.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// O(n²) reference DFT: `X[k] = Σ_j x[j] e^{-2πi jk / n}`.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, v) in x.iter().enumerate() {
+            let ang = -2.0 * PI * (j as f64) * (k as f64) / (n as f64);
+            acc += *v * Complex::cis(ang);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// In-place iterative radix-2 DIT FFT. `x.len()` must be a power of two.
+pub fn fft_radix2(x: &mut [Complex]) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    if n <= 1 {
+        return;
+    }
+    // bit-reversal permutation
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = x[start + k];
+                let v = x[start + k + len / 2] * w;
+                x[start + k] = u + v;
+                x[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse radix-2 FFT (normalized by `1/n`).
+pub fn ifft_radix2(x: &mut [Complex]) {
+    for v in x.iter_mut() {
+        *v = v.conj();
+    }
+    fft_radix2(x);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.conj().scale(1.0 / n);
+    }
+}
+
+/// One radix-4 DIT butterfly on four inputs already multiplied by their
+/// twiddles: returns `(a + b + c + d, a - ib - c + id, a - b + c - d,
+/// a + ib - c - id)` — the DAG of Figure B.1.
+#[inline]
+pub fn radix4_butterfly(a: Complex, b: Complex, c: Complex, d: Complex) -> [Complex; 4] {
+    let t0 = a + c;
+    let t1 = a - c;
+    let t2 = b + d;
+    let t3 = (b - d).mul_neg_i(); // -i (b - d)
+    [t0 + t2, t1 + t3, t0 - t2, t1 - t3]
+}
+
+fn digit_reverse_base4(i: usize, digits: u32) -> usize {
+    let mut v = i;
+    let mut r = 0;
+    for _ in 0..digits {
+        r = (r << 2) | (v & 3);
+        v >>= 2;
+    }
+    r
+}
+
+/// In-place radix-4 DIT FFT. Length must be a power of 4.
+pub fn fft_radix4(x: &mut [Complex]) {
+    let n = x.len();
+    assert!(n.is_power_of_two() && n.trailing_zeros() % 2 == 0, "radix-4 FFT needs 4^k length");
+    let digits = n.trailing_zeros() / 2;
+    // base-4 digit-reversal permutation
+    for i in 0..n {
+        let j = digit_reverse_base4(i, digits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    let mut len = 4;
+    while len <= n {
+        let quarter = len / 4;
+        for start in (0..n).step_by(len) {
+            for k in 0..quarter {
+                let w1 = Complex::cis(-2.0 * PI * k as f64 / len as f64);
+                let w2 = Complex::cis(-2.0 * PI * (2 * k) as f64 / len as f64);
+                let w3 = Complex::cis(-2.0 * PI * (3 * k) as f64 / len as f64);
+                let a = x[start + k];
+                let b = x[start + k + quarter] * w1;
+                let c = x[start + k + 2 * quarter] * w2;
+                let d = x[start + k + 3 * quarter] * w3;
+                let y = radix4_butterfly(a, b, c, d);
+                x[start + k] = y[0];
+                x[start + k + quarter] = y[1];
+                x[start + k + 2 * quarter] = y[2];
+                x[start + k + 3 * quarter] = y[3];
+            }
+        }
+        len <<= 2;
+    }
+}
+
+/// 2D FFT of an `rows × cols` row-major grid: FFT every row, then every
+/// column (the scheme of Figure B.4 right).
+pub fn fft2d(data: &mut [Complex], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols);
+    // rows
+    for r in 0..rows {
+        fft_radix2(&mut data[r * cols..(r + 1) * cols]);
+    }
+    // columns (gather/scatter through a scratch vector)
+    let mut col = vec![Complex::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            col[r] = data[r * cols + c];
+        }
+        fft_radix2(&mut col);
+        for r in 0..rows {
+            data[r * cols + c] = col[r];
+        }
+    }
+}
+
+/// Number of real FMA-equivalent floating point operations the dissertation
+/// counts for an n-point complex FFT: `5 n log2 n` real ops.
+pub fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_cdiff;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn radix2_matches_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let x = random_signal(n, n as u64);
+            let mut y = x.clone();
+            fft_radix2(&mut y);
+            let z = dft_naive(&x);
+            assert!(max_cdiff(&y, &z) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix4_matches_dft() {
+        for n in [4usize, 16, 64, 256] {
+            let x = random_signal(n, 100 + n as u64);
+            let mut y = x.clone();
+            fft_radix4(&mut y);
+            let z = dft_naive(&x);
+            assert!(max_cdiff(&y, &z) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix4_matches_radix2() {
+        let x = random_signal(1024, 9);
+        let mut a = x.clone();
+        let mut b = x;
+        fft_radix2(&mut a);
+        fft_radix4(&mut b);
+        assert!(max_cdiff(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn ifft_roundtrip() {
+        let x = random_signal(256, 17);
+        let mut y = x.clone();
+        fft_radix2(&mut y);
+        ifft_radix2(&mut y);
+        assert!(max_cdiff(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn butterfly_is_4point_dft() {
+        let x = random_signal(4, 23);
+        let y = radix4_butterfly(x[0], x[1], x[2], x[3]);
+        let z = dft_naive(&x);
+        assert!(max_cdiff(&y, &z) < 1e-12);
+    }
+
+    #[test]
+    fn fft2d_matches_naive_2d() {
+        let rows = 8;
+        let cols = 16;
+        let x = random_signal(rows * cols, 31);
+        let mut y = x.clone();
+        fft2d(&mut y, rows, cols);
+        // naive 2D: DFT rows then DFT cols
+        let mut z = x;
+        for r in 0..rows {
+            let row = dft_naive(&z[r * cols..(r + 1) * cols]);
+            z[r * cols..(r + 1) * cols].copy_from_slice(&row);
+        }
+        for c in 0..cols {
+            let col: Vec<Complex> = (0..rows).map(|r| z[r * cols + c]).collect();
+            let colf = dft_naive(&col);
+            for r in 0..rows {
+                z[r * cols + c] = colf[r];
+            }
+        }
+        assert!(max_cdiff(&y, &z) < 1e-8);
+    }
+
+    #[test]
+    fn impulse_transforms_to_ones() {
+        let mut x = vec![Complex::ZERO; 64];
+        x[0] = Complex::ONE;
+        fft_radix4(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+}

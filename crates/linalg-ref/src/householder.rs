@@ -1,0 +1,148 @@
+//! Householder transformations (§6.1.3, Table 6.1).
+//!
+//! Both formulations from Table 6.1 are implemented: the *simple* one (norm
+//! of the full vector, then scale) and the *efficient* one that reuses the
+//! norm of the tail to compute `τ` without a second pass — the version the
+//! LAC's extended MAC makes cheap.
+
+use crate::blas1::nrm2;
+
+/// A Householder reflector `H = I - u uᵀ / τ` with `u = [1; u2]`, stored as
+/// the tail `u2`, the scalar `τ`, and the produced diagonal value `ρ`.
+#[derive(Clone, Debug)]
+pub struct HouseholderReflector {
+    /// Tail of the reflector vector (first element is an implicit 1).
+    pub u2: Vec<f64>,
+    /// Scaling factor `τ = uᵀu / 2`.
+    pub tau: f64,
+    /// The value the reflected vector's head becomes: `ρ = -sign(α₁)‖x‖₂`.
+    pub rho: f64,
+}
+
+impl HouseholderReflector {
+    /// Apply `H` to a vector `x = [χ₁; x₂]` in place.
+    pub fn apply(&self, x1: &mut f64, x2: &mut [f64]) {
+        assert_eq!(x2.len(), self.u2.len());
+        // w = (χ₁ + u2ᵀ x₂) / τ
+        let mut w = *x1;
+        for (u, x) in self.u2.iter().zip(x2.iter()) {
+            w += u * x;
+        }
+        w /= self.tau;
+        *x1 -= w;
+        for (u, x) in self.u2.iter().zip(x2.iter_mut()) {
+            *x -= w * u;
+        }
+    }
+}
+
+fn sign(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Compute the Householder reflector zeroing `a21` when applied to
+/// `[alpha1; a21]` — the *efficient* computation of Table 6.1 (right column).
+///
+/// Returns the reflector and overwrites nothing; degenerate inputs
+/// (`a21 = 0`) yield `τ = 1/2, u2 = 0` so `H = I - 2·e₁e₁ᵀ/1`… in that case we
+/// use the LAPACK convention `H = I` when the vector is already collapsed.
+pub fn house(alpha1: f64, a21: &[f64]) -> HouseholderReflector {
+    let chi2 = nrm2(a21); // ‖a21‖₂
+    if chi2 == 0.0 {
+        // Nothing to annihilate: identity reflector (τ = ∞ ⇒ w = 0); encode
+        // with a large τ-free path: u2 = 0, τ = f64::INFINITY semantics via 2.
+        return HouseholderReflector { u2: vec![0.0; a21.len()], tau: f64::INFINITY, rho: alpha1 };
+    }
+    let alpha = nrm2(&[alpha1, chi2]); // ‖x‖₂
+    let rho = -sign(alpha1) * alpha;
+    let nu1 = alpha1 - rho;
+    let u2: Vec<f64> = a21.iter().map(|v| v / nu1).collect();
+    let chi2_scaled = chi2 / nu1.abs(); // = ‖u2‖₂
+    let tau = (1.0 + chi2_scaled * chi2_scaled) / 2.0;
+    HouseholderReflector { u2, tau, rho }
+}
+
+/// The *simple* formulation of Table 6.1 (left column) — two norms and a
+/// direct `τ = uᵀu/2`. Used in tests to show both columns agree.
+pub fn house_simple(alpha1: f64, a21: &[f64]) -> HouseholderReflector {
+    let mut x = Vec::with_capacity(a21.len() + 1);
+    x.push(alpha1);
+    x.extend_from_slice(a21);
+    let norm_x = nrm2(&x);
+    if norm_x == 0.0 || nrm2(a21) == 0.0 {
+        return HouseholderReflector { u2: vec![0.0; a21.len()], tau: f64::INFINITY, rho: alpha1 };
+    }
+    let rho = -sign(alpha1) * norm_x;
+    let nu1 = alpha1 + sign(alpha1) * norm_x;
+    let u2: Vec<f64> = a21.iter().map(|v| v / nu1).collect();
+    let utu = 1.0 + u2.iter().map(|v| v * v).sum::<f64>();
+    HouseholderReflector { u2, tau: utu / 2.0, rho }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflector_annihilates_tail() {
+        let mut x1 = 3.0;
+        let mut x2 = vec![4.0, 0.0, 0.0];
+        let h = house(x1, &x2);
+        h.apply(&mut x1, &mut x2);
+        assert!((x1.abs() - 5.0).abs() < 1e-12, "head becomes ±‖x‖");
+        for v in &x2 {
+            assert!(v.abs() < 1e-12);
+        }
+        assert!((x1 - h.rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_and_efficient_agree() {
+        let cases: &[(f64, Vec<f64>)] = &[
+            (3.0, vec![4.0]),
+            (-2.0, vec![1.0, 2.0, 2.0]),
+            (0.5, vec![-0.1, 0.7, 0.3, -0.9]),
+        ];
+        for (a1, a21) in cases {
+            let h1 = house(*a1, a21);
+            let h2 = house_simple(*a1, a21);
+            assert!((h1.rho - h2.rho).abs() < 1e-12);
+            assert!((h1.tau - h2.tau).abs() < 1e-12);
+            for (u, v) in h1.u2.iter().zip(&h2.u2) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_preserved_on_other_vectors() {
+        let h = house(1.0, &[2.0, -1.0, 0.5]);
+        let mut y1 = 0.3;
+        let mut y2 = vec![0.1, -0.7, 2.0];
+        let before = nrm2(&[y1, y2[0], y2[1], y2[2]]);
+        h.apply(&mut y1, &mut y2);
+        let after = nrm2(&[y1, y2[0], y2[1], y2[2]]);
+        assert!((before - after).abs() < 1e-12, "reflections are isometries");
+    }
+
+    #[test]
+    fn degenerate_zero_tail_is_identity() {
+        let h = house(5.0, &[0.0, 0.0]);
+        let mut x1 = 5.0;
+        let mut x2 = vec![0.0, 0.0];
+        h.apply(&mut x1, &mut x2);
+        assert_eq!(x1, 5.0);
+    }
+
+    #[test]
+    fn extreme_magnitudes_do_not_overflow() {
+        // The scaled norm path must survive entries near the overflow limit.
+        let h = house(1e200, &[1e200]);
+        assert!(h.rho.is_finite());
+        assert!(h.tau.is_finite());
+    }
+}

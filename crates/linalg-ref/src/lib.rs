@@ -1,0 +1,72 @@
+//! Reference dense linear algebra substrate.
+//!
+//! This crate provides straightforward, obviously-correct implementations of
+//! the operations the Linear Algebra Core (LAC) accelerates: level-1/2/3 BLAS,
+//! the matrix factorizations of Chapter 6 (Cholesky, LU with partial
+//! pivoting, Householder QR), and radix-2/4 FFTs.  It plays two roles:
+//!
+//! 1. **Oracle** — every microprogram executed on the cycle-accurate
+//!    simulator in `lac-sim` is functionally verified against these routines.
+//! 2. **Baseline** — the "general-purpose processor" comparator in the
+//!    benchmark harness: a blocked, cache-aware GEMM in the style the
+//!    dissertation attributes to Goto/van de Geijn \[52\].
+//!
+//! Matrices are column-major (FLAME/BLAS convention). Scalars are `f64`
+//! throughout; the simulator's single-precision mode rounds through `f32`.
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod chol;
+pub mod complex;
+pub mod fft;
+pub mod householder;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+
+pub use blas1::{asum, axpy, dot, iamax, nrm2, nrm2_naive, nrm2_one_pass, scal};
+pub use blas2::{gemv, ger, trsv};
+pub use blas3::{
+    gemm, gemm_blocked, gemm_naive, symm, syr2k, syrk, trmm, trsm, BlockSizes, Side, Transpose,
+    Triangle,
+};
+pub use chol::{cholesky, cholesky_blocked};
+pub use complex::Complex;
+pub use fft::{dft_naive, fft2d, fft_radix2, fft_radix4, ifft_radix2};
+pub use householder::{house, HouseholderReflector};
+pub use lu::{lu_nopivot, lu_partial_pivot, LuFactors};
+pub use matrix::Matrix;
+pub use qr::{qr_householder, QrFactors};
+
+/// Maximum absolute elementwise difference between two equally-sized matrices.
+///
+/// Used pervasively by tests to compare simulator output against reference
+/// results.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let mut m = 0.0f64;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            m = m.max((a[(i, j)] - b[(i, j)]).abs());
+        }
+    }
+    m
+}
+
+/// Relative Frobenius-norm error `||a - b||_F / max(1, ||b||_F)`.
+pub fn rel_fro_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            let d = a[(i, j)] - b[(i, j)];
+            num += d * d;
+            den += b[(i, j)] * b[(i, j)];
+        }
+    }
+    num.sqrt() / den.sqrt().max(1.0)
+}

@@ -1,0 +1,221 @@
+//! LU factorization (§6.1.2): no-pivot and partial-pivoting variants.
+
+use crate::blas1::iamax;
+use crate::matrix::Matrix;
+
+/// Result of an LU factorization: `P A = L U`, packed in-place — `factors`
+/// holds `U` in the upper triangle and the strictly-lower multipliers of `L`
+/// (unit diagonal implied); `pivots[k]` is the row swapped with row `k` at
+/// step `k`.
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    pub factors: Matrix,
+    pub pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Expand the packed factors into explicit `L` (unit lower-triangular,
+    /// `m × min(m,n)`) and `U` (`min(m,n) × n`).
+    pub fn unpack(&self) -> (Matrix, Matrix) {
+        let m = self.factors.rows();
+        let n = self.factors.cols();
+        let k = m.min(n);
+        let mut l = Matrix::zeros(m, k);
+        let mut u = Matrix::zeros(k, n);
+        for j in 0..k {
+            l[(j, j)] = 1.0;
+            for i in j + 1..m {
+                l[(i, j)] = self.factors[(i, j)];
+            }
+        }
+        for j in 0..n {
+            for i in 0..=j.min(k - 1) {
+                u[(i, j)] = self.factors[(i, j)];
+            }
+        }
+        (l, u)
+    }
+
+    /// Apply the recorded row interchanges to a fresh copy of `a`
+    /// (computes `P a`).
+    pub fn apply_pivots(&self, a: &Matrix) -> Matrix {
+        let mut p = a.clone();
+        for (k, &piv) in self.pivots.iter().enumerate() {
+            p.swap_rows(k, piv);
+        }
+        p
+    }
+
+    /// Solve `A x = b` using the packed factors (forward + backward
+    /// substitution after pivoting `b`). Requires a square factorization.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.factors.rows();
+        assert_eq!(self.factors.cols(), n, "solve requires square A");
+        assert_eq!(b.len(), n);
+        let mut x = b.to_vec();
+        for (k, &piv) in self.pivots.iter().enumerate() {
+            x.swap(k, piv);
+        }
+        // Ly = Pb (unit lower)
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Ux = y
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = s / self.factors[(i, i)];
+        }
+        x
+    }
+}
+
+/// LU without pivoting (fails on zero pivots; numerically fragile — included
+/// as the baseline the dissertation argues against).
+pub fn lu_nopivot(a: &Matrix) -> Result<LuFactors, String> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut f = a.clone();
+    let kmax = m.min(n);
+    for k in 0..kmax {
+        let piv = f[(k, k)];
+        if piv == 0.0 {
+            return Err(format!("zero pivot at step {k}"));
+        }
+        for i in k + 1..m {
+            f[(i, k)] /= piv;
+        }
+        for j in k + 1..n {
+            let ukj = f[(k, j)];
+            for i in k + 1..m {
+                let v = f[(i, k)] * ukj;
+                f[(i, j)] -= v;
+            }
+        }
+    }
+    Ok(LuFactors { factors: f, pivots: (0..kmax).collect() })
+}
+
+/// Right-looking LU with partial pivoting — the algorithm of Figure 6.2:
+/// per column, (S1) search the pivot, (S2) reciprocal + row swap,
+/// (S3) scale the column, (S4) rank-1 update of the trailing matrix.
+pub fn lu_partial_pivot(a: &Matrix) -> Result<LuFactors, String> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut f = a.clone();
+    let kmax = m.min(n);
+    let mut pivots = Vec::with_capacity(kmax);
+    for k in 0..kmax {
+        // S1: pivot search in column k, rows k..m
+        let col: Vec<f64> = (k..m).map(|i| f[(i, k)]).collect();
+        let piv_row = k + iamax(&col);
+        let piv = f[(piv_row, k)];
+        if piv == 0.0 {
+            return Err(format!("singular: zero pivot column {k}"));
+        }
+        pivots.push(piv_row);
+        // S2: interchange rows (full rows, so L multipliers swap too)
+        f.swap_rows(k, piv_row);
+        // S3: scale by the reciprocal of the pivot
+        let recip = 1.0 / f[(k, k)];
+        for i in k + 1..m {
+            f[(i, k)] *= recip;
+        }
+        // S4: rank-1 update of the trailing submatrix
+        for j in k + 1..n {
+            let ukj = f[(k, j)];
+            for i in k + 1..m {
+                let v = f[(i, k)] * ukj;
+                f[(i, j)] -= v;
+            }
+        }
+    }
+    Ok(LuFactors { factors: f, pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm;
+    use crate::max_abs_diff;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pa_equals_lu_square() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1, 2, 5, 16, 33] {
+            let a = Matrix::random(n, n, &mut rng);
+            let lu = lu_partial_pivot(&a).unwrap();
+            let (l, u) = lu.unpack();
+            let pa = lu.apply_pivots(&a);
+            let mut prod = Matrix::zeros(n, n);
+            gemm(&l, &u, &mut prod);
+            assert!(max_abs_diff(&pa, &prod) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tall_panel_factorization() {
+        // The LAC inner kernel factors k·nr × nr panels (Figure 6.2).
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Matrix::random(32, 4, &mut rng);
+        let lu = lu_partial_pivot(&a).unwrap();
+        let (l, u) = lu.unpack();
+        let pa = lu.apply_pivots(&a);
+        let mut prod = Matrix::zeros(32, 4);
+        gemm(&l, &u, &mut prod);
+        assert!(max_abs_diff(&pa, &prod) < 1e-12);
+    }
+
+    #[test]
+    fn multipliers_bounded_by_one() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::random(20, 20, &mut rng);
+        let lu = lu_partial_pivot(&a).unwrap();
+        let (l, _) = lu.unpack();
+        for j in 0..20 {
+            for i in j + 1..20 {
+                assert!(l[(i, j)].abs() <= 1.0 + 1e-14, "partial pivoting bounds |l_ij| by 1");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = Matrix::random(12, 12, &mut rng);
+        let x_true: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+        let mut b = vec![0.0; 12];
+        crate::blas2::gemv(1.0, &a, false, &x_true, 0.0, &mut b);
+        let lu = lu_partial_pivot(&a).unwrap();
+        let x = lu.solve(&b);
+        for (xa, xe) in x.iter().zip(&x_true) {
+            assert!((xa - xe).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn nopivot_fails_on_zero_pivot() {
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert!(lu_nopivot(&a).is_err());
+        assert!(lu_partial_pivot(&a).is_ok());
+    }
+
+    #[test]
+    fn nopivot_matches_pivot_when_diagonally_dominant() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut a = Matrix::random(8, 8, &mut rng);
+        for i in 0..8 {
+            a[(i, i)] += 10.0; // force no row swaps
+        }
+        let lu1 = lu_nopivot(&a).unwrap();
+        let lu2 = lu_partial_pivot(&a).unwrap();
+        assert!(max_abs_diff(&lu1.factors, &lu2.factors) < 1e-12);
+        assert!(lu2.pivots.iter().enumerate().all(|(k, &p)| p == k));
+    }
+}

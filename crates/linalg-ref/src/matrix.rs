@@ -1,0 +1,293 @@
+//! Column-major dense matrix.
+
+use rand::Rng;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, column-major, heap-allocated `f64` matrix.
+///
+/// Column-major storage matches the FLAME/LAPACK convention used throughout
+/// the dissertation: element `(i, j)` lives at `data[i + j * rows]`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from a row-major slice (convenient for literal test fixtures).
+    pub fn from_rows(rows: usize, cols: usize, vals: &[f64]) -> Self {
+        assert_eq!(vals.len(), rows * cols, "literal length mismatch");
+        Self::from_fn(rows, cols, |i, j| vals[i * cols + j])
+    }
+
+    /// Uniform random entries in `[-1, 1)`.
+    pub fn random(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// A random symmetric positive-definite matrix (`A Aᵀ + n·I`).
+    pub fn random_spd(n: usize, rng: &mut impl Rng) -> Self {
+        let a = Self::random(n, n, rng);
+        let mut c = Self::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[(i, k)] * a[(j, k)];
+                }
+                c[(i, j)] = s;
+            }
+            c[(j, j)] += n as f64;
+        }
+        c
+    }
+
+    /// A random lower-triangular matrix with diagonal entries bounded away
+    /// from zero (|λᵢᵢ| ≥ 1), suitable as a well-conditioned TRSM operand.
+    pub fn random_lower_triangular(n: usize, rng: &mut impl Rng) -> Self {
+        let mut l = Self::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = rng.gen_range(-1.0..1.0);
+            }
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            l[(j, j)] = sign * rng.gen_range(1.0..2.0);
+        }
+        l
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Underlying column-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying column-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// A column as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy of row `i`.
+    pub fn row_vec(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Copy the `rows × cols` block whose top-left corner is `(r0, c0)`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        Matrix::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Overwrite the block at `(r0, c0)` with `b`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, b: &Matrix) {
+        assert!(r0 + b.rows <= self.rows && c0 + b.cols <= self.cols, "block out of range");
+        for j in 0..b.cols {
+            for i in 0..b.rows {
+                self[(r0 + i, c0 + j)] = b[(i, j)];
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Zero out the strictly upper triangle (keep lower + diagonal).
+    pub fn tril(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if i >= j { self[(i, j)] } else { 0.0 })
+    }
+
+    /// Zero out the strictly lower triangle (keep upper + diagonal).
+    pub fn triu(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if i <= j { self[(i, j)] } else { 0.0 })
+    }
+
+    /// Symmetrize from the lower triangle: `out(i,j) = out(j,i) = self(max,min)`.
+    pub fn symmetrize_from_lower(&self) -> Matrix {
+        assert_eq!(self.rows, self.cols);
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if i >= j {
+                self[(i, j)]
+            } else {
+                self[(j, i)]
+            }
+        })
+    }
+
+    /// Swap rows `i` and `k` in place (used by partial pivoting).
+    pub fn swap_rows(&mut self, i: usize, k: usize) {
+        if i == k {
+            return;
+        }
+        for j in 0..self.cols {
+            let a = self[(i, j)];
+            self[(i, j)] = self[(k, j)];
+            self[(k, j)] = a;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_diagonal() {
+        let i = Matrix::identity(5);
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn column_major_storage() {
+        let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::random(4, 7, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn block_and_set_block() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Matrix::random(6, 6, &mut rng);
+        let b = m.block(2, 3, 3, 2);
+        assert_eq!(b[(0, 0)], m[(2, 3)]);
+        assert_eq!(b[(2, 1)], m[(4, 4)]);
+        let mut n = Matrix::zeros(6, 6);
+        n.set_block(2, 3, &b);
+        assert_eq!(n[(4, 4)], m[(4, 4)]);
+        assert_eq!(n[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn spd_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random_spd(8, &mut rng);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_rows_swaps() {
+        let mut m = Matrix::from_rows(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row_vec(0), vec![5., 6.]);
+        assert_eq!(m.row_vec(2), vec![1., 2.]);
+    }
+
+    #[test]
+    fn tril_triu_partition() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Matrix::random(5, 5, &mut rng);
+        let l = m.tril();
+        let u = m.triu();
+        for i in 0..5 {
+            for j in 0..5 {
+                let sum = l[(i, j)] + u[(i, j)];
+                let expect = if i == j { 2.0 * m[(i, j)] } else { m[(i, j)] };
+                assert!((sum - expect).abs() < 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Householder QR factorization (§6.1.3).
+
+use crate::householder::{house, HouseholderReflector};
+use crate::matrix::Matrix;
+
+/// Result of a Householder QR factorization of an `m × n` matrix (`m ≥ n`).
+#[derive(Clone, Debug)]
+pub struct QrFactors {
+    /// Upper-triangular `R` (`n × n`).
+    pub r: Matrix,
+    /// The reflectors, one per column.
+    pub reflectors: Vec<HouseholderReflector>,
+    m: usize,
+}
+
+impl QrFactors {
+    /// Reconstruct the thin `Q` (`m × n`) explicitly by applying the
+    /// reflectors to the identity columns in reverse order.
+    pub fn q_thin(&self) -> Matrix {
+        let m = self.m;
+        let n = self.r.cols();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            // start from e_j, apply H_{n-1} ... H_0
+            let mut v = vec![0.0; m];
+            v[j] = 1.0;
+            for (k, h) in self.reflectors.iter().enumerate().rev() {
+                let (head, tail) = v[k..].split_at_mut(1);
+                h.apply(&mut head[0], tail);
+            }
+            for i in 0..m {
+                q[(i, j)] = v[i];
+            }
+        }
+        q
+    }
+
+    /// Apply `Qᵀ` to a vector (useful for least squares: solve `R x = Qᵀ b`).
+    pub fn qt_apply(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.m);
+        let mut v = b.to_vec();
+        for (k, h) in self.reflectors.iter().enumerate() {
+            let (head, tail) = v[k..].split_at_mut(1);
+            h.apply(&mut head[0], tail);
+        }
+        v
+    }
+
+    /// Solve the least-squares problem `min ‖A x - b‖₂` via `R x = (Qᵀb)₁..n`.
+    pub fn solve_ls(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.r.cols();
+        let qtb = self.qt_apply(b);
+        let mut x = qtb[..n].to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.r[(i, j)] * x[j];
+            }
+            x[i] = s / self.r[(i, i)];
+        }
+        x
+    }
+}
+
+/// Unblocked Householder QR: for each column, compute the Householder vector
+/// (Table 6.1's efficient form) and update the trailing matrix
+/// `A22 := A22 - u (wᵀ)` as in §6.1.3.
+pub fn qr_householder(a: &Matrix) -> QrFactors {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "QR here requires m >= n");
+    let mut work = a.clone();
+    let mut reflectors = Vec::with_capacity(n);
+    for k in 0..n {
+        let alpha1 = work[(k, k)];
+        let a21: Vec<f64> = (k + 1..m).map(|i| work[(i, k)]).collect();
+        let h = house(alpha1, &a21);
+        work[(k, k)] = h.rho;
+        for i in k + 1..m {
+            work[(i, k)] = 0.0;
+        }
+        // Apply H to the trailing columns.
+        for j in k + 1..n {
+            let mut head = work[(k, j)];
+            let mut tail: Vec<f64> = (k + 1..m).map(|i| work[(i, j)]).collect();
+            h.apply(&mut head, &mut tail);
+            work[(k, j)] = head;
+            for (off, v) in tail.iter().enumerate() {
+                work[(k + 1 + off, j)] = *v;
+            }
+        }
+        reflectors.push(h);
+    }
+    let r = work.block(0, 0, n, n).triu();
+    QrFactors { r, reflectors, m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::gemm;
+    use crate::max_abs_diff;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn a_equals_qr() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(m, n) in &[(4, 4), (8, 4), (16, 12), (33, 7)] {
+            let a = Matrix::random(m, n, &mut rng);
+            let qr = qr_householder(&a);
+            let q = qr.q_thin();
+            let mut prod = Matrix::zeros(m, n);
+            gemm(&q, &qr.r, &mut prod);
+            assert!(max_abs_diff(&a, &prod) < 1e-10, "({m},{n})");
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = Matrix::random(10, 6, &mut rng);
+        let qr = qr_householder(&a);
+        let q = qr.q_thin();
+        for j1 in 0..6 {
+            for j2 in 0..6 {
+                let dot: f64 = (0..10).map(|i| q[(i, j1)] * q[(i, j2)]).sum();
+                let expect = if j1 == j2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_negative_sign_convention() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let a = Matrix::random(6, 6, &mut rng);
+        let qr = qr_householder(&a);
+        for j in 0..6 {
+            for i in j + 1..6 {
+                assert_eq!(qr.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let a = Matrix::random(12, 5, &mut rng);
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64 + 0.5).collect();
+        let mut b = vec![0.0; 12];
+        crate::blas2::gemv(1.0, &a, false, &x_true, 0.0, &mut b);
+        let qr = qr_householder(&a);
+        let x = qr.solve_ls(&b);
+        for (xa, xe) in x.iter().zip(&x_true) {
+            assert!((xa - xe).abs() < 1e-9);
+        }
+    }
+}

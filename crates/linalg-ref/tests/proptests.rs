@@ -1,0 +1,118 @@
+//! Property-based tests on the reference substrate's algebraic invariants.
+
+use linalg_ref::{
+    cholesky, dft_naive, fft_radix2, ifft_radix2, lu_partial_pivot, max_abs_diff,
+    qr_householder, Complex, Matrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_reconstructs(n in 1usize..=16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_spd(n, &mut rng);
+        let l = cholesky(&a).unwrap();
+        // L·Lᵀ == A (lower triangle)
+        let mut rec = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for p in 0..=j {
+                    s += l[(i, p)] * l[(j, p)];
+                }
+                rec[(i, j)] = s;
+            }
+        }
+        prop_assert!(max_abs_diff(&rec.tril(), &a.tril()) < 1e-8 * (n as f64 + 1.0));
+    }
+
+    #[test]
+    fn cholesky_diagonal_positive(n in 1usize..=16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_spd(n, &mut rng);
+        let l = cholesky(&a).unwrap();
+        for i in 0..n {
+            prop_assert!(l[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn lu_permutation_reconstructs(n in 1usize..=16, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let lu = lu_partial_pivot(&a).unwrap();
+        let (l, u) = lu.unpack();
+        let pa = lu.apply_pivots(&a);
+        let mut prod = Matrix::zeros(n, n);
+        linalg_ref::gemm(&l, &u, &mut prod);
+        prop_assert!(max_abs_diff(&pa, &prod) < 1e-9 * (n as f64 + 1.0));
+    }
+
+    #[test]
+    fn qr_preserves_column_norms_product(m in 2usize..=16, seed in any::<u64>()) {
+        let n = (m / 2).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, n, &mut rng);
+        let qr = qr_householder(&a);
+        // |det(R)| equals the volume of A's columns: check via Frobenius
+        // norm preservation instead (Q orthogonal ⇒ ‖A‖F = ‖R‖F).
+        prop_assert!((a.fro_norm() - qr.r.fro_norm()).abs() < 1e-8 * a.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn fft_linearity(seed in any::<u64>(), alpha in -3.0f64..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                                  rand::Rng::gen_range(&mut rng, -1.0..1.0)))
+            .collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|_| Complex::new(rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                                  rand::Rng::gen_range(&mut rng, -1.0..1.0)))
+            .collect();
+        // FFT(αx + y) = α FFT(x) + FFT(y)
+        let mut lhs: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| a.scale(alpha) + *b).collect();
+        fft_radix2(&mut lhs);
+        let mut fx = x;
+        let mut fy = y;
+        fft_radix2(&mut fx);
+        fft_radix2(&mut fy);
+        for ((l, a), b) in lhs.iter().zip(&fx).zip(&fy) {
+            let expect = a.scale(alpha) + *b;
+            prop_assert!((*l - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Complex> = (0..128)
+            .map(|_| Complex::new(rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                                  rand::Rng::gen_range(&mut rng, -1.0..1.0)))
+            .collect();
+        let mut y = x.clone();
+        fft_radix2(&mut y);
+        ifft_radix2(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dft_parseval(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Complex> = (0..16)
+            .map(|_| Complex::new(rand::Rng::gen_range(&mut rng, -1.0..1.0),
+                                  rand::Rng::gen_range(&mut rng, -1.0..1.0)))
+            .collect();
+        let fx = dft_naive(&x);
+        let te: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
+        let fe: f64 = fx.iter().map(|v| v.abs() * v.abs()).sum();
+        prop_assert!((fe / (16.0 * te) - 1.0).abs() < 1e-10);
+    }
+}

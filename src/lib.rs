@@ -1,0 +1,21 @@
+//! # lap — Linear Algebra Processor codesign reproduction
+//!
+//! Facade crate re-exporting the full reproduction of Pedram's 2013
+//! dissertation *"Algorithm/Architecture Codesign of Low Power and High
+//! Performance Linear Algebra Compute Fabrics"*:
+//!
+//! - [`linalg_ref`] — reference BLAS / factorizations / FFT substrate.
+//! - [`lac_fpu`] — floating-point unit models (FMAC, reciprocal, rsqrt…).
+//! - [`lac_sim`] — cycle-accurate Linear Algebra Core simulator.
+//! - [`lac_kernels`] — algorithm→architecture microprogram generators.
+//! - [`lac_model`] — analytical performance / memory-hierarchy models.
+//! - [`lac_power`] — power & area models and platform comparisons.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
+
+pub use lac_fpu;
+pub use lac_kernels;
+pub use lac_model;
+pub use lac_power;
+pub use lac_sim;
+pub use linalg_ref;
