@@ -18,7 +18,9 @@ fn main() {
         }
         table(
             &format!("Figure 3.4 — utilization vs local store (nr={nr}, n=512)"),
-            &["KB/PE", "1 B/cyc", "2 B/cyc", "3 B/cyc", "4 B/cyc", "8 B/cyc"],
+            &[
+                "KB/PE", "1 B/cyc", "2 B/cyc", "3 B/cyc", "4 B/cyc", "8 B/cyc",
+            ],
             &rows,
         );
     }

@@ -3,14 +3,17 @@ use lac_bench::{f, table};
 use lac_power::{PeModel, Precision};
 
 fn main() {
-    let pe = PeModel { precision: Precision::Single, ..Default::default() };
+    let pe = PeModel {
+        precision: Precision::Single,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for fr in [0.3f64, 0.5, 0.75, 1.0, 1.32, 1.6, 1.8, 2.08] {
         let m = pe.metrics(fr);
         rows.push(vec![
             format!("{fr:.2}"),
-            f(1.0 / m.gflops_per_mm2), // mm^2/GFLOP
-            f(1000.0 / m.gflops_per_w), // mW/GFLOP
+            f(1.0 / m.gflops_per_mm2),   // mm^2/GFLOP
+            f(1000.0 / m.gflops_per_w),  // mW/GFLOP
             f(1000.0 / m.gflops2_per_w), // energy-delay (scaled)
         ]);
     }

@@ -4,7 +4,10 @@ use lac_bench::{f, table};
 use lac_power::{PeModel, Precision};
 
 fn main() {
-    let pe = PeModel { precision: Precision::Single, ..Default::default() };
+    let pe = PeModel {
+        precision: Precision::Single,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for fr in [2.08f64, 1.8, 1.32, 1.0, 0.75, 0.5, 0.3] {
         let m = pe.metrics(fr);

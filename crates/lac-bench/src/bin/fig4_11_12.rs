@@ -27,8 +27,17 @@ fn main() {
     }
     table(
         "Figures 4.11/4.12 — NUCA-based system (S=8, n=2048)",
-        &["mem MB", "cores mm^2", "NUCA mm^2", "chip mm^2", "mem mW/GFLOP", "chip mW/GFLOP"],
+        &[
+            "mem MB",
+            "cores mm^2",
+            "NUCA mm^2",
+            "chip mm^2",
+            "mem mW/GFLOP",
+            "chip mW/GFLOP",
+        ],
         &rows,
     );
-    println!("\npaper: NUCA occupies more area than the cores in all cases; small fast NUCA is worst");
+    println!(
+        "\npaper: NUCA occupies more area than the cores in all cases; small fast NUCA is worst"
+    );
 }

@@ -8,9 +8,19 @@ fn main() {
         let total: f64 = b.iter().map(|i| i.mw_per_gflops).sum();
         let rows: Vec<Vec<String>> = b
             .iter()
-            .map(|i| vec![i.component.into(), f(i.mw_per_gflops), format!("{:.1}%", 100.0 * i.mw_per_gflops / total)])
+            .map(|i| {
+                vec![
+                    i.component.into(),
+                    f(i.mw_per_gflops),
+                    format!("{:.1}%", 100.0 * i.mw_per_gflops / total),
+                ]
+            })
             .collect();
-        table(&format!("Figure 4.15 — {plat} power breakdown (mW per delivered GFLOPS)"), &["component", "mW/GFLOPS", "share"], &rows);
+        table(
+            &format!("Figure 4.15 — {plat} power breakdown (mW per delivered GFLOPS)"),
+            &["component", "mW/GFLOPS", "share"],
+            &rows,
+        );
         println!("total: {:.1} mW/GFLOPS", total);
     }
 }

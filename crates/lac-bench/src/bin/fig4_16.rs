@@ -4,19 +4,40 @@ use lac_power::{chip_metrics, PeModel, Precision};
 
 fn main() {
     let mk = |prec, s| {
-        let pe = PeModel { precision: prec, ..Default::default() };
+        let pe = PeModel {
+            precision: prec,
+            ..Default::default()
+        };
         chip_metrics(&pe, 4, s, 1.3, 0.9, 5 * 1024 * 1024, 4.0)
     };
     let rows = vec![
         vec!["GTX480 SGEMM (published)".into(), f(5.2)],
-        vec!["LAP-30 SP (same throughput, modeled)".into(), f(mk(Precision::Single, 30).gflops_per_w)],
+        vec![
+            "LAP-30 SP (same throughput, modeled)".into(),
+            f(mk(Precision::Single, 30).gflops_per_w),
+        ],
         vec!["GTX480 DGEMM (published)".into(), f(2.6)],
-        vec!["LAP-15 DP (modeled)".into(), f(mk(Precision::Double, 15).gflops_per_w)],
+        vec![
+            "LAP-15 DP (modeled)".into(),
+            f(mk(Precision::Double, 15).gflops_per_w),
+        ],
         vec!["GTX280 SGEMM (published)".into(), f(2.6)],
-        vec!["LAP-15 SP (modeled)".into(), f(mk(Precision::Single, 15).gflops_per_w)],
+        vec![
+            "LAP-15 SP (modeled)".into(),
+            f(mk(Precision::Single, 15).gflops_per_w),
+        ],
         vec!["Penryn DGEMM (published)".into(), f(0.6)],
-        vec!["LAP-2 DP (modeled)".into(), f(mk(Precision::Double, 2).gflops_per_w)],
+        vec![
+            "LAP-2 DP (modeled)".into(),
+            f(mk(Precision::Double, 2).gflops_per_w),
+        ],
     ];
-    table("Figure 4.16 — chip-level GFLOPS/W", &["system", "GFLOPS/W"], &rows);
-    println!("\npaper shape: each LAP an order of magnitude above its throughput-matched counterpart");
+    table(
+        "Figure 4.16 — chip-level GFLOPS/W",
+        &["system", "GFLOPS/W"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: each LAP an order of magnitude above its throughput-matched counterpart"
+    );
 }

@@ -24,7 +24,13 @@ fn main() {
     }
     table(
         "Figure 4.2 — on-chip bandwidth vs memory size (util > 93% along curve)",
-        &["organization", "n", "mc=kc", "on-chip mem [MB]", "BW [bytes/cycle]"],
+        &[
+            "organization",
+            "n",
+            "mc=kc",
+            "on-chip mem [MB]",
+            "BW [bytes/cycle]",
+        ],
         &rows,
     );
     println!("\npaper shape: BW grows quadratically as memory shrinks; fewer/bigger cores demand much less");

@@ -5,7 +5,16 @@ use lac_model::ChipGemmModel;
 
 fn main() {
     let mut rows = Vec::new();
-    for (s, bw) in [(4usize, 1.0f64), (8, 2.0), (16, 4.0), (4, 4.0), (8, 8.0), (16, 16.0), (4, 8.0), (16, 32.0)] {
+    for (s, bw) in [
+        (4usize, 1.0f64),
+        (8, 2.0),
+        (16, 4.0),
+        (4, 4.0),
+        (8, 8.0),
+        (16, 16.0),
+        (4, 8.0),
+        (16, 32.0),
+    ] {
         for mc in [32usize, 64, 128, 256] {
             let n = 4 * mc; // memory grows with the block size
             let m = ChipGemmModel::new(4, s, n, mc);

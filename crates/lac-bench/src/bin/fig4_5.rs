@@ -21,7 +21,12 @@ fn main() {
     }
     table(
         "Figure 4.5 — external bandwidth vs on-chip memory (util > 92%)",
-        &["n", "ns (sub-block)", "on-chip mem [MB]", "ext BW [bytes/cycle]"],
+        &[
+            "n",
+            "ns (sub-block)",
+            "on-chip mem [MB]",
+            "ext BW [bytes/cycle]",
+        ],
         &rows,
     );
     println!("\npaper shape: demand rises as memory shrinks; larger original problems demand less");

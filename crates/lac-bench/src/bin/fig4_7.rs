@@ -5,7 +5,10 @@ use lac_power::{PeModel, SramModel};
 fn main() {
     let mut rows = Vec::new();
     for kb in [2usize, 4, 6, 8, 10, 12, 14, 16, 18] {
-        let pe = PeModel { local_store_bytes: kb * 1024, ..Default::default() };
+        let pe = PeModel {
+            local_store_bytes: kb * 1024,
+            ..Default::default()
+        };
         let sram = SramModel::new(kb * 1024, 2);
         rows.push(vec![
             format!("{kb}"),

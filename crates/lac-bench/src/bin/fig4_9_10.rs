@@ -21,7 +21,13 @@ fn main() {
     }
     table(
         "Figures 4.9/4.10 — area [mm^2] and power [mW/GFLOP] vs on-chip SRAM (S=8, n=2048)",
-        &["mem MB", "cores mm^2", "on-chip mem mm^2", "chip mm^2", "chip mW/GFLOP"],
+        &[
+            "mem MB",
+            "cores mm^2",
+            "on-chip mem mm^2",
+            "chip mm^2",
+            "chip mW/GFLOP",
+        ],
         &rows,
     );
     println!("\npaper: with domain-specific SRAM nearly all chip power is in the cores; memory trade-offs negligible");

@@ -3,23 +3,34 @@ use lac_bench::{f, table};
 use lac_power::{divsqrt_area_breakdown, DivSqrtOption};
 
 fn main() {
-    let rows: Vec<Vec<String>> = [DivSqrtOption::Software, DivSqrtOption::Isolated, DivSqrtOption::DiagonalPes]
-        .into_iter()
-        .map(|opt| {
-            let b = divsqrt_area_breakdown(opt);
-            vec![
-                format!("{opt:?}"),
-                f(b.pes_mm2),
-                f(b.mac_extension_mm2),
-                f(b.lookup_mm2),
-                f(b.special_logic_mm2),
-                f(b.total()),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        DivSqrtOption::Software,
+        DivSqrtOption::Isolated,
+        DivSqrtOption::DiagonalPes,
+    ]
+    .into_iter()
+    .map(|opt| {
+        let b = divsqrt_area_breakdown(opt);
+        vec![
+            format!("{opt:?}"),
+            f(b.pes_mm2),
+            f(b.mac_extension_mm2),
+            f(b.lookup_mm2),
+            f(b.special_logic_mm2),
+            f(b.total()),
+        ]
+    })
+    .collect();
     table(
         "Figure 6.5 — LAC area with divide/sqrt extensions (mm^2, 45 nm)",
-        &["option", "PEs", "MAC ext", "lookup", "special logic", "total"],
+        &[
+            "option",
+            "PEs",
+            "MAC ext",
+            "lookup",
+            "special logic",
+            "total",
+        ],
         &rows,
     );
     println!("\npaper: all options within a few percent of the bare 16-PE array (~2.3-2.6 mm^2)");

@@ -1,36 +1,62 @@
 //! Figure 6.6: vector-norm inner-kernel power efficiency vs hardware
-//! extensions and problem size — measured on the cycle-accurate simulator.
+//! extensions and problem size — measured on the cycle-accurate simulator
+//! through `LacEngine` sessions.
 use lac_bench::{f, table};
-use lac_fpu::FpuConfig;
-use lac_kernels::{run_vecnorm, VnormOptions};
+use lac_kernels::{VecnormWorkload, VnormOptions, Workload};
 use lac_power::EnergyModel;
-use lac_sim::{ExternalMem, Lac, LacConfig};
+use lac_sim::{LacConfig, LacEngine};
 
 fn main() {
     let mut rows = Vec::new();
     for k in [16usize, 32, 64] {
         let n = k * 4;
-        let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 100) as f64 - 50.0) / 25.0).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 100) as f64 - 50.0) / 25.0)
+            .collect();
         let mut row = vec![format!("{n}")];
         for (label, opts) in [
-            ("no ext (SW)", VnormOptions { exponent_extension: false, comparator: false }),
-            ("comparator", VnormOptions { exponent_extension: false, comparator: true }),
-            ("exp ext", VnormOptions { exponent_extension: true, comparator: false }),
+            (
+                "no ext (SW)",
+                VnormOptions {
+                    exponent_extension: false,
+                    comparator: false,
+                },
+            ),
+            (
+                "comparator",
+                VnormOptions {
+                    exponent_extension: false,
+                    comparator: true,
+                },
+            ),
+            (
+                "exp ext",
+                VnormOptions {
+                    exponent_extension: true,
+                    comparator: false,
+                },
+            ),
         ] {
-            let cfg = LacConfig {
-                fpu: FpuConfig { exponent_extension: opts.exponent_extension, ..Default::default() },
-                ..Default::default()
+            let w = VecnormWorkload::new(x.clone(), opts);
+            let mut eng = LacEngine::builder()
+                .config(w.config(LacConfig::default()))
+                .build();
+            let rep = w.run(&mut eng).expect(label);
+            w.check(&rep).expect(label);
+            let em = EnergyModel {
+                comparator_extension: opts.comparator,
+                ..EnergyModel::lac_default()
             };
-            let mut lac = Lac::new(cfg);
-            let mut mem = ExternalMem::from_vec(x.clone());
-            let rep = run_vecnorm(&mut lac, &mut mem, k, &opts).expect(label);
-            let em = EnergyModel { comparator_extension: opts.comparator, ..EnergyModel::lac_default() };
             // Effective efficiency: only the 2K mathematically necessary
             // flops count; scaling passes are pure overhead (paper metric).
             let useful_gflop = 2.0 * n as f64 / 1e9;
             let seconds = rep.stats.cycles as f64 / 1e9;
             let watts = em.avg_power_mw(&rep.stats) / 1000.0;
-            row.push(format!("{} ({} cyc)", f(useful_gflop / seconds / watts), rep.stats.cycles));
+            row.push(format!(
+                "{} ({} cyc)",
+                f(useful_gflop / seconds / watts),
+                rep.stats.cycles
+            ));
         }
         rows.push(row);
     }
@@ -39,5 +65,7 @@ fn main() {
         &["vector length", "no ext", "comparator", "exp extension"],
         &rows,
     );
-    println!("\npaper shape: exp extension best, comparator middle, software worst; gap grows with size");
+    println!(
+        "\npaper shape: exp extension best, comparator middle, software worst; gap grows with size"
+    );
 }

@@ -1,24 +1,40 @@
 //! Figure 6.7: LU-with-partial-pivoting inner-kernel power efficiency vs
-//! extensions and panel height — measured on the simulator.
+//! extensions and panel height — measured on the simulator through
+//! `LacEngine` sessions.
 use lac_bench::{f, table};
-use lac_kernels::{lu_panel_matrix, LuOptions};
+use lac_kernels::{LuOptions, LuPanelWorkload, Workload};
 use lac_power::EnergyModel;
-use lac_sim::{Lac, LacConfig};
+use lac_sim::{LacConfig, LacEngine};
 use linalg_ref::Matrix;
 
 fn main() {
     let mut rows = Vec::new();
     for k in [16usize, 32, 64] {
         let kk = k * 4;
+        // The 1e-7·i term breaks magnitude ties (the mod-19 pattern repeats),
+        // which would otherwise make pivot choice implementation-defined.
         let a = Matrix::from_fn(kk, 4, |i, j| {
-            (((i * 7 + j * 13) % 19) as f64 - 9.0) / 5.0 + if i == j { 3.0 } else { 0.0 }
+            (((i * 7 + j * 13) % 19) as f64 - 9.0) / 5.0
+                + i as f64 * 1e-7
+                + if i == j { 3.0 } else { 0.0 }
         });
         let mut row = vec![format!("{kk}x4")];
         for (label, comparator) in [("no comparator (SW)", false), ("comparator", true)] {
-            let mut lac = Lac::new(LacConfig::default());
-            let (_, _, stats) = lu_panel_matrix(&mut lac, &a, &LuOptions { comparator }).expect(label);
-            let em = EnergyModel { comparator_extension: comparator, ..EnergyModel::lac_default() };
-            row.push(format!("{} ({} cyc)", f(em.gflops_per_w(&stats)), stats.cycles));
+            let w = LuPanelWorkload::new(a.clone(), LuOptions { comparator });
+            let mut eng = LacEngine::builder()
+                .config(w.config(LacConfig::default()))
+                .build();
+            let rep = w.run(&mut eng).expect(label);
+            w.check(&rep).expect(label);
+            let em = EnergyModel {
+                comparator_extension: comparator,
+                ..EnergyModel::lac_default()
+            };
+            row.push(format!(
+                "{} ({} cyc)",
+                f(em.gflops_per_w(&rep.stats)),
+                rep.stats.cycles
+            ));
         }
         rows.push(row);
     }

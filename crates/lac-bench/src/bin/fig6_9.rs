@@ -16,7 +16,9 @@ fn main() {
             vec![
                 format!("{:?}", d.design),
                 d.la_gflops_per_w.map(|e| f(e / base)).unwrap_or("-".into()),
-                d.fft_gflops_per_w.map(|e| f(e / base)).unwrap_or("-".into()),
+                d.fft_gflops_per_w
+                    .map(|e| f(e / base))
+                    .unwrap_or("-".into()),
                 f(d.area_mm2 / designs[0].area_mm2),
             ]
         })

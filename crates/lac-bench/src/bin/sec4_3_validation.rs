@@ -18,7 +18,13 @@ fn main() {
         .collect();
     table(
         "Section 4.3 — memory-hierarchy model validation",
-        &["platform", "demanded GB/s", "available GB/s", "predicted ceiling", "measured"],
+        &[
+            "platform",
+            "demanded GB/s",
+            "available GB/s",
+            "predicted ceiling",
+            "measured",
+        ],
         &rows,
     );
     println!("\npaper: Fermi 74% predicted vs 70% measured; CSX 83% predicted vs 78% measured");

@@ -9,7 +9,10 @@ fn main() {
         (Precision::Single, "SP", vec![2.08, 1.32, 0.98, 0.50]),
         (Precision::Double, "DP", vec![1.81, 0.95, 0.33, 0.20]),
     ] {
-        let pe = PeModel { precision: prec, ..Default::default() };
+        let pe = PeModel {
+            precision: prec,
+            ..Default::default()
+        };
         for fr in freqs {
             let m = pe.metrics(fr);
             rows.push(vec![
@@ -28,8 +31,21 @@ fn main() {
     }
     table(
         "Table 3.1 — PE performance/area, 45 nm (model)",
-        &["prec", "GHz", "area mm^2", "mem mW", "FMAC mW", "PE mW", "W/mm^2", "GFLOP/mm^2", "GFLOPS/W", "GFLOPS^2/W"],
+        &[
+            "prec",
+            "GHz",
+            "area mm^2",
+            "mem mW",
+            "FMAC mW",
+            "PE mW",
+            "W/mm^2",
+            "GFLOP/mm^2",
+            "GFLOPS/W",
+            "GFLOPS^2/W",
+        ],
         &rows,
     );
-    println!("\npaper anchors: SP@0.98GHz: 15.9 mW, 113 GFLOPS/W; DP@0.95GHz: 38 mW, 46.4 GFLOPS/W");
+    println!(
+        "\npaper anchors: SP@0.98GHz: 15.9 mW, 113 GFLOPS/W; DP@0.95GHz: 38 mW, 46.4 GFLOPS/W"
+    );
 }

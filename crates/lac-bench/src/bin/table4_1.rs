@@ -12,7 +12,11 @@ fn main() {
             vec![
                 r.level.into(),
                 r.variant.into(),
-                if r.size_words.is_nan() { "-".into() } else { f(r.size_words) },
+                if r.size_words.is_nan() {
+                    "-".into()
+                } else {
+                    f(r.size_words)
+                },
                 f(r.bandwidth),
             ]
         })

@@ -20,7 +20,16 @@ fn main() {
         .collect();
     table(
         "Table 4.2 — systems running GEMM",
-        &["system", "prec", "GFLOPS", "W/mm^2", "GFLOPS/mm^2", "GFLOPS/W", "GFLOPS^2/W", "util"],
+        &[
+            "system",
+            "prec",
+            "GFLOPS",
+            "W/mm^2",
+            "GFLOPS/mm^2",
+            "GFLOPS/W",
+            "GFLOPS^2/W",
+            "util",
+        ],
         &rows,
     );
     println!("\npaper LAP rows: SP 1200 GFLOPS, 30-55 GFLOPS/W; DP 600 GFLOPS, 15-25 GFLOPS/W");

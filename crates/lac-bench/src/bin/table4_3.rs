@@ -4,7 +4,13 @@ use lac_power::compare::design_choice_table;
 
 fn main() {
     let t = design_choice_table();
-    let rows: Vec<Vec<String>> =
-        t[1..].iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect();
-    table("Table 4.3 — design choices: CPUs vs GPUs vs LAP", &t[0], &rows);
+    let rows: Vec<Vec<String>> = t[1..]
+        .iter()
+        .map(|r| r.iter().map(|s| s.to_string()).collect())
+        .collect();
+    table(
+        "Table 4.3 — design choices: CPUs vs GPUs vs LAP",
+        &t[0],
+        &rows,
+    );
 }

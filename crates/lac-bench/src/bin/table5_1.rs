@@ -8,7 +8,10 @@ fn main() {
     let pe = PeModel::default();
     let freq = 1.1;
     let ops: Vec<(&str, f64)> = vec![
-        ("GEMM", CoreGemmModel::new(4, 0.5, 512).utilization(256, 256)),
+        (
+            "GEMM",
+            CoreGemmModel::new(4, 0.5, 512).utilization(256, 256),
+        ),
         ("TRSM", trsm_utilization_bw(4, 64, 256, 2.0, 5)),
         ("SYRK", syrk_utilization(4, 256, 256, 2.0, 5)),
         ("SYR2K", syr2k_utilization(4, 256, 256, 2.0, 5)),
@@ -28,8 +31,16 @@ fn main() {
         .collect();
     table(
         "Table 5.1 — LAC efficiency for level-3 BLAS at 1.1 GHz (DP, modeled)",
-        &["algorithm", "W/mm^2", "GFLOPS/mm^2", "GFLOPS/W", "utilization"],
+        &[
+            "algorithm",
+            "W/mm^2",
+            "GFLOPS/mm^2",
+            "GFLOPS/W",
+            "utilization",
+        ],
         &rows,
     );
-    println!("\npaper (nr=4): GEMM 54.4 GFLOPS/W @100%, TRSM 51.7 @95%, SYRK 49.0 @90%, SYR2K 43.0 @79%");
+    println!(
+        "\npaper (nr=4): GEMM 54.4 GFLOPS/W @100%, TRSM 51.7 @95%, SYRK 49.0 @90%, SYR2K 43.0 @79%"
+    );
 }

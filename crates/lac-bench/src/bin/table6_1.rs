@@ -20,12 +20,22 @@ fn main() {
             f(eff.rho),
             f(simple.tau),
             f(eff.tau),
-            format!("{:.1e}", (simple.rho - eff.rho).abs() + (simple.tau - eff.tau).abs()),
+            format!(
+                "{:.1e}",
+                (simple.rho - eff.rho).abs() + (simple.tau - eff.tau).abs()
+            ),
         ]);
     }
     table(
         "Table 6.1 — Householder: simple vs efficient computation",
-        &["case", "rho (simple)", "rho (efficient)", "tau (simple)", "tau (efficient)", "|diff|"],
+        &[
+            "case",
+            "rho (simple)",
+            "rho (efficient)",
+            "tau (simple)",
+            "tau (efficient)",
+            "|diff|",
+        ],
         &rows,
     );
     println!("\nthe efficient form needs one norm of the tail instead of two passes — the LAC kernel uses it");

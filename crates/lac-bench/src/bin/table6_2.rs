@@ -31,7 +31,14 @@ fn main() {
         .collect();
     table(
         "Table B.3 — PE designs: dedicated LA, dedicated FFT, hybrid (1 GHz, DP)",
-        &["design", "area mm^2", "LA mW", "FFT mW", "LA GFLOPS/W", "FFT GFLOPS/W"],
+        &[
+            "design",
+            "area mm^2",
+            "LA mW",
+            "FFT mW",
+            "LA GFLOPS/W",
+            "FFT GFLOPS/W",
+        ],
         &rows,
     );
     println!("\npaper: hybrid within a few % of each dedicated design; order of magnitude above CPUs for FFT");

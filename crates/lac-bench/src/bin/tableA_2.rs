@@ -1,11 +1,14 @@
 //! Table A.2: cycle counts and dynamic energy for architecture options
 //! (divide/sqrt implementation x MAC extensions) across algorithms and
-//! problem sizes — all measured on the cycle-accurate simulator.
+//! problem sizes — all measured on the cycle-accurate simulator through
+//! `LacEngine` sessions.
 use lac_bench::{f, table};
-use lac_fpu::{DivSqrtImpl, FpuConfig};
-use lac_kernels::{lu_panel_matrix, run_blocked_cholesky, run_vecnorm, LuOptions, VnormOptions};
+use lac_fpu::DivSqrtImpl;
+use lac_kernels::{
+    BlockedCholWorkload, LuOptions, LuPanelWorkload, VecnormWorkload, VnormOptions, Workload,
+};
 use lac_power::{extensions::divsqrt_energy_pj, DivSqrtOption, EnergyModel};
-use lac_sim::{ExternalMem, Lac, LacConfig};
+use lac_sim::{LacConfig, LacEngine};
 use linalg_ref::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,15 +26,30 @@ fn energy_model(imp: DivSqrtImpl, comparator: bool) -> EnergyModel {
     }
 }
 
+/// Run one workload on a fresh session with the given div/sqrt option.
+fn measure(w: &dyn Workload, imp: DivSqrtImpl) -> lac_sim::ExecStats {
+    let base = LacConfig {
+        divsqrt: imp,
+        ..Default::default()
+    };
+    let mut eng = LacEngine::builder().config(w.config(base)).build();
+    let rep = w
+        .run(&mut eng)
+        .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()));
+    rep.stats
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let mut rows = Vec::new();
-    for imp in [DivSqrtImpl::Software, DivSqrtImpl::Isolated, DivSqrtImpl::DiagonalPes] {
-        let cfg = LacConfig { divsqrt: imp, ..Default::default() };
+    for imp in [
+        DivSqrtImpl::Software,
+        DivSqrtImpl::Isolated,
+        DivSqrtImpl::DiagonalPes,
+    ] {
         for kk in [16usize, 32] {
             let a = Matrix::random_spd(kk, &mut rng);
-            let mut lac = Lac::new(cfg);
-            let (_, stats) = run_blocked_cholesky(&mut lac, &a).unwrap();
+            let stats = measure(&BlockedCholWorkload::new(a), imp);
             let em = energy_model(imp, true);
             rows.push(vec![
                 format!("{imp:?}"),
@@ -43,9 +61,7 @@ fn main() {
         for k in [16usize, 64] {
             for comparator in [true, false] {
                 let a = Matrix::random(k * 4, 4, &mut rng);
-                let mut lac = Lac::new(cfg);
-                let (_, _, stats) =
-                    lu_panel_matrix(&mut lac, &a, &LuOptions { comparator }).unwrap();
+                let stats = measure(&LuPanelWorkload::new(a, LuOptions { comparator }), imp);
                 let em = energy_model(imp, comparator);
                 rows.push(vec![
                     format!("{imp:?}"),
@@ -57,28 +73,36 @@ fn main() {
         }
         for k in [16usize, 64] {
             for (label, opts) in [
-                ("none", VnormOptions { exponent_extension: false, comparator: false }),
-                ("cmp", VnormOptions { exponent_extension: false, comparator: true }),
-                ("exp", VnormOptions { exponent_extension: true, comparator: false }),
-            ] {
-                let cfg2 = LacConfig {
-                    divsqrt: imp,
-                    fpu: FpuConfig {
-                        exponent_extension: opts.exponent_extension,
-                        ..Default::default()
+                (
+                    "none",
+                    VnormOptions {
+                        exponent_extension: false,
+                        comparator: false,
                     },
-                    ..Default::default()
-                };
+                ),
+                (
+                    "cmp",
+                    VnormOptions {
+                        exponent_extension: false,
+                        comparator: true,
+                    },
+                ),
+                (
+                    "exp",
+                    VnormOptions {
+                        exponent_extension: true,
+                        comparator: false,
+                    },
+                ),
+            ] {
                 let x: Vec<f64> = (0..k * 4).map(|i| (i as f64).sin()).collect();
-                let mut lac = Lac::new(cfg2);
-                let mut mem = ExternalMem::from_vec(x);
-                let rep = run_vecnorm(&mut lac, &mut mem, k, &opts).unwrap();
+                let stats = measure(&VecnormWorkload::new(x, opts), imp);
                 let em = energy_model(imp, opts.comparator);
                 rows.push(vec![
                     format!("{imp:?}"),
                     format!("Vnorm {} ({label})", k * 4),
-                    format!("{}", rep.stats.cycles),
-                    f(em.energy_nj(&rep.stats) / 1000.0),
+                    format!("{}", stats.cycles),
+                    f(em.energy_nj(&stats) / 1000.0),
                 ]);
             }
         }

@@ -71,7 +71,10 @@ impl ExtendedAccumulator {
     /// Initialize from an ordinary double (the `C` preload).
     pub fn from_f64(x: f64) -> Self {
         let (m, e) = split(x);
-        Self { mantissa: m, exp2: e }
+        Self {
+            mantissa: m,
+            exp2: e,
+        }
     }
 
     /// Current value normalized back to `f64` (the read-out step; may
@@ -154,6 +157,15 @@ impl ExtendedAccumulator {
     }
 }
 
+impl ExtendedAccumulator {
+    /// Normalize after shifting the exponent by `shift` — the hardware
+    /// "read out with exponent adjustment" used when a norm's square root
+    /// halves the exponent (§A.2).
+    pub fn normalize_with_exp_shift(&self, shift: i32) -> f64 {
+        assemble(self.mantissa, self.exp2 + shift)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,14 +237,5 @@ mod tests {
         assert!((acc.normalize() - tiny).abs() == 0.0);
         acc.add(tiny);
         assert_eq!(acc.normalize(), 2.0 * tiny);
-    }
-}
-
-impl ExtendedAccumulator {
-    /// Normalize after shifting the exponent by `shift` — the hardware
-    /// "read out with exponent adjustment" used when a norm's square root
-    /// halves the exponent (§A.2).
-    pub fn normalize_with_exp_shift(&self, shift: i32) -> f64 {
-        assemble(self.mantissa, self.exp2 + shift)
     }
 }

@@ -132,7 +132,12 @@ impl MacUnit {
     /// Issue `acc ±= a*b` (negate ⇒ subtract the product).
     pub fn issue_mac_signed(&mut self, a: f64, b: f64, negate: bool) -> Result<(), ()> {
         self.pipe
-            .issue(MacOp { a: self.round(a), b: self.round(b), addend: None, negate })
+            .issue(MacOp {
+                a: self.round(a),
+                b: self.round(b),
+                addend: None,
+                negate,
+            })
             .map_err(|_| ())?;
         self.ops_issued += 1;
         Ok(())
@@ -223,7 +228,10 @@ mod tests {
 
     #[test]
     fn pipeline_latency_respected() {
-        let cfg = FpuConfig { pipeline_depth: 4, ..Default::default() };
+        let cfg = FpuConfig {
+            pipeline_depth: 4,
+            ..Default::default()
+        };
         let mut mac = MacUnit::new(cfg);
         mac.load_acc(0.0);
         mac.issue_mac(2.0, 3.0).unwrap();
@@ -237,7 +245,10 @@ mod tests {
 
     #[test]
     fn fma_result_latch() {
-        let mut mac = MacUnit::new(FpuConfig { pipeline_depth: 2, ..Default::default() });
+        let mut mac = MacUnit::new(FpuConfig {
+            pipeline_depth: 2,
+            ..Default::default()
+        });
         mac.issue_fma(3.0, 4.0, 1.0).unwrap();
         mac.step();
         assert!(mac.take_result().is_none());
@@ -248,7 +259,10 @@ mod tests {
 
     #[test]
     fn single_precision_rounds() {
-        let cfg = FpuConfig { precision: Precision::Single, ..Default::default() };
+        let cfg = FpuConfig {
+            precision: Precision::Single,
+            ..Default::default()
+        };
         let mut mac = MacUnit::new(cfg);
         mac.load_acc(0.0);
         mac.issue_mac(1.0e-8, 1.0).unwrap();
@@ -261,8 +275,14 @@ mod tests {
 
     #[test]
     fn exponent_extension_survives_square_overflow() {
-        let base = FpuConfig { exponent_extension: false, ..Default::default() };
-        let ext = FpuConfig { exponent_extension: true, ..Default::default() };
+        let base = FpuConfig {
+            exponent_extension: false,
+            ..Default::default()
+        };
+        let ext = FpuConfig {
+            exponent_extension: true,
+            ..Default::default()
+        };
         // Without extension: 1e200² overflows the accumulator.
         let mut m1 = MacUnit::new(base);
         m1.load_acc(0.0);

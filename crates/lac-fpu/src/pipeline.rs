@@ -18,7 +18,11 @@ impl<T> Pipeline<T> {
     /// Create a pipeline with `depth ≥ 1` stages.
     pub fn new(depth: usize) -> Self {
         assert!(depth >= 1, "pipeline depth must be at least 1");
-        Self { depth, slots: (0..depth).map(|_| None).collect(), issued_this_cycle: false }
+        Self {
+            depth,
+            slots: (0..depth).map(|_| None).collect(),
+            issued_this_cycle: false,
+        }
     }
 
     pub fn depth(&self) -> usize {
@@ -31,7 +35,10 @@ impl<T> Pipeline<T> {
         if self.issued_this_cycle {
             return Err(item);
         }
-        debug_assert!(self.slots[self.depth - 1].is_none(), "tail slot must be free pre-step");
+        debug_assert!(
+            self.slots[self.depth - 1].is_none(),
+            "tail slot must be free pre-step"
+        );
         self.slots[self.depth - 1] = Some(item);
         self.issued_this_cycle = true;
         Ok(())

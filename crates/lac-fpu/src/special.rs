@@ -42,6 +42,13 @@ pub enum DivSqrtImpl {
     DiagonalPes,
 }
 
+impl Default for DivSqrtImpl {
+    /// The dissertation's canonical design point (an isolated per-core SFU).
+    fn default() -> Self {
+        Self::Isolated
+    }
+}
+
 impl DivSqrtImpl {
     /// Latency in cycles for `op` under this implementation.
     ///
@@ -96,7 +103,11 @@ fn rsqrt_seed(x: f64) -> f64 {
     let bits = x.to_bits();
     let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
     let mant = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
-    let (m, e) = if exp % 2 == 0 { (mant, exp) } else { (mant * 2.0, exp - 1) };
+    let (m, e) = if exp % 2 == 0 {
+        (mant, exp)
+    } else {
+        (mant * 2.0, exp - 1)
+    };
     let idx = ((m - 1.0) * 64.0) as usize; // over [1,4): 6-bit per octave
     let mid = 1.0 + (idx as f64 + 0.5) / 64.0;
     let seed_m = 1.0 / mid.sqrt(); // table entry (precomputable)
@@ -168,7 +179,11 @@ pub struct SpecialFnUnit {
 
 impl SpecialFnUnit {
     pub fn new(imp: DivSqrtImpl) -> Self {
-        Self { imp, busy_until: None, ops_issued: 0 }
+        Self {
+            imp,
+            busy_until: None,
+            ops_issued: 0,
+        }
     }
 
     pub fn implementation(&self) -> DivSqrtImpl {
@@ -244,10 +259,16 @@ mod tests {
     #[test]
     fn sqrt_and_div_converge() {
         for &x in &[1.0, 2.0, 9.0, 1e-8, 1e8] {
-            assert!(ulps(sqrt_via_rsqrt(x, DEFAULT_NR_ITERS), x.sqrt()) <= 4, "sqrt {x}");
+            assert!(
+                ulps(sqrt_via_rsqrt(x, DEFAULT_NR_ITERS), x.sqrt()) <= 4,
+                "sqrt {x}"
+            );
         }
         for &(a, b) in &[(1.0, 3.0), (10.0, 7.0), (-4.0, 2.5), (1e10, -3e-5)] {
-            assert!(ulps(div_goldschmidt(a, b, DEFAULT_NR_ITERS), a / b) <= 4, "{a}/{b}");
+            assert!(
+                ulps(div_goldschmidt(a, b, DEFAULT_NR_ITERS), a / b) <= 4,
+                "{a}/{b}"
+            );
         }
     }
 
@@ -289,8 +310,12 @@ mod tests {
     #[test]
     fn impl_latency_ordering() {
         // Software slowest, diagonal fastest — the Appendix A conclusion.
-        for &op in &[DivSqrtOp::Reciprocal, DivSqrtOp::Sqrt, DivSqrtOp::Divide, DivSqrtOp::InvSqrt]
-        {
+        for &op in &[
+            DivSqrtOp::Reciprocal,
+            DivSqrtOp::Sqrt,
+            DivSqrtOp::Divide,
+            DivSqrtOp::InvSqrt,
+        ] {
             assert!(DivSqrtImpl::Software.latency(op) > DivSqrtImpl::Isolated.latency(op));
             assert!(DivSqrtImpl::Isolated.latency(op) > DivSqrtImpl::DiagonalPes.latency(op));
         }
@@ -299,7 +324,16 @@ mod tests {
     #[test]
     fn exponent_edge_cases() {
         // powers of two and values near exponent boundaries
-        for &x in &[0.5, 0.25, 2.0, 4.0, 8.0, 1.999999, 2.000001, f64::MIN_POSITIVE * 1e10] {
+        for &x in &[
+            0.5,
+            0.25,
+            2.0,
+            4.0,
+            8.0,
+            1.999999,
+            2.000001,
+            f64::MIN_POSITIVE * 1e10,
+        ] {
             let y = recip_newton_raphson(x, DEFAULT_NR_ITERS);
             assert!(ulps(y, 1.0 / x) <= 8, "x={x}");
         }

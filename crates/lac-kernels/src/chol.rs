@@ -7,12 +7,12 @@
 //! one SFU pass per iteration, exactly the dependency chain the paper counts
 //! as `2p(nr−1) + q·nr` cycles.
 //!
-//! [`run_blocked_cholesky`] composes it with the stacked TRSM and negated
+//! [`blocked_cholesky_run`] composes it with the stacked TRSM and negated
 //! SYRK kernels into the right-looking blocked algorithm (Chol → TRSM →
 //! SYRK) the dissertation maps across the memory hierarchy.
 
-use crate::syrk::{run_syrk, SyrkDataLayout, SyrkParams};
-use crate::trsm::run_trsm_stacked;
+use crate::syrk::{syrk_run, SyrkDataLayout, SyrkParams};
+use crate::trsm::trsm_stacked_run;
 use lac_fpu::DivSqrtOp;
 use lac_sim::{ExecStats, ExtOp, ExternalMem, Lac, ProgramBuilder, SimError, Source};
 use linalg_ref::Matrix;
@@ -28,7 +28,10 @@ const REG_A: usize = 3;
 /// Factor an `nr × nr` SPD tile stored column-major at offset 0 of `mem`
 /// (full matrix; only the lower triangle is significant). On return the
 /// lower triangle holds `L` with `A = L·Lᵀ`.
-pub fn run_cholesky_kernel(lac: &mut Lac, mem: &mut ExternalMem) -> Result<CholReport, SimError> {
+pub(crate) fn cholesky_kernel_run(
+    lac: &mut Lac,
+    mem: &mut ExternalMem,
+) -> Result<CholReport, SimError> {
     let nr = lac.config().nr;
     let p = lac.config().fpu.pipeline_depth;
     let q = lac.config().divsqrt.latency(DivSqrtOp::InvSqrt);
@@ -40,7 +43,13 @@ pub fn run_cholesky_kernel(lac: &mut Lac, mem: &mut ExternalMem) -> Result<CholR
     for i in 0..nr {
         let step = b.push_step();
         for c in 0..nr {
-            b.ext(step, ExtOp::Load { col: c, addr: addr(i, c) });
+            b.ext(
+                step,
+                ExtOp::Load {
+                    col: c,
+                    addr: addr(i, c),
+                },
+            );
             b.pe_mut(step, i, c).reg_write = Some((REG_A, Source::ColBus));
         }
     }
@@ -107,7 +116,13 @@ pub fn run_cholesky_kernel(lac: &mut Lac, mem: &mut ExternalMem) -> Result<CholR
         let step = b.push_step();
         for c in 0..=s {
             b.pe_mut(step, s, c).col_write = Some(Source::Reg(REG_A));
-            b.ext(step, ExtOp::Store { col: c, addr: c * nr + s });
+            b.ext(
+                step,
+                ExtOp::Store {
+                    col: c,
+                    addr: c * nr + s,
+                },
+            );
         }
     }
 
@@ -121,11 +136,14 @@ pub fn run_cholesky_kernel(lac: &mut Lac, mem: &mut ExternalMem) -> Result<CholR
 /// sub-diagonal panel with the stacked TRSM kernel, and downdate the
 /// trailing matrix with the negated SYRK kernel. Returns `L` (lower) and the
 /// summed stats.
-pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecStats), SimError> {
+pub(crate) fn blocked_cholesky_run(
+    lac: &mut Lac,
+    a: &Matrix,
+) -> Result<(Matrix, ExecStats), SimError> {
     let nr = lac.config().nr;
     let kk = a.rows();
     assert_eq!(a.cols(), kk);
-    assert!(kk % nr == 0);
+    assert!(kk.is_multiple_of(nr));
     let k = kk / nr;
     let mut work = a.clone();
     let mut total = ExecStats::default();
@@ -135,11 +153,17 @@ pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecSt
         // 1. Diagonal tile.
         let tile = work.block(r0, r0, nr, nr);
         let mut mem = ExternalMem::from_vec(
-            (0..nr * nr).map(|x| tile[(x % nr, x / nr)]).collect::<Vec<_>>(),
+            (0..nr * nr)
+                .map(|x| tile[(x % nr, x / nr)])
+                .collect::<Vec<_>>(),
         );
-        let rep = run_cholesky_kernel(lac, &mut mem)?;
+        let rep = cholesky_kernel_run(lac, &mut mem)?;
         total.merge(&rep.stats);
-        let l11 = Matrix::from_fn(nr, nr, |i, j| if i >= j { mem.read(j * nr + i) } else { 0.0 });
+        let l11 = Matrix::from_fn(
+            nr,
+            nr,
+            |i, j| if i >= j { mem.read(j * nr + i) } else { 0.0 },
+        );
         work.set_block(r0, r0, &l11);
 
         let rest = kk - r0 - nr;
@@ -161,7 +185,7 @@ pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecSt
             }
         }
         let mut emem = ExternalMem::from_vec(mem);
-        let rep = run_trsm_stacked(lac, &mut emem, rest)?;
+        let rep = trsm_stacked_run(lac, &mut emem, rest)?;
         total.merge(&rep.stats);
         let l21 = Matrix::from_fn(rest, nr, |i, j| emem.read(nr * nr + i * nr + j));
         work.set_block(r0 + nr, r0, &l21);
@@ -181,11 +205,15 @@ pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecSt
             }
         }
         let mut emem = ExternalMem::from_vec(mem);
-        let rep = run_syrk(
+        let rep = syrk_run(
             lac,
             &mut emem,
             &lay,
-            &SyrkParams { mc: rest, kc: nr, negate: true },
+            &SyrkParams {
+                mc: rest,
+                kc: nr,
+                negate: true,
+            },
         )?;
         total.merge(&rep.stats);
         let updated = Matrix::from_fn(rest, rest, |i, j| {
@@ -201,6 +229,18 @@ pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecSt
     Ok((work.tril(), total))
 }
 
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `CholKernelWorkload` on a `LacEngine`")]
+pub fn run_cholesky_kernel(lac: &mut Lac, mem: &mut ExternalMem) -> Result<CholReport, SimError> {
+    cholesky_kernel_run(lac, mem)
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `BlockedCholWorkload` on a `LacEngine`")]
+pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecStats), SimError> {
+    blocked_cholesky_run(lac, a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,10 +253,9 @@ mod tests {
     fn kernel_factors_4x4() {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Matrix::random_spd(4, &mut rng);
-        let mut mem =
-            ExternalMem::from_vec((0..16).map(|x| a[(x % 4, x / 4)]).collect::<Vec<_>>());
+        let mut mem = ExternalMem::from_vec((0..16).map(|x| a[(x % 4, x / 4)]).collect::<Vec<_>>());
         let mut lac = Lac::new(LacConfig::default());
-        run_cholesky_kernel(&mut lac, &mut mem).unwrap();
+        cholesky_kernel_run(&mut lac, &mut mem).unwrap();
         let got = Matrix::from_fn(4, 4, |i, j| if i >= j { mem.read(j * 4 + i) } else { 0.0 });
         let expect = cholesky(&a).unwrap();
         assert!(max_abs_diff(&got, &expect) < 1e-9, "{got:?} vs {expect:?}");
@@ -231,10 +270,9 @@ mod tests {
         let q = cfg.divsqrt.latency(DivSqrtOp::InvSqrt);
         let mut rng = StdRng::seed_from_u64(2);
         let a = Matrix::random_spd(4, &mut rng);
-        let mut mem =
-            ExternalMem::from_vec((0..16).map(|x| a[(x % 4, x / 4)]).collect::<Vec<_>>());
+        let mut mem = ExternalMem::from_vec((0..16).map(|x| a[(x % 4, x / 4)]).collect::<Vec<_>>());
         let mut lac = Lac::new(cfg);
-        let rep = run_cholesky_kernel(&mut lac, &mut mem).unwrap();
+        let rep = cholesky_kernel_run(&mut lac, &mut mem).unwrap();
         let model = (2 * p * 4 + q * 4 + 2 * 4 + 8) as u64; // + staging & handshakes
         assert!(
             rep.stats.cycles <= model + 20,
@@ -249,7 +287,7 @@ mod tests {
         for &kk in &[4usize, 8, 16] {
             let a = Matrix::random_spd(kk, &mut rng);
             let mut lac = Lac::new(LacConfig::default());
-            let (l, stats) = run_blocked_cholesky(&mut lac, &a).unwrap();
+            let (l, stats) = blocked_cholesky_run(&mut lac, &a).unwrap();
             let expect = cholesky(&a).unwrap();
             assert!(max_abs_diff(&l, &expect) < 1e-7, "kk={kk}");
             assert!(stats.sfu_ops >= (kk as u64), "one rsqrt per column");

@@ -38,7 +38,7 @@ const T1: usize = 12; // twiddle partial products
 const T2: usize = 18; // twiddled operands b', c', d'
 const TT: usize = 24; // t-layer results
 const Y: usize = 32; // butterfly outputs
-const B_WORDS_NEEDED: usize = 40;
+pub(crate) const B_WORDS_NEEDED: usize = 40;
 
 /// One scalar FMA in a butterfly layer: `dest ← c ± a·b`, optionally also
 /// captured into a register at retire (the bypass network of Figure B.1).
@@ -53,11 +53,25 @@ struct FftOp {
 }
 
 fn op(a: Source, b: Source, c: Source, neg: bool, dest: usize) -> FftOp {
-    FftOp { a, b, c, neg, dest, cap: None }
+    FftOp {
+        a,
+        b,
+        c,
+        neg,
+        dest,
+        cap: None,
+    }
 }
 
 fn opc(a: Source, b: Source, c: Source, neg: bool, dest: usize, cap: usize) -> FftOp {
-    FftOp { a, b, c, neg, dest, cap: Some(cap) }
+    FftOp {
+        a,
+        b,
+        c,
+        neg,
+        dest,
+        cap: Some(cap),
+    }
 }
 
 const ONE: Source = Source::Const(1.0);
@@ -68,10 +82,10 @@ const ZERO: Source = Source::Const(0.0);
 fn stage1_layers() -> Vec<Vec<FftOp>> {
     use Source::{Reg, SramA as A, SramB as B};
     let l3 = vec![
-        op(ONE, B(CD), A(0), false, TT),          // t0re = a_re + c_re
-        op(ONE, B(CD + 1), A(1), false, TT + 1),  // t0im
-        op(ONE, B(CD), A(0), true, TT + 2),       // t1re = a_re - c_re
-        op(ONE, B(CD + 1), A(1), true, TT + 3),   // t1im
+        op(ONE, B(CD), A(0), false, TT),             // t0re = a_re + c_re
+        op(ONE, B(CD + 1), A(1), false, TT + 1),     // t0im
+        op(ONE, B(CD), A(0), true, TT + 2),          // t1re = a_re - c_re
+        op(ONE, B(CD + 1), A(1), true, TT + 3),      // t1im
         opc(ONE, B(CD + 2), A(2), false, TT + 4, 0), // t2re = b_re + d_re
         opc(ONE, B(CD + 3), A(3), false, TT + 5, 1), // t2im
         opc(ONE, B(CD + 3), A(3), true, TT + 6, 2),  // t3re = b_im - d_im
@@ -104,7 +118,7 @@ fn output_layer() -> Vec<FftOp> {
 fn twiddle_layers(w1: Complex, w2: Complex, w3: Complex) -> Vec<Vec<FftOp>> {
     use Source::{Const, Reg, SramA as A, SramB as B};
     let l1 = vec![
-        op(Const(w1.re), A(2), ZERO, false, T1),     // b1re = w1r·b_re
+        op(Const(w1.re), A(2), ZERO, false, T1), // b1re = w1r·b_re
         op(Const(w1.im), A(2), ZERO, false, T1 + 1), // b1im = w1i·b_re
         op(Const(w2.re), A(4), ZERO, false, T1 + 2),
         op(Const(w2.im), A(4), ZERO, false, T1 + 3),
@@ -112,7 +126,7 @@ fn twiddle_layers(w1: Complex, w2: Complex, w3: Complex) -> Vec<Vec<FftOp>> {
         op(Const(w3.im), A(6), ZERO, false, T1 + 5),
     ];
     let l2 = vec![
-        opc(Const(w1.im), A(3), B(T1), true, T2, 0),      // b're = b1re − w1i·b_im
+        opc(Const(w1.im), A(3), B(T1), true, T2, 0), // b're = b1re − w1i·b_im
         opc(Const(w1.re), A(3), B(T1 + 1), false, T2 + 1, 1), // b'im = b1im + w1r·b_im
         op(Const(w2.im), A(5), B(T1 + 2), true, T2 + 2),
         op(Const(w2.re), A(5), B(T1 + 3), false, T2 + 3),
@@ -120,14 +134,14 @@ fn twiddle_layers(w1: Complex, w2: Complex, w3: Complex) -> Vec<Vec<FftOp>> {
         op(Const(w3.re), A(7), B(T1 + 5), false, T2 + 5),
     ];
     let l3 = vec![
-        op(ONE, B(T2 + 2), A(0), false, TT),         // t0re = a_re + c're
-        op(ONE, B(T2 + 3), A(1), false, TT + 1),     // t0im
-        op(ONE, B(T2 + 2), A(0), true, TT + 2),      // t1re = a_re − c're
-        op(ONE, B(T2 + 3), A(1), true, TT + 3),      // t1im
+        op(ONE, B(T2 + 2), A(0), false, TT),     // t0re = a_re + c're
+        op(ONE, B(T2 + 3), A(1), false, TT + 1), // t0im
+        op(ONE, B(T2 + 2), A(0), true, TT + 2),  // t1re = a_re − c're
+        op(ONE, B(T2 + 3), A(1), true, TT + 3),  // t1im
         opc(ONE, Reg(0), B(T2 + 4), false, TT + 4, 0), // t2re = b're + d're
         opc(ONE, Reg(1), B(T2 + 5), false, TT + 5, 1), // t2im = b'im + d'im
-        opc(ONE, B(T2 + 5), Reg(1), true, TT + 6, 2),  // t3re = b'im − d'im
-        opc(ONE, Reg(0), B(T2 + 4), true, TT + 7, 3),  // t3im = d're − b're
+        opc(ONE, B(T2 + 5), Reg(1), true, TT + 6, 2), // t3re = b'im − d'im
+        opc(ONE, Reg(0), B(T2 + 4), true, TT + 7, 3), // t3im = d're − b're
     ];
     vec![l1, l2, l3, output_layer()]
 }
@@ -136,6 +150,7 @@ fn twiddle_layers(w1: Complex, w2: Complex, w3: Complex) -> Vec<Vec<FftOp>> {
 /// FMA per cycle within a layer, results retire `p` cycles later into
 /// B memory (and optionally the register file); the next layer starts after
 /// the previous one has fully retired.
+#[allow(clippy::needless_range_loop)] // layer indexes parallel per-PE op lists
 fn emit_layers(b: &mut ProgramBuilder, p: usize, per_pe: &[Vec<Vec<FftOp>>]) {
     let nr = b.nr();
     let nlayers = per_pe[0].len();
@@ -172,11 +187,14 @@ fn digit_reverse_64(q: usize) -> usize {
 /// Run a 64-point complex FFT. `mem` holds the input signal interleaved
 /// (`re` at `2q`, `im` at `2q+1`, natural order) and receives the transform
 /// in the same format.
-pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, SimError> {
+pub(crate) fn fft64_run(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, SimError> {
     let nr = lac.config().nr;
     assert_eq!(nr, 4, "the 64-point kernel is written for the 4×4 core");
     let p = lac.config().fpu.pipeline_depth;
-    assert!(lac.config().sram_b_words >= B_WORDS_NEEDED, "B memory too small for FFT scratch");
+    assert!(
+        lac.config().sram_b_words >= B_WORDS_NEEDED,
+        "B memory too small for FFT scratch"
+    );
     assert!(lac.config().sram_a_words >= 8);
     assert!(lac.config().rf_entries >= 4);
 
@@ -242,7 +260,11 @@ pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, Si
         .map(|idx| {
             let k = idx % 4; // mesh column = butterfly index
             let ang = -2.0 * PI * k as f64 / 16.0;
-            twiddle_layers(Complex::cis(ang), Complex::cis(2.0 * ang), Complex::cis(3.0 * ang))
+            twiddle_layers(
+                Complex::cis(ang),
+                Complex::cis(2.0 * ang),
+                Complex::cis(3.0 * ang),
+            )
         })
         .collect();
     emit_layers(&mut b, p, &s2);
@@ -255,8 +277,7 @@ pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, Si
                     for reim in 0..2 {
                         let step = b.push_step();
                         for h in 0..4 {
-                            b.pe_mut(step, h, k).row_write =
-                                Some(Source::SramB(Y + 2 * m + reim));
+                            b.pe_mut(step, h, k).row_write = Some(Source::SramB(Y + 2 * m + reim));
                             b.pe_mut(step, h, m).sram_b_write =
                                 Some((HOME + 2 * k + reim, Source::RowBus));
                         }
@@ -286,7 +307,8 @@ pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, Si
                         for a in 0..4 {
                             b.pe_mut(step, m, a).col_write =
                                 Some(Source::SramB(HOME + 2 * bb + reim));
-                            b.pe_mut(step, bb, a).sram_a_write = Some((2 * m + reim, Source::ColBus));
+                            b.pe_mut(step, bb, a).sram_a_write =
+                                Some((2 * m + reim, Source::ColBus));
                         }
                     }
                 }
@@ -309,7 +331,11 @@ pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, Si
             let (bb, a) = (idx / 4, idx % 4);
             let k3 = (4 * a + bb) as f64;
             let ang = -2.0 * PI * k3 / 64.0;
-            twiddle_layers(Complex::cis(ang), Complex::cis(2.0 * ang), Complex::cis(3.0 * ang))
+            twiddle_layers(
+                Complex::cis(ang),
+                Complex::cis(2.0 * ang),
+                Complex::cis(3.0 * ang),
+            )
         })
         .collect();
     emit_layers(&mut b, p, &s3);
@@ -322,8 +348,7 @@ pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, Si
                     for reim in 0..2 {
                         let step = b.push_step();
                         for a in 0..4 {
-                            b.pe_mut(step, bb, a).col_write =
-                                Some(Source::SramB(Y + 2 * m + reim));
+                            b.pe_mut(step, bb, a).col_write = Some(Source::SramB(Y + 2 * m + reim));
                             b.pe_mut(step, m, a).sram_b_write =
                                 Some((HOME + 2 * bb + reim, Source::ColBus));
                         }
@@ -359,7 +384,16 @@ pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, Si
 
     let prog = b.build();
     let stats = lac.run(&prog, mem)?;
-    Ok(Fft64Report { stats, fma_per_pe: stats.fma_ops / 16 })
+    Ok(Fft64Report {
+        stats,
+        fma_per_pe: stats.fma_ops / 16,
+    })
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `Fft64Workload` on a `LacEngine`")]
+pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, SimError> {
+    fft64_run(lac, mem)
 }
 
 #[cfg(test)]
@@ -372,7 +406,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn fft_cfg() -> LacConfig {
-        LacConfig { sram_b_words: 64, sram_a_words: 64, ..Default::default() }
+        LacConfig {
+            sram_b_words: 64,
+            sram_a_words: 64,
+            ..Default::default()
+        }
     }
 
     fn run_case(x: &[Complex]) -> (Vec<Complex>, Fft64Report) {
@@ -383,7 +421,7 @@ mod tests {
         }
         let mut emem = ExternalMem::from_vec(mem);
         let mut lac = Lac::new(fft_cfg());
-        let rep = run_fft64(&mut lac, &mut emem).unwrap();
+        let rep = fft64_run(&mut lac, &mut emem).unwrap();
         let out: Vec<Complex> = (0..64)
             .map(|q| Complex::new(emem.read(2 * q), emem.read(2 * q + 1)))
             .collect();

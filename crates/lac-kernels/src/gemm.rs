@@ -27,13 +27,33 @@ pub struct GemmParams {
     pub negate: bool,
 }
 
+impl Default for GemmParams {
+    /// Canonical small problem (16³, overlapped) — a base for
+    /// struct-update syntax: `GemmParams { negate: true, ..Default::default() }`.
+    fn default() -> Self {
+        Self::new(16, 16, 16)
+    }
+}
+
 impl GemmParams {
     pub fn new(mc: usize, kc: usize, n: usize) -> Self {
-        Self { mc, kc, n, overlap: true, negate: false }
+        Self {
+            mc,
+            kc,
+            n,
+            overlap: true,
+            negate: false,
+        }
     }
 
     pub fn simple(mc: usize, kc: usize, n: usize) -> Self {
-        Self { mc, kc, n, overlap: false, negate: false }
+        Self {
+            mc,
+            kc,
+            n,
+            overlap: false,
+            negate: false,
+        }
     }
 }
 
@@ -55,7 +75,7 @@ const REG_PREFETCH: usize = 1;
 ///
 /// `mem` must contain A, B and C per `lay`; on success C has been updated in
 /// place and the returned report carries the cycle/energy counters.
-pub fn run_gemm(
+pub(crate) fn gemm_run(
     lac: &mut Lac,
     mem: &mut lac_sim::ExternalMem,
     lay: &GemmDataLayout,
@@ -63,18 +83,37 @@ pub fn run_gemm(
 ) -> Result<GemmReport, SimError> {
     let nr = lac.config().nr;
     let p = lac.config().fpu.pipeline_depth;
-    let GemmParams { mc, kc, n, overlap, negate } = *params;
-    assert!(mc % nr == 0 && kc % nr == 0 && n % nr == 0, "dimensions must be multiples of nr");
-    assert_eq!((lay.mc, lay.kc, lay.n), (mc, kc, n), "layout/params mismatch");
+    let GemmParams {
+        mc,
+        kc,
+        n,
+        overlap,
+        negate,
+    } = *params;
+    assert!(
+        mc % nr == 0 && kc % nr == 0 && n % nr == 0,
+        "dimensions must be multiples of nr"
+    );
+    assert_eq!(
+        (lay.mc, lay.kc, lay.n),
+        (mc, kc, n),
+        "layout/params mismatch"
+    );
     let alay = ALayout::new(mc, kc, nr);
     assert!(
         alay.words_per_pe() <= lac.config().sram_a_words,
         "A block does not fit the local store"
     );
     let b_words_needed = if overlap { 2 * kc } else { kc };
-    assert!(b_words_needed <= lac.config().sram_b_words, "B panel does not fit the local store");
+    assert!(
+        b_words_needed <= lac.config().sram_b_words,
+        "B panel does not fit the local store"
+    );
 
-    assert!(!overlap || kc >= 2 * nr, "overlap schedule needs kc >= 2·nr for the C traffic");
+    assert!(
+        !overlap || kc >= 2 * nr,
+        "overlap schedule needs kc >= 2·nr for the C traffic"
+    );
     let nblocks = mc / nr;
     let npanels = n / nr;
     // Overlapped B prefetch only fits if the per-block chunk leaves room
@@ -95,7 +134,13 @@ pub fn run_gemm(
                 let lc = t / mc; // which of this bus's A-columns
                 let i = t % mc;
                 let pcol = lc * nr + c;
-                b.ext(step, ExtOp::Load { col: c, addr: lay.a_addr(i, pcol) });
+                b.ext(
+                    step,
+                    ExtOp::Load {
+                        col: c,
+                        addr: lay.a_addr(i, pcol),
+                    },
+                );
                 let r = i % nr;
                 b.pe_mut(step, r, c).sram_a_write = Some((alay.addr(i, pcol), Source::ColBus));
             }
@@ -115,7 +160,13 @@ pub fn run_gemm(
             for pp in 0..kc {
                 let step = b.push_step();
                 for c in 0..nr {
-                    b.ext(step, ExtOp::Load { col: c, addr: lay.b_addr(pp, jp * nr + c) });
+                    b.ext(
+                        step,
+                        ExtOp::Load {
+                            col: c,
+                            addr: lay.b_addr(pp, jp * nr + c),
+                        },
+                    );
                     for r in 0..nr {
                         b.pe_mut(step, r, c).sram_b_write = Some((buf + pp, Source::ColBus));
                     }
@@ -130,7 +181,13 @@ pub fn run_gemm(
             for s in 0..nr {
                 let step = b.push_step();
                 for c in 0..nr {
-                    b.ext(step, ExtOp::Load { col: c, addr: lay.c_addr(s, jp * nr + c) });
+                    b.ext(
+                        step,
+                        ExtOp::Load {
+                            col: c,
+                            addr: lay.c_addr(s, jp * nr + c),
+                        },
+                    );
                     if overlap {
                         b.pe_mut(step, s, c).reg_write = Some((REG_PREFETCH, Source::ColBus));
                     } else {
@@ -176,10 +233,13 @@ pub fn run_gemm(
                         let step = mac_start + s;
                         for c in 0..nr {
                             b.pe_mut(step, s, c).col_write = Some(Source::Reg(REG_STREAM_OUT));
-                            b.ext(step, ExtOp::Store {
-                                col: c,
-                                addr: lay.c_addr(pb * nr + s, pj * nr + c),
-                            });
+                            b.ext(
+                                step,
+                                ExtOp::Store {
+                                    col: c,
+                                    addr: lay.c_addr(pb * nr + s, pj * nr + c),
+                                },
+                            );
                         }
                     }
                 }
@@ -195,10 +255,13 @@ pub fn run_gemm(
                     for s in 0..nr {
                         let step = mac_start + nr + s;
                         for c in 0..nr {
-                            b.ext(step, ExtOp::Load {
-                                col: c,
-                                addr: lay.c_addr(nb * nr + s, nj * nr + c),
-                            });
+                            b.ext(
+                                step,
+                                ExtOp::Load {
+                                    col: c,
+                                    addr: lay.c_addr(nb * nr + s, nj * nr + c),
+                                },
+                            );
                             b.pe_mut(step, s, c).reg_write = Some((REG_PREFETCH, Source::ColBus));
                         }
                     }
@@ -211,10 +274,13 @@ pub fn run_gemm(
                         let pp = b_prefetched;
                         let step = mac_start + t;
                         for c in 0..nr {
-                            b.ext(step, ExtOp::Load {
-                                col: c,
-                                addr: lay.b_addr(pp, (jp + 1) * nr + c),
-                            });
+                            b.ext(
+                                step,
+                                ExtOp::Load {
+                                    col: c,
+                                    addr: lay.b_addr(pp, (jp + 1) * nr + c),
+                                },
+                            );
                             for r in 0..nr {
                                 b.pe_mut(step, r, c).sram_b_write =
                                     Some((next_buf + pp, Source::ColBus));
@@ -251,10 +317,13 @@ pub fn run_gemm(
                     let step = b.push_step();
                     for c in 0..nr {
                         b.pe_mut(step, s, c).col_write = Some(Source::Acc);
-                        b.ext(step, ExtOp::Store {
-                            col: c,
-                            addr: lay.c_addr(blk * nr + s, jp * nr + c),
-                        });
+                        b.ext(
+                            step,
+                            ExtOp::Store {
+                                col: c,
+                                addr: lay.c_addr(blk * nr + s, jp * nr + c),
+                            },
+                        );
                     }
                 }
                 let next = if blk + 1 < nblocks {
@@ -268,10 +337,13 @@ pub fn run_gemm(
                     for s in 0..nr {
                         let step = b.push_step();
                         for c in 0..nr {
-                            b.ext(step, ExtOp::Load {
-                                col: c,
-                                addr: lay.c_addr(nb * nr + s, nj * nr + c),
-                            });
+                            b.ext(
+                                step,
+                                ExtOp::Load {
+                                    col: c,
+                                    addr: lay.c_addr(nb * nr + s, nj * nr + c),
+                                },
+                            );
                             b.pe_mut(step, s, c).acc_load = Some(Source::ColBus);
                         }
                     }
@@ -286,7 +358,13 @@ pub fn run_gemm(
             let step = b.push_step();
             for c in 0..nr {
                 b.pe_mut(step, s, c).col_write = Some(Source::Reg(REG_STREAM_OUT));
-                b.ext(step, ExtOp::Store { col: c, addr: lay.c_addr(pb * nr + s, pj * nr + c) });
+                b.ext(
+                    step,
+                    ExtOp::Store {
+                        col: c,
+                        addr: lay.c_addr(pb * nr + s, pj * nr + c),
+                    },
+                );
             }
         }
     }
@@ -294,7 +372,22 @@ pub fn run_gemm(
     let prog = b.build();
     let stats = lac.run(&prog, mem)?;
     let useful = (mc * kc * n) as u64;
-    Ok(GemmReport { stats, useful_macs: useful, utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64) })
+    Ok(GemmReport {
+        stats,
+        useful_macs: useful,
+        utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
+    })
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `GemmWorkload` on a `LacEngine`")]
+pub fn run_gemm(
+    lac: &mut Lac,
+    mem: &mut lac_sim::ExternalMem,
+    lay: &GemmDataLayout,
+    params: &GemmParams,
+) -> Result<GemmReport, SimError> {
+    gemm_run(lac, mem, lay, params)
 }
 
 #[cfg(test)]
@@ -305,7 +398,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup(mc: usize, kc: usize, n: usize, seed: u64) -> (Matrix, Matrix, Matrix, GemmDataLayout, ExternalMem) {
+    fn setup(
+        mc: usize,
+        kc: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Matrix, Matrix, Matrix, GemmDataLayout, ExternalMem) {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Matrix::random(mc, kc, &mut rng);
         let bm = Matrix::random(kc, n, &mut rng);
@@ -331,7 +429,7 @@ mod tests {
         let (a, bm, c, lay, mut mem) = setup(8, 8, 8, 1);
         let mut lac = Lac::new(LacConfig::default());
         let params = GemmParams::simple(8, 8, 8);
-        let rep = run_gemm(&mut lac, &mut mem, &lay, &params).unwrap();
+        let rep = gemm_run(&mut lac, &mut mem, &lay, &params).unwrap();
         let got = lay.unpack_c(mem.as_slice());
         let expect = reference(&a, &bm, &c, false);
         assert!(max_abs_diff(&got, &expect) < 1e-12);
@@ -343,7 +441,7 @@ mod tests {
         let (a, bm, c, lay, mut mem) = setup(16, 16, 16, 2);
         let mut lac = Lac::new(LacConfig::default());
         let params = GemmParams::new(16, 16, 16);
-        let rep = run_gemm(&mut lac, &mut mem, &lay, &params).unwrap();
+        let rep = gemm_run(&mut lac, &mut mem, &lay, &params).unwrap();
         let got = lay.unpack_c(mem.as_slice());
         let expect = reference(&a, &bm, &c, false);
         assert!(max_abs_diff(&got, &expect) < 1e-12);
@@ -357,8 +455,8 @@ mod tests {
             let mut mem2 = mem1.clone();
             let mut lac1 = Lac::new(LacConfig::default());
             let mut lac2 = Lac::new(LacConfig::default());
-            let r1 = run_gemm(&mut lac1, &mut mem1, &lay, &GemmParams::simple(mc, kc, n)).unwrap();
-            let r2 = run_gemm(&mut lac2, &mut mem2, &lay, &GemmParams::new(mc, kc, n)).unwrap();
+            let r1 = gemm_run(&mut lac1, &mut mem1, &lay, &GemmParams::simple(mc, kc, n)).unwrap();
+            let r2 = gemm_run(&mut lac2, &mut mem2, &lay, &GemmParams::new(mc, kc, n)).unwrap();
             assert!(
                 r2.utilization > r1.utilization,
                 "overlap {} vs simple {}",
@@ -372,8 +470,11 @@ mod tests {
     fn negate_computes_c_minus_ab() {
         let (a, bm, c, lay, mut mem) = setup(8, 8, 8, 4);
         let mut lac = Lac::new(LacConfig::default());
-        let params = GemmParams { negate: true, ..GemmParams::new(8, 8, 8) };
-        run_gemm(&mut lac, &mut mem, &lay, &params).unwrap();
+        let params = GemmParams {
+            negate: true,
+            ..GemmParams::new(8, 8, 8)
+        };
+        gemm_run(&mut lac, &mut mem, &lay, &params).unwrap();
         let got = lay.unpack_c(mem.as_slice());
         let expect = reference(&a, &bm, &c, true);
         assert!(max_abs_diff(&got, &expect) < 1e-12);
@@ -387,18 +488,21 @@ mod tests {
         for &kc in &[16usize, 64, 128] {
             let (_, _, _, lay, mut mem) = setup(16, kc, 64, 5);
             let mut lac = Lac::new(LacConfig::default());
-            let rep = run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(16, kc, 64)).unwrap();
+            let rep = gemm_run(&mut lac, &mut mem, &lay, &GemmParams::new(16, kc, 64)).unwrap();
             assert!(rep.utilization > last, "kc={kc}");
             last = rep.utilization;
         }
-        assert!(last > 0.85, "large-kc utilization should approach peak, got {last}");
+        assert!(
+            last > 0.85,
+            "large-kc utilization should approach peak, got {last}"
+        );
     }
 
     #[test]
     fn tall_block_and_wide_panel() {
         let (a, bm, c, lay, mut mem) = setup(24, 8, 32, 6);
         let mut lac = Lac::new(LacConfig::default());
-        run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(24, 8, 32)).unwrap();
+        gemm_run(&mut lac, &mut mem, &lay, &GemmParams::new(24, 8, 32)).unwrap();
         let got = lay.unpack_c(mem.as_slice());
         assert!(max_abs_diff(&got, &reference(&a, &bm, &c, false)) < 1e-12);
     }
@@ -406,17 +510,20 @@ mod tests {
     #[test]
     fn respects_bandwidth_cap_when_not_exceeded() {
         // nr words/cycle is the natural cap (one per column bus).
-        let cfg = LacConfig { ext_words_per_cycle: Some(4), ..Default::default() };
+        let cfg = LacConfig {
+            ext_words_per_cycle: Some(4),
+            ..Default::default()
+        };
         let (_, _, _, lay, mut mem) = setup(8, 8, 8, 7);
         let mut lac = Lac::new(cfg);
-        run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(8, 8, 8)).unwrap();
+        gemm_run(&mut lac, &mut mem, &lay, &GemmParams::new(8, 8, 8)).unwrap();
     }
 
     #[test]
     fn stats_account_external_traffic() {
         let (_, _, _, lay, mut mem) = setup(8, 8, 8, 8);
         let mut lac = Lac::new(LacConfig::default());
-        let rep = run_gemm(&mut lac, &mut mem, &lay, &GemmParams::simple(8, 8, 8)).unwrap();
+        let rep = gemm_run(&mut lac, &mut mem, &lay, &GemmParams::simple(8, 8, 8)).unwrap();
         // A once (mc·kc), B once (kc·n), C in once (mc·n).
         let expected_reads = 8 * 8 + 8 * 8 + 8 * 8;
         assert_eq!(rep.stats.ext_reads, expected_reads as u64);

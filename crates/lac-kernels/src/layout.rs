@@ -18,7 +18,10 @@ pub struct ALayout {
 
 impl ALayout {
     pub fn new(mc: usize, kc: usize, nr: usize) -> Self {
-        assert!(mc % nr == 0 && kc % nr == 0, "mc, kc must be multiples of nr");
+        assert!(
+            mc.is_multiple_of(nr) && kc.is_multiple_of(nr),
+            "mc, kc must be multiples of nr"
+        );
         Self { mc, kc, nr }
     }
 
@@ -55,7 +58,14 @@ impl GemmDataLayout {
         let a_off = 0;
         let b_off = a_off + mc * kc;
         let c_off = b_off + kc * n;
-        Self { mc, kc, n, a_off, b_off, c_off }
+        Self {
+            mc,
+            kc,
+            n,
+            a_off,
+            b_off,
+            c_off,
+        }
     }
 
     pub fn total_words(&self) -> usize {

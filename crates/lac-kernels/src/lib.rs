@@ -8,19 +8,28 @@
 //! emits the next phase accordingly, while still paying every bus transfer
 //! and compare cycle.
 //!
+//! Every kernel is exposed through the unified [`Workload`] trait and run
+//! on a [`lac_sim::LacEngine`] session (see [`workload`]); [`registry`]
+//! enumerates one canonical instance of each for data-driven harnesses.
+//! The pre-engine free functions (`run_gemm`, `run_blocked_cholesky`, …)
+//! remain as deprecated wrappers.
+//!
 //! All kernels are functionally verified against `linalg-ref` in their tests,
 //! and their measured cycle counts are compared against the dissertation's
 //! analytical estimates in `lac-model`'s validation suite.
 //!
-//! | Module | Dissertation section | Operation |
-//! |---|---|---|
-//! | [`gemm`] | §3.1–3.4 | rank-1-update GEMM, C-prefetch overlap |
-//! | [`syrk`] | §5.2 | SYRK with bus-transpose |
-//! | [`trsm`] | §5.3 | stacked TRSM + blocked driver |
-//! | [`chol`] | §6.1.1 | nr×nr Cholesky kernel + blocked driver |
-//! | [`lu`] | §6.1.2 | panel LU with partial pivoting |
-//! | [`vecnorm`] | §6.1.3 | vector norm with/without MAC extensions |
-//! | [`fft`] | §6.2 / App. B | 64-point radix-4 FFT on the core |
+//! | Module | Dissertation section | Operation | Workloads |
+//! |---|---|---|---|
+//! | [`gemm`] | §3.1–3.4 | rank-1-update GEMM, C-prefetch overlap | [`GemmWorkload`] |
+//! | [`syrk`] | §5.2 | SYRK with bus-transpose | [`SyrkWorkload`] |
+//! | [`trsm`] | §5.3 | stacked TRSM + blocked driver | [`TrsmStackedWorkload`], [`BlockedTrsmWorkload`] |
+//! | [`trmm`] | §5.1 | TRMM as growing-panel GEMMs | [`TrmmWorkload`] |
+//! | [`symm`] | §5.1 | SYMM with transposed-block recovery | [`SymmWorkload`] |
+//! | [`chol`] | §6.1.1 | nr×nr Cholesky kernel + blocked driver | [`CholKernelWorkload`], [`BlockedCholWorkload`] |
+//! | [`lu`] | §6.1.2 | panel LU with partial pivoting | [`LuPanelWorkload`], [`BlockedLuWorkload`] |
+//! | [`qr`] | §6.1.3 | Householder QR panel | [`QrPanelWorkload`] |
+//! | [`vecnorm`] | §6.1.3 | vector norm with/without MAC extensions | [`VecnormWorkload`] |
+//! | [`fft`] | §6.2 / App. B | 64-point radix-4 FFT on the core | [`Fft64Workload`] |
 
 pub mod chol;
 pub mod fft;
@@ -33,15 +42,41 @@ pub mod syrk;
 pub mod trmm;
 pub mod trsm;
 pub mod vecnorm;
+pub mod workload;
 
-pub use chol::{run_blocked_cholesky, run_cholesky_kernel, CholReport};
-pub use fft::{run_fft64, Fft64Report};
-pub use gemm::{run_gemm, GemmParams, GemmReport};
+pub use chol::CholReport;
+pub use fft::Fft64Report;
+pub use gemm::{GemmParams, GemmReport};
 pub use layout::{ALayout, GemmDataLayout};
-pub use lu::{lu_panel_matrix, run_blocked_lu, run_lu_panel, LuOptions, LuReport};
-pub use qr::{run_qr_panel, QrPanelReport};
+pub use lu::{pack_to_factors, LuOptions, LuReport};
+pub use qr::QrPanelReport;
+pub use syrk::{SyrkDataLayout, SyrkParams, SyrkReport};
+pub use trsm::TrsmReport;
+pub use vecnorm::{VnormOptions, VnormReport};
+pub use workload::{
+    registry, BlockedCholWorkload, BlockedLuWorkload, BlockedTrsmWorkload, CholKernelWorkload,
+    Details, Fft64Workload, GemmWorkload, KernelReport, LuPanelWorkload, QrPanelWorkload,
+    SymmWorkload, SyrkWorkload, TrmmWorkload, TrsmStackedWorkload, VecnormWorkload, Workload,
+};
+
+// Deprecated pre-engine entry points, re-exported for source compatibility.
+#[allow(deprecated)]
+pub use chol::{run_blocked_cholesky, run_cholesky_kernel};
+#[allow(deprecated)]
+pub use fft::run_fft64;
+#[allow(deprecated)]
+pub use gemm::run_gemm;
+#[allow(deprecated)]
+pub use lu::{lu_panel_matrix, run_blocked_lu, run_lu_panel};
+#[allow(deprecated)]
+pub use qr::run_qr_panel;
+#[allow(deprecated)]
 pub use symm::run_blocked_symm;
-pub use syrk::{run_syrk, SyrkDataLayout, SyrkParams, SyrkReport};
+#[allow(deprecated)]
+pub use syrk::run_syrk;
+#[allow(deprecated)]
 pub use trmm::run_blocked_trmm;
-pub use trsm::{run_blocked_trsm, run_trsm_stacked, TrsmReport};
-pub use vecnorm::{run_vecnorm, VnormOptions, VnormReport};
+#[allow(deprecated)]
+pub use trsm::{run_blocked_trsm, run_trsm_stacked};
+#[allow(deprecated)]
+pub use vecnorm::run_vecnorm;

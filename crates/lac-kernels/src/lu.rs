@@ -20,9 +20,7 @@
 //! transfer is still paid through the simulator.
 
 use lac_fpu::DivSqrtOp;
-use lac_sim::{
-    CmpUpdate, ExecStats, ExtOp, ExternalMem, Lac, ProgramBuilder, SimError, Source,
-};
+use lac_sim::{CmpUpdate, ExecStats, ExtOp, ExternalMem, Lac, ProgramBuilder, SimError, Source};
 use linalg_ref::Matrix;
 
 /// Architecture options for the LU kernel (the Table A.2 axes).
@@ -54,7 +52,7 @@ const REG_PIV_TAG: usize = 3;
 /// Factor the `K × nr` panel stored column-major at offset 0 of `mem`
 /// (`addr = j·K + i`). On return the panel holds `L\U` packed LAPACK-style
 /// and the report carries the pivot rows.
-pub fn run_lu_panel(
+pub(crate) fn lu_panel_run(
     lac: &mut Lac,
     mem: &mut ExternalMem,
     k: usize,
@@ -64,7 +62,10 @@ pub fn run_lu_panel(
     let p = lac.config().fpu.pipeline_depth;
     let q = lac.config().divsqrt.latency(DivSqrtOp::Reciprocal);
     let kk = k * nr;
-    assert!(k <= lac.config().sram_b_words, "panel too tall for B memory");
+    assert!(
+        k <= lac.config().sram_b_words,
+        "panel too tall for B memory"
+    );
     let ext_addr = |i: usize, j: usize| j * kk + i;
     let mut total = ExecStats::default();
     let mut pivots = Vec::with_capacity(nr);
@@ -75,7 +76,13 @@ pub fn run_lu_panel(
         for i in 0..kk {
             let step = b.push_step();
             for c in 0..nr {
-                b.ext(step, ExtOp::Load { col: c, addr: ext_addr(i, c) });
+                b.ext(
+                    step,
+                    ExtOp::Load {
+                        col: c,
+                        addr: ext_addr(i, c),
+                    },
+                );
                 b.pe_mut(step, i % nr, c).sram_b_write = Some((i / nr, Source::ColBus));
             }
         }
@@ -212,8 +219,7 @@ pub fn run_lu_panel(
         {
             let mut b = ProgramBuilder::new(nr);
             // Eligible slots per PE row r: global i = s·nr + r > jj.
-            let eligible =
-                |r: usize| (0..k).filter(move |s| s * nr + r > jj).collect::<Vec<_>>();
+            let eligible = |r: usize| (0..k).filter(move |s| s * nr + r > jj).collect::<Vec<_>>();
             let maxlen = (0..nr).map(|r| eligible(r).len()).max().unwrap_or(0);
             let w0 = b.len();
             for _ in 0..maxlen + p {
@@ -270,31 +276,43 @@ pub fn run_lu_panel(
             let step = b.push_step();
             for c in 0..nr {
                 b.pe_mut(step, i % nr, c).col_write = Some(Source::SramB(i / nr));
-                b.ext(step, ExtOp::Store { col: c, addr: ext_addr(i, c) });
+                b.ext(
+                    step,
+                    ExtOp::Store {
+                        col: c,
+                        addr: ext_addr(i, c),
+                    },
+                );
             }
         }
         total.merge(&lac.run(&b.build(), mem)?);
     }
 
-    Ok(LuReport { stats: total, pivots })
+    Ok(LuReport {
+        stats: total,
+        pivots,
+    })
 }
 
 /// Assemble simulator output into the reference crate's [`linalg_ref::LuFactors`]
 /// (for solves and residual checks).
 pub fn pack_to_factors(packed: Matrix, pivots: Vec<usize>) -> linalg_ref::LuFactors {
-    linalg_ref::LuFactors { factors: packed, pivots }
+    linalg_ref::LuFactors {
+        factors: packed,
+        pivots,
+    }
 }
 
 /// Convenience wrapper: factor a `Matrix` panel, returning packed factors,
 /// pivots, and stats.
-pub fn lu_panel_matrix(
+pub(crate) fn lu_panel_matrix_run(
     lac: &mut Lac,
     a: &Matrix,
     opts: &LuOptions,
 ) -> Result<(Matrix, Vec<usize>, ExecStats), SimError> {
     let nr = lac.config().nr;
     assert_eq!(a.cols(), nr);
-    assert!(a.rows() % nr == 0);
+    assert!(a.rows().is_multiple_of(nr));
     let k = a.rows() / nr;
     let kk = a.rows();
     let mut mem = vec![0.0; kk * nr];
@@ -304,7 +322,7 @@ pub fn lu_panel_matrix(
         }
     }
     let mut emem = ExternalMem::from_vec(mem);
-    let rep = run_lu_panel(lac, &mut emem, k, opts)?;
+    let rep = lu_panel_run(lac, &mut emem, k, opts)?;
     let out = Matrix::from_fn(kk, nr, |i, j| emem.read(j * kk + i));
     Ok((out, rep.pivots, rep.stats))
 }
@@ -316,19 +334,19 @@ pub fn lu_panel_matrix(
 ///
 /// Returns `(packed factors, pivots, stats)` matching
 /// [`linalg_ref::lu_partial_pivot`].
-pub fn run_blocked_lu(
+pub(crate) fn blocked_lu_run(
     lac: &mut Lac,
     a: &Matrix,
     opts: &LuOptions,
 ) -> Result<(Matrix, Vec<usize>, ExecStats), SimError> {
-    use crate::gemm::{run_gemm, GemmParams};
+    use crate::gemm::{gemm_run, GemmParams};
     use crate::layout::GemmDataLayout;
-    use crate::trsm::run_trsm_stacked;
+    use crate::trsm::trsm_stacked_run;
 
     let nr = lac.config().nr;
     let kk = a.rows();
     assert_eq!(a.cols(), kk);
-    assert!(kk % nr == 0);
+    assert!(kk.is_multiple_of(nr));
     let kblocks = kk / nr;
     let mut work = a.clone();
     let mut pivots = Vec::with_capacity(kk);
@@ -339,7 +357,7 @@ pub fn run_blocked_lu(
         let rows = kk - c0;
         // 1. Panel factorization on the LAC.
         let panel = work.block(c0, c0, rows, nr);
-        let (factored, ppiv, stats) = lu_panel_matrix(lac, &panel, opts)?;
+        let (factored, ppiv, stats) = lu_panel_matrix_run(lac, &panel, opts)?;
         total.merge(&stats);
         work.set_block(c0, c0, &factored);
         // 2. Apply the panel's row interchanges to the rest of the matrix
@@ -382,7 +400,7 @@ pub fn run_blocked_lu(
             }
         }
         let mut emem = lac_sim::ExternalMem::from_vec(mem);
-        let rep = run_trsm_stacked(lac, &mut emem, right)?;
+        let rep = trsm_stacked_run(lac, &mut emem, right)?;
         total.merge(&rep.stats);
         let u12 = Matrix::from_fn(nr, right, |i, j| emem.read(nr * nr + j * nr + i));
         work.set_block(c0, c0 + nr, &u12);
@@ -392,12 +410,49 @@ pub fn run_blocked_lu(
         let a22 = work.block(c0 + nr, c0 + nr, below, right);
         let lay = GemmDataLayout::new(below, nr, right);
         let mut mem = lac_sim::ExternalMem::from_vec(lay.pack(&l21, &u12, &a22));
-        let params = GemmParams { mc: below, kc: nr, n: right, overlap: false, negate: true };
-        let rep = run_gemm(lac, &mut mem, &lay, &params)?;
+        let params = GemmParams {
+            mc: below,
+            kc: nr,
+            n: right,
+            overlap: false,
+            negate: true,
+        };
+        let rep = gemm_run(lac, &mut mem, &lay, &params)?;
         total.merge(&rep.stats);
         work.set_block(c0 + nr, c0 + nr, &lay.unpack_c(mem.as_slice()));
     }
     Ok((work, pivots, total))
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `LuPanelWorkload` on a `LacEngine`")]
+pub fn run_lu_panel(
+    lac: &mut Lac,
+    mem: &mut ExternalMem,
+    k: usize,
+    opts: &LuOptions,
+) -> Result<LuReport, SimError> {
+    lu_panel_run(lac, mem, k, opts)
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `LuPanelWorkload` on a `LacEngine`")]
+pub fn lu_panel_matrix(
+    lac: &mut Lac,
+    a: &Matrix,
+    opts: &LuOptions,
+) -> Result<(Matrix, Vec<usize>, ExecStats), SimError> {
+    lu_panel_matrix_run(lac, a, opts)
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `BlockedLuWorkload` on a `LacEngine`")]
+pub fn run_blocked_lu(
+    lac: &mut Lac,
+    a: &Matrix,
+    opts: &LuOptions,
+) -> Result<(Matrix, Vec<usize>, ExecStats), SimError> {
+    blocked_lu_run(lac, a, opts)
 }
 
 #[cfg(test)]
@@ -412,7 +467,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let a = Matrix::random(k * 4, 4, &mut rng);
         let mut lac = Lac::new(LacConfig::default());
-        let (got, pivots, stats) = lu_panel_matrix(&mut lac, &a, &opts).unwrap();
+        let (got, pivots, stats) = lu_panel_matrix_run(&mut lac, &a, &opts).unwrap();
         let expect = lu_partial_pivot(&a).unwrap();
         assert_eq!(pivots, expect.pivots, "pivot sequence");
         assert!(
@@ -439,7 +494,12 @@ mod tests {
     fn without_comparator_same_result_more_cycles() {
         let fast = check_panel(4, 3, LuOptions { comparator: true });
         let slow = check_panel(4, 3, LuOptions { comparator: false });
-        assert!(slow.cycles > fast.cycles + 3 * 16, "{} vs {}", slow.cycles, fast.cycles);
+        assert!(
+            slow.cycles > fast.cycles + 3 * 16,
+            "{} vs {}",
+            slow.cycles,
+            fast.cycles
+        );
         assert_eq!(slow.cmp_ops, fast.cmp_ops, "same compares, different speed");
     }
 
@@ -449,8 +509,7 @@ mod tests {
         for kk in [4usize, 8, 16] {
             let a = Matrix::random(kk, kk, &mut rng);
             let mut lac = Lac::new(LacConfig::default());
-            let (packed, pivots, _) =
-                run_blocked_lu(&mut lac, &a, &LuOptions::default()).unwrap();
+            let (packed, pivots, _) = blocked_lu_run(&mut lac, &a, &LuOptions::default()).unwrap();
             let reference = lu_partial_pivot(&a).unwrap();
             assert_eq!(pivots, reference.pivots, "kk={kk}");
             assert!(
@@ -467,7 +526,7 @@ mod tests {
         let kk = 12;
         let a = Matrix::random(kk, kk, &mut rng);
         let mut lac = Lac::new(LacConfig::default());
-        let (packed, pivots, _) = run_blocked_lu(&mut lac, &a, &LuOptions::default()).unwrap();
+        let (packed, pivots, _) = blocked_lu_run(&mut lac, &a, &LuOptions::default()).unwrap();
         let lu = crate::lu::pack_to_factors(packed, pivots);
         let x_true: Vec<f64> = (0..kk).map(|i| (i as f64).cos()).collect();
         let mut b = vec![0.0; kk];
@@ -483,7 +542,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let a = Matrix::random(16, 4, &mut rng);
         let mut lac = Lac::new(LacConfig::default());
-        let (got, _, _) = lu_panel_matrix(&mut lac, &a, &LuOptions::default()).unwrap();
+        let (got, _, _) = lu_panel_matrix_run(&mut lac, &a, &LuOptions::default()).unwrap();
         for j in 0..4 {
             for i in j + 1..16 {
                 assert!(got[(i, j)].abs() <= 1.0 + 1e-12, "multiplier ({i},{j})");

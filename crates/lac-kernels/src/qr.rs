@@ -10,7 +10,7 @@
 //! assembles the factorization, so the per-column cycle/energy cost of each
 //! architecture option is measured end-to-end.
 
-use crate::vecnorm::{run_vecnorm, VnormOptions};
+use crate::vecnorm::{vecnorm_run, VnormOptions};
 use lac_sim::{ExecStats, ExternalMem, Lac, SimError};
 use linalg_ref::householder::HouseholderReflector;
 use linalg_ref::Matrix;
@@ -26,7 +26,7 @@ pub struct QrPanelReport {
 /// Factor an `m × n` panel (`m` a multiple of `4·2` so the norm kernel's
 /// column split works; `m ≥ n`). Vector norms run on the simulated LAC;
 /// reflector application is the GEMM-class update the other kernels cover.
-pub fn run_qr_panel(
+pub(crate) fn qr_panel_run(
     lac: &mut Lac,
     a: &Matrix,
     opts: &VnormOptions,
@@ -49,21 +49,29 @@ pub fn run_qr_panel(
             let mut padded = tail.clone();
             padded.resize(k * 4, 0.0);
             let mut mem = ExternalMem::from_vec(padded);
-            let rep = run_vecnorm(lac, &mut mem, k, opts)?;
+            let rep = vecnorm_run(lac, &mut mem, k, opts)?;
             total.merge(&rep.stats);
             rep.result
         };
 
         // Table 6.1 (right column): the efficient computation.
         let h = if chi2 == 0.0 {
-            HouseholderReflector { u2: vec![0.0; tail.len()], tau: f64::INFINITY, rho: alpha1 }
+            HouseholderReflector {
+                u2: vec![0.0; tail.len()],
+                tau: f64::INFINITY,
+                rho: alpha1,
+            }
         } else {
             let alpha = (alpha1 * alpha1 + chi2 * chi2).sqrt();
             let rho = -alpha1.signum() * alpha;
             let nu1 = alpha1 - rho;
             let u2: Vec<f64> = tail.iter().map(|v| v / nu1).collect();
             let chi2s = chi2 / nu1.abs();
-            HouseholderReflector { u2, tau: (1.0 + chi2s * chi2s) / 2.0, rho }
+            HouseholderReflector {
+                u2,
+                tau: (1.0 + chi2s * chi2s) / 2.0,
+                rho,
+            }
         };
 
         // Apply to the panel (the rank-1 update the LAC runs as in LU S4).
@@ -82,7 +90,21 @@ pub fn run_qr_panel(
         }
         reflectors.push(h);
     }
-    Ok(QrPanelReport { r: work.block(0, 0, n, n).triu(), reflectors, stats: total })
+    Ok(QrPanelReport {
+        r: work.block(0, 0, n, n).triu(),
+        reflectors,
+        stats: total,
+    })
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `QrPanelWorkload` on a `LacEngine`")]
+pub fn run_qr_panel(
+    lac: &mut Lac,
+    a: &Matrix,
+    opts: &VnormOptions,
+) -> Result<QrPanelReport, SimError> {
+    qr_panel_run(lac, a, opts)
 }
 
 #[cfg(test)]
@@ -96,7 +118,10 @@ mod tests {
 
     fn cfg(exp_ext: bool) -> LacConfig {
         LacConfig {
-            fpu: FpuConfig { exponent_extension: exp_ext, ..Default::default() },
+            fpu: FpuConfig {
+                exponent_extension: exp_ext,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -107,11 +132,17 @@ mod tests {
         for &(m, n) in &[(16usize, 4usize), (24, 6)] {
             let a = Matrix::random(m, n, &mut rng);
             let mut lac = Lac::new(cfg(true));
-            let opts = VnormOptions { exponent_extension: true, comparator: false };
-            let rep = run_qr_panel(&mut lac, &a, &opts).unwrap();
+            let opts = VnormOptions {
+                exponent_extension: true,
+                comparator: false,
+            };
+            let rep = qr_panel_run(&mut lac, &a, &opts).unwrap();
             let reference = qr_householder(&a);
             assert!(max_abs_diff(&rep.r, &reference.r) < 1e-8, "({m},{n})");
-            assert!(rep.stats.sfu_ops >= n as u64, "one sqrt per column at least");
+            assert!(
+                rep.stats.sfu_ops >= n as u64,
+                "one sqrt per column at least"
+            );
         }
     }
 
@@ -121,8 +152,11 @@ mod tests {
         let a = Matrix::random(16, 4, &mut rng);
         let run = |exp_ext: bool, comparator: bool| {
             let mut lac = Lac::new(cfg(exp_ext));
-            let opts = VnormOptions { exponent_extension: exp_ext, comparator };
-            run_qr_panel(&mut lac, &a, &opts).unwrap()
+            let opts = VnormOptions {
+                exponent_extension: exp_ext,
+                comparator,
+            };
+            qr_panel_run(&mut lac, &a, &opts).unwrap()
         };
         let fast = run(true, false);
         let mid = run(false, true);
@@ -134,12 +168,16 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // column assembly by index
     fn orthogonality_of_assembled_q() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Matrix::random(16, 4, &mut rng);
         let mut lac = Lac::new(cfg(true));
-        let opts = VnormOptions { exponent_extension: true, comparator: false };
-        let rep = run_qr_panel(&mut lac, &a, &opts).unwrap();
+        let opts = VnormOptions {
+            exponent_extension: true,
+            comparator: false,
+        };
+        let rep = qr_panel_run(&mut lac, &a, &opts).unwrap();
         // Verify A ≈ Q·R by applying the reflectors to R-extended columns.
         let m = 16;
         let mut qr_prod = Matrix::zeros(m, 4);

@@ -9,13 +9,13 @@
 //! produced by the staging address generators when packing the operand for
 //! each GEMM panel, and the arithmetic runs on the simulated core.
 
-use crate::gemm::{run_gemm, GemmParams};
+use crate::gemm::{gemm_run, GemmParams};
 use crate::layout::GemmDataLayout;
 use lac_sim::{ExecStats, ExternalMem, Lac, SimError};
 use linalg_ref::Matrix;
 
 /// `C := C + A·B` with `A (K×K)` symmetric (lower stored), `B (K×W)`.
-pub fn run_blocked_symm(
+pub(crate) fn blocked_symm_run(
     lac: &mut Lac,
     a_lower: &Matrix,
     b: &Matrix,
@@ -24,9 +24,9 @@ pub fn run_blocked_symm(
     let nr = lac.config().nr;
     let kk = a_lower.rows();
     assert_eq!(a_lower.cols(), kk);
-    assert!(kk % nr == 0);
+    assert!(kk.is_multiple_of(nr));
     let w = b.cols();
-    assert!(w % nr == 0);
+    assert!(w.is_multiple_of(nr));
     assert_eq!(b.rows(), kk);
     assert_eq!((c0.rows(), c0.cols()), (kk, w));
     let mut out = c0.clone();
@@ -49,13 +49,29 @@ pub fn run_blocked_symm(
         let c_blk = out.block(r0, 0, nr, w);
         let lay = GemmDataLayout::new(nr, kk, w);
         let mut mem = ExternalMem::from_vec(lay.pack(&a_row, b, &c_blk));
-        let params =
-            GemmParams { mc: nr, kc: kk, n: w, overlap: kk >= 2 * nr, negate: false };
-        let rep = run_gemm(lac, &mut mem, &lay, &params)?;
+        let params = GemmParams {
+            mc: nr,
+            kc: kk,
+            n: w,
+            overlap: kk >= 2 * nr,
+            negate: false,
+        };
+        let rep = gemm_run(lac, &mut mem, &lay, &params)?;
         total.merge(&rep.stats);
         out.set_block(r0, 0, &lay.unpack_c(mem.as_slice()));
     }
     Ok((out, total))
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `SymmWorkload` on a `LacEngine`")]
+pub fn run_blocked_symm(
+    lac: &mut Lac,
+    a_lower: &Matrix,
+    b: &Matrix,
+    c0: &Matrix,
+) -> Result<(Matrix, ExecStats), SimError> {
+    blocked_symm_run(lac, a_lower, b, c0)
 }
 
 #[cfg(test)]
@@ -74,7 +90,7 @@ mod tests {
             let b = Matrix::random(kk, w, &mut rng);
             let c0 = Matrix::random(kk, w, &mut rng);
             let mut lac = Lac::new(LacConfig::default());
-            let (got, _) = run_blocked_symm(&mut lac, &a, &b, &c0).unwrap();
+            let (got, _) = blocked_symm_run(&mut lac, &a, &b, &c0).unwrap();
             let mut expect = c0;
             symm(Side::Left, Triangle::Lower, &a, &b, &mut expect);
             assert!(max_abs_diff(&got, &expect) < 1e-10, "kk={kk} w={w}");
@@ -91,7 +107,7 @@ mod tests {
         let id = Matrix::identity(kk);
         let zero = Matrix::zeros(kk, kk);
         let mut lac = Lac::new(LacConfig::default());
-        let (got, _) = run_blocked_symm(&mut lac, &a, &id, &zero).unwrap();
+        let (got, _) = blocked_symm_run(&mut lac, &a, &id, &zero).unwrap();
         let expect = a.symmetrize_from_lower();
         assert!(max_abs_diff(&got, &expect) < 1e-12);
     }

@@ -22,9 +22,21 @@ pub struct SyrkParams {
     pub negate: bool,
 }
 
+impl Default for SyrkParams {
+    /// Canonical small problem — a base for struct-update syntax:
+    /// `SyrkParams { negate: true, ..Default::default() }`.
+    fn default() -> Self {
+        Self::new(16, 16)
+    }
+}
+
 impl SyrkParams {
     pub fn new(mc: usize, kc: usize) -> Self {
-        Self { mc, kc, negate: false }
+        Self {
+            mc,
+            kc,
+            negate: false,
+        }
     }
 }
 
@@ -38,7 +50,11 @@ pub struct SyrkDataLayout {
 
 impl SyrkDataLayout {
     pub fn new(mc: usize, kc: usize) -> Self {
-        Self { mc, kc, c_off: mc * kc }
+        Self {
+            mc,
+            kc,
+            c_off: mc * kc,
+        }
     }
 
     pub fn total_words(&self) -> usize {
@@ -77,7 +93,7 @@ const REG_A_CUR: usize = 2;
 
 /// Run blocked SYRK. `mem` must hold `A` and `C` per `lay`; on return the
 /// lower triangle of `C` has been updated.
-pub fn run_syrk(
+pub(crate) fn syrk_run(
     lac: &mut Lac,
     mem: &mut lac_sim::ExternalMem,
     lay: &SyrkDataLayout,
@@ -88,8 +104,14 @@ pub fn run_syrk(
     let SyrkParams { mc, kc, negate } = *params;
     assert!(mc % nr == 0 && kc % nr == 0);
     let alay = ALayout::new(mc, kc, nr);
-    assert!(alay.words_per_pe() <= lac.config().sram_a_words, "A block too large");
-    assert!(kc <= lac.config().sram_b_words, "Aᵀ panel too large for B memory");
+    assert!(
+        alay.words_per_pe() <= lac.config().sram_a_words,
+        "A block too large"
+    );
+    assert!(
+        kc <= lac.config().sram_b_words,
+        "Aᵀ panel too large for B memory"
+    );
 
     let nblocks = mc / nr;
     let mut b = ProgramBuilder::new(nr);
@@ -103,9 +125,14 @@ pub fn run_syrk(
                 let lc = t / mc;
                 let i = t % mc;
                 let pcol = lc * nr + c;
-                b.ext(step, ExtOp::Load { col: c, addr: lay.a_addr(i, pcol) });
-                b.pe_mut(step, i % nr, c).sram_a_write =
-                    Some((alay.addr(i, pcol), Source::ColBus));
+                b.ext(
+                    step,
+                    ExtOp::Load {
+                        col: c,
+                        addr: lay.a_addr(i, pcol),
+                    },
+                );
+                b.pe_mut(step, i % nr, c).sram_a_write = Some((alay.addr(i, pcol), Source::ColBus));
             }
         }
     }
@@ -115,10 +142,13 @@ pub fn run_syrk(
         for s in 0..nr {
             let step = b.push_step();
             for c in 0..nr {
-                b.ext(step, ExtOp::Load {
-                    col: c,
-                    addr: lay.c_addr_sym(d * nr + s, d * nr + c),
-                });
+                b.ext(
+                    step,
+                    ExtOp::Load {
+                        col: c,
+                        addr: lay.c_addr_sym(d * nr + s, d * nr + c),
+                    },
+                );
                 b.pe_mut(step, s, c).acc_load = Some(Source::ColBus);
             }
         }
@@ -164,7 +194,13 @@ pub fn run_syrk(
             for c in 0..nr {
                 b.pe_mut(step, s, c).col_write = Some(Source::Acc);
                 if c <= s {
-                    b.ext(step, ExtOp::Store { col: c, addr: lay.c_addr(d * nr + s, d * nr + c) });
+                    b.ext(
+                        step,
+                        ExtOp::Store {
+                            col: c,
+                            addr: lay.c_addr(d * nr + s, d * nr + c),
+                        },
+                    );
                 }
             }
         }
@@ -174,7 +210,13 @@ pub fn run_syrk(
             for s in 0..nr {
                 let step = b.push_step();
                 for c in 0..nr {
-                    b.ext(step, ExtOp::Load { col: c, addr: lay.c_addr(blk * nr + s, d * nr + c) });
+                    b.ext(
+                        step,
+                        ExtOp::Load {
+                            col: c,
+                            addr: lay.c_addr(blk * nr + s, d * nr + c),
+                        },
+                    );
                     b.pe_mut(step, s, c).acc_load = Some(Source::ColBus);
                 }
             }
@@ -198,7 +240,13 @@ pub fn run_syrk(
                 let step = b.push_step();
                 for c in 0..nr {
                     b.pe_mut(step, s, c).col_write = Some(Source::Acc);
-                    b.ext(step, ExtOp::Store { col: c, addr: lay.c_addr(blk * nr + s, d * nr + c) });
+                    b.ext(
+                        step,
+                        ExtOp::Store {
+                            col: c,
+                            addr: lay.c_addr(blk * nr + s, d * nr + c),
+                        },
+                    );
                 }
             }
         }
@@ -213,6 +261,17 @@ pub fn run_syrk(
         useful_macs: useful,
         utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
     })
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `SyrkWorkload` on a `LacEngine`")]
+pub fn run_syrk(
+    lac: &mut Lac,
+    mem: &mut lac_sim::ExternalMem,
+    lay: &SyrkDataLayout,
+    params: &SyrkParams,
+) -> Result<SyrkReport, SimError> {
+    syrk_run(lac, mem, lay, params)
 }
 
 #[cfg(test)]
@@ -241,7 +300,7 @@ mod tests {
         }
         let mut emem = ExternalMem::from_vec(mem);
         let mut lac = Lac::new(LacConfig::default());
-        let rep = run_syrk(&mut lac, &mut emem, &lay, &SyrkParams::new(mc, kc)).unwrap();
+        let rep = syrk_run(&mut lac, &mut emem, &lay, &SyrkParams::new(mc, kc)).unwrap();
         let mut expect = c0;
         syrk(Triangle::Lower, &a, &mut expect);
         let got = Matrix::from_fn(mc, mc, |i, j| {
@@ -300,7 +359,7 @@ mod tests {
         }
         let mut emem = ExternalMem::from_vec(mem);
         let mut lac = Lac::new(LacConfig::default());
-        run_syrk(&mut lac, &mut emem, &lay, &SyrkParams::new(mc, kc)).unwrap();
+        syrk_run(&mut lac, &mut emem, &lay, &SyrkParams::new(mc, kc)).unwrap();
         let d = mc / 4 - 1; // last diagonal block for nr = 4
         for r in 0..4 {
             for c in 0..4 {

@@ -7,14 +7,14 @@
 //! keeps every input row panel unmodified until it is consumed, so the whole
 //! operation is a sequence of GEMM kernels of growing `kc`.
 
-use crate::gemm::{run_gemm, GemmParams};
+use crate::gemm::{gemm_run, GemmParams};
 use crate::layout::GemmDataLayout;
 use lac_sim::{ExecStats, ExternalMem, Lac, SimError};
 use linalg_ref::Matrix;
 
 /// `B := L·B` for lower-triangular `L (K×K)` and `B (K×W)`, `K = k·nr`.
 /// Returns the product and the summed stats of the GEMM phases.
-pub fn run_blocked_trmm(
+pub(crate) fn blocked_trmm_run(
     lac: &mut Lac,
     l: &Matrix,
     b0: &Matrix,
@@ -22,10 +22,10 @@ pub fn run_blocked_trmm(
     let nr = lac.config().nr;
     let kk = l.rows();
     assert_eq!(l.cols(), kk);
-    assert!(kk % nr == 0);
+    assert!(kk.is_multiple_of(nr));
     let k = kk / nr;
     let w = b0.cols();
-    assert!(w % nr == 0);
+    assert!(w.is_multiple_of(nr));
     let mut out = b0.clone();
     let mut total = ExecStats::default();
 
@@ -45,11 +45,21 @@ pub fn run_blocked_trmm(
             overlap: klen >= 2 * nr,
             negate: false,
         };
-        let rep = run_gemm(lac, &mut mem, &lay, &params)?;
+        let rep = gemm_run(lac, &mut mem, &lay, &params)?;
         total.merge(&rep.stats);
         out.set_block(r0, 0, &lay.unpack_c(mem.as_slice()));
     }
     Ok((out, total))
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `TrmmWorkload` on a `LacEngine`")]
+pub fn run_blocked_trmm(
+    lac: &mut Lac,
+    l: &Matrix,
+    b0: &Matrix,
+) -> Result<(Matrix, ExecStats), SimError> {
+    blocked_trmm_run(lac, l, b0)
 }
 
 #[cfg(test)]
@@ -67,7 +77,7 @@ mod tests {
             let l = Matrix::random_lower_triangular(kk, &mut rng);
             let b0 = Matrix::random(kk, w, &mut rng);
             let mut lac = Lac::new(LacConfig::default());
-            let (got, stats) = run_blocked_trmm(&mut lac, &l, &b0).unwrap();
+            let (got, stats) = blocked_trmm_run(&mut lac, &l, &b0).unwrap();
             let mut expect = b0;
             trmm(Side::Left, Triangle::Lower, &l, &mut expect);
             assert!(max_abs_diff(&got, &expect) < 1e-10, "kk={kk} w={w}");
@@ -84,7 +94,7 @@ mod tests {
         let l = Matrix::random_lower_triangular(kk, &mut rng);
         let b0 = Matrix::random(kk, 8, &mut rng);
         let mut lac = Lac::new(LacConfig::default());
-        let (_, stats) = run_blocked_trmm(&mut lac, &l, &b0).unwrap();
+        let (_, stats) = blocked_trmm_run(&mut lac, &l, &b0).unwrap();
         let full = (kk * kk * 8) as u64;
         assert!(stats.mac_ops < full, "triangular profile saves MACs");
         assert!(stats.mac_ops > full / 2, "but more than half remain");

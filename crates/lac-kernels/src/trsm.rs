@@ -2,19 +2,19 @@
 //!
 //! The `nr × nr` diagonal solve is the latency-bound part: every iteration
 //! needs a reciprocal, a scaled row, and a rank-1 update, each dependent on
-//! the last. [`run_trsm_stacked`] implements the *stacked* schedule of
+//! the last. [`trsm_stacked_run`] implements the *stacked* schedule of
 //! Figure 5.5 — `m = W/nr` independent right-hand-side tiles are pushed
 //! through the MAC pipelines back to back, so the scale of tile `s+p` issues
 //! while tile `s` retires and the FPU stages stay full.
 //!
-//! [`run_blocked_trsm`] is the Figure 5.7 driver: each row panel is first
+//! [`blocked_trsm_run`] is the Figure 5.7 driver: each row panel is first
 //! updated with a (negated) GEMM against the already-solved panels, then
 //! solved with the stacked kernel.
 
-use crate::gemm::{run_gemm, GemmParams};
+use crate::gemm::{gemm_run, GemmParams};
 use crate::layout::GemmDataLayout;
-use lac_sim::{ExecStats, ExtOp, ExternalMem, Lac, ProgramBuilder, SimError, Source};
 use lac_fpu::DivSqrtOp;
+use lac_sim::{ExecStats, ExtOp, ExternalMem, Lac, ProgramBuilder, SimError, Source};
 use linalg_ref::Matrix;
 
 /// Report of a TRSM run.
@@ -33,7 +33,7 @@ const REG_L: usize = 2;
 ///
 /// Memory layout: `L` column-major at offset 0 (`nr × nr`), `B` column-major
 /// at offset `nr²`.
-pub fn run_trsm_stacked(
+pub(crate) fn trsm_stacked_run(
     lac: &mut Lac,
     mem: &mut ExternalMem,
     w: usize,
@@ -41,9 +41,12 @@ pub fn run_trsm_stacked(
     let nr = lac.config().nr;
     let p = lac.config().fpu.pipeline_depth;
     let q = lac.config().divsqrt.latency(DivSqrtOp::Reciprocal);
-    assert!(w % nr == 0 && w > 0);
+    assert!(w.is_multiple_of(nr) && w > 0);
     let m = w / nr; // stacked tiles
-    assert!(m <= lac.config().sram_b_words, "B panel too large for B memory");
+    assert!(
+        m <= lac.config().sram_b_words,
+        "B panel too large for B memory"
+    );
     let l_addr = |i: usize, j: usize| j * nr + i;
     let b_addr = |i: usize, j: usize| nr * nr + j * nr + i;
 
@@ -53,7 +56,13 @@ pub fn run_trsm_stacked(
     for i in 0..nr {
         let step = b.push_step();
         for c in 0..nr {
-            b.ext(step, ExtOp::Load { col: c, addr: l_addr(i, c) });
+            b.ext(
+                step,
+                ExtOp::Load {
+                    col: c,
+                    addr: l_addr(i, c),
+                },
+            );
             b.pe_mut(step, i, c).reg_write = Some((REG_L, Source::ColBus));
         }
     }
@@ -62,7 +71,13 @@ pub fn run_trsm_stacked(
         let s = t / nr;
         let i = t % nr;
         for c in 0..nr {
-            b.ext(step, ExtOp::Load { col: c, addr: b_addr(i, s * nr + c) });
+            b.ext(
+                step,
+                ExtOp::Load {
+                    col: c,
+                    addr: b_addr(i, s * nr + c),
+                },
+            );
             b.pe_mut(step, i, c).sram_b_write = Some((s, Source::ColBus));
         }
     }
@@ -71,7 +86,11 @@ pub fn run_trsm_stacked(
     for i in 0..nr {
         // S1: reciprocal of the diagonal element.
         let step = b.push_step();
-        b.pe_mut(step, i, i).sfu = Some((DivSqrtOp::Reciprocal, Source::Reg(REG_L), Source::Const(0.0)));
+        b.pe_mut(step, i, i).sfu = Some((
+            DivSqrtOp::Reciprocal,
+            Source::Reg(REG_L),
+            Source::Const(0.0),
+        ));
         b.idle(q);
 
         // S2 + S3 fused window: scale issues at w0+s, retires (and feeds the
@@ -126,7 +145,13 @@ pub fn run_trsm_stacked(
         let i = t % nr;
         for c in 0..nr {
             b.pe_mut(step, i, c).col_write = Some(Source::SramB(s));
-            b.ext(step, ExtOp::Store { col: c, addr: b_addr(i, s * nr + c) });
+            b.ext(
+                step,
+                ExtOp::Store {
+                    col: c,
+                    addr: b_addr(i, s * nr + c),
+                },
+            );
         }
     }
 
@@ -149,7 +174,7 @@ pub fn run_trsm_stacked(
 /// The driver stages each phase's operands into the kernel layouts
 /// (modelling the flexible address generators of the PE controllers) and
 /// accounts every staged cycle.
-pub fn run_blocked_trsm(
+pub(crate) fn blocked_trsm_run(
     lac: &mut Lac,
     l: &Matrix,
     b0: &Matrix,
@@ -157,10 +182,13 @@ pub fn run_blocked_trsm(
     let nr = lac.config().nr;
     let kk = l.rows();
     assert_eq!(l.cols(), kk);
-    assert!(kk % nr == 0, "L dimension must be a multiple of nr");
+    assert!(
+        kk.is_multiple_of(nr),
+        "L dimension must be a multiple of nr"
+    );
     let k = kk / nr;
     let w = b0.cols();
-    assert!(w % nr == 0);
+    assert!(w.is_multiple_of(nr));
     let mut x = b0.clone();
     let mut total = ExecStats::default();
 
@@ -180,7 +208,7 @@ pub fn run_blocked_trsm(
                 overlap: r0 >= 2 * nr,
                 negate: true,
             };
-            let rep = run_gemm(lac, &mut mem, &lay, &params)?;
+            let rep = gemm_run(lac, &mut mem, &lay, &params)?;
             total.merge(&rep.stats);
             x.set_block(r0, 0, &lay.unpack_c(mem.as_slice()));
         }
@@ -199,13 +227,32 @@ pub fn run_blocked_trsm(
             }
         }
         let mut emem = ExternalMem::from_vec(mem);
-        let rep = run_trsm_stacked(lac, &mut emem, w)?;
+        let rep = trsm_stacked_run(lac, &mut emem, w)?;
         total.merge(&rep.stats);
-        let solved =
-            Matrix::from_fn(nr, w, |i, j| emem.read(nr * nr + j * nr + i));
+        let solved = Matrix::from_fn(nr, w, |i, j| emem.read(nr * nr + j * nr + i));
         x.set_block(r0, 0, &solved);
     }
     Ok((x, total))
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `TrsmStackedWorkload` on a `LacEngine`")]
+pub fn run_trsm_stacked(
+    lac: &mut Lac,
+    mem: &mut ExternalMem,
+    w: usize,
+) -> Result<TrsmReport, SimError> {
+    trsm_stacked_run(lac, mem, w)
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `BlockedTrsmWorkload` on a `LacEngine`")]
+pub fn run_blocked_trsm(
+    lac: &mut Lac,
+    l: &Matrix,
+    b0: &Matrix,
+) -> Result<(Matrix, ExecStats), SimError> {
+    blocked_trsm_run(lac, l, b0)
 }
 
 #[cfg(test)]
@@ -234,7 +281,7 @@ mod tests {
         }
         let mut emem = ExternalMem::from_vec(mem);
         let mut lac = Lac::new(LacConfig::default());
-        let rep = run_trsm_stacked(&mut lac, &mut emem, w).unwrap();
+        let rep = trsm_stacked_run(&mut lac, &mut emem, w).unwrap();
         let got = Matrix::from_fn(nr, w, |i, j| emem.read(nr * nr + j * nr + i));
         let mut expect = b0;
         trsm(Side::Left, Triangle::Lower, &l, &mut expect);
@@ -275,7 +322,7 @@ mod tests {
             let l = Matrix::random_lower_triangular(kk, &mut rng);
             let b0 = Matrix::random(kk, w, &mut rng);
             let mut lac = Lac::new(LacConfig::default());
-            let (x, stats) = run_blocked_trsm(&mut lac, &l, &b0).unwrap();
+            let (x, stats) = blocked_trsm_run(&mut lac, &l, &b0).unwrap();
             let mut expect = b0;
             trsm(Side::Left, Triangle::Lower, &l, &mut expect);
             assert!(max_abs_diff(&x, &expect) < 1e-8, "kk={kk} w={w}");

@@ -47,7 +47,7 @@ const REG_RESULT: usize = 0;
 ///
 /// Requires `nr ≥ 2` (owner column plus helper), `k` even, and — for
 /// `exponent_extension` — a core configured with the wide accumulator.
-pub fn run_vecnorm(
+pub(crate) fn vecnorm_run(
     lac: &mut Lac,
     mem: &mut ExternalMem,
     k: usize,
@@ -56,7 +56,7 @@ pub fn run_vecnorm(
     let nr = lac.config().nr;
     let p = lac.config().fpu.pipeline_depth;
     assert!(nr >= 4, "kernel written for the canonical 4×4 core");
-    assert!(k >= 2 && k % 2 == 0, "k must be even");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even");
     if opts.exponent_extension {
         assert!(
             lac.config().fpu.exponent_extension,
@@ -252,8 +252,11 @@ pub fn run_vecnorm(
     if !opts.exponent_extension {
         let mut b = ProgramBuilder::new(nr);
         let w0 = b.push_step();
-        b.pe_mut(w0, 0, cc).fma =
-            Some((Source::Reg(REG_RESULT), Source::Const(scale_t), Source::Const(0.0)));
+        b.pe_mut(w0, 0, cc).fma = Some((
+            Source::Reg(REG_RESULT),
+            Source::Const(scale_t),
+            Source::Const(0.0),
+        ));
         b.idle(p - 1);
         let step = b.push_step();
         b.pe_mut(step, 0, cc).reg_write = Some((REG_RESULT, Source::MacResult));
@@ -261,7 +264,21 @@ pub fn run_vecnorm(
         result = lac.reg(0, cc, REG_RESULT);
     }
 
-    Ok(VnormReport { stats: total, result })
+    Ok(VnormReport {
+        stats: total,
+        result,
+    })
+}
+
+/// Free-function entry point from the pre-engine API.
+#[deprecated(note = "drive the kernel through `VecnormWorkload` on a `LacEngine`")]
+pub fn run_vecnorm(
+    lac: &mut Lac,
+    mem: &mut ExternalMem,
+    k: usize,
+    opts: &VnormOptions,
+) -> Result<VnormReport, SimError> {
+    vecnorm_run(lac, mem, k, opts)
 }
 
 #[cfg(test)]
@@ -275,7 +292,10 @@ mod tests {
 
     fn cfg(exp_ext: bool) -> LacConfig {
         LacConfig {
-            fpu: FpuConfig { exponent_extension: exp_ext, ..Default::default() },
+            fpu: FpuConfig {
+                exponent_extension: exp_ext,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -284,7 +304,7 @@ mod tests {
         let k = x.len() / 4;
         let mut lac = Lac::new(cfg(opts.exponent_extension));
         let mut mem = ExternalMem::from_vec(x.to_vec());
-        let rep = run_vecnorm(&mut lac, &mut mem, k, &opts).unwrap();
+        let rep = vecnorm_run(&mut lac, &mut mem, k, &opts).unwrap();
         (rep.result, rep.stats)
     }
 
@@ -298,12 +318,24 @@ mod tests {
         let x = random_x(32, 1);
         let expect = nrm2(&x);
         for opts in [
-            VnormOptions { exponent_extension: true, comparator: false },
-            VnormOptions { exponent_extension: false, comparator: true },
-            VnormOptions { exponent_extension: false, comparator: false },
+            VnormOptions {
+                exponent_extension: true,
+                comparator: false,
+            },
+            VnormOptions {
+                exponent_extension: false,
+                comparator: true,
+            },
+            VnormOptions {
+                exponent_extension: false,
+                comparator: false,
+            },
         ] {
             let (got, _) = run_case(&x, opts);
-            assert!((got / expect - 1.0).abs() < 1e-9, "{opts:?}: {got} vs {expect}");
+            assert!(
+                (got / expect - 1.0).abs() < 1e-9,
+                "{opts:?}: {got} vs {expect}"
+            );
         }
     }
 
@@ -315,11 +347,21 @@ mod tests {
         x[3] = 1e200;
         x[7] = 1e200;
         let expect = 1e200 * 2.0f64.sqrt();
-        let (got, _) =
-            run_case(&x, VnormOptions { exponent_extension: true, comparator: false });
+        let (got, _) = run_case(
+            &x,
+            VnormOptions {
+                exponent_extension: true,
+                comparator: false,
+            },
+        );
         assert!((got / expect - 1.0).abs() < 1e-9, "wide-acc path: {got}");
-        let (got2, _) =
-            run_case(&x, VnormOptions { exponent_extension: false, comparator: true });
+        let (got2, _) = run_case(
+            &x,
+            VnormOptions {
+                exponent_extension: false,
+                comparator: true,
+            },
+        );
         assert!((got2 / expect - 1.0).abs() < 1e-9, "scaled path: {got2}");
     }
 
@@ -328,9 +370,27 @@ mod tests {
         // exp-ext < comparator < software — Figure 6.6's efficiency order
         // comes straight from these cycle counts.
         let x = random_x(64, 2);
-        let (_, ext) = run_case(&x, VnormOptions { exponent_extension: true, comparator: false });
-        let (_, cmp) = run_case(&x, VnormOptions { exponent_extension: false, comparator: true });
-        let (_, sw) = run_case(&x, VnormOptions { exponent_extension: false, comparator: false });
+        let (_, ext) = run_case(
+            &x,
+            VnormOptions {
+                exponent_extension: true,
+                comparator: false,
+            },
+        );
+        let (_, cmp) = run_case(
+            &x,
+            VnormOptions {
+                exponent_extension: false,
+                comparator: true,
+            },
+        );
+        let (_, sw) = run_case(
+            &x,
+            VnormOptions {
+                exponent_extension: false,
+                comparator: false,
+            },
+        );
         assert!(ext.cycles < cmp.cycles, "{} !< {}", ext.cycles, cmp.cycles);
         assert!(cmp.cycles < sw.cycles, "{} !< {}", cmp.cycles, sw.cycles);
     }
@@ -341,8 +401,13 @@ mod tests {
         x[0] = 1e-200;
         x[5] = 1e-200;
         let expect = 1e-200 * 2.0f64.sqrt();
-        let (got, _) =
-            run_case(&x, VnormOptions { exponent_extension: false, comparator: true });
+        let (got, _) = run_case(
+            &x,
+            VnormOptions {
+                exponent_extension: false,
+                comparator: true,
+            },
+        );
         assert!((got / expect - 1.0).abs() < 1e-9);
     }
 }

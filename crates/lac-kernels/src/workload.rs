@@ -1,0 +1,1045 @@
+//! The unified workload API: every kernel as a [`Workload`] run through a
+//! [`LacEngine`] session.
+//!
+//! The dissertation evaluates one core across a dozen kernels; production
+//! use (e.g. the repeated Cholesky factorizations inside an interior-point
+//! solver) queues many of them against the same core. This module gives
+//! all of them one shape:
+//!
+//! * [`Workload`] — a problem instance (operands + schedule options) that
+//!   knows how to stage itself into a [`LacEngine`], run, and report;
+//! * [`KernelReport`] — the uniform result: session-mergeable [`ExecStats`],
+//!   useful-flop count, utilization, and a [`Details`] variant carrying the
+//!   kernel's functional outputs;
+//! * [`registry`] — one canonical instance of every workload, so harnesses
+//!   (benchmark drivers, integration tests, `run_all`) iterate data-driven
+//!   instead of hard-coding kernels.
+//!
+//! ```no_run
+//! use lac_kernels::{registry, Workload};
+//! use lac_sim::{LacConfig, LacEngine};
+//!
+//! for w in registry() {
+//!     let mut eng = LacEngine::builder().config(w.config(LacConfig::default())).build();
+//!     let report = w.run(&mut eng).expect("hazard-free schedule");
+//!     w.check(&report).expect("matches linalg-ref");
+//!     println!("{:<14} {:>8} cycles", report.kernel, report.stats.cycles);
+//! }
+//! ```
+
+use crate::chol::{blocked_cholesky_run, cholesky_kernel_run};
+use crate::fft::fft64_run;
+use crate::gemm::{gemm_run, GemmParams};
+use crate::layout::GemmDataLayout;
+use crate::lu::{blocked_lu_run, lu_panel_matrix_run, LuOptions};
+use crate::qr::qr_panel_run;
+use crate::symm::blocked_symm_run;
+use crate::syrk::{syrk_run, SyrkDataLayout, SyrkParams};
+use crate::trmm::blocked_trmm_run;
+use crate::trsm::{blocked_trsm_run, trsm_stacked_run};
+use crate::vecnorm::{vecnorm_run, VnormOptions};
+use lac_fpu::FpuConfig;
+use lac_sim::{ExecStats, LacConfig, LacEngine, SimError};
+use linalg_ref::householder::HouseholderReflector;
+use linalg_ref::{
+    cholesky, fft_radix4, gemm, lu_partial_pivot, max_abs_diff, nrm2, qr_householder, symm, trmm,
+    trsm, Complex, Matrix, Side, Triangle,
+};
+
+/// One workload: a problem instance that stages itself into a session
+/// engine, runs, and reports uniformly.
+pub trait Workload {
+    /// Stable kernel name (registry key, display label).
+    fn name(&self) -> &str;
+
+    /// Adapt a base core configuration to this workload's requirements
+    /// (identity for most kernels; e.g. the wide-accumulator vector norm
+    /// turns on the exponent extension).
+    fn config(&self, base: LacConfig) -> LacConfig {
+        base
+    }
+
+    /// Execute on the engine. Stats are metered into the engine's session
+    /// accumulator as well as returned in the report.
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError>;
+
+    /// Cross-check the report's functional outputs against `linalg-ref`.
+    fn check(&self, report: &KernelReport) -> Result<(), String>;
+}
+
+/// Uniform result of one workload run.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Which workload produced this ([`Workload::name`]).
+    pub kernel: String,
+    /// Event counters of this run only (the engine's session accumulator
+    /// has them merged already).
+    pub stats: ExecStats,
+    /// Mathematically necessary flops (2 per useful MAC); falls back to
+    /// the executed-flop count for kernels without a closed-form count.
+    pub useful_flops: u64,
+    /// Useful-MAC utilization against the core's peak.
+    pub utilization: f64,
+    /// Per-kernel functional outputs.
+    pub details: Details,
+}
+
+/// Per-kernel extras riding on the unified report.
+#[derive(Clone, Debug)]
+pub enum Details {
+    /// Updated `C` of a GEMM-class kernel (also TRMM's product and SYMM's
+    /// accumulation).
+    Gemm { c: Matrix },
+    /// Updated lower triangle of SYRK's `C`.
+    Syrk { c: Matrix },
+    /// Solution panel `X` of a triangular solve.
+    Trsm { x: Matrix },
+    /// Cholesky factor `L` (lower).
+    Cholesky { l: Matrix },
+    /// LAPACK-packed `L\U` factors plus pivot rows.
+    Lu { factors: Matrix, pivots: Vec<usize> },
+    /// Upper-triangular `R` and the Householder reflectors of a QR panel.
+    Qr {
+        r: Matrix,
+        reflectors: Vec<HouseholderReflector>,
+    },
+    /// The computed ‖x‖₂.
+    Vecnorm { norm: f64 },
+    /// The 64-point spectrum, natural order.
+    Fft { spectrum: Vec<Complex> },
+}
+
+/// Meter a finished run into the session and assemble the uniform report.
+fn finish(
+    eng: &mut LacEngine,
+    name: &str,
+    stats: ExecStats,
+    useful_macs: Option<u64>,
+    details: Details,
+) -> KernelReport {
+    eng.absorb(&stats);
+    eng.note_workload();
+    let nr = eng.config().nr;
+    let (useful_flops, utilization) = match useful_macs {
+        Some(m) => (2 * m, m as f64 / (stats.cycles as f64 * (nr * nr) as f64)),
+        None => (stats.flops(), stats.utilization(nr)),
+    };
+    KernelReport {
+        kernel: name.to_string(),
+        stats,
+        useful_flops,
+        utilization,
+        details,
+    }
+}
+
+fn expect_details(kernel: &str, wanted: &str) -> String {
+    format!("{kernel}: report carries foreign details (wanted {wanted})")
+}
+
+fn close(kernel: &str, what: &str, err: f64, tol: f64) -> Result<(), String> {
+    if err < tol {
+        Ok(())
+    } else {
+        Err(format!(
+            "{kernel}: {what} differs from linalg-ref by {err:.3e} (tol {tol:.0e})"
+        ))
+    }
+}
+
+// ---- deterministic demo operands (registry instances) ---------------------
+
+/// SplitMix64-style hash → [-1, 1); keeps demo problems reproducible
+/// without a rand dependency in the library.
+fn demo_value(i: usize, j: usize, salt: u64) -> f64 {
+    let mut z = (i as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(salt.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+}
+
+fn demo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| demo_value(i, j, salt))
+}
+
+/// SPD: `M·Mᵀ + n·I` over a demo matrix.
+fn demo_spd(n: usize, salt: u64) -> Matrix {
+    let m = demo_matrix(n, n, salt);
+    Matrix::from_fn(n, n, |i, j| {
+        let dot: f64 = (0..n).map(|p| m[(i, p)] * m[(j, p)]).sum();
+        dot + if i == j { n as f64 } else { 0.0 }
+    })
+}
+
+/// Lower-triangular with diagonal bounded away from zero.
+fn demo_lower(n: usize, salt: u64) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        if i > j {
+            demo_value(i, j, salt)
+        } else if i == j {
+            1.5 + 0.4 * demo_value(i, i, salt)
+        } else {
+            0.0
+        }
+    })
+}
+
+// ---- GEMM -----------------------------------------------------------------
+
+/// `C += A·B` through the rank-1-update schedule of §3.1–3.4.
+#[derive(Clone, Debug)]
+pub struct GemmWorkload {
+    pub a: Matrix,
+    pub b: Matrix,
+    pub c: Matrix,
+    pub params: GemmParams,
+}
+
+impl GemmWorkload {
+    /// Overlapped schedule over the operands' natural dimensions.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix) -> Self {
+        let params = GemmParams::new(a.rows(), a.cols(), b.cols());
+        assert_eq!(b.rows(), a.cols());
+        assert_eq!((c.rows(), c.cols()), (a.rows(), b.cols()));
+        Self { a, b, c, params }
+    }
+
+    pub fn with_params(mut self, params: GemmParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    pub fn demo() -> Self {
+        Self::new(
+            demo_matrix(16, 16, 1),
+            demo_matrix(16, 16, 2),
+            demo_matrix(16, 16, 3),
+        )
+    }
+}
+
+impl Workload for GemmWorkload {
+    fn name(&self) -> &str {
+        "gemm"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let lay = GemmDataLayout::new(self.params.mc, self.params.kc, self.params.n);
+        eng.load_image(lay.pack(&self.a, &self.b, &self.c));
+        let (lac, mem) = eng.parts();
+        let rep = gemm_run(lac, mem, &lay, &self.params)?;
+        let c = lay.unpack_c(eng.mem().as_slice());
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            Some(rep.useful_macs),
+            Details::Gemm { c },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Gemm { c } = &report.details else {
+            return Err(expect_details(self.name(), "Gemm"));
+        };
+        let mut expect = self.c.clone();
+        let a = if self.params.negate {
+            Matrix::from_fn(self.a.rows(), self.a.cols(), |i, j| -self.a[(i, j)])
+        } else {
+            self.a.clone()
+        };
+        gemm(&a, &self.b, &mut expect);
+        close(self.name(), "C", max_abs_diff(c, &expect), 1e-10)
+    }
+}
+
+// ---- SYRK -----------------------------------------------------------------
+
+/// `C (lower) += A·Aᵀ` with the bus-transpose of §5.2.
+#[derive(Clone, Debug)]
+pub struct SyrkWorkload {
+    pub a: Matrix,
+    pub c: Matrix,
+    pub params: SyrkParams,
+}
+
+impl SyrkWorkload {
+    pub fn new(a: Matrix, c: Matrix) -> Self {
+        let params = SyrkParams::new(a.rows(), a.cols());
+        assert_eq!((c.rows(), c.cols()), (a.rows(), a.rows()));
+        Self { a, c, params }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(
+            demo_matrix(16, 8, 4),
+            demo_matrix(16, 16, 5).symmetrize_from_lower(),
+        )
+    }
+}
+
+impl Workload for SyrkWorkload {
+    fn name(&self) -> &str {
+        "syrk"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let SyrkParams { mc, kc, .. } = self.params;
+        let lay = SyrkDataLayout::new(mc, kc);
+        let mut image = vec![0.0; lay.total_words()];
+        for p in 0..kc {
+            for i in 0..mc {
+                image[lay.a_addr(i, p)] = self.a[(i, p)];
+            }
+        }
+        for j in 0..mc {
+            for i in j..mc {
+                image[lay.c_addr(i, j)] = self.c[(i, j)];
+            }
+        }
+        eng.load_image(image);
+        let (lac, mem) = eng.parts();
+        let rep = syrk_run(lac, mem, &lay, &self.params)?;
+        let c = Matrix::from_fn(mc, mc, |i, j| {
+            if i >= j {
+                eng.mem().read(lay.c_addr(i, j))
+            } else {
+                0.0
+            }
+        });
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            Some(rep.useful_macs),
+            Details::Syrk { c },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Syrk { c } = &report.details else {
+            return Err(expect_details(self.name(), "Syrk"));
+        };
+        let mut expect = self.c.clone();
+        let at = self.a.transpose();
+        let a = if self.params.negate {
+            Matrix::from_fn(self.a.rows(), self.a.cols(), |i, j| -self.a[(i, j)])
+        } else {
+            self.a.clone()
+        };
+        gemm(&a, &at, &mut expect);
+        close(
+            self.name(),
+            "C (lower)",
+            max_abs_diff(&expect.tril(), c),
+            1e-10,
+        )
+    }
+}
+
+// ---- TRSM -----------------------------------------------------------------
+
+/// Stacked diagonal solve `L X = B` of Figure 5.5 (`L` is `nr × nr`).
+#[derive(Clone, Debug)]
+pub struct TrsmStackedWorkload {
+    pub l: Matrix,
+    pub b: Matrix,
+}
+
+impl TrsmStackedWorkload {
+    pub fn new(l: Matrix, b: Matrix) -> Self {
+        assert_eq!(l.rows(), l.cols());
+        assert_eq!(b.rows(), l.rows());
+        Self { l, b }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_lower(4, 6), demo_matrix(4, 16, 7))
+    }
+}
+
+impl Workload for TrsmStackedWorkload {
+    fn name(&self) -> &str {
+        "trsm-stacked"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let nr = self.l.rows();
+        let w = self.b.cols();
+        let mut image = vec![0.0; nr * nr + nr * w];
+        for j in 0..nr {
+            for i in 0..nr {
+                image[j * nr + i] = self.l[(i, j)];
+            }
+        }
+        for j in 0..w {
+            for i in 0..nr {
+                image[nr * nr + j * nr + i] = self.b[(i, j)];
+            }
+        }
+        eng.load_image(image);
+        let (lac, mem) = eng.parts();
+        let rep = trsm_stacked_run(lac, mem, w)?;
+        let x = Matrix::from_fn(nr, w, |i, j| eng.mem().read(nr * nr + j * nr + i));
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            Some(rep.useful_macs),
+            Details::Trsm { x },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Trsm { x } = &report.details else {
+            return Err(expect_details(self.name(), "Trsm"));
+        };
+        let mut expect = self.b.clone();
+        trsm(Side::Left, Triangle::Lower, &self.l, &mut expect);
+        close(self.name(), "X", max_abs_diff(x, &expect), 1e-8)
+    }
+}
+
+/// Blocked `L X = B` (Figure 5.7): GEMM updates alternating with stacked
+/// diagonal solves.
+#[derive(Clone, Debug)]
+pub struct BlockedTrsmWorkload {
+    pub l: Matrix,
+    pub b: Matrix,
+}
+
+impl BlockedTrsmWorkload {
+    pub fn new(l: Matrix, b: Matrix) -> Self {
+        assert_eq!(l.rows(), l.cols());
+        assert_eq!(b.rows(), l.rows());
+        Self { l, b }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_lower(16, 8), demo_matrix(16, 8, 9))
+    }
+}
+
+impl Workload for BlockedTrsmWorkload {
+    fn name(&self) -> &str {
+        "trsm"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let (x, stats) = blocked_trsm_run(eng.core_mut(), &self.l, &self.b)?;
+        Ok(finish(eng, self.name(), stats, None, Details::Trsm { x }))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Trsm { x } = &report.details else {
+            return Err(expect_details(self.name(), "Trsm"));
+        };
+        let mut expect = self.b.clone();
+        trsm(Side::Left, Triangle::Lower, &self.l, &mut expect);
+        close(self.name(), "X", max_abs_diff(x, &expect), 1e-8)
+    }
+}
+
+// ---- TRMM -----------------------------------------------------------------
+
+/// `B := L·B` as growing-panel GEMMs (§5.1).
+#[derive(Clone, Debug)]
+pub struct TrmmWorkload {
+    pub l: Matrix,
+    pub b: Matrix,
+}
+
+impl TrmmWorkload {
+    pub fn new(l: Matrix, b: Matrix) -> Self {
+        assert_eq!(l.rows(), l.cols());
+        assert_eq!(b.rows(), l.rows());
+        Self { l, b }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_lower(16, 10), demo_matrix(16, 8, 11))
+    }
+}
+
+impl Workload for TrmmWorkload {
+    fn name(&self) -> &str {
+        "trmm"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let (b, stats) = blocked_trmm_run(eng.core_mut(), &self.l, &self.b)?;
+        Ok(finish(
+            eng,
+            self.name(),
+            stats,
+            None,
+            Details::Gemm { c: b },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Gemm { c } = &report.details else {
+            return Err(expect_details(self.name(), "Gemm"));
+        };
+        let mut expect = self.b.clone();
+        trmm(Side::Left, Triangle::Lower, &self.l, &mut expect);
+        close(self.name(), "L·B", max_abs_diff(c, &expect), 1e-10)
+    }
+}
+
+// ---- SYMM -----------------------------------------------------------------
+
+/// `C += A·B` with symmetric `A` stored in its lower triangle (§5.1).
+#[derive(Clone, Debug)]
+pub struct SymmWorkload {
+    pub a_lower: Matrix,
+    pub b: Matrix,
+    pub c: Matrix,
+}
+
+impl SymmWorkload {
+    pub fn new(a_lower: Matrix, b: Matrix, c: Matrix) -> Self {
+        assert_eq!(a_lower.rows(), a_lower.cols());
+        assert_eq!(b.rows(), a_lower.rows());
+        assert_eq!((c.rows(), c.cols()), (b.rows(), b.cols()));
+        Self { a_lower, b, c }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(
+            demo_matrix(16, 16, 12).tril(),
+            demo_matrix(16, 8, 13),
+            demo_matrix(16, 8, 14),
+        )
+    }
+}
+
+impl Workload for SymmWorkload {
+    fn name(&self) -> &str {
+        "symm"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let (c, stats) = blocked_symm_run(eng.core_mut(), &self.a_lower, &self.b, &self.c)?;
+        Ok(finish(eng, self.name(), stats, None, Details::Gemm { c }))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Gemm { c } = &report.details else {
+            return Err(expect_details(self.name(), "Gemm"));
+        };
+        let mut expect = self.c.clone();
+        symm(
+            Side::Left,
+            Triangle::Lower,
+            &self.a_lower,
+            &self.b,
+            &mut expect,
+        );
+        close(self.name(), "C", max_abs_diff(c, &expect), 1e-10)
+    }
+}
+
+// ---- Cholesky -------------------------------------------------------------
+
+/// The `nr × nr` Cholesky tile kernel of §6.1.1.
+#[derive(Clone, Debug)]
+pub struct CholKernelWorkload {
+    pub a: Matrix,
+}
+
+impl CholKernelWorkload {
+    pub fn new(a: Matrix) -> Self {
+        assert_eq!(a.rows(), a.cols());
+        Self { a }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_spd(4, 15))
+    }
+}
+
+impl Workload for CholKernelWorkload {
+    fn name(&self) -> &str {
+        "chol-kernel"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let nr = self.a.rows();
+        eng.load_image((0..nr * nr).map(|x| self.a[(x % nr, x / nr)]).collect());
+        let (lac, mem) = eng.parts();
+        let rep = cholesky_kernel_run(lac, mem)?;
+        let l = Matrix::from_fn(nr, nr, |i, j| {
+            if i >= j {
+                eng.mem().read(j * nr + i)
+            } else {
+                0.0
+            }
+        });
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            None,
+            Details::Cholesky { l },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Cholesky { l } = &report.details else {
+            return Err(expect_details(self.name(), "Cholesky"));
+        };
+        let expect = cholesky(&self.a).map_err(|e| format!("{}: reference: {e:?}", self.name()))?;
+        close(self.name(), "L", max_abs_diff(l, &expect), 1e-9)
+    }
+}
+
+/// Blocked right-looking Cholesky (Chol → TRSM → SYRK, Figure 6.1).
+#[derive(Clone, Debug)]
+pub struct BlockedCholWorkload {
+    pub a: Matrix,
+}
+
+impl BlockedCholWorkload {
+    pub fn new(a: Matrix) -> Self {
+        assert_eq!(a.rows(), a.cols());
+        Self { a }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_spd(16, 16))
+    }
+}
+
+impl Workload for BlockedCholWorkload {
+    fn name(&self) -> &str {
+        "chol"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let (l, stats) = blocked_cholesky_run(eng.core_mut(), &self.a)?;
+        Ok(finish(
+            eng,
+            self.name(),
+            stats,
+            None,
+            Details::Cholesky { l },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Cholesky { l } = &report.details else {
+            return Err(expect_details(self.name(), "Cholesky"));
+        };
+        let expect = cholesky(&self.a).map_err(|e| format!("{}: reference: {e:?}", self.name()))?;
+        close(self.name(), "L", max_abs_diff(l, &expect), 1e-7)
+    }
+}
+
+// ---- LU -------------------------------------------------------------------
+
+/// Panel LU with partial pivoting (§6.1.2), `K × nr`.
+#[derive(Clone, Debug)]
+pub struct LuPanelWorkload {
+    pub a: Matrix,
+    pub opts: LuOptions,
+}
+
+impl LuPanelWorkload {
+    pub fn new(a: Matrix, opts: LuOptions) -> Self {
+        Self { a, opts }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_matrix(16, 4, 17), LuOptions::default())
+    }
+}
+
+impl Workload for LuPanelWorkload {
+    fn name(&self) -> &str {
+        "lu-panel"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let (factors, pivots, stats) = lu_panel_matrix_run(eng.core_mut(), &self.a, &self.opts)?;
+        Ok(finish(
+            eng,
+            self.name(),
+            stats,
+            None,
+            Details::Lu { factors, pivots },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Lu { factors, pivots } = &report.details else {
+            return Err(expect_details(self.name(), "Lu"));
+        };
+        let expect =
+            lu_partial_pivot(&self.a).map_err(|e| format!("{}: reference: {e:?}", self.name()))?;
+        if *pivots != expect.pivots {
+            return Err(format!(
+                "{}: pivots {pivots:?} vs reference {:?}",
+                self.name(),
+                expect.pivots
+            ));
+        }
+        close(
+            self.name(),
+            "L\\U",
+            max_abs_diff(factors, &expect.factors),
+            1e-9,
+        )
+    }
+}
+
+/// Blocked LU with partial pivoting over a square matrix.
+#[derive(Clone, Debug)]
+pub struct BlockedLuWorkload {
+    pub a: Matrix,
+    pub opts: LuOptions,
+}
+
+impl BlockedLuWorkload {
+    pub fn new(a: Matrix, opts: LuOptions) -> Self {
+        assert_eq!(a.rows(), a.cols());
+        Self { a, opts }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(demo_matrix(16, 16, 18), LuOptions::default())
+    }
+}
+
+impl Workload for BlockedLuWorkload {
+    fn name(&self) -> &str {
+        "lu"
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let (factors, pivots, stats) = blocked_lu_run(eng.core_mut(), &self.a, &self.opts)?;
+        Ok(finish(
+            eng,
+            self.name(),
+            stats,
+            None,
+            Details::Lu { factors, pivots },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Lu { factors, pivots } = &report.details else {
+            return Err(expect_details(self.name(), "Lu"));
+        };
+        let expect =
+            lu_partial_pivot(&self.a).map_err(|e| format!("{}: reference: {e:?}", self.name()))?;
+        if *pivots != expect.pivots {
+            return Err(format!(
+                "{}: pivots {pivots:?} vs reference {:?}",
+                self.name(),
+                expect.pivots
+            ));
+        }
+        close(
+            self.name(),
+            "L\\U",
+            max_abs_diff(factors, &expect.factors),
+            1e-8,
+        )
+    }
+}
+
+// ---- QR -------------------------------------------------------------------
+
+/// Householder QR panel driven by the vector-norm kernel (§6.1.3).
+#[derive(Clone, Debug)]
+pub struct QrPanelWorkload {
+    pub a: Matrix,
+    pub opts: VnormOptions,
+}
+
+impl QrPanelWorkload {
+    pub fn new(a: Matrix, opts: VnormOptions) -> Self {
+        assert!(a.rows() >= a.cols());
+        Self { a, opts }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(
+            demo_matrix(16, 4, 19),
+            VnormOptions {
+                exponent_extension: true,
+                comparator: false,
+            },
+        )
+    }
+}
+
+impl Workload for QrPanelWorkload {
+    fn name(&self) -> &str {
+        "qr-panel"
+    }
+
+    fn config(&self, base: LacConfig) -> LacConfig {
+        LacConfig {
+            fpu: FpuConfig {
+                exponent_extension: self.opts.exponent_extension || base.fpu.exponent_extension,
+                ..base.fpu
+            },
+            ..base
+        }
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let rep = qr_panel_run(eng.core_mut(), &self.a, &self.opts)?;
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            None,
+            Details::Qr {
+                r: rep.r,
+                reflectors: rep.reflectors,
+            },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Qr { r, .. } = &report.details else {
+            return Err(expect_details(self.name(), "Qr"));
+        };
+        let reference = qr_householder(&self.a);
+        close(self.name(), "R", max_abs_diff(r, &reference.r), 1e-8)
+    }
+}
+
+// ---- vector norm ----------------------------------------------------------
+
+/// ‖x‖₂ with the §A.2 extension options (Figure 6.6).
+#[derive(Clone, Debug)]
+pub struct VecnormWorkload {
+    pub x: Vec<f64>,
+    pub opts: VnormOptions,
+}
+
+impl VecnormWorkload {
+    pub fn new(x: Vec<f64>, opts: VnormOptions) -> Self {
+        assert!(
+            x.len().is_multiple_of(8) && !x.is_empty(),
+            "length must be a positive multiple of 8"
+        );
+        Self { x, opts }
+    }
+
+    pub fn demo() -> Self {
+        let x = (0..64).map(|i| demo_value(i, 0, 20)).collect();
+        Self::new(
+            x,
+            VnormOptions {
+                exponent_extension: false,
+                comparator: true,
+            },
+        )
+    }
+}
+
+impl Workload for VecnormWorkload {
+    fn name(&self) -> &str {
+        "vecnorm"
+    }
+
+    fn config(&self, base: LacConfig) -> LacConfig {
+        LacConfig {
+            fpu: FpuConfig {
+                exponent_extension: self.opts.exponent_extension || base.fpu.exponent_extension,
+                ..base.fpu
+            },
+            ..base
+        }
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let k = self.x.len() / 4;
+        eng.load_image(self.x.clone());
+        let (lac, mem) = eng.parts();
+        let rep = vecnorm_run(lac, mem, k, &self.opts)?;
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            None,
+            Details::Vecnorm { norm: rep.result },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Vecnorm { norm } = report.details else {
+            return Err(expect_details(self.name(), "Vecnorm"));
+        };
+        let expect = nrm2(&self.x);
+        let err = if expect == 0.0 {
+            norm.abs()
+        } else {
+            (norm / expect - 1.0).abs()
+        };
+        close(self.name(), "‖x‖₂ (relative)", err, 1e-9)
+    }
+}
+
+// ---- FFT ------------------------------------------------------------------
+
+/// 64-point radix-4 complex FFT on the hybrid core (§6.2 / Appendix B).
+#[derive(Clone, Debug)]
+pub struct Fft64Workload {
+    pub signal: Vec<Complex>,
+}
+
+impl Fft64Workload {
+    pub fn new(signal: Vec<Complex>) -> Self {
+        assert_eq!(signal.len(), 64, "the kernel transforms exactly 64 points");
+        Self { signal }
+    }
+
+    pub fn demo() -> Self {
+        let signal = (0..64)
+            .map(|i| Complex::new(demo_value(i, 1, 21), demo_value(i, 2, 21)))
+            .collect();
+        Self::new(signal)
+    }
+}
+
+impl Workload for Fft64Workload {
+    fn name(&self) -> &str {
+        "fft64"
+    }
+
+    /// Grow the local stores to the kernel's scratch minima if the base
+    /// configuration is smaller (the hybrid core's B-memory holds the
+    /// butterfly workspace).
+    fn config(&self, base: LacConfig) -> LacConfig {
+        LacConfig {
+            sram_a_words: base.sram_a_words.max(8),
+            sram_b_words: base.sram_b_words.max(crate::fft::B_WORDS_NEEDED),
+            rf_entries: base.rf_entries.max(4),
+            ..base
+        }
+    }
+
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let mut image = vec![0.0; 128];
+        for (q, v) in self.signal.iter().enumerate() {
+            image[2 * q] = v.re;
+            image[2 * q + 1] = v.im;
+        }
+        eng.load_image(image);
+        let (lac, mem) = eng.parts();
+        let rep = fft64_run(lac, mem)?;
+        let spectrum = (0..64)
+            .map(|q| Complex::new(eng.mem().read(2 * q), eng.mem().read(2 * q + 1)))
+            .collect();
+        Ok(finish(
+            eng,
+            self.name(),
+            rep.stats,
+            None,
+            Details::Fft { spectrum },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Fft { spectrum } = &report.details else {
+            return Err(expect_details(self.name(), "Fft"));
+        };
+        let mut reference = self.signal.clone();
+        fft_radix4(&mut reference);
+        let err = spectrum
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        close(self.name(), "spectrum", err, 1e-10)
+    }
+}
+
+// ---- registry -------------------------------------------------------------
+
+/// One canonical instance of every workload, sized to run on the default
+/// 4×4 core. Harnesses iterate this instead of hard-coding kernels.
+pub fn registry() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(GemmWorkload::demo()),
+        Box::new(SyrkWorkload::demo()),
+        Box::new(TrsmStackedWorkload::demo()),
+        Box::new(BlockedTrsmWorkload::demo()),
+        Box::new(TrmmWorkload::demo()),
+        Box::new(SymmWorkload::demo()),
+        Box::new(CholKernelWorkload::demo()),
+        Box::new(BlockedCholWorkload::demo()),
+        Box::new(LuPanelWorkload::demo()),
+        Box::new(BlockedLuWorkload::demo()),
+        Box::new(QrPanelWorkload::demo()),
+        Box::new(VecnormWorkload::demo()),
+        Box::new(Fft64Workload::demo()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<String> = registry().iter().map(|w| w.name().to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            names.len(),
+            "duplicate workload names: {names:?}"
+        );
+        assert!(names.iter().any(|n| n == "gemm"));
+        assert!(names.iter().any(|n| n == "chol"));
+        assert!(names.iter().any(|n| n == "fft64"));
+        assert!(names.len() >= 12, "registry should cover every kernel");
+    }
+
+    #[test]
+    fn session_accumulates_two_workloads() {
+        let mut eng = LacEngine::builder().config(LacConfig::default()).build();
+        let g = GemmWorkload::demo();
+        let r1 = g.run(&mut eng).unwrap();
+        let before = eng.cycles();
+        let c = BlockedCholWorkload::demo();
+        let r2 = c.run(&mut eng).unwrap();
+        assert_eq!(eng.workloads_run(), 2);
+        assert_eq!(eng.cycles(), r1.stats.cycles + r2.stats.cycles);
+        assert!(eng.cycles() > before);
+        g.check(&r1).unwrap();
+        c.check(&r2).unwrap();
+    }
+
+    #[test]
+    fn check_rejects_foreign_details() {
+        let mut eng = LacEngine::builder().build();
+        let g = GemmWorkload::demo();
+        let rep = g.run(&mut eng).unwrap();
+        assert!(Fft64Workload::demo().check(&rep).is_err());
+    }
+
+    #[test]
+    fn demo_values_are_deterministic_and_spread() {
+        assert_eq!(demo_value(3, 5, 1), demo_value(3, 5, 1));
+        assert_ne!(demo_value(3, 5, 1), demo_value(3, 5, 2));
+        let spd = demo_spd(8, 3);
+        assert!(cholesky(&spd).is_ok(), "demo SPD must factor");
+        let l = demo_lower(8, 4);
+        for i in 0..8 {
+            assert!(l[(i, i)].abs() > 1.0, "diagonal bounded away from zero");
+        }
+    }
+}

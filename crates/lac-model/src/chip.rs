@@ -29,7 +29,13 @@ pub struct ChipGemmModel {
 
 impl ChipGemmModel {
     pub fn new(nr: usize, s: usize, n: usize, mc: usize) -> Self {
-        Self { nr, s, n, mc, kc: mc }
+        Self {
+            nr,
+            s,
+            n,
+            mc,
+            kc: mc,
+        }
     }
 
     /// On-chip memory for the partial-overlap variant:
@@ -224,6 +230,9 @@ mod tests {
     fn hierarchy_table_has_six_rows() {
         let rows = ChipGemmModel::new(4, 8, 2048, 256).hierarchy_table();
         assert_eq!(rows.len(), 6);
-        assert!(rows[1].size_words > rows[0].size_words, "full overlap needs more store");
+        assert!(
+            rows[1].size_words > rows[0].size_words,
+            "full overlap needs more store"
+        );
     }
 }

@@ -41,7 +41,12 @@ pub struct CoreModelPoint {
 
 impl CoreGemmModel {
     pub fn new(nr: usize, bandwidth: f64, n: usize) -> Self {
-        Self { nr, bandwidth, n, pipeline: 5 }
+        Self {
+            nr,
+            bandwidth,
+            n,
+            pipeline: 5,
+        }
     }
 
     /// Aggregate local-store words needed for an `mc × kc` block
@@ -99,8 +104,8 @@ impl CoreGemmModel {
         let kcf = kc as f64;
         let nr2 = (self.nr * self.nr) as f64;
         let compute = kcf * n * kcf / nr2; // mc = kc
-        // Need (2mc + kc)·n / x ≤ compute AND amortize the A load: the
-        // paper's peak condition keeps the streaming term under compute.
+                                           // Need (2mc + kc)·n / x ≤ compute AND amortize the A load: the
+                                           // paper's peak condition keeps the streaming term under compute.
         (2.0 * kcf + kcf) * n / compute
     }
 

@@ -25,7 +25,10 @@ pub struct FftCoreModel {
 
 impl Default for FftCoreModel {
     fn default() -> Self {
-        Self { nr: 4, kernel_compute_cycles: 150.0 }
+        Self {
+            nr: 4,
+            kernel_compute_cycles: 150.0,
+        }
     }
 }
 

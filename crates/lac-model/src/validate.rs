@@ -66,8 +66,16 @@ mod tests {
     fn fermi_prediction_matches_paper() {
         let p = predict_fermi();
         // Paper: demanded 310 GB/s, predicted 74%, measured 70%.
-        assert!((p.demanded_gbs - 310.0).abs() < 15.0, "demand {}", p.demanded_gbs);
-        assert!((p.predicted_utilization - 0.74).abs() < 0.03, "{}", p.predicted_utilization);
+        assert!(
+            (p.demanded_gbs - 310.0).abs() < 15.0,
+            "demand {}",
+            p.demanded_gbs
+        );
+        assert!(
+            (p.predicted_utilization - 0.74).abs() < 0.03,
+            "{}",
+            p.predicted_utilization
+        );
         assert!(p.predicted_utilization >= p.measured_utilization);
     }
 

@@ -2,9 +2,9 @@
 //! simulator — the paper's own methodology (§1.3.1: "We have verified our
 //! analytical formulae against our in-house cycle-accurate simulator").
 
-use lac_kernels::{run_gemm, GemmDataLayout, GemmParams};
+use lac_kernels::{BlockedTrsmWorkload, GemmWorkload, Workload};
 use lac_model::CoreGemmModel;
-use lac_sim::{ExternalMem, Lac, LacConfig};
+use lac_sim::LacEngine;
 use linalg_ref::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,10 +14,8 @@ fn sim_gemm_cycles(mc: usize, kc: usize, n: usize) -> (u64, f64) {
     let a = Matrix::random(mc, kc, &mut rng);
     let b = Matrix::random(kc, n, &mut rng);
     let c = Matrix::random(mc, n, &mut rng);
-    let lay = GemmDataLayout::new(mc, kc, n);
-    let mut mem = ExternalMem::from_vec(lay.pack(&a, &b, &c));
-    let mut lac = Lac::new(LacConfig::default());
-    let rep = run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(mc, kc, n)).unwrap();
+    let mut eng = LacEngine::builder().build();
+    let rep = GemmWorkload::new(a, b, c).run(&mut eng).unwrap();
     (rep.stats.cycles, rep.utilization)
 }
 
@@ -49,20 +47,23 @@ fn analytic_utilization_brackets_simulator() {
             model_util + 0.02 >= sim_util,
             "model {model_util:.3} vs sim {sim_util:.3}"
         );
-        assert!(model_util - sim_util < 0.25, "model too optimistic: {model_util} vs {sim_util}");
+        assert!(
+            model_util - sim_util < 0.25,
+            "model too optimistic: {model_util} vs {sim_util}"
+        );
     }
 }
 
 #[test]
 fn trsm_blocked_utilization_model_tracks_sim() {
-    use lac_kernels::run_blocked_trsm;
     let mut rng = StdRng::seed_from_u64(5);
     let kk = 32;
     let w = 32;
     let l = Matrix::random_lower_triangular(kk, &mut rng);
     let b0 = Matrix::random(kk, w, &mut rng);
-    let mut lac = Lac::new(LacConfig::default());
-    let (_, stats) = run_blocked_trsm(&mut lac, &l, &b0).unwrap();
+    let mut eng = LacEngine::builder().build();
+    let rep = BlockedTrsmWorkload::new(l, b0).run(&mut eng).unwrap();
+    let stats = &rep.stats;
     let useful: u64 = stats.mac_ops + stats.fma_ops;
     let sim_util = useful as f64 / (stats.cycles as f64 * 16.0);
     let model_util = lac_model::trsm_utilization_bw(4, kk / 4, w, 4.0, 5);

@@ -27,20 +27,103 @@ pub struct PlatformRow {
 pub fn platform_cores_table() -> Vec<PlatformRow> {
     use Precision::{Double as DP, Single as SP};
     let mut rows = vec![
-        PlatformRow { name: "Cell SPE", precision: SP, gflops: 0.0, w_per_mm2: 0.4, gflops_per_mm2: 6.4, gflops_per_w: 16.0, utilization: 0.83 },
-        PlatformRow { name: "Nvidia GTX280 SM", precision: SP, gflops: 0.0, w_per_mm2: 0.6, gflops_per_mm2: 3.1, gflops_per_w: 5.3, utilization: 0.66 },
-        PlatformRow { name: "Rigel cluster", precision: SP, gflops: 0.0, w_per_mm2: 0.3, gflops_per_mm2: 4.5, gflops_per_w: 15.0, utilization: 0.40 },
-        PlatformRow { name: "80-Tile @0.8V", precision: SP, gflops: 0.0, w_per_mm2: 0.2, gflops_per_mm2: 1.2, gflops_per_w: 8.3, utilization: 0.38 },
-        PlatformRow { name: "Nvidia GTX480 SM", precision: SP, gflops: 0.0, w_per_mm2: 0.5, gflops_per_mm2: 4.5, gflops_per_w: 8.4, utilization: 0.70 },
-        PlatformRow { name: "Altera Stratix IV", precision: SP, gflops: 0.0, w_per_mm2: 0.02, gflops_per_mm2: 0.1, gflops_per_w: 7.0, utilization: 0.90 },
-        PlatformRow { name: "Intel Core", precision: DP, gflops: 0.0, w_per_mm2: 0.5, gflops_per_mm2: 0.4, gflops_per_w: 0.85, utilization: 0.95 },
-        PlatformRow { name: "Nvidia GTX480 SM (DP)", precision: DP, gflops: 0.0, w_per_mm2: 0.5, gflops_per_mm2: 2.0, gflops_per_w: 4.1, utilization: 0.70 },
-        PlatformRow { name: "Altera Stratix IV (DP)", precision: DP, gflops: 0.0, w_per_mm2: 0.02, gflops_per_mm2: 0.05, gflops_per_w: 3.5, utilization: 0.90 },
-        PlatformRow { name: "ClearSpeed CSX700", precision: DP, gflops: 0.0, w_per_mm2: 0.02, gflops_per_mm2: 0.28, gflops_per_w: 12.5, utilization: 0.78 },
+        PlatformRow {
+            name: "Cell SPE",
+            precision: SP,
+            gflops: 0.0,
+            w_per_mm2: 0.4,
+            gflops_per_mm2: 6.4,
+            gflops_per_w: 16.0,
+            utilization: 0.83,
+        },
+        PlatformRow {
+            name: "Nvidia GTX280 SM",
+            precision: SP,
+            gflops: 0.0,
+            w_per_mm2: 0.6,
+            gflops_per_mm2: 3.1,
+            gflops_per_w: 5.3,
+            utilization: 0.66,
+        },
+        PlatformRow {
+            name: "Rigel cluster",
+            precision: SP,
+            gflops: 0.0,
+            w_per_mm2: 0.3,
+            gflops_per_mm2: 4.5,
+            gflops_per_w: 15.0,
+            utilization: 0.40,
+        },
+        PlatformRow {
+            name: "80-Tile @0.8V",
+            precision: SP,
+            gflops: 0.0,
+            w_per_mm2: 0.2,
+            gflops_per_mm2: 1.2,
+            gflops_per_w: 8.3,
+            utilization: 0.38,
+        },
+        PlatformRow {
+            name: "Nvidia GTX480 SM",
+            precision: SP,
+            gflops: 0.0,
+            w_per_mm2: 0.5,
+            gflops_per_mm2: 4.5,
+            gflops_per_w: 8.4,
+            utilization: 0.70,
+        },
+        PlatformRow {
+            name: "Altera Stratix IV",
+            precision: SP,
+            gflops: 0.0,
+            w_per_mm2: 0.02,
+            gflops_per_mm2: 0.1,
+            gflops_per_w: 7.0,
+            utilization: 0.90,
+        },
+        PlatformRow {
+            name: "Intel Core",
+            precision: DP,
+            gflops: 0.0,
+            w_per_mm2: 0.5,
+            gflops_per_mm2: 0.4,
+            gflops_per_w: 0.85,
+            utilization: 0.95,
+        },
+        PlatformRow {
+            name: "Nvidia GTX480 SM (DP)",
+            precision: DP,
+            gflops: 0.0,
+            w_per_mm2: 0.5,
+            gflops_per_mm2: 2.0,
+            gflops_per_w: 4.1,
+            utilization: 0.70,
+        },
+        PlatformRow {
+            name: "Altera Stratix IV (DP)",
+            precision: DP,
+            gflops: 0.0,
+            w_per_mm2: 0.02,
+            gflops_per_mm2: 0.05,
+            gflops_per_w: 3.5,
+            utilization: 0.90,
+        },
+        PlatformRow {
+            name: "ClearSpeed CSX700",
+            precision: DP,
+            gflops: 0.0,
+            w_per_mm2: 0.02,
+            gflops_per_mm2: 0.28,
+            gflops_per_w: 12.5,
+            utilization: 0.78,
+        },
     ];
     // Our LAC rows from the model (SP and DP at ~1.1 GHz, 95% utilization).
     for (precision, name) in [(SP, "LAC (SP, modeled)"), (DP, "LAC (DP, modeled)")] {
-        let pe = PeModel { precision, ..Default::default() };
+        let pe = PeModel {
+            precision,
+            ..Default::default()
+        };
         let core = core_metrics(&pe, 4, 1.1, 0.95);
         rows.push(PlatformRow {
             name,
@@ -59,22 +142,114 @@ pub fn platform_cores_table() -> Vec<PlatformRow> {
 pub fn platform_systems_table() -> Vec<PlatformRow> {
     use Precision::{Double as DP, Single as SP};
     let mut rows = vec![
-        PlatformRow { name: "Cell", precision: SP, gflops: 200.0, w_per_mm2: 0.3, gflops_per_mm2: 1.5, gflops_per_w: 5.0, utilization: 0.88 },
-        PlatformRow { name: "Nvidia GTX280", precision: SP, gflops: 410.0, w_per_mm2: 0.3, gflops_per_mm2: 0.8, gflops_per_w: 2.6, utilization: 0.66 },
-        PlatformRow { name: "Rigel", precision: SP, gflops: 850.0, w_per_mm2: 0.3, gflops_per_mm2: 3.2, gflops_per_w: 10.7, utilization: 0.40 },
-        PlatformRow { name: "Nvidia GTX480", precision: SP, gflops: 940.0, w_per_mm2: 0.2, gflops_per_mm2: 0.9, gflops_per_w: 5.2, utilization: 0.70 },
-        PlatformRow { name: "Core i7-960", precision: SP, gflops: 96.0, w_per_mm2: 0.4, gflops_per_mm2: 0.5, gflops_per_w: 1.14, utilization: 0.95 },
-        PlatformRow { name: "Altera Stratix IV", precision: SP, gflops: 200.0, w_per_mm2: 0.02, gflops_per_mm2: 0.1, gflops_per_w: 7.0, utilization: 0.90 },
-        PlatformRow { name: "Intel Quad-Core", precision: DP, gflops: 40.0, w_per_mm2: 0.5, gflops_per_mm2: 0.4, gflops_per_w: 0.8, utilization: 0.95 },
-        PlatformRow { name: "Intel Penryn", precision: DP, gflops: 20.0, w_per_mm2: 0.4, gflops_per_mm2: 0.2, gflops_per_w: 0.6, utilization: 0.95 },
-        PlatformRow { name: "IBM Power7", precision: DP, gflops: 230.0, w_per_mm2: 0.5, gflops_per_mm2: 0.5, gflops_per_w: 1.0, utilization: 0.95 },
-        PlatformRow { name: "Nvidia GTX480 (DP)", precision: DP, gflops: 470.0, w_per_mm2: 0.2, gflops_per_mm2: 0.5, gflops_per_w: 2.6, utilization: 0.70 },
-        PlatformRow { name: "ClearSpeed CSX700", precision: DP, gflops: 75.0, w_per_mm2: 0.02, gflops_per_mm2: 0.2, gflops_per_w: 12.5, utilization: 0.78 },
+        PlatformRow {
+            name: "Cell",
+            precision: SP,
+            gflops: 200.0,
+            w_per_mm2: 0.3,
+            gflops_per_mm2: 1.5,
+            gflops_per_w: 5.0,
+            utilization: 0.88,
+        },
+        PlatformRow {
+            name: "Nvidia GTX280",
+            precision: SP,
+            gflops: 410.0,
+            w_per_mm2: 0.3,
+            gflops_per_mm2: 0.8,
+            gflops_per_w: 2.6,
+            utilization: 0.66,
+        },
+        PlatformRow {
+            name: "Rigel",
+            precision: SP,
+            gflops: 850.0,
+            w_per_mm2: 0.3,
+            gflops_per_mm2: 3.2,
+            gflops_per_w: 10.7,
+            utilization: 0.40,
+        },
+        PlatformRow {
+            name: "Nvidia GTX480",
+            precision: SP,
+            gflops: 940.0,
+            w_per_mm2: 0.2,
+            gflops_per_mm2: 0.9,
+            gflops_per_w: 5.2,
+            utilization: 0.70,
+        },
+        PlatformRow {
+            name: "Core i7-960",
+            precision: SP,
+            gflops: 96.0,
+            w_per_mm2: 0.4,
+            gflops_per_mm2: 0.5,
+            gflops_per_w: 1.14,
+            utilization: 0.95,
+        },
+        PlatformRow {
+            name: "Altera Stratix IV",
+            precision: SP,
+            gflops: 200.0,
+            w_per_mm2: 0.02,
+            gflops_per_mm2: 0.1,
+            gflops_per_w: 7.0,
+            utilization: 0.90,
+        },
+        PlatformRow {
+            name: "Intel Quad-Core",
+            precision: DP,
+            gflops: 40.0,
+            w_per_mm2: 0.5,
+            gflops_per_mm2: 0.4,
+            gflops_per_w: 0.8,
+            utilization: 0.95,
+        },
+        PlatformRow {
+            name: "Intel Penryn",
+            precision: DP,
+            gflops: 20.0,
+            w_per_mm2: 0.4,
+            gflops_per_mm2: 0.2,
+            gflops_per_w: 0.6,
+            utilization: 0.95,
+        },
+        PlatformRow {
+            name: "IBM Power7",
+            precision: DP,
+            gflops: 230.0,
+            w_per_mm2: 0.5,
+            gflops_per_mm2: 0.5,
+            gflops_per_w: 1.0,
+            utilization: 0.95,
+        },
+        PlatformRow {
+            name: "Nvidia GTX480 (DP)",
+            precision: DP,
+            gflops: 470.0,
+            w_per_mm2: 0.2,
+            gflops_per_mm2: 0.5,
+            gflops_per_w: 2.6,
+            utilization: 0.70,
+        },
+        PlatformRow {
+            name: "ClearSpeed CSX700",
+            precision: DP,
+            gflops: 75.0,
+            w_per_mm2: 0.02,
+            gflops_per_mm2: 0.2,
+            gflops_per_w: 12.5,
+            utilization: 0.78,
+        },
     ];
-    for (precision, name, s) in
-        [(SP, "LAP (SP, 30 cores, modeled)", 30usize), (DP, "LAP (DP, 15 cores, modeled)", 15)]
-    {
-        let pe = PeModel { precision, ..Default::default() };
+    for (precision, name, s) in [
+        (SP, "LAP (SP, 30 cores, modeled)", 30usize),
+        (DP, "LAP (DP, 15 cores, modeled)", 15),
+    ] {
+        let pe = PeModel {
+            precision,
+            ..Default::default()
+        };
         let chip = chip_metrics(&pe, 4, s, 1.4, 0.90, 5 * 1024 * 1024, 4.0);
         rows.push(PlatformRow {
             name,
@@ -100,36 +275,84 @@ pub struct BreakdownItem {
 /// {"gtx280", "gtx480", "penryn", "lap-sp", "lap-dp"}.
 ///
 /// GPU/CPU fractions follow §4.5's reported structure (register file alone
-/// >30% of GPU core power; Penryn spends ~40% in out-of-order + frontend),
-/// normalized to published totals per delivered GEMM GFLOPS.
+/// more than 30% of GPU core power; Penryn spends ~40% in out-of-order +
+/// frontend), normalized to published totals per delivered GEMM GFLOPS.
 pub fn power_breakdown(platform: &str) -> Vec<BreakdownItem> {
     match platform {
         "gtx280" => {
             // 410 SGEMM GFLOPS at ~150 W core-domain power ⇒ 366 mW/GFLOPS.
             let total = 366.0;
             vec![
-                BreakdownItem { component: "FPUs", mw_per_gflops: total * 0.18 },
-                BreakdownItem { component: "register file", mw_per_gflops: total * 0.31 },
-                BreakdownItem { component: "shared memory", mw_per_gflops: total * 0.12 },
-                BreakdownItem { component: "instruction cache/issue", mw_per_gflops: total * 0.10 },
-                BreakdownItem { component: "texture/constant caches", mw_per_gflops: total * 0.09 },
-                BreakdownItem { component: "scalar/integer logic", mw_per_gflops: total * 0.08 },
-                BreakdownItem { component: "buses/interconnect", mw_per_gflops: total * 0.05 },
-                BreakdownItem { component: "idle/leakage", mw_per_gflops: total * 0.07 },
+                BreakdownItem {
+                    component: "FPUs",
+                    mw_per_gflops: total * 0.18,
+                },
+                BreakdownItem {
+                    component: "register file",
+                    mw_per_gflops: total * 0.31,
+                },
+                BreakdownItem {
+                    component: "shared memory",
+                    mw_per_gflops: total * 0.12,
+                },
+                BreakdownItem {
+                    component: "instruction cache/issue",
+                    mw_per_gflops: total * 0.10,
+                },
+                BreakdownItem {
+                    component: "texture/constant caches",
+                    mw_per_gflops: total * 0.09,
+                },
+                BreakdownItem {
+                    component: "scalar/integer logic",
+                    mw_per_gflops: total * 0.08,
+                },
+                BreakdownItem {
+                    component: "buses/interconnect",
+                    mw_per_gflops: total * 0.05,
+                },
+                BreakdownItem {
+                    component: "idle/leakage",
+                    mw_per_gflops: total * 0.07,
+                },
             ]
         }
         "gtx480" => {
             // 780 SGEMM GFLOPS at ~200 W ⇒ 256 mW/GFLOPS.
             let total = 256.0;
             vec![
-                BreakdownItem { component: "FPUs", mw_per_gflops: total * 0.22 },
-                BreakdownItem { component: "register file", mw_per_gflops: total * 0.30 },
-                BreakdownItem { component: "shared memory/L1", mw_per_gflops: total * 0.12 },
-                BreakdownItem { component: "instruction cache/issue", mw_per_gflops: total * 0.09 },
-                BreakdownItem { component: "L2 cache", mw_per_gflops: total * 0.07 },
-                BreakdownItem { component: "scalar logic", mw_per_gflops: total * 0.08 },
-                BreakdownItem { component: "buses/interconnect", mw_per_gflops: total * 0.05 },
-                BreakdownItem { component: "idle/leakage", mw_per_gflops: total * 0.07 },
+                BreakdownItem {
+                    component: "FPUs",
+                    mw_per_gflops: total * 0.22,
+                },
+                BreakdownItem {
+                    component: "register file",
+                    mw_per_gflops: total * 0.30,
+                },
+                BreakdownItem {
+                    component: "shared memory/L1",
+                    mw_per_gflops: total * 0.12,
+                },
+                BreakdownItem {
+                    component: "instruction cache/issue",
+                    mw_per_gflops: total * 0.09,
+                },
+                BreakdownItem {
+                    component: "L2 cache",
+                    mw_per_gflops: total * 0.07,
+                },
+                BreakdownItem {
+                    component: "scalar logic",
+                    mw_per_gflops: total * 0.08,
+                },
+                BreakdownItem {
+                    component: "buses/interconnect",
+                    mw_per_gflops: total * 0.05,
+                },
+                BreakdownItem {
+                    component: "idle/leakage",
+                    mw_per_gflops: total * 0.07,
+                },
             ]
         }
         "penryn" => {
@@ -137,23 +360,53 @@ pub fn power_breakdown(platform: &str) -> Vec<BreakdownItem> {
             // power in OoO + frontend, ~1/3 in the execution units.
             let total = 1200.0;
             vec![
-                BreakdownItem { component: "out-of-order engine", mw_per_gflops: total * 0.25 },
-                BreakdownItem { component: "frontend/decode", mw_per_gflops: total * 0.15 },
-                BreakdownItem { component: "execution units", mw_per_gflops: total * 0.33 },
-                BreakdownItem { component: "L1/L2 caches", mw_per_gflops: total * 0.12 },
-                BreakdownItem { component: "MMU/TLB", mw_per_gflops: total * 0.05 },
-                BreakdownItem { component: "misc/IO", mw_per_gflops: total * 0.10 },
+                BreakdownItem {
+                    component: "out-of-order engine",
+                    mw_per_gflops: total * 0.25,
+                },
+                BreakdownItem {
+                    component: "frontend/decode",
+                    mw_per_gflops: total * 0.15,
+                },
+                BreakdownItem {
+                    component: "execution units",
+                    mw_per_gflops: total * 0.33,
+                },
+                BreakdownItem {
+                    component: "L1/L2 caches",
+                    mw_per_gflops: total * 0.12,
+                },
+                BreakdownItem {
+                    component: "MMU/TLB",
+                    mw_per_gflops: total * 0.05,
+                },
+                BreakdownItem {
+                    component: "misc/IO",
+                    mw_per_gflops: total * 0.10,
+                },
             ]
         }
         "lap-sp" | "lap-dp" => {
-            let precision =
-                if platform == "lap-sp" { Precision::Single } else { Precision::Double };
-            let pe = PeModel { precision, ..Default::default() };
+            let precision = if platform == "lap-sp" {
+                Precision::Single
+            } else {
+                Precision::Double
+            };
+            let pe = PeModel {
+                precision,
+                ..Default::default()
+            };
             let m = pe.metrics(1.0);
             let gflops = m.gflops * 0.95;
             vec![
-                BreakdownItem { component: "FMAC units", mw_per_gflops: m.fmac_mw / gflops },
-                BreakdownItem { component: "local SRAM", mw_per_gflops: m.memory_mw / gflops },
+                BreakdownItem {
+                    component: "FMAC units",
+                    mw_per_gflops: m.fmac_mw / gflops,
+                },
+                BreakdownItem {
+                    component: "local SRAM",
+                    mw_per_gflops: m.memory_mw / gflops,
+                },
                 BreakdownItem {
                     component: "buses + register file",
                     mw_per_gflops: 0.03 * m.pe_mw / gflops,
@@ -172,10 +425,30 @@ pub fn power_breakdown(platform: &str) -> Vec<BreakdownItem> {
 pub fn design_choice_table() -> Vec<[&'static str; 4]> {
     vec![
         ["power waste source", "CPUs", "GPUs", "LAP"],
-        ["instruction pipeline", "I$, OoO, branch pred.", "I$, in-order", "no instructions"],
-        ["execution unit", "1D SIMD + RF", "2D SIMD + RF", "2D + local SRAM/FPU"],
-        ["register file & move", "many-ported", "multi-ported", "8-entry single-ported"],
-        ["on-chip memory", "big cache, strong coherency", "small cache, weak coherency", "big SRAM, coupled banks"],
+        [
+            "instruction pipeline",
+            "I$, OoO, branch pred.",
+            "I$, in-order",
+            "no instructions",
+        ],
+        [
+            "execution unit",
+            "1D SIMD + RF",
+            "2D SIMD + RF",
+            "2D + local SRAM/FPU",
+        ],
+        [
+            "register file & move",
+            "many-ported",
+            "multi-ported",
+            "8-entry single-ported",
+        ],
+        [
+            "on-chip memory",
+            "big cache, strong coherency",
+            "small cache, weak coherency",
+            "big SRAM, coupled banks",
+        ],
         ["multithreading", "SMT", "blocked MT", "not needed"],
         ["BW/FPU ratio", "high", "high", "low (sufficient)"],
         ["memory/FPU ratio", "high", "low (inadequate)", "high"],
@@ -192,8 +465,16 @@ mod tests {
         // performance/power ratio is an order of magnitude better than GPUs".
         let rows = platform_cores_table();
         let lac = rows.iter().find(|r| r.name.contains("LAC (SP")).unwrap();
-        let gpu = rows.iter().find(|r| r.name.contains("GTX480 SM") && r.precision == Precision::Single).unwrap();
-        assert!(lac.gflops_per_w > 8.0 * gpu.gflops_per_w, "{} vs {}", lac.gflops_per_w, gpu.gflops_per_w);
+        let gpu = rows
+            .iter()
+            .find(|r| r.name.contains("GTX480 SM") && r.precision == Precision::Single)
+            .unwrap();
+        assert!(
+            lac.gflops_per_w > 8.0 * gpu.gflops_per_w,
+            "{} vs {}",
+            lac.gflops_per_w,
+            gpu.gflops_per_w
+        );
     }
 
     #[test]
@@ -213,8 +494,15 @@ mod tests {
         // to or better than other processors".
         let rows = platform_systems_table();
         let lap_dp = rows.iter().find(|r| r.name.contains("LAP (DP")).unwrap();
-        for r in rows.iter().filter(|r| r.precision == Precision::Double && !r.name.contains("LAP")) {
-            assert!(lap_dp.gflops_per_mm2 >= r.gflops_per_mm2, "{} beats LAP", r.name);
+        for r in rows
+            .iter()
+            .filter(|r| r.precision == Precision::Double && !r.name.contains("LAP"))
+        {
+            assert!(
+                lap_dp.gflops_per_mm2 >= r.gflops_per_mm2,
+                "{} beats LAP",
+                r.name
+            );
         }
     }
 
@@ -223,13 +511,22 @@ mod tests {
         let b = power_breakdown("gtx280");
         let rf = b.iter().find(|i| i.component == "register file").unwrap();
         let fpu = b.iter().find(|i| i.component == "FPUs").unwrap();
-        assert!(rf.mw_per_gflops > fpu.mw_per_gflops, "RF > FPUs in GPUs (§4.5)");
+        assert!(
+            rf.mw_per_gflops > fpu.mw_per_gflops,
+            "RF > FPUs in GPUs (§4.5)"
+        );
     }
 
     #[test]
     fn lap_breakdown_total_far_below_gpu() {
-        let lap: f64 = power_breakdown("lap-sp").iter().map(|i| i.mw_per_gflops).sum();
-        let gpu: f64 = power_breakdown("gtx280").iter().map(|i| i.mw_per_gflops).sum();
+        let lap: f64 = power_breakdown("lap-sp")
+            .iter()
+            .map(|i| i.mw_per_gflops)
+            .sum();
+        let gpu: f64 = power_breakdown("gtx280")
+            .iter()
+            .map(|i| i.mw_per_gflops)
+            .sum();
         assert!(gpu > 10.0 * lap, "gpu {gpu:.0} vs lap {lap:.1} mW/GFLOPS");
     }
 
@@ -242,7 +539,10 @@ mod tests {
             .filter(|i| i.component.contains("order") || i.component.contains("frontend"))
             .map(|i| i.mw_per_gflops)
             .sum();
-        assert!((ooo_frontend / total - 0.40).abs() < 0.02, "§4.5: 40% in OoO+frontend");
+        assert!(
+            (ooo_frontend / total - 0.40).abs() < 0.02,
+            "§4.5: 40% in OoO+frontend"
+        );
     }
 
     #[test]

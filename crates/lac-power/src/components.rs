@@ -92,12 +92,18 @@ mod tests {
         let sp = FmacModel::new(Precision::Single);
         for (f, mw) in [(2.08, 32.3), (1.32, 13.4), (0.98, 8.7), (0.5, 3.3)] {
             let got = sp.power_mw(f);
-            assert!((got / mw - 1.0).abs() < 0.15, "SP {f} GHz: {got:.1} vs {mw}");
+            assert!(
+                (got / mw - 1.0).abs() < 0.15,
+                "SP {f} GHz: {got:.1} vs {mw}"
+            );
         }
         let dp = FmacModel::new(Precision::Double);
         for (f, mw) in [(1.81, 105.5), (0.95, 31.0), (0.33, 6.0)] {
             let got = dp.power_mw(f);
-            assert!((got / mw - 1.0).abs() < 0.25, "DP {f} GHz: {got:.1} vs {mw}");
+            assert!(
+                (got / mw - 1.0).abs() < 0.25,
+                "DP {f} GHz: {got:.1} vs {mw}"
+            );
         }
     }
 

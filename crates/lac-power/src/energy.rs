@@ -45,7 +45,11 @@ impl EnergyModel {
     /// Total energy of a run, in nanojoules.
     pub fn energy_nj(&self, stats: &ExecStats) -> f64 {
         let mac_pj = self.fmac().energy_pj(self.freq_ghz);
-        let cmp_pj = if self.comparator_extension { mac_pj * 0.15 } else { mac_pj };
+        let cmp_pj = if self.comparator_extension {
+            mac_pj * 0.15
+        } else {
+            mac_pj
+        };
         let a_pj = self.sram_a.energy_pj_per_access();
         let b_pj = self.sram_b.energy_pj_per_access();
         let dyn_pj = (stats.mac_ops + stats.fma_ops) as f64 * mac_pj
@@ -75,6 +79,42 @@ impl EnergyModel {
         let seconds = stats.cycles as f64 / (self.freq_ghz * 1e9);
         let gflops = stats.flops() as f64 / seconds / 1e9;
         gflops / (self.avg_power_mw(stats) / 1000.0)
+    }
+
+    /// All three energy axes of a run at once.
+    pub fn summarize(&self, stats: &ExecStats) -> EnergySummary {
+        EnergySummary {
+            energy_nj: self.energy_nj(stats),
+            avg_power_mw: self.avg_power_mw(stats),
+            gflops_per_w: self.gflops_per_w(stats),
+        }
+    }
+}
+
+/// Energy/power/efficiency of one run or session, as the paper reports them.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergySummary {
+    /// Total energy, nanojoules.
+    pub energy_nj: f64,
+    /// Average power over the run, milliwatts.
+    pub avg_power_mw: f64,
+    /// Power efficiency, GFLOPS/W.
+    pub gflops_per_w: f64,
+}
+
+/// Energy reporting for a whole [`lac_sim::LacEngine`] session.
+///
+/// Lives here rather than on the engine itself because `lac-power` depends
+/// on `lac-sim` (for [`ExecStats`]); bring this trait into scope and every
+/// engine gains `.energy_summary(&model)` over its accumulated session
+/// stats.
+pub trait SessionEnergy {
+    fn energy_summary(&self, model: &EnergyModel) -> EnergySummary;
+}
+
+impl SessionEnergy for lac_sim::LacEngine {
+    fn energy_summary(&self, model: &EnergyModel) -> EnergySummary {
+        model.summarize(self.session_stats())
     }
 }
 
@@ -114,15 +154,25 @@ mod tests {
     #[test]
     fn idle_core_consumes_idle_power_only() {
         let m = EnergyModel::lac_default();
-        let idle = ExecStats { cycles: 1000, ..Default::default() };
+        let idle = ExecStats {
+            cycles: 1000,
+            ..Default::default()
+        };
         assert_eq!(m.energy_nj(&idle), 0.0, "no events, no modeled energy");
     }
 
     #[test]
     fn comparator_extension_cheapens_compares() {
-        let stats = ExecStats { cycles: 1000, cmp_ops: 1000, ..Default::default() };
+        let stats = ExecStats {
+            cycles: 1000,
+            cmp_ops: 1000,
+            ..Default::default()
+        };
         let with = EnergyModel::lac_default();
-        let without = EnergyModel { comparator_extension: false, ..with };
+        let without = EnergyModel {
+            comparator_extension: false,
+            ..with
+        };
         assert!(without.energy_nj(&stats) > 3.0 * with.energy_nj(&stats));
     }
 
@@ -130,7 +180,10 @@ mod tests {
     fn single_precision_cheaper() {
         let stats = gemm_like_stats(10_000);
         let dp = EnergyModel::lac_default();
-        let sp = EnergyModel { precision: Precision::Single, ..dp };
+        let sp = EnergyModel {
+            precision: Precision::Single,
+            ..dp
+        };
         assert!(sp.energy_nj(&stats) < dp.energy_nj(&stats));
     }
 }

@@ -34,7 +34,10 @@ impl AreaBreakdown {
 
 /// Figure 6.5: LAC area with each divide/square-root option.
 pub fn divsqrt_area_breakdown(option: DivSqrtOption) -> AreaBreakdown {
-    let pe = PeModel { precision: Precision::Double, ..Default::default() };
+    let pe = PeModel {
+        precision: Precision::Double,
+        ..Default::default()
+    };
     let pes = 16.0 * pe.area_mm2();
     // Lookup tables (~2×128-entry minimax seeds) and the surrounding
     // datapath muxing, per Figure A.2.
@@ -85,7 +88,11 @@ mod tests {
     #[test]
     fn fig6_5_total_area_range() {
         // Figure 6.5's y-axis spans ~2.0–2.7 mm² for the whole LAC.
-        for opt in [DivSqrtOption::Software, DivSqrtOption::Isolated, DivSqrtOption::DiagonalPes] {
+        for opt in [
+            DivSqrtOption::Software,
+            DivSqrtOption::Isolated,
+            DivSqrtOption::DiagonalPes,
+        ] {
             let b = divsqrt_area_breakdown(opt);
             assert!((2.0..3.5).contains(&b.total()), "{opt:?}: {}", b.total());
         }

@@ -67,8 +67,10 @@ pub fn fft_pe_designs(f_ghz: f64) -> Vec<PeDesignReport> {
         a.power_mw(f_ghz, 0.25) + b.power_mw(f_ghz, 1.0) + a.leakage_mw() + b.leakage_mw()
     };
     let fft_mem_mw_dedicated = 2.0 * fft_m.power_mw(f_ghz, 1.3) + 2.0 * fft_m.leakage_mw();
-    let fft_mem_mw_hybrid =
-        hy_a.power_mw(f_ghz, 1.0) + hy_b.power_mw(f_ghz, 1.6) + hy_a.leakage_mw() + hy_b.leakage_mw();
+    let fft_mem_mw_hybrid = hy_a.power_mw(f_ghz, 1.0)
+        + hy_b.power_mw(f_ghz, 1.6)
+        + hy_a.leakage_mw()
+        + hy_b.leakage_mw();
 
     let mk = |design: PeDesign, area: f64, la: Option<f64>, fft: Option<f64>| {
         let max_power = la.unwrap_or(0.0).max(fft.unwrap_or(0.0)) + fmac_mw;
@@ -124,11 +126,26 @@ pub fn fft_platforms_table() -> Vec<FftPlatformRow> {
         .and_then(|d| d.fft_gflops_per_w)
         .unwrap_or(0.0);
     vec![
-        FftPlatformRow { name: "Intel quad-core (FFTW est.)", gflops_per_w: 0.35 },
-        FftPlatformRow { name: "Cell BE (FFT on SPEs)", gflops_per_w: 2.0 },
-        FftPlatformRow { name: "Nvidia GPU (cuFFT est.)", gflops_per_w: 1.5 },
-        FftPlatformRow { name: "ClearSpeed CSX700", gflops_per_w: 3.0 },
-        FftPlatformRow { name: "Hybrid LAC/FFT core (modeled)", gflops_per_w: hybrid },
+        FftPlatformRow {
+            name: "Intel quad-core (FFTW est.)",
+            gflops_per_w: 0.35,
+        },
+        FftPlatformRow {
+            name: "Cell BE (FFT on SPEs)",
+            gflops_per_w: 2.0,
+        },
+        FftPlatformRow {
+            name: "Nvidia GPU (cuFFT est.)",
+            gflops_per_w: 1.5,
+        },
+        FftPlatformRow {
+            name: "ClearSpeed CSX700",
+            gflops_per_w: 3.0,
+        },
+        FftPlatformRow {
+            name: "Hybrid LAC/FFT core (modeled)",
+            gflops_per_w: hybrid,
+        },
     ]
 }
 
@@ -144,14 +161,20 @@ mod tests {
         let la = &designs[0];
         let hy = &designs[2];
         let (e_la, e_hy) = (la.la_gflops_per_w.unwrap(), hy.la_gflops_per_w.unwrap());
-        assert!(e_hy > 0.85 * e_la, "hybrid {e_hy:.1} vs dedicated {e_la:.1}");
+        assert!(
+            e_hy > 0.85 * e_la,
+            "hybrid {e_hy:.1} vs dedicated {e_la:.1}"
+        );
     }
 
     #[test]
-    fn dedicated_fft_pe_smallest(){
+    fn dedicated_fft_pe_smallest() {
         let designs = fft_pe_designs(1.0);
         assert!(designs[1].area_mm2 < designs[0].area_mm2);
-        assert!(designs[2].area_mm2 >= designs[0].area_mm2, "hybrid pays a premium");
+        assert!(
+            designs[2].area_mm2 >= designs[0].area_mm2,
+            "hybrid pays a premium"
+        );
     }
 
     #[test]

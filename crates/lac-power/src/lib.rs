@@ -29,7 +29,7 @@ pub mod sram;
 
 pub use compare::{platform_cores_table, platform_systems_table, power_breakdown, PlatformRow};
 pub use components::{FmacModel, Precision, Technology};
-pub use energy::EnergyModel;
+pub use energy::{EnergyModel, EnergySummary, SessionEnergy};
 pub use extensions::{divsqrt_area_breakdown, DivSqrtOption};
 pub use fft_designs::{fft_pe_designs, PeDesign};
 pub use pe::{chip_metrics, core_metrics, CoreMetrics, PeMetrics, PeModel};

@@ -130,8 +130,7 @@ pub fn chip_metrics(
 ) -> CoreMetrics {
     let core = core_metrics(pe, nr, freq_ghz, utilization);
     let mem = SramModel::new(onchip_bytes, 2);
-    let mem_w =
-        (mem.power_mw(freq_ghz, onchip_accesses_per_cycle) + mem.leakage_mw()) / 1000.0;
+    let mem_w = (mem.power_mw(freq_ghz, onchip_accesses_per_cycle) + mem.leakage_mw()) / 1000.0;
     let power_w = core.power_w * s as f64 + mem_w;
     let area = core.area_mm2 * s as f64 + mem.area_mm2();
     let gflops = core.gflops * s as f64;
@@ -155,25 +154,42 @@ mod tests {
         let pe = PeModel::default();
         let m = pe.metrics(0.95);
         assert!((m.pe_mw - 38.0).abs() < 8.0, "PE power {}", m.pe_mw);
-        assert!((m.gflops_per_w - 46.4).abs() < 10.0, "GFLOPS/W {}", m.gflops_per_w);
+        assert!(
+            (m.gflops_per_w - 46.4).abs() < 10.0,
+            "GFLOPS/W {}",
+            m.gflops_per_w
+        );
         assert!((m.area_mm2 - 0.174).abs() < 0.03, "area {}", m.area_mm2);
     }
 
     #[test]
     fn table_3_1_sp_row_at_1ghz() {
         // SP 0.98 GHz row: 15.9 mW, 113 GFLOPS/W.
-        let pe = PeModel { precision: Precision::Single, ..Default::default() };
+        let pe = PeModel {
+            precision: Precision::Single,
+            ..Default::default()
+        };
         let m = pe.metrics(0.98);
         assert!((m.pe_mw - 15.9).abs() < 4.0, "PE power {}", m.pe_mw);
-        assert!((m.gflops_per_w - 113.0).abs() < 25.0, "GFLOPS/W {}", m.gflops_per_w);
+        assert!(
+            (m.gflops_per_w - 113.0).abs() < 25.0,
+            "GFLOPS/W {}",
+            m.gflops_per_w
+        );
     }
 
     #[test]
     fn one_ghz_is_the_sweet_spot() {
         // Figure 3.6: energy-delay still falling at 1 GHz, power efficiency
         // already high; past ~1.8 GHz efficiency collapses.
-        let pe = PeModel { precision: Precision::Single, ..Default::default() };
-        assert!(pe.energy_delay(1.0) < pe.energy_delay(0.3), "E-D falls toward 1 GHz");
+        let pe = PeModel {
+            precision: Precision::Single,
+            ..Default::default()
+        };
+        assert!(
+            pe.energy_delay(1.0) < pe.energy_delay(0.3),
+            "E-D falls toward 1 GHz"
+        );
         let eff_1 = pe.metrics(1.0).gflops_per_w;
         let eff_2 = pe.metrics(2.0).gflops_per_w;
         assert!(eff_1 > eff_2, "efficiency drops at high frequency");
@@ -185,10 +201,22 @@ mod tests {
         // and the abstract's "up to 25 GFLOPS/W DP achievable on a chip".
         let pe = PeModel::default();
         let core = core_metrics(&pe, 4, 1.0, 0.95);
-        assert!(core.gflops_per_w > 35.0 && core.gflops_per_w < 60.0, "{}", core.gflops_per_w);
+        assert!(
+            core.gflops_per_w > 35.0 && core.gflops_per_w < 60.0,
+            "{}",
+            core.gflops_per_w
+        );
         let chip = chip_metrics(&pe, 4, 15, 1.4, 0.9, 5 * 1024 * 1024, 4.0);
-        assert!(chip.gflops_per_w > 15.0 && chip.gflops_per_w < 40.0, "{}", chip.gflops_per_w);
-        assert!(chip.gflops > 400.0, "600-GFLOPS-class chip, got {}", chip.gflops);
+        assert!(
+            chip.gflops_per_w > 15.0 && chip.gflops_per_w < 40.0,
+            "{}",
+            chip.gflops_per_w
+        );
+        assert!(
+            chip.gflops > 400.0,
+            "600-GFLOPS-class chip, got {}",
+            chip.gflops
+        );
     }
 
     #[test]
@@ -203,8 +231,14 @@ mod tests {
     #[test]
     fn smaller_store_lower_power_higher_density() {
         // Figure 4.8: smaller local stores consume less power per PE...
-        let small = PeModel { local_store_bytes: 4 * 1024, ..Default::default() };
-        let big = PeModel { local_store_bytes: 18 * 1024, ..Default::default() };
+        let small = PeModel {
+            local_store_bytes: 4 * 1024,
+            ..Default::default()
+        };
+        let big = PeModel {
+            local_store_bytes: 18 * 1024,
+            ..Default::default()
+        };
         assert!(small.metrics(1.0).pe_mw < big.metrics(1.0).pe_mw);
         // ...but power *density* rises (the §4.4 caveat).
         assert!(small.metrics(1.0).w_per_mm2 > big.metrics(1.0).w_per_mm2);

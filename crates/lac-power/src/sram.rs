@@ -17,7 +17,10 @@ pub struct SramModel {
 impl SramModel {
     pub fn new(capacity_bytes: usize, ports: usize) -> Self {
         assert!(ports >= 1);
-        Self { capacity_bytes, ports }
+        Self {
+            capacity_bytes,
+            ports,
+        }
     }
 
     /// Area in mm² at 45 nm.
@@ -61,7 +64,10 @@ pub struct NucaModel {
 
 impl NucaModel {
     pub fn new(capacity_bytes: usize, bandwidth_words: f64) -> Self {
-        Self { capacity_bytes, bandwidth_words }
+        Self {
+            capacity_bytes,
+            bandwidth_words,
+        }
     }
 
     fn equivalent_sram(&self) -> SramModel {
@@ -141,7 +147,10 @@ mod tests {
     fn energy_scales_sublinearly_with_capacity() {
         let small = SramModel::new(4 * 1024, 2);
         let big = SramModel::new(64 * 1024, 2);
-        assert!(big.energy_pj_per_access() < 8.0 * small.energy_pj_per_access(), "sublinear in the 16x capacity");
+        assert!(
+            big.energy_pj_per_access() < 8.0 * small.energy_pj_per_access(),
+            "sublinear in the 16x capacity"
+        );
         assert!(big.energy_pj_per_access() > small.energy_pj_per_access());
     }
 

@@ -15,7 +15,9 @@ pub struct ExternalMem {
 
 impl ExternalMem {
     pub fn new(words: usize) -> Self {
-        Self { data: vec![0.0; words] }
+        Self {
+            data: vec![0.0; words],
+        }
     }
 
     pub fn from_vec(data: Vec<f64>) -> Self {
@@ -82,9 +84,9 @@ pub struct Lac {
 impl Lac {
     pub fn new(cfg: LacConfig) -> Self {
         let per_pe_sfu = match cfg.divsqrt {
-            DivSqrtImpl::Software => true,       // microcode runs on every PE
-            DivSqrtImpl::Isolated => false,      // one shared unit (index 0 below)
-            DivSqrtImpl::DiagonalPes => false,   // diagonal PEs only
+            DivSqrtImpl::Software => true,     // microcode runs on every PE
+            DivSqrtImpl::Isolated => false,    // one shared unit (index 0 below)
+            DivSqrtImpl::DiagonalPes => false, // diagonal PEs only
         };
         let nr = cfg.nr;
         let pes = (0..nr * nr)
@@ -104,7 +106,11 @@ impl Lac {
                 }
             })
             .collect();
-        Self { cfg, pes, stats: ExecStats::default() }
+        Self {
+            cfg,
+            pes,
+            stats: ExecStats::default(),
+        }
     }
 
     pub fn config(&self) -> &LacConfig {
@@ -165,10 +171,13 @@ impl Lac {
         // --- external bandwidth check -----------------------------------
         if let Some(limit) = self.cfg.ext_words_per_cycle {
             if step.ext.len() > limit {
-                return Err(err(None, HazardKind::ExtBandwidthExceeded {
-                    used: step.ext.len(),
-                    limit,
-                }));
+                return Err(err(
+                    None,
+                    HazardKind::ExtBandwidthExceeded {
+                        used: step.ext.len(),
+                        limit,
+                    },
+                ));
             }
         }
 
@@ -182,7 +191,13 @@ impl Lac {
         for op in &step.ext {
             if let ExtOp::Load { col, addr } = *op {
                 if addr >= mem.len() {
-                    return Err(err(None, HazardKind::ExtOutOfRange { addr, size: mem.len() }));
+                    return Err(err(
+                        None,
+                        HazardKind::ExtOutOfRange {
+                            addr,
+                            size: mem.len(),
+                        },
+                    ));
                 }
                 if col >= nr || col_bus[col].is_some() {
                     return Err(err(None, HazardKind::ColBusConflict { col }));
@@ -193,6 +208,7 @@ impl Lac {
             }
         }
 
+        #[allow(clippy::needless_range_loop)] // (r, c) index PEs and buses alike
         for r in 0..nr {
             for c in 0..nr {
                 let idx = r * nr + c;
@@ -260,10 +276,13 @@ impl Lac {
                 }
                 if let Some(cmp) = instr.cmp_update {
                     if cmp.val_reg >= self.cfg.rf_entries || cmp.tag_reg >= self.cfg.rf_entries {
-                        return Err(err(here, HazardKind::RegOutOfRange {
-                            idx: cmp.val_reg.max(cmp.tag_reg),
-                            size: self.cfg.rf_entries,
-                        }));
+                        return Err(err(
+                            here,
+                            HazardKind::RegOutOfRange {
+                                idx: cmp.val_reg.max(cmp.tag_reg),
+                                size: self.cfg.rf_entries,
+                            },
+                        ));
                     }
                     let v =
                         self.resolve(t, (r, c), cmp.value, &row_bus, &col_bus, &mut port_use[idx])?;
@@ -285,11 +304,14 @@ impl Lac {
                 }
                 if let Some((addr, src)) = instr.sram_a_write {
                     if addr >= self.cfg.sram_a_words {
-                        return Err(err(here, HazardKind::SramOutOfRange {
-                            which: 'A',
-                            addr,
-                            size: self.cfg.sram_a_words,
-                        }));
+                        return Err(err(
+                            here,
+                            HazardKind::SramOutOfRange {
+                                which: 'A',
+                                addr,
+                                size: self.cfg.sram_a_words,
+                            },
+                        ));
                     }
                     let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
                     port_use[idx].sram_a += 1;
@@ -298,11 +320,14 @@ impl Lac {
                 }
                 if let Some((addr, src)) = instr.sram_b_write {
                     if addr >= self.cfg.sram_b_words {
-                        return Err(err(here, HazardKind::SramOutOfRange {
-                            which: 'B',
-                            addr,
-                            size: self.cfg.sram_b_words,
-                        }));
+                        return Err(err(
+                            here,
+                            HazardKind::SramOutOfRange {
+                                which: 'B',
+                                addr,
+                                size: self.cfg.sram_b_words,
+                            },
+                        ));
                     }
                     let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
                     port_use[idx].sram_b += 1;
@@ -311,10 +336,13 @@ impl Lac {
                 }
                 if let Some((ridx, src)) = instr.reg_write {
                     if ridx >= self.cfg.rf_entries {
-                        return Err(err(here, HazardKind::RegOutOfRange {
-                            idx: ridx,
-                            size: self.cfg.rf_entries,
-                        }));
+                        return Err(err(
+                            here,
+                            HazardKind::RegOutOfRange {
+                                idx: ridx,
+                                size: self.cfg.rf_entries,
+                            },
+                        ));
                     }
                     let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
                     commits.push(Commit::Reg(idx, ridx, v));
@@ -351,7 +379,9 @@ impl Lac {
                         Some(r) => unit
                             .issue_precomputed(op, r)
                             .map_err(|_| err(here, HazardKind::SfuBusy))?,
-                        None => unit.issue(op, a, b).map_err(|_| err(here, HazardKind::SfuBusy))?,
+                        None => unit
+                            .issue(op, a, b)
+                            .map_err(|_| err(here, HazardKind::SfuBusy))?,
                     }
                     self.stats.sfu_ops += 1;
                 }
@@ -370,10 +400,13 @@ impl Lac {
                     return Err(err(Some((r, c)), HazardKind::SramBPortConflict));
                 }
                 if u.rf_reads > 2 {
-                    return Err(err(Some((r, c)), HazardKind::RegOutOfRange {
-                        idx: usize::MAX, // sentinel: too many read ports
-                        size: self.cfg.rf_entries,
-                    }));
+                    return Err(err(
+                        Some((r, c)),
+                        HazardKind::RegOutOfRange {
+                            idx: usize::MAX, // sentinel: too many read ports
+                            size: self.cfg.rf_entries,
+                        },
+                    ));
                 }
             }
         }
@@ -382,7 +415,13 @@ impl Lac {
         for op in &step.ext {
             if let ExtOp::Store { col, addr } = *op {
                 if addr >= mem.len() {
-                    return Err(err(None, HazardKind::ExtOutOfRange { addr, size: mem.len() }));
+                    return Err(err(
+                        None,
+                        HazardKind::ExtOutOfRange {
+                            addr,
+                            size: mem.len(),
+                        },
+                    ));
                 }
                 let v = col_bus
                     .get(col)
@@ -434,9 +473,11 @@ impl Lac {
         ports: &mut PortUse,
     ) -> Result<f64, SimError> {
         match src {
-            Source::RowBus | Source::ColBus => {
-                Err(SimError { cycle: t, pe: Some(pe), kind: HazardKind::BusToBusSameCycle })
-            }
+            Source::RowBus | Source::ColBus => Err(SimError {
+                cycle: t,
+                pe: Some(pe),
+                kind: HazardKind::BusToBusSameCycle,
+            }),
             other => self.resolve_inner(t, pe, other, None, None, ports),
         }
     }
@@ -463,14 +504,24 @@ impl Lac {
         ports: &mut PortUse,
     ) -> Result<f64, SimError> {
         let idx = r * self.cfg.nr + c;
-        let err = |kind| SimError { cycle: t, pe: Some((r, c)), kind };
+        let err = |kind| SimError {
+            cycle: t,
+            pe: Some((r, c)),
+            kind,
+        };
         match src {
-            Source::RowBus => row_bus
-                .and_then(|b| b[r])
-                .ok_or_else(|| err(HazardKind::BusUndriven { row_bus: true, index: r })),
-            Source::ColBus => col_bus
-                .and_then(|b| b[c])
-                .ok_or_else(|| err(HazardKind::BusUndriven { row_bus: false, index: c })),
+            Source::RowBus => row_bus.and_then(|b| b[r]).ok_or_else(|| {
+                err(HazardKind::BusUndriven {
+                    row_bus: true,
+                    index: r,
+                })
+            }),
+            Source::ColBus => col_bus.and_then(|b| b[c]).ok_or_else(|| {
+                err(HazardKind::BusUndriven {
+                    row_bus: false,
+                    index: c,
+                })
+            }),
             Source::SramA(addr) => {
                 if addr >= self.cfg.sram_a_words {
                     return Err(err(HazardKind::SramOutOfRange {
@@ -513,15 +564,17 @@ impl Lac {
                 self.stats.acc_accesses += 1;
                 Ok(self.pes[idx].mac.read_acc())
             }
-            Source::MacResult => {
-                self.pes[idx].mac_result.ok_or_else(|| err(HazardKind::MacResultEmpty))
-            }
+            Source::MacResult => self.pes[idx]
+                .mac_result
+                .ok_or_else(|| err(HazardKind::MacResultEmpty)),
             Source::SfuResult => {
                 let unit_idx = match self.cfg.divsqrt {
                     DivSqrtImpl::Isolated => 0,
                     _ => idx,
                 };
-                self.pes[unit_idx].sfu_result.ok_or_else(|| err(HazardKind::SfuResultEmpty))
+                self.pes[unit_idx]
+                    .sfu_result
+                    .ok_or_else(|| err(HazardKind::SfuResultEmpty))
             }
             Source::Const(v) => Ok(v),
         }
@@ -535,7 +588,12 @@ mod tests {
     use lac_fpu::DivSqrtOp;
 
     fn small_cfg() -> LacConfig {
-        LacConfig { nr: 2, sram_a_words: 16, sram_b_words: 16, ..Default::default() }
+        LacConfig {
+            nr: 2,
+            sram_a_words: 16,
+            sram_b_words: 16,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -633,7 +691,10 @@ mod tests {
 
     #[test]
     fn ext_bandwidth_limit_enforced() {
-        let cfg = LacConfig { ext_words_per_cycle: Some(1), ..small_cfg() };
+        let cfg = LacConfig {
+            ext_words_per_cycle: Some(1),
+            ..small_cfg()
+        };
         let mut lac = Lac::new(cfg);
         let mut b = ProgramBuilder::new(2);
         let t = b.push_step();
@@ -641,7 +702,10 @@ mod tests {
         b.ext(t, ExtOp::Load { col: 1, addr: 1 });
         let mut mem = ExternalMem::new(4);
         let e = lac.run(&b.build(), &mut mem).unwrap_err();
-        assert!(matches!(e.kind, HazardKind::ExtBandwidthExceeded { used: 2, limit: 1 }));
+        assert!(matches!(
+            e.kind,
+            HazardKind::ExtBandwidthExceeded { used: 2, limit: 1 }
+        ));
     }
 
     #[test]
@@ -651,7 +715,11 @@ mod tests {
         let mut lac = Lac::new(cfg);
         let mut b = ProgramBuilder::new(2);
         let t0 = b.push_step();
-        b.pe_mut(t0, 1, 1).sfu = Some((DivSqrtOp::Reciprocal, Source::Const(8.0), Source::Const(0.0)));
+        b.pe_mut(t0, 1, 1).sfu = Some((
+            DivSqrtOp::Reciprocal,
+            Source::Const(8.0),
+            Source::Const(0.0),
+        ));
         b.idle(lat);
         let t1 = b.push_step();
         b.pe_mut(t1, 1, 1).reg_write = Some((0, Source::SfuResult));
@@ -662,11 +730,18 @@ mod tests {
 
     #[test]
     fn diagonal_sfu_rejects_offdiagonal_use() {
-        let cfg = LacConfig { divsqrt: DivSqrtImpl::DiagonalPes, ..small_cfg() };
+        let cfg = LacConfig {
+            divsqrt: DivSqrtImpl::DiagonalPes,
+            ..small_cfg()
+        };
         let mut lac = Lac::new(cfg);
         let mut b = ProgramBuilder::new(2);
         let t = b.push_step();
-        b.pe_mut(t, 0, 1).sfu = Some((DivSqrtOp::Reciprocal, Source::Const(2.0), Source::Const(0.0)));
+        b.pe_mut(t, 0, 1).sfu = Some((
+            DivSqrtOp::Reciprocal,
+            Source::Const(2.0),
+            Source::Const(0.0),
+        ));
         let mut mem = ExternalMem::new(1);
         let e = lac.run(&b.build(), &mut mem).unwrap_err();
         assert!(matches!(e.kind, HazardKind::SfuNotPresent));
@@ -674,11 +749,18 @@ mod tests {
 
     #[test]
     fn software_divsqrt_blocks_mac() {
-        let cfg = LacConfig { divsqrt: DivSqrtImpl::Software, ..small_cfg() };
+        let cfg = LacConfig {
+            divsqrt: DivSqrtImpl::Software,
+            ..small_cfg()
+        };
         let mut lac = Lac::new(cfg);
         let mut b = ProgramBuilder::new(2);
         let t0 = b.push_step();
-        b.pe_mut(t0, 0, 0).sfu = Some((DivSqrtOp::Reciprocal, Source::Const(2.0), Source::Const(0.0)));
+        b.pe_mut(t0, 0, 0).sfu = Some((
+            DivSqrtOp::Reciprocal,
+            Source::Const(2.0),
+            Source::Const(0.0),
+        ));
         let t1 = b.push_step();
         b.pe_mut(t1, 0, 0).mac = Some((Source::Const(1.0), Source::Const(1.0)));
         let mut mem = ExternalMem::new(1);
@@ -693,8 +775,7 @@ mod tests {
         let mut lac = Lac::new(cfg);
         let mut b = ProgramBuilder::new(2);
         let t0 = b.push_step();
-        b.pe_mut(t0, 0, 0).fma =
-            Some((Source::Const(2.0), Source::Const(3.0), Source::Const(1.0)));
+        b.pe_mut(t0, 0, 0).fma = Some((Source::Const(2.0), Source::Const(3.0), Source::Const(1.0)));
         b.idle(p - 1);
         let t1 = b.push_step();
         b.pe_mut(t1, 0, 0).reg_write = Some((1, Source::MacResult));
@@ -711,6 +792,9 @@ mod tests {
         b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
         let mut mem = ExternalMem::new(1);
         let e = lac.run(&b.build(), &mut mem).unwrap_err();
-        assert!(matches!(e.kind, HazardKind::BusUndriven { row_bus: true, .. }));
+        assert!(matches!(
+            e.kind,
+            HazardKind::BusUndriven { row_bus: true, .. }
+        ));
     }
 }

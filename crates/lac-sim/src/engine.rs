@@ -1,0 +1,285 @@
+//! Session-style entry point: one [`LacEngine`] owns a core and its
+//! external-memory bank and runs workloads back-to-back.
+//!
+//! The dissertation evaluates one Linear Algebra Core across a dozen
+//! kernels and dozens of design points; production use (e.g. the repeated
+//! Cholesky factorizations inside an interior-point solver) queues many
+//! workloads against the *same* core. `LacEngine` models that session: it
+//! is built once from a [`LacConfig`], keeps the architectural state of the
+//! core alive between runs, meters every executed program into a session
+//! [`ExecStats`] accumulator, and exposes the derived metrics (cycles,
+//! flops, utilization, bandwidth) the paper reports. Energy comes from
+//! feeding the accumulated stats to `lac-power` (see that crate's
+//! `SessionEnergy` extension trait).
+//!
+//! Work is metered into the session through three doors:
+//!
+//! * [`LacEngine::run_program`] — execute a program against the
+//!   engine-owned memory bank (staged with [`LacEngine::load_image`]);
+//! * [`LacEngine::run_staged`] — execute a program against a
+//!   caller-staged private bank;
+//! * [`LacEngine::absorb`] — fold driver-measured [`ExecStats`] into the
+//!   session. This is the door the `Workload` implementations in
+//!   `lac-kernels` use: their blocked drivers run many programs against
+//!   re-packed operand images (via [`LacEngine::parts`] /
+//!   [`LacEngine::core_mut`]) and absorb the summed stats once per
+//!   workload.
+//!
+//! All three meter into the session accumulator, so a session's numbers
+//! are complete no matter how its workloads stage memory.
+
+use crate::config::LacConfig;
+use crate::core::{ExternalMem, Lac};
+use crate::error::SimError;
+use crate::isa::Program;
+use crate::stats::ExecStats;
+
+/// Default engine-owned memory bank size in words (replaced wholesale by
+/// [`LacEngine::load_image`], so this only bounds image-free programs).
+const DEFAULT_MEM_WORDS: usize = 1 << 16;
+
+/// Builder for [`LacEngine`] — `LacEngine::builder().config(cfg).build()`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LacEngineBuilder {
+    cfg: LacConfig,
+    mem_words: Option<usize>,
+}
+
+impl LacEngineBuilder {
+    /// Core configuration (mesh size, local stores, FPU, extensions).
+    pub fn config(mut self, cfg: LacConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Initial size of the engine-owned external memory bank, in words.
+    pub fn mem_words(mut self, words: usize) -> Self {
+        self.mem_words = Some(words);
+        self
+    }
+
+    pub fn build(self) -> LacEngine {
+        LacEngine {
+            lac: Lac::new(self.cfg),
+            mem: ExternalMem::new(self.mem_words.unwrap_or(DEFAULT_MEM_WORDS)),
+            session: ExecStats::default(),
+            programs_run: 0,
+            workloads_run: 0,
+        }
+    }
+}
+
+/// A simulation session: one core plus its external-memory bank, with
+/// stats accumulated across every program run through it.
+pub struct LacEngine {
+    lac: Lac,
+    mem: ExternalMem,
+    session: ExecStats,
+    programs_run: u64,
+    workloads_run: u64,
+}
+
+impl LacEngine {
+    pub fn builder() -> LacEngineBuilder {
+        LacEngineBuilder::default()
+    }
+
+    /// Shorthand for `builder().config(cfg).build()`.
+    pub fn new(cfg: LacConfig) -> Self {
+        Self::builder().config(cfg).build()
+    }
+
+    pub fn config(&self) -> &LacConfig {
+        self.lac.config()
+    }
+
+    /// The simulated core (architectural state persists across runs).
+    pub fn core(&self) -> &Lac {
+        &self.lac
+    }
+
+    pub fn core_mut(&mut self) -> &mut Lac {
+        &mut self.lac
+    }
+
+    /// The engine-owned external memory bank.
+    pub fn mem(&self) -> &ExternalMem {
+        &self.mem
+    }
+
+    pub fn mem_mut(&mut self) -> &mut ExternalMem {
+        &mut self.mem
+    }
+
+    /// Split borrow: core and memory bank at once (kernel drivers need
+    /// both simultaneously).
+    pub fn parts(&mut self) -> (&mut Lac, &mut ExternalMem) {
+        (&mut self.lac, &mut self.mem)
+    }
+
+    /// Replace the engine-owned memory bank with a packed operand image.
+    pub fn load_image(&mut self, image: Vec<f64>) {
+        self.mem = ExternalMem::from_vec(image);
+    }
+
+    /// Execute a program against the engine-owned memory bank. Returns the
+    /// per-run stats delta; the session accumulator is updated too.
+    pub fn run_program(&mut self, prog: &Program) -> Result<ExecStats, SimError> {
+        let stats = self.lac.run(prog, &mut self.mem)?;
+        self.session.merge(&stats);
+        self.programs_run += 1;
+        Ok(stats)
+    }
+
+    /// Execute a program against a caller-staged memory bank (blocked
+    /// drivers re-pack operands between phases). Metered like
+    /// [`LacEngine::run_program`].
+    pub fn run_staged(
+        &mut self,
+        prog: &Program,
+        mem: &mut ExternalMem,
+    ) -> Result<ExecStats, SimError> {
+        let stats = self.lac.run(prog, mem)?;
+        self.session.merge(&stats);
+        self.programs_run += 1;
+        Ok(stats)
+    }
+
+    /// Fold driver-measured stats into the session — the door used by
+    /// `Workload` implementations, whose drivers run programs directly on
+    /// the core (via [`LacEngine::parts`] / [`LacEngine::core_mut`]) and
+    /// report the summed stats. Does not bump [`LacEngine::programs_run`],
+    /// which counts only programs executed by the engine itself.
+    pub fn absorb(&mut self, stats: &ExecStats) {
+        self.session.merge(stats);
+    }
+
+    /// Called by `Workload::run` implementations when a workload completes.
+    pub fn note_workload(&mut self) {
+        self.workloads_run += 1;
+    }
+
+    /// Stats accumulated across every run since construction (or the last
+    /// [`LacEngine::reset_session`]).
+    pub fn session_stats(&self) -> &ExecStats {
+        &self.session
+    }
+
+    /// Programs executed through the engine's own run doors
+    /// ([`LacEngine::run_program`] / [`LacEngine::run_staged`]) this
+    /// session. Stats folded in via [`LacEngine::absorb`] are not
+    /// program-counted — use [`LacEngine::workloads_run`] for those.
+    pub fn programs_run(&self) -> u64 {
+        self.programs_run
+    }
+
+    /// Workloads completed this session.
+    pub fn workloads_run(&self) -> u64 {
+        self.workloads_run
+    }
+
+    /// Zero the session accumulator (core state is kept — sessions meter,
+    /// they do not reset the machine).
+    pub fn reset_session(&mut self) {
+        self.session = ExecStats::default();
+        self.programs_run = 0;
+        self.workloads_run = 0;
+    }
+
+    // ---- derived session metrics (the paper's reporting axes) ----------
+
+    /// Total simulated cycles this session.
+    pub fn cycles(&self) -> u64 {
+        self.session.cycles
+    }
+
+    /// Total floating-point operations this session.
+    pub fn flops(&self) -> u64 {
+        self.session.flops()
+    }
+
+    /// MAC-slot utilization against the core's peak over the session.
+    pub fn utilization(&self) -> f64 {
+        self.session.utilization(self.lac.config().nr)
+    }
+
+    /// Average external words moved per cycle over the session.
+    pub fn ext_words_per_cycle(&self) -> f64 {
+        self.session.ext_words_per_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ExtOp, ProgramBuilder, Source};
+
+    fn tiny_program(nr: usize) -> Program {
+        let mut b = ProgramBuilder::new(nr);
+        let t = b.push_step();
+        b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+        b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+        let t = b.push_step();
+        b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+        b.idle(LacConfig::default().fpu.pipeline_depth);
+        b.build()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let cfg = LacConfig {
+            nr: 4,
+            ..Default::default()
+        };
+        let eng = LacEngine::builder().config(cfg).mem_words(32).build();
+        assert_eq!(eng.config().nr, 4);
+        assert_eq!(eng.mem().len(), 32);
+        assert_eq!(eng.cycles(), 0);
+    }
+
+    #[test]
+    fn session_accumulates_across_runs() {
+        let mut eng = LacEngine::builder().mem_words(8).build();
+        let prog = tiny_program(4);
+        let first = eng.run_program(&prog).unwrap();
+        let second = eng.run_program(&prog).unwrap();
+        assert_eq!(first.cycles, second.cycles);
+        assert_eq!(eng.cycles(), first.cycles + second.cycles);
+        assert_eq!(eng.session_stats().mac_ops, 2);
+        assert_eq!(eng.programs_run(), 2);
+        assert_eq!(eng.flops(), 4);
+    }
+
+    #[test]
+    fn staged_runs_are_metered_too() {
+        let mut eng = LacEngine::builder().mem_words(8).build();
+        let prog = tiny_program(4);
+        let mut private = ExternalMem::new(8);
+        eng.run_staged(&prog, &mut private).unwrap();
+        assert_eq!(eng.programs_run(), 1);
+        assert!(eng.cycles() > 0);
+    }
+
+    #[test]
+    fn reset_session_zeroes_meters_only() {
+        let mut eng = LacEngine::builder().mem_words(8).build();
+        let prog = tiny_program(4);
+        eng.run_program(&prog).unwrap();
+        eng.note_workload();
+        assert_eq!(eng.workloads_run(), 1);
+        eng.reset_session();
+        assert_eq!(eng.cycles(), 0);
+        assert_eq!(eng.programs_run(), 0);
+        assert_eq!(eng.workloads_run(), 0);
+        // Core lifetime stats are untouched — the machine was not reset.
+        assert!(eng.core().stats().cycles > 0);
+    }
+
+    #[test]
+    fn load_image_replaces_bank() {
+        let mut eng = LacEngine::builder().mem_words(4).build();
+        eng.load_image(vec![1.0, 2.0, 3.0]);
+        assert_eq!(eng.mem().len(), 3);
+        assert_eq!(eng.mem().read(1), 2.0);
+    }
+}

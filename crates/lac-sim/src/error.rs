@@ -25,7 +25,11 @@ pub enum HazardKind {
     /// Dual-ported B memory saw more than two accesses.
     SramBPortConflict,
     /// SRAM address out of configured range.
-    SramOutOfRange { which: char, addr: usize, size: usize },
+    SramOutOfRange {
+        which: char,
+        addr: usize,
+        size: usize,
+    },
     /// Register index out of range.
     RegOutOfRange { idx: usize, size: usize },
     /// Accumulator read or loaded while MACs are still in flight.

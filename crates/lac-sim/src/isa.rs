@@ -168,7 +168,10 @@ pub struct Step {
 
 impl Step {
     fn new(nr: usize) -> Self {
-        Self { pes: vec![PeInstr::default(); nr * nr], ext: Vec::new() }
+        Self {
+            pes: vec![PeInstr::default(); nr * nr],
+            ext: Vec::new(),
+        }
     }
 }
 
@@ -198,7 +201,10 @@ pub struct ProgramBuilder {
 
 impl ProgramBuilder {
     pub fn new(nr: usize) -> Self {
-        Self { nr, steps: Vec::new() }
+        Self {
+            nr,
+            steps: Vec::new(),
+        }
     }
 
     pub fn nr(&self) -> usize {
@@ -247,7 +253,10 @@ impl ProgramBuilder {
     }
 
     pub fn build(self) -> Program {
-        Program { nr: self.nr, steps: self.steps }
+        Program {
+            nr: self.nr,
+            steps: self.steps,
+        }
     }
 }
 
@@ -258,7 +267,9 @@ mod tests {
     #[test]
     fn nop_detection() {
         assert!(PeInstr::default().is_nop());
-        assert!(!PeInstr::default().mac(Source::RowBus, Source::ColBus).is_nop());
+        assert!(!PeInstr::default()
+            .mac(Source::RowBus, Source::ColBus)
+            .is_nop());
     }
 
     #[test]
@@ -268,7 +279,7 @@ mod tests {
         b.set_pe(t, 1, 2, PeInstr::default().row_write(Source::Acc));
         let p = b.build();
         assert_eq!(p.steps.len(), 1);
-        assert!(p.steps[0].pes[1 * 4 + 2].row_write.is_some());
+        assert!(p.steps[0].pes[4 + 2].row_write.is_some());
         assert!(p.steps[0].pes[0].is_nop());
     }
 

@@ -34,7 +34,9 @@ pub struct LapRunSummary {
 impl Lap {
     pub fn new(cfg: LacConfig, num_cores: usize) -> Self {
         assert!(num_cores >= 1);
-        Self { cores: (0..num_cores).map(|_| Lac::new(cfg)).collect() }
+        Self {
+            cores: (0..num_cores).map(|_| Lac::new(cfg)).collect(),
+        }
     }
 
     pub fn num_cores(&self) -> usize {
@@ -62,7 +64,14 @@ impl Lap {
             per_core.push(stats);
             banks.push(mem);
         }
-        Ok((LapRunSummary { per_core, makespan_cycles: makespan, aggregate }, banks))
+        Ok((
+            LapRunSummary {
+                per_core,
+                makespan_cycles: makespan,
+                aggregate,
+            },
+            banks,
+        ))
     }
 }
 
@@ -73,16 +82,29 @@ mod tests {
 
     #[test]
     fn two_cores_run_independently() {
-        let cfg = LacConfig { nr: 2, sram_a_words: 8, sram_b_words: 8, ..Default::default() };
+        let cfg = LacConfig {
+            nr: 2,
+            sram_a_words: 8,
+            sram_b_words: 8,
+            ..Default::default()
+        };
         let mut lap = Lap::new(cfg, 2);
         let mk = |v: f64, idle: usize| {
             let mut b = ProgramBuilder::new(2);
             let t = b.push_step();
-            b.set_pe(t, 0, 0, PeInstr::default().mac(Source::Const(v), Source::Const(v)));
+            b.set_pe(
+                t,
+                0,
+                0,
+                PeInstr::default().mac(Source::Const(v), Source::Const(v)),
+            );
             b.idle(cfg.fpu.pipeline_depth + idle);
             b.build()
         };
-        let work = vec![(mk(2.0, 0), ExternalMem::new(1)), (mk(3.0, 10), ExternalMem::new(1))];
+        let work = vec![
+            (mk(2.0, 0), ExternalMem::new(1)),
+            (mk(3.0, 10), ExternalMem::new(1)),
+        ];
         let (summary, _) = lap.run(work).unwrap();
         assert_eq!(summary.per_core.len(), 2);
         assert_eq!(summary.aggregate.mac_ops, 2);

@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod core;
+pub mod engine;
 pub mod error;
 pub mod isa;
 pub mod lap;
@@ -30,6 +31,7 @@ pub mod stats;
 
 pub use crate::core::{ExternalMem, Lac};
 pub use config::LacConfig;
+pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;
 pub use isa::{CmpUpdate, ExtOp, PeInstr, Program, ProgramBuilder, Source, Step};
 pub use lap::{Lap, LapRunSummary};

@@ -116,15 +116,28 @@ mod tests {
 
     #[test]
     fn utilization_math() {
-        let s = ExecStats { cycles: 100, mac_ops: 1600, ..Default::default() };
+        let s = ExecStats {
+            cycles: 100,
+            mac_ops: 1600,
+            ..Default::default()
+        };
         assert!((s.utilization(4) - 1.0).abs() < 1e-12);
         assert_eq!(s.flops(), 3200);
     }
 
     #[test]
     fn merge_adds() {
-        let mut a = ExecStats { cycles: 10, mac_ops: 5, ..Default::default() };
-        let b = ExecStats { cycles: 7, mac_ops: 3, ext_reads: 2, ..Default::default() };
+        let mut a = ExecStats {
+            cycles: 10,
+            mac_ops: 5,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            cycles: 7,
+            mac_ops: 3,
+            ext_reads: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 17);
         assert_eq!(a.mac_ops, 8);

@@ -8,7 +8,12 @@ use lac_sim::error::HazardKind;
 use lac_sim::{ExtOp, ExternalMem, Lac, LacConfig, PeInstr, ProgramBuilder, SimError, Source};
 
 fn cfg() -> LacConfig {
-    LacConfig { nr: 4, sram_a_words: 32, sram_b_words: 32, ..Default::default() }
+    LacConfig {
+        nr: 4,
+        sram_a_words: 32,
+        sram_b_words: 32,
+        ..Default::default()
+    }
 }
 
 fn run_one(builder: ProgramBuilder, config: LacConfig) -> Result<(), SimError> {
@@ -33,7 +38,14 @@ fn sram_out_of_range_read() {
     let t = b.push_step();
     b.pe_mut(t, 0, 0).mac = Some((Source::SramA(999), Source::Const(1.0)));
     let e = run_one(b, cfg()).unwrap_err();
-    assert!(matches!(e.kind, HazardKind::SramOutOfRange { which: 'A', addr: 999, .. }));
+    assert!(matches!(
+        e.kind,
+        HazardKind::SramOutOfRange {
+            which: 'A',
+            addr: 999,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -42,7 +54,10 @@ fn sram_b_out_of_range_write() {
     let t = b.push_step();
     b.pe_mut(t, 0, 0).sram_b_write = Some((999, Source::Const(1.0)));
     let e = run_one(b, cfg()).unwrap_err();
-    assert!(matches!(e.kind, HazardKind::SramOutOfRange { which: 'B', .. }));
+    assert!(matches!(
+        e.kind,
+        HazardKind::SramOutOfRange { which: 'B', .. }
+    ));
 }
 
 #[test]
@@ -98,7 +113,11 @@ fn sfu_result_read_before_any_retire() {
 fn sfu_busy_rejects_second_issue() {
     let mut b = ProgramBuilder::new(4);
     let t0 = b.push_step();
-    b.pe_mut(t0, 0, 0).sfu = Some((DivSqrtOp::Reciprocal, Source::Const(2.0), Source::Const(0.0)));
+    b.pe_mut(t0, 0, 0).sfu = Some((
+        DivSqrtOp::Reciprocal,
+        Source::Const(2.0),
+        Source::Const(0.0),
+    ));
     let t1 = b.push_step();
     b.pe_mut(t1, 1, 1).sfu = Some((DivSqrtOp::Sqrt, Source::Const(2.0), Source::Const(0.0)));
     // Isolated implementation: one shared unit per core.
@@ -128,7 +147,13 @@ fn ext_store_from_undriven_bus() {
 fn ext_address_out_of_range() {
     let mut b = ProgramBuilder::new(4);
     let t = b.push_step();
-    b.ext(t, ExtOp::Load { col: 0, addr: 1_000_000 });
+    b.ext(
+        t,
+        ExtOp::Load {
+            col: 0,
+            addr: 1_000_000,
+        },
+    );
     let e = run_one(b, cfg()).unwrap_err();
     assert!(matches!(e.kind, HazardKind::ExtOutOfRange { .. }));
 }
@@ -154,7 +179,12 @@ fn state_persists_across_runs() {
     let mut mem = ExternalMem::new(4);
     let mut b = ProgramBuilder::new(4);
     let t = b.push_step();
-    b.set_pe(t, 1, 2, PeInstr::default().reg_write(3, Source::Const(42.0)));
+    b.set_pe(
+        t,
+        1,
+        2,
+        PeInstr::default().reg_write(3, Source::Const(42.0)),
+    );
     lac.run(&b.build(), &mut mem).unwrap();
     assert_eq!(lac.reg(1, 2, 3), 42.0);
     let mut b = ProgramBuilder::new(4);
@@ -169,12 +199,23 @@ fn state_persists_across_runs() {
 fn software_divsqrt_per_pe_units_are_independent() {
     // Unlike the Isolated option, Software gives every PE its own
     // (microcoded) unit — two PEs may divide concurrently.
-    let config = LacConfig { divsqrt: DivSqrtImpl::Software, ..cfg() };
+    let config = LacConfig {
+        divsqrt: DivSqrtImpl::Software,
+        ..cfg()
+    };
     let q = DivSqrtImpl::Software.latency(DivSqrtOp::Reciprocal);
     let mut b = ProgramBuilder::new(4);
     let t0 = b.push_step();
-    b.pe_mut(t0, 0, 0).sfu = Some((DivSqrtOp::Reciprocal, Source::Const(2.0), Source::Const(0.0)));
-    b.pe_mut(t0, 1, 1).sfu = Some((DivSqrtOp::Reciprocal, Source::Const(4.0), Source::Const(0.0)));
+    b.pe_mut(t0, 0, 0).sfu = Some((
+        DivSqrtOp::Reciprocal,
+        Source::Const(2.0),
+        Source::Const(0.0),
+    ));
+    b.pe_mut(t0, 1, 1).sfu = Some((
+        DivSqrtOp::Reciprocal,
+        Source::Const(4.0),
+        Source::Const(0.0),
+    ));
     b.idle(q);
     let t1 = b.push_step();
     b.pe_mut(t1, 0, 0).reg_write = Some((0, Source::SfuResult));

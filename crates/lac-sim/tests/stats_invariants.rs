@@ -6,7 +6,12 @@ use lac_sim::{ExtOp, ExternalMem, Lac, LacConfig, ProgramBuilder, Source};
 use proptest::prelude::*;
 
 fn cfg() -> LacConfig {
-    LacConfig { nr: 4, sram_a_words: 64, sram_b_words: 64, ..Default::default() }
+    LacConfig {
+        nr: 4,
+        sram_a_words: 64,
+        sram_b_words: 64,
+        ..Default::default()
+    }
 }
 
 /// Build a random but structurally legal program: each "round" broadcasts

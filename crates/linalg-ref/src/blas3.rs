@@ -39,7 +39,11 @@ pub struct BlockSizes {
 
 impl Default for BlockSizes {
     fn default() -> Self {
-        Self { mc: 64, kc: 64, nr: 4 }
+        Self {
+            mc: 64,
+            kc: 64,
+            nr: 4,
+        }
     }
 }
 
@@ -389,14 +393,29 @@ mod tests {
     #[test]
     fn blocked_matches_naive_various_shapes() {
         let mut r = rng();
-        for &(m, k, n) in &[(1, 1, 1), (4, 4, 4), (5, 7, 3), (16, 16, 16), (33, 17, 29), (64, 1, 64)]
-        {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (4, 4, 4),
+            (5, 7, 3),
+            (16, 16, 16),
+            (33, 17, 29),
+            (64, 1, 64),
+        ] {
             let a = Matrix::random(m, k, &mut r);
             let b = Matrix::random(k, n, &mut r);
             let mut c1 = Matrix::random(m, n, &mut r);
             let mut c2 = c1.clone();
             gemm(&a, &b, &mut c1);
-            gemm_blocked(&a, &b, &mut c2, BlockSizes { mc: 8, kc: 8, nr: 4 });
+            gemm_blocked(
+                &a,
+                &b,
+                &mut c2,
+                BlockSizes {
+                    mc: 8,
+                    kc: 8,
+                    nr: 4,
+                },
+            );
             assert!(max_abs_diff(&c1, &c2) < 1e-12, "shape ({m},{k},{n})");
         }
     }

@@ -19,12 +19,18 @@ impl Complex {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f64) -> Self {
-        Self { re: theta.cos(), im: theta.sin() }
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude.
@@ -34,17 +40,26 @@ impl Complex {
 
     /// Multiply by `-i` (quarter-turn clockwise) — free in radix-4 FFTs.
     pub fn mul_neg_i(self) -> Self {
-        Self { re: self.im, im: -self.re }
+        Self {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Multiply by `i`.
     pub fn mul_i(self) -> Self {
-        Self { re: -self.im, im: self.re }
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Scale by a real.
     pub fn scale(self, s: f64) -> Self {
-        Self { re: self.re * s, im: self.im * s }
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -72,7 +87,10 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -86,7 +104,10 @@ impl Neg for Complex {
 /// Max elementwise |difference| between two complex slices.
 pub fn max_cdiff(a: &[Complex], b: &[Complex]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -26,7 +26,10 @@ pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
 /// In-place iterative radix-2 DIT FFT. `x.len()` must be a power of two.
 pub fn fft_radix2(x: &mut [Complex]) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     if n <= 1 {
         return;
     }
@@ -93,7 +96,10 @@ fn digit_reverse_base4(i: usize, digits: u32) -> usize {
 /// In-place radix-4 DIT FFT. Length must be a power of 4.
 pub fn fft_radix4(x: &mut [Complex]) {
     let n = x.len();
-    assert!(n.is_power_of_two() && n.trailing_zeros() % 2 == 0, "radix-4 FFT needs 4^k length");
+    assert!(
+        n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2),
+        "radix-4 FFT needs 4^k length"
+    );
     let digits = n.trailing_zeros() / 2;
     // base-4 digit-reversal permutation
     for i in 0..n {
@@ -161,7 +167,9 @@ mod tests {
 
     fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     #[test]

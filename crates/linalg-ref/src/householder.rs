@@ -55,7 +55,11 @@ pub fn house(alpha1: f64, a21: &[f64]) -> HouseholderReflector {
     if chi2 == 0.0 {
         // Nothing to annihilate: identity reflector (τ = ∞ ⇒ w = 0); encode
         // with a large τ-free path: u2 = 0, τ = f64::INFINITY semantics via 2.
-        return HouseholderReflector { u2: vec![0.0; a21.len()], tau: f64::INFINITY, rho: alpha1 };
+        return HouseholderReflector {
+            u2: vec![0.0; a21.len()],
+            tau: f64::INFINITY,
+            rho: alpha1,
+        };
     }
     let alpha = nrm2(&[alpha1, chi2]); // ‖x‖₂
     let rho = -sign(alpha1) * alpha;
@@ -74,13 +78,21 @@ pub fn house_simple(alpha1: f64, a21: &[f64]) -> HouseholderReflector {
     x.extend_from_slice(a21);
     let norm_x = nrm2(&x);
     if norm_x == 0.0 || nrm2(a21) == 0.0 {
-        return HouseholderReflector { u2: vec![0.0; a21.len()], tau: f64::INFINITY, rho: alpha1 };
+        return HouseholderReflector {
+            u2: vec![0.0; a21.len()],
+            tau: f64::INFINITY,
+            rho: alpha1,
+        };
     }
     let rho = -sign(alpha1) * norm_x;
     let nu1 = alpha1 + sign(alpha1) * norm_x;
     let u2: Vec<f64> = a21.iter().map(|v| v / nu1).collect();
     let utu = 1.0 + u2.iter().map(|v| v * v).sum::<f64>();
-    HouseholderReflector { u2, tau: utu / 2.0, rho }
+    HouseholderReflector {
+        u2,
+        tau: utu / 2.0,
+        rho,
+    }
 }
 
 #[cfg(test)]

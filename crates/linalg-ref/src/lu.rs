@@ -48,6 +48,7 @@ impl LuFactors {
 
     /// Solve `A x = b` using the packed factors (forward + backward
     /// substitution after pivoting `b`). Requires a square factorization.
+    #[allow(clippy::needless_range_loop)] // triangular back-substitution indexing
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.factors.rows();
         assert_eq!(self.factors.cols(), n, "solve requires square A");
@@ -98,7 +99,10 @@ pub fn lu_nopivot(a: &Matrix) -> Result<LuFactors, String> {
             }
         }
     }
-    Ok(LuFactors { factors: f, pivots: (0..kmax).collect() })
+    Ok(LuFactors {
+        factors: f,
+        pivots: (0..kmax).collect(),
+    })
 }
 
 /// Right-looking LU with partial pivoting — the algorithm of Figure 6.2:
@@ -180,7 +184,10 @@ mod tests {
         let (l, _) = lu.unpack();
         for j in 0..20 {
             for i in j + 1..20 {
-                assert!(l[(i, j)].abs() <= 1.0 + 1e-14, "partial pivoting bounds |l_ij| by 1");
+                assert!(
+                    l[(i, j)].abs() <= 1.0 + 1e-14,
+                    "partial pivoting bounds |l_ij| by 1"
+                );
             }
         }
     }

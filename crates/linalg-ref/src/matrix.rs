@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -118,13 +122,19 @@ impl Matrix {
 
     /// Copy the `rows × cols` block whose top-left corner is `(r0, c0)`.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Matrix {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of range"
+        );
         Matrix::from_fn(rows, cols, |i, j| self[(r0 + i, c0 + j)])
     }
 
     /// Overwrite the block at `(r0, c0)` with `b`.
     pub fn set_block(&mut self, r0: usize, c0: usize, b: &Matrix) {
-        assert!(r0 + b.rows <= self.rows && c0 + b.cols <= self.cols, "block out of range");
+        assert!(
+            r0 + b.rows <= self.rows && c0 + b.cols <= self.cols,
+            "block out of range"
+        );
         for j in 0..b.cols {
             for i in 0..b.rows {
                 self[(r0 + i, c0 + j)] = b[(i, j)];
@@ -139,12 +149,24 @@ impl Matrix {
 
     /// Zero out the strictly upper triangle (keep lower + diagonal).
     pub fn tril(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if i >= j { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if i >= j {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Zero out the strictly lower triangle (keep upper + diagonal).
     pub fn triu(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if i <= j { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(self.rows, self.cols, |i, j| {
+            if i <= j {
+                self[(i, j)]
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Symmetrize from the lower triangle: `out(i,j) = out(j,i) = self(max,min)`.

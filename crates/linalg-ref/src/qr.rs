@@ -47,6 +47,7 @@ impl QrFactors {
     }
 
     /// Solve the least-squares problem `min ‖A x - b‖₂` via `R x = (Qᵀb)₁..n`.
+    #[allow(clippy::needless_range_loop)] // triangular back-substitution indexing
     pub fn solve_ls(&self, b: &[f64]) -> Vec<f64> {
         let n = self.r.cols();
         let qtb = self.qt_apply(b);

@@ -1,8 +1,8 @@
 //! Property-based tests on the reference substrate's algebraic invariants.
 
 use linalg_ref::{
-    cholesky, dft_naive, fft_radix2, ifft_radix2, lu_partial_pivot, max_abs_diff,
-    qr_householder, Complex, Matrix,
+    cholesky, dft_naive, fft_radix2, ifft_radix2, lu_partial_pivot, max_abs_diff, qr_householder,
+    Complex, Matrix,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

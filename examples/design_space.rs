@@ -62,7 +62,10 @@ fn main() {
                         gflops_per_w: m.gflops_per_w,
                         utilization: util,
                     };
-                    if best.as_ref().map_or(true, |b| cand.gflops_per_w > b.gflops_per_w) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| cand.gflops_per_w > b.gflops_per_w)
+                    {
                         best = Some(cand);
                     }
                 }
@@ -78,13 +81,19 @@ fn main() {
     println!("  local store    : {} KB/PE", b.store_kb);
     println!("  cores          : {} (4x4 PEs each)", b.cores);
     println!("  on-chip memory : {:.1} MB", b.onchip_mb);
-    println!("  performance    : {:.0} GFLOPS at {:.0}% utilization", b.gflops, 100.0 * b.utilization);
+    println!(
+        "  performance    : {:.0} GFLOPS at {:.0}% utilization",
+        b.gflops,
+        100.0 * b.utilization
+    );
     println!("  power          : {:.1} W", b.watts);
     println!("  efficiency     : {:.1} GFLOPS/W", b.gflops_per_w);
 
     // The dissertation's conclusion in one assertion: a DP LAP in the tens
     // of GFLOPS/W, an order of magnitude past contemporary GPUs (~2.6).
     assert!(b.gflops_per_w > 15.0);
-    println!("\n(GTX480 runs DGEMM at ~2.6 GFLOPS/W — the codesigned fabric is ~{:.0}x better)",
-        b.gflops_per_w / 2.6);
+    println!(
+        "\n(GTX480 runs DGEMM at ~2.6 GFLOPS/W — the codesigned fabric is ~{:.0}x better)",
+        b.gflops_per_w / 2.6
+    );
 }

@@ -1,14 +1,14 @@
 //! Spectral analysis on the hybrid LA/FFT core (Chapter 6.2): run the
-//! 64-point radix-4 FFT microprogram on the cycle-accurate simulator to
-//! pick the tones out of a noisy signal — the signal-processing workload
-//! the hybrid PE design exists for.
+//! 64-point radix-4 FFT workload through a `LacEngine` session to pick the
+//! tones out of a noisy signal — the signal-processing workload the hybrid
+//! PE design exists for.
 //!
 //! ```sh
 //! cargo run --release --example fft_spectrum
 //! ```
 
-use lap::lac_kernels::run_fft64;
-use lap::lac_sim::{ExternalMem, Lac, LacConfig};
+use lap::lac_kernels::{Details, Fft64Workload, Workload};
+use lap::lac_sim::{LacConfig, LacEngine};
 use lap::linalg_ref::Complex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,44 +27,45 @@ fn main() {
         })
         .collect();
 
-    // Interleave into the core's external memory and transform.
-    let mut mem = vec![0.0; 2 * n];
-    for (q, v) in signal.iter().enumerate() {
-        mem[2 * q] = v.re;
-        mem[2 * q + 1] = v.im;
-    }
-    let cfg = LacConfig { sram_a_words: 64, sram_b_words: 64, ..Default::default() };
-    let mut lac = Lac::new(cfg);
-    let mut emem = ExternalMem::from_vec(mem);
-    let report = run_fft64(&mut lac, &mut emem).expect("FFT schedule");
+    // The workload interleaves the signal into the engine's memory bank
+    // and runs the transform; `config` grows the local stores to the
+    // kernel's scratch minima when the base configuration is too small
+    // (8 words of A/B memory would not hold the butterfly workspace).
+    let workload = Fft64Workload::new(signal);
+    let cfg = workload.config(LacConfig {
+        sram_a_words: 8,
+        sram_b_words: 8,
+        ..Default::default()
+    });
+    let mut eng = LacEngine::builder().config(cfg).build();
+    let report = workload.run(&mut eng).expect("FFT schedule");
+    workload
+        .check(&report)
+        .expect("matches the reference radix-4 FFT");
+    let Details::Fft { spectrum } = &report.details else {
+        unreachable!("fft reports spectrum")
+    };
 
-    // Read the spectrum and find peaks.
-    let spectrum: Vec<f64> = (0..n)
-        .map(|q| Complex::new(emem.read(2 * q), emem.read(2 * q + 1)).abs())
-        .collect();
+    // Find the peaks.
+    let magnitude: Vec<f64> = spectrum.iter().map(|v| v.abs()).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| spectrum[b].partial_cmp(&spectrum[a]).unwrap());
+    order.sort_by(|&a, &b| magnitude[b].partial_cmp(&magnitude[a]).unwrap());
 
     println!("64-point radix-4 FFT on the 4x4 hybrid core");
     println!("  cycles           : {}", report.stats.cycles);
-    println!("  FMAs per PE      : {}", report.fma_per_pe);
-    println!("  bus transfers    : {} row, {} col",
-        report.stats.row_bus_transfers, report.stats.col_bus_transfers);
+    println!(
+        "  bus transfers    : {} row, {} col",
+        report.stats.row_bus_transfers, report.stats.col_bus_transfers
+    );
     println!("  top spectral bins:");
     for &k in order.iter().take(3) {
-        println!("    bin {k:2}  |X| = {:.2}", spectrum[k]);
+        println!("    bin {k:2}  |X| = {:.2}", magnitude[k]);
     }
     assert_eq!(order[0], 5, "strongest tone at bin 5");
     assert_eq!(order[1], 19, "second tone at bin 19");
-    assert!(spectrum[order[2]] < 0.3 * spectrum[order[1]], "noise floor well below");
-
-    // Cross-check against the reference radix-4 FFT.
-    let mut reference = signal;
-    lap::linalg_ref::fft_radix4(&mut reference);
-    let max_err = (0..n)
-        .map(|q| (Complex::new(emem.read(2 * q), emem.read(2 * q + 1)) - reference[q]).abs())
-        .fold(0.0f64, f64::max);
-    println!("  |X_sim − X_ref|  : {max_err:.2e}");
-    assert!(max_err < 1e-10);
+    assert!(
+        magnitude[order[2]] < 0.3 * magnitude[order[1]],
+        "noise floor well below"
+    );
     println!("  tones detected at bins 5 and 19: OK");
 }

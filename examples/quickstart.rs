@@ -1,22 +1,22 @@
-//! Quickstart: run a GEMM on the cycle-accurate Linear Algebra Core,
-//! verify it against the reference BLAS, and read out performance and
-//! energy the way the dissertation does.
+//! Quickstart: run a GEMM workload through a `LacEngine` session on the
+//! cycle-accurate Linear Algebra Core, verify it against the reference
+//! BLAS, and read out performance and energy the way the dissertation does.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use lap::lac_kernels::{run_gemm, GemmDataLayout, GemmParams};
-use lap::lac_power::EnergyModel;
-use lap::lac_sim::{ExternalMem, Lac, LacConfig};
-use lap::linalg_ref::{gemm, max_abs_diff, Matrix};
+use lap::lac_kernels::{GemmWorkload, Workload};
+use lap::lac_power::{EnergyModel, SessionEnergy};
+use lap::lac_sim::{LacConfig, LacEngine};
+use lap::linalg_ref::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    // A 4×4-PE core with the paper's canonical 16 KB/PE local store.
-    let cfg = LacConfig::default();
-    let mut lac = Lac::new(cfg);
+    // A 4×4-PE core with the paper's canonical 16 KB/PE local store,
+    // wrapped in a session engine that meters everything run through it.
+    let mut eng = LacEngine::builder().config(LacConfig::default()).build();
 
     // Problem: C (32×64) += A (32×64) · B (64×64).
     let (mc, kc, n) = (32, 64, 64);
@@ -25,31 +25,37 @@ fn main() {
     let b = Matrix::random(kc, n, &mut rng);
     let c0 = Matrix::random(mc, n, &mut rng);
 
-    // Pack operands into the core's external memory and run the overlapped
-    // GEMM microprogram (§3.4 schedule).
-    let lay = GemmDataLayout::new(mc, kc, n);
-    let mut mem = ExternalMem::from_vec(lay.pack(&a, &b, &c0));
-    let report = run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(mc, kc, n))
-        .expect("schedule is hazard-free");
+    // The workload stages its operands into the engine's memory bank and
+    // runs the overlapped GEMM microprogram (§3.4 schedule).
+    let workload = GemmWorkload::new(a, b, c0);
+    let report = workload.run(&mut eng).expect("schedule is hazard-free");
 
-    // Verify against the reference.
-    let mut expect = c0.clone();
-    gemm(&a, &b, &mut expect);
-    let got = lay.unpack_c(mem.as_slice());
-    let err = max_abs_diff(&got, &expect);
-    assert!(err < 1e-12, "simulator result disagrees: {err}");
+    // Verify against the reference (the workload knows its own ground truth).
+    workload
+        .check(&report)
+        .expect("simulator result agrees with linalg-ref");
 
     // Performance and energy, exactly as the paper reports them.
     let stats = &report.stats;
-    let energy = EnergyModel::lac_default();
+    let energy = eng.energy_summary(&EnergyModel::lac_default());
     println!("GEMM {mc}x{kc}x{n} on a 4x4 LAC @ 1 GHz (double precision)");
     println!("  cycles            : {}", stats.cycles);
     println!("  MAC operations    : {}", stats.mac_ops);
     println!("  utilization       : {:.1}%", 100.0 * report.utilization);
-    println!("  ext. memory traffic: {} reads, {} writes", stats.ext_reads, stats.ext_writes);
-    println!("  avg ext bandwidth : {:.2} words/cycle", stats.ext_words_per_cycle());
-    println!("  energy            : {:.2} uJ", energy.energy_nj(stats) / 1000.0);
-    println!("  average power     : {:.1} mW", energy.avg_power_mw(stats));
-    println!("  efficiency        : {:.1} GFLOPS/W", energy.gflops_per_w(stats));
-    println!("  max |error| vs ref: {err:.2e}");
+    println!(
+        "  ext. memory traffic: {} reads, {} writes",
+        stats.ext_reads, stats.ext_writes
+    );
+    println!(
+        "  avg ext bandwidth : {:.2} words/cycle",
+        eng.ext_words_per_cycle()
+    );
+    println!("  energy            : {:.2} uJ", energy.energy_nj / 1000.0);
+    println!("  average power     : {:.1} mW", energy.avg_power_mw);
+    println!("  efficiency        : {:.1} GFLOPS/W", energy.gflops_per_w);
+    println!(
+        "  session           : {} workload(s), {} flops",
+        eng.workloads_run(),
+        eng.flops()
+    );
 }

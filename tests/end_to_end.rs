@@ -1,12 +1,13 @@
 //! End-to-end integration tests spanning the whole stack: reference
-//! substrate → kernel generators → cycle-accurate simulator → energy model.
+//! substrate → workload generators → `LacEngine` sessions on the
+//! cycle-accurate simulator → energy model.
 
 use lap::lac_kernels::{
-    lu_panel_matrix, run_blocked_cholesky, run_blocked_trsm, run_fft64, run_gemm,
-    GemmDataLayout, GemmParams, LuOptions,
+    BlockedCholWorkload, BlockedTrsmWorkload, Details, Fft64Workload, GemmWorkload, LuOptions,
+    LuPanelWorkload, Workload,
 };
-use lap::lac_power::EnergyModel;
-use lap::lac_sim::{ExternalMem, Lac, LacConfig};
+use lap::lac_power::{EnergyModel, SessionEnergy};
+use lap::lac_sim::{LacConfig, LacEngine};
 use lap::linalg_ref::{
     cholesky, fft_radix4, gemm, lu_partial_pivot, max_abs_diff, trsm, Complex, Matrix, Side,
     Triangle,
@@ -14,39 +15,53 @@ use lap::linalg_ref::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn engine() -> LacEngine {
+    LacEngine::builder().config(LacConfig::default()).build()
+}
+
 #[test]
 fn linear_system_via_lu_on_the_accelerator() {
     // Factor a 32×4 panel on the LAC and check it against the reference
     // factorization bit-for-bit in pivots and to 1e-9 in values.
     let mut rng = StdRng::seed_from_u64(1);
     let a = Matrix::random(32, 4, &mut rng);
-    let mut lac = Lac::new(LacConfig::default());
-    let (packed, pivots, stats) =
-        lu_panel_matrix(&mut lac, &a, &LuOptions::default()).unwrap();
+    let mut eng = engine();
+    let w = LuPanelWorkload::new(a.clone(), LuOptions::default());
+    let report = w.run(&mut eng).unwrap();
+    let Details::Lu { factors, pivots } = &report.details else {
+        panic!("lu reports factors")
+    };
     let reference = lu_partial_pivot(&a).unwrap();
-    assert_eq!(pivots, reference.pivots);
-    assert!(max_abs_diff(&packed, &reference.factors) < 1e-9);
-    assert!(stats.cycles > 0 && stats.sfu_ops == 4);
+    assert_eq!(*pivots, reference.pivots);
+    assert!(max_abs_diff(factors, &reference.factors) < 1e-9);
+    assert!(report.stats.cycles > 0 && report.stats.sfu_ops == 4);
 }
 
 #[test]
 fn gemm_chain_matches_reference_composition() {
-    // (A·B)·C on the accelerator equals the reference composition.
+    // (A·B)·C on the accelerator equals the reference composition — run
+    // back-to-back on ONE engine session, which meters both.
     let mut rng = StdRng::seed_from_u64(2);
     let a = Matrix::random(16, 16, &mut rng);
     let b = Matrix::random(16, 16, &mut rng);
     let c = Matrix::random(16, 16, &mut rng);
 
-    let run = |x: &Matrix, y: &Matrix| {
-        let lay = GemmDataLayout::new(16, 16, 16);
-        let zero = Matrix::zeros(16, 16);
-        let mut mem = ExternalMem::from_vec(lay.pack(x, y, &zero));
-        let mut lac = Lac::new(LacConfig::default());
-        run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(16, 16, 16)).unwrap();
-        lay.unpack_c(mem.as_slice())
+    let mut eng = engine();
+    let mut run = |x: &Matrix, y: &Matrix| {
+        let w = GemmWorkload::new(x.clone(), y.clone(), Matrix::zeros(16, 16));
+        let report = w.run(&mut eng).unwrap();
+        let Details::Gemm { c } = report.details else {
+            panic!("gemm reports C")
+        };
+        c
     };
     let ab = run(&a, &b);
     let abc = run(&ab, &c);
+    assert_eq!(
+        eng.workloads_run(),
+        2,
+        "one session metered both chained GEMMs"
+    );
 
     let mut expect_ab = Matrix::zeros(16, 16);
     gemm(&a, &b, &mut expect_ab);
@@ -57,66 +72,76 @@ fn gemm_chain_matches_reference_composition() {
 
 #[test]
 fn cholesky_then_trsm_solves_spd_system() {
-    // A = L·Lᵀ on the LAC, then L X = B on the LAC: X should satisfy
-    // Lᵀ-solve against the reference.
+    // A = L·Lᵀ on the LAC, then L X = B on the LAC — the same session
+    // serves both workloads with state reuse.
     let mut rng = StdRng::seed_from_u64(3);
     let a = Matrix::random_spd(16, &mut rng);
     let b = Matrix::random(16, 8, &mut rng);
 
-    let mut lac = Lac::new(LacConfig::default());
-    let (l, _) = run_blocked_cholesky(&mut lac, &a).unwrap();
-    assert!(max_abs_diff(&l, &cholesky(&a).unwrap()) < 1e-8);
+    let mut eng = engine();
+    let chol_w = BlockedCholWorkload::new(a.clone());
+    let chol_rep = chol_w.run(&mut eng).unwrap();
+    let Details::Cholesky { l } = &chol_rep.details else {
+        panic!("chol reports L")
+    };
+    assert!(max_abs_diff(l, &cholesky(&a).unwrap()) < 1e-8);
 
-    let (y, _) = run_blocked_trsm(&mut lac, &l, &b).unwrap();
+    let trsm_w = BlockedTrsmWorkload::new(l.clone(), b.clone());
+    let trsm_rep = trsm_w.run(&mut eng).unwrap();
+    let Details::Trsm { x } = &trsm_rep.details else {
+        panic!("trsm reports X")
+    };
     let mut expect = b.clone();
-    trsm(Side::Left, Triangle::Lower, &l, &mut expect);
-    assert!(max_abs_diff(&y, &expect) < 1e-8);
+    trsm(Side::Left, Triangle::Lower, l, &mut expect);
+    assert!(max_abs_diff(x, &expect) < 1e-8);
+
+    // Session accounting covers both factor and solve.
+    assert_eq!(eng.cycles(), chol_rep.stats.cycles + trsm_rep.stats.cycles);
 }
 
 #[test]
 fn fft_parseval_on_the_core() {
     // Energy conservation: ‖X‖² = n·‖x‖² for the simulated transform.
-    let x: Vec<Complex> =
-        (0..64).map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos())).collect();
-    let mut mem = vec![0.0; 128];
-    for (q, v) in x.iter().enumerate() {
-        mem[2 * q] = v.re;
-        mem[2 * q + 1] = v.im;
-    }
-    let cfg = LacConfig { sram_a_words: 64, sram_b_words: 64, ..Default::default() };
-    let mut lac = Lac::new(cfg);
-    let mut emem = ExternalMem::from_vec(mem);
-    run_fft64(&mut lac, &mut emem).unwrap();
+    let x: Vec<Complex> = (0..64)
+        .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+        .collect();
+    let w = Fft64Workload::new(x.clone());
+    let mut eng = LacEngine::builder()
+        .config(w.config(LacConfig {
+            sram_a_words: 64,
+            sram_b_words: 64,
+            ..Default::default()
+        }))
+        .build();
+    let report = w.run(&mut eng).unwrap();
+    let Details::Fft { spectrum } = &report.details else {
+        panic!("fft reports spectrum")
+    };
     let time_energy: f64 = x.iter().map(|v| v.abs() * v.abs()).sum();
-    let freq_energy: f64 = (0..64)
-        .map(|q| {
-            let v = Complex::new(emem.read(2 * q), emem.read(2 * q + 1));
-            v.abs() * v.abs()
-        })
-        .sum();
+    let freq_energy: f64 = spectrum.iter().map(|v| v.abs() * v.abs()).sum();
     assert!((freq_energy / (64.0 * time_energy) - 1.0).abs() < 1e-12);
 
     // And it agrees with the reference transform.
     let mut reference = x;
     fft_radix4(&mut reference);
-    for (q, r) in reference.iter().enumerate() {
-        assert!((Complex::new(emem.read(2 * q), emem.read(2 * q + 1)) - *r).abs() < 1e-10);
+    for (got, want) in spectrum.iter().zip(&reference) {
+        assert!((*got - *want).abs() < 1e-10);
     }
 }
 
 #[test]
 fn energy_model_scales_with_work() {
-    // Twice the GEMM work costs roughly twice the energy.
+    // Twice the GEMM work costs roughly twice the energy — read through
+    // the session energy summary.
     let energy_of = |n: usize| {
         let mut rng = StdRng::seed_from_u64(4);
         let a = Matrix::random(16, 16, &mut rng);
         let b = Matrix::random(16, n, &mut rng);
-        let c = Matrix::zeros(16, n);
-        let lay = GemmDataLayout::new(16, 16, n);
-        let mut mem = ExternalMem::from_vec(lay.pack(&a, &b, &c));
-        let mut lac = Lac::new(LacConfig::default());
-        let rep = run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(16, 16, n)).unwrap();
-        EnergyModel::lac_default().energy_nj(&rep.stats)
+        let mut eng = engine();
+        GemmWorkload::new(a, b, Matrix::zeros(16, n))
+            .run(&mut eng)
+            .unwrap();
+        eng.energy_summary(&EnergyModel::lac_default()).energy_nj
     };
     let e1 = energy_of(32);
     let e2 = energy_of(64);
@@ -127,8 +152,8 @@ fn energy_model_scales_with_work() {
 #[test]
 fn multi_core_lap_splits_gemm_by_row_panels() {
     // Chapter 4's work distribution: each core owns a row panel of C with
-    // its own bank of on-chip memory; the makespan is the slowest core.
-    use lap::lac_sim::Lap;
+    // its own bank of on-chip memory — one engine session per core; the
+    // makespan is the slowest session.
     let s = 4;
     let (mc, kc, n) = (16, 16, 16); // per-core panel: C is (s·mc) × n
     let mut rng = StdRng::seed_from_u64(9);
@@ -136,42 +161,23 @@ fn multi_core_lap_splits_gemm_by_row_panels() {
     let b = Matrix::random(kc, n, &mut rng);
     let c0 = Matrix::random(s * mc, n, &mut rng);
 
-    // Build one program + memory bank per core over its A/C row panel.
-    let lay = GemmDataLayout::new(mc, kc, n);
-    let mut work = Vec::new();
+    let mut got = Matrix::zeros(s * mc, n);
+    let mut makespan = 0u64;
     for core in 0..s {
         let a_panel = a.block(core * mc, 0, mc, kc);
         let c_panel = c0.block(core * mc, 0, mc, n);
-        // Generate the program by running a scratch core, then reuse the
-        // packed image with the real LAP (programs are pure data).
-        let mut probe = Lac::new(LacConfig::default());
-        let mut mem = ExternalMem::from_vec(lay.pack(&a_panel, &b, &c_panel));
-        run_gemm(&mut probe, &mut mem, &lay, &GemmParams::new(mc, kc, n)).unwrap();
-        // For the LAP run we need Program objects; regenerate via the
-        // kernel API against fresh state.
-        let fresh = ExternalMem::from_vec(lay.pack(&a_panel, &b, &c_panel));
-        work.push(fresh);
+        let mut eng = engine();
+        let w = GemmWorkload::new(a_panel, b.clone(), c_panel);
+        let report = w.run(&mut eng).unwrap();
+        assert!(report.utilization > 0.4);
+        let Details::Gemm { c } = report.details else {
+            panic!("gemm reports C")
+        };
+        got.set_block(core * mc, 0, &c);
+        makespan = makespan.max(eng.cycles());
     }
-    // Execute on the LAP: each core runs the identical schedule on its bank.
-    let mut lap_chip = Lap::new(LacConfig::default(), s);
-    let mut results = Vec::new();
-    for (core, mem) in work.into_iter().enumerate() {
-        let mut mem = mem;
-        let rep = run_gemm(
-            lap_chip.core_mut(core),
-            &mut mem,
-            &lay,
-            &GemmParams::new(mc, kc, n),
-        )
-        .unwrap();
-        assert!(rep.utilization > 0.4);
-        results.push(lay.unpack_c(mem.as_slice()));
-    }
+    assert!(makespan > 0);
     // Assemble and verify against the reference full-size GEMM.
-    let mut got = Matrix::zeros(s * mc, n);
-    for (core, panel) in results.iter().enumerate() {
-        got.set_block(core * mc, 0, panel);
-    }
     let mut expect = c0;
     gemm(&a, &b, &mut expect);
     assert!(max_abs_diff(&got, &expect) < 1e-10);
@@ -180,15 +186,17 @@ fn multi_core_lap_splits_gemm_by_row_panels() {
 #[test]
 fn bandwidth_cap_respected_by_all_kernels() {
     // The natural cap of nr words/cycle (one per column bus) must never be
-    // exceeded — run a GEMM with the cap enforced.
-    let cfg = LacConfig { ext_words_per_cycle: Some(4), ..Default::default() };
+    // exceeded — run a GEMM session with the cap enforced.
+    let cfg = LacConfig {
+        ext_words_per_cycle: Some(4),
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(5);
     let a = Matrix::random(16, 32, &mut rng);
     let b = Matrix::random(32, 16, &mut rng);
-    let c = Matrix::zeros(16, 16);
-    let lay = GemmDataLayout::new(16, 32, 16);
-    let mut mem = ExternalMem::from_vec(lay.pack(&a, &b, &c));
-    let mut lac = Lac::new(cfg);
-    let rep = run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(16, 32, 16)).unwrap();
-    assert!(rep.stats.ext_words_per_cycle() <= 4.0);
+    let mut eng = LacEngine::builder().config(cfg).build();
+    GemmWorkload::new(a, b, Matrix::zeros(16, 16))
+        .run(&mut eng)
+        .unwrap();
+    assert!(eng.ext_words_per_cycle() <= 4.0);
 }

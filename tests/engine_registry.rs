@@ -1,0 +1,74 @@
+//! Engine-level integration test: every workload in the registry runs on
+//! the default 4×4 configuration through a `LacEngine` session, and its
+//! functional output is cross-checked against `linalg-ref` by the
+//! workload's own `check`. No kernel is named — new registry entries are
+//! covered automatically.
+
+use lap::lac_kernels::registry;
+use lap::lac_power::{EnergyModel, SessionEnergy};
+use lap::lac_sim::{LacConfig, LacEngine};
+
+#[test]
+fn every_registry_workload_runs_and_verifies_on_default_config() {
+    let workloads = registry();
+    assert!(workloads.len() >= 12, "registry covers every kernel");
+    for w in &workloads {
+        let cfg = w.config(LacConfig::default());
+        let mut eng = LacEngine::builder().config(cfg).build();
+        let report = w
+            .run(&mut eng)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()));
+        w.check(&report)
+            .unwrap_or_else(|e| panic!("verification failed: {e}"));
+
+        assert_eq!(report.kernel, w.name());
+        assert!(report.stats.cycles > 0, "{}: no cycles simulated", w.name());
+        assert!(report.useful_flops > 0, "{}: no useful work", w.name());
+        assert!(
+            (0.0..=1.0).contains(&report.utilization),
+            "{}: utilization {} out of range",
+            w.name(),
+            report.utilization
+        );
+        assert_eq!(eng.workloads_run(), 1, "{}: workload not metered", w.name());
+        assert_eq!(
+            eng.cycles(),
+            report.stats.cycles,
+            "{}: session stats disagree with report",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn one_session_runs_the_whole_registry_back_to_back() {
+    // The engine survives arbitrary workload sequences with state reuse;
+    // the session accumulator equals the sum of the per-run reports, and
+    // the accumulated stats price out to a positive energy.
+    let mut eng = LacEngine::builder().config(shared_config()).build();
+    let mut total_cycles = 0u64;
+    let mut ran = 0u64;
+    for w in registry() {
+        let report = w
+            .run(&mut eng)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()));
+        w.check(&report)
+            .unwrap_or_else(|e| panic!("verification failed: {e}"));
+        total_cycles += report.stats.cycles;
+        ran += 1;
+    }
+    assert_eq!(eng.workloads_run(), ran);
+    assert_eq!(eng.cycles(), total_cycles);
+    let energy = eng.energy_summary(&EnergyModel::lac_default());
+    assert!(energy.energy_nj > 0.0 && energy.avg_power_mw > 0.0);
+}
+
+/// A single configuration every registry workload can run on: the default
+/// core plus the wide accumulator (harmless for kernels that ignore it).
+fn shared_config() -> LacConfig {
+    let mut cfg = LacConfig::default();
+    for w in registry() {
+        cfg = w.config(cfg);
+    }
+    cfg
+}

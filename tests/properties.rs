@@ -3,8 +3,8 @@
 //! the FPU models' numeric contracts.
 
 use lap::lac_fpu::{magnitude_max_index, recip_newton_raphson, ExtendedAccumulator};
-use lap::lac_kernels::{run_gemm, GemmDataLayout, GemmParams};
-use lap::lac_sim::{ExternalMem, Lac, LacConfig};
+use lap::lac_kernels::{Details, GemmWorkload, Workload};
+use lap::lac_sim::LacEngine;
 use lap::linalg_ref::{
     blas1, gemm, gemm_blocked, gemm_naive, max_abs_diff, trmm, trsm, BlockSizes, Matrix, Side,
     Transpose, Triangle,
@@ -109,12 +109,11 @@ proptest! {
         let a = Matrix::random(m, k, &mut rng);
         let b = Matrix::random(k, n, &mut rng);
         let c0 = Matrix::random(m, n, &mut rng);
-        let lay = GemmDataLayout::new(m, k, n);
-        let mut mem = ExternalMem::from_vec(lay.pack(&a, &b, &c0));
-        let mut lac = Lac::new(LacConfig::default());
-        run_gemm(&mut lac, &mut mem, &lay, &GemmParams::new(m, k, n)).unwrap();
+        let mut eng = LacEngine::builder().build();
+        let report = GemmWorkload::new(a.clone(), b.clone(), c0.clone()).run(&mut eng).unwrap();
+        let Details::Gemm { c } = report.details else { panic!("gemm reports C") };
         let mut expect = c0;
         gemm(&a, &b, &mut expect);
-        prop_assert!(max_abs_diff(&lay.unpack_c(mem.as_slice()), &expect) < 1e-10);
+        prop_assert!(max_abs_diff(&c, &expect) < 1e-10);
     }
 }

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the proptest surface the workspace's property tests use:
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, `any::<T>()`,
+//! range strategies over ints and floats, tuple strategies, and
+//! `prop::collection::vec`. Cases are drawn from a deterministic per-test
+//! RNG rather than proptest's adaptive engine, and there is no shrinking:
+//! a failing case panics with the raw assertion message.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (`cases` is the only knob the shim honors).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of one type. The shim keeps proptest's
+/// `Strategy<Value = T>` associated-type shape so `impl Strategy<Value = …>`
+/// return positions in test helpers compile unchanged.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(usize, u64, u32, i64, i32, f64);
+
+/// `any::<T>()` — full-domain strategy for primitives.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u64, u32, u16, u8, usize, i64, i32);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test deterministic seed: FNV-1a over the test path, so adding or
+/// reordering tests never perturbs another test's stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr) $(#[test] fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+    /// `prop::collection::vec(...)` paths resolve through this alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn tuples_and_ranges((a, b, s) in (1usize..=8, 1usize..=8, any::<u64>()), x in -2.0f64..2.0) {
+            prop_assert!((1..=8).contains(&a) && (1..=8).contains(&b));
+            let _ = s;
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_lengths(xs in prop::collection::vec(-1.0f64..1.0, 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|v| (-1.0..1.0).contains(v)));
+        }
+    }
+}
