@@ -56,7 +56,7 @@ fn workload_sweep() -> Result<(), String> {
 }
 
 fn is_generator_name(n: &str) -> bool {
-    n.starts_with("fig") || n.starts_with("table") || n.starts_with("sec")
+    n.starts_with("fig") || n.starts_with("table") || n.starts_with("sec") || n.starts_with("chip")
 }
 
 /// Generator binaries built next to this one (no hard-coded list).

@@ -13,7 +13,7 @@
 //!   drops from `2nr + p` to `p` cycles.
 
 use crate::layout::{ALayout, GemmDataLayout};
-use lac_sim::{ExecStats, ExtOp, Lac, ProgramBuilder, SimError, Source};
+use lac_sim::{ExecStats, ExtOp, Lac, Program, ProgramBuilder, SimError, Source};
 
 /// Parameters for a GEMM inner-kernel run.
 #[derive(Clone, Copy, Debug)]
@@ -71,18 +71,16 @@ pub struct GemmReport {
 const REG_STREAM_OUT: usize = 0;
 const REG_PREFETCH: usize = 1;
 
-/// Run the GEMM inner kernel on `lac` against `mem` laid out by `lay`.
+/// Build the GEMM microprogram for `lay`/`params` on an `nr × nr` mesh with
+/// MAC pipeline depth `p`.
 ///
-/// `mem` must contain A, B and C per `lay`; on success C has been updated in
-/// place and the returned report carries the cycle/energy counters.
-pub(crate) fn gemm_run(
-    lac: &mut Lac,
-    mem: &mut lac_sim::ExternalMem,
-    lay: &GemmDataLayout,
-    params: &GemmParams,
-) -> Result<GemmReport, SimError> {
-    let nr = lac.config().nr;
-    let p = lac.config().fpu.pipeline_depth;
+/// The program is a pure function of the *shapes* — operand values live in
+/// the memory image — so one program can be built once and reused across
+/// any number of same-shape jobs (e.g. the row-panel queue a multi-core
+/// chip drains). Reuse matters: a production-sized program is hundreds of
+/// megabytes of micro-instructions, and rebuilding it per job costs more
+/// than simulating it.
+pub fn gemm_program(nr: usize, p: usize, lay: &GemmDataLayout, params: &GemmParams) -> Program {
     let GemmParams {
         mc,
         kc,
@@ -100,16 +98,6 @@ pub(crate) fn gemm_run(
         "layout/params mismatch"
     );
     let alay = ALayout::new(mc, kc, nr);
-    assert!(
-        alay.words_per_pe() <= lac.config().sram_a_words,
-        "A block does not fit the local store"
-    );
-    let b_words_needed = if overlap { 2 * kc } else { kc };
-    assert!(
-        b_words_needed <= lac.config().sram_b_words,
-        "B panel does not fit the local store"
-    );
-
     assert!(
         !overlap || kc >= 2 * nr,
         "overlap schedule needs kc >= 2·nr for the C traffic"
@@ -369,9 +357,38 @@ pub(crate) fn gemm_run(
         }
     }
 
-    let prog = b.build();
+    b.build()
+}
+
+/// Run the GEMM inner kernel on `lac` against `mem` laid out by `lay`.
+///
+/// `mem` must contain A, B and C per `lay`; on success C has been updated in
+/// place and the returned report carries the cycle/energy counters.
+pub(crate) fn gemm_run(
+    lac: &mut Lac,
+    mem: &mut lac_sim::ExternalMem,
+    lay: &GemmDataLayout,
+    params: &GemmParams,
+) -> Result<GemmReport, SimError> {
+    let nr = lac.config().nr;
+    let p = lac.config().fpu.pipeline_depth;
+    let alay = ALayout::new(params.mc, params.kc, nr);
+    assert!(
+        alay.words_per_pe() <= lac.config().sram_a_words,
+        "A block does not fit the local store"
+    );
+    let b_words_needed = if params.overlap {
+        2 * params.kc
+    } else {
+        params.kc
+    };
+    assert!(
+        b_words_needed <= lac.config().sram_b_words,
+        "B panel does not fit the local store"
+    );
+    let prog = gemm_program(nr, p, lay, params);
     let stats = lac.run(&prog, mem)?;
-    let useful = (mc * kc * n) as u64;
+    let useful = (params.mc * params.kc * params.n) as u64;
     Ok(GemmReport {
         stats,
         useful_macs: useful,

@@ -46,7 +46,7 @@ pub mod workload;
 
 pub use chol::CholReport;
 pub use fft::Fft64Report;
-pub use gemm::{GemmParams, GemmReport};
+pub use gemm::{gemm_program, GemmParams, GemmReport};
 pub use layout::{ALayout, GemmDataLayout};
 pub use lu::{pack_to_factors, LuOptions, LuReport};
 pub use qr::QrPanelReport;
@@ -54,9 +54,10 @@ pub use syrk::{SyrkDataLayout, SyrkParams, SyrkReport};
 pub use trsm::TrsmReport;
 pub use vecnorm::{VnormOptions, VnormReport};
 pub use workload::{
-    registry, BlockedCholWorkload, BlockedLuWorkload, BlockedTrsmWorkload, CholKernelWorkload,
-    Details, Fft64Workload, GemmWorkload, KernelReport, LuPanelWorkload, QrPanelWorkload,
-    SymmWorkload, SyrkWorkload, TrmmWorkload, TrsmStackedWorkload, VecnormWorkload, Workload,
+    registry, registry_chip_config, registry_sized, BlockedCholWorkload, BlockedLuWorkload,
+    BlockedTrsmWorkload, CholKernelWorkload, Details, Fft64Workload, GemmWorkload, KernelReport,
+    LuPanelWorkload, ProblemSize, QrPanelWorkload, SymmWorkload, SyrkWorkload, TrmmWorkload,
+    TrsmStackedWorkload, VecnormWorkload, Workload,
 };
 
 // Deprecated pre-engine entry points, re-exported for source compatibility.

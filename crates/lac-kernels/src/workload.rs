@@ -39,7 +39,7 @@ use crate::trmm::blocked_trmm_run;
 use crate::trsm::{blocked_trsm_run, trsm_stacked_run};
 use crate::vecnorm::{vecnorm_run, VnormOptions};
 use lac_fpu::FpuConfig;
-use lac_sim::{ExecStats, LacConfig, LacEngine, SimError};
+use lac_sim::{ChipJob, ExecStats, LacConfig, LacEngine, SimError};
 use linalg_ref::householder::HouseholderReflector;
 use linalg_ref::{
     cholesky, fft_radix4, gemm, lu_partial_pivot, max_abs_diff, nrm2, qr_householder, symm, trmm,
@@ -48,7 +48,11 @@ use linalg_ref::{
 
 /// One workload: a problem instance that stages itself into a session
 /// engine, runs, and reports uniformly.
-pub trait Workload {
+///
+/// `Send + Sync` is part of the contract so workloads can be queued onto a
+/// multi-core [`lac_sim::LacChip`] (every implementor is plain operand
+/// data).
+pub trait Workload: Send + Sync {
     /// Stable kernel name (registry key, display label).
     fn name(&self) -> &str;
 
@@ -59,6 +63,13 @@ pub trait Workload {
         base
     }
 
+    /// Estimated useful flops — the scheduler's load unit for least-loaded
+    /// placement on a chip. Only relative magnitudes matter; the default
+    /// makes all jobs equal.
+    fn cost_hint(&self) -> u64 {
+        1
+    }
+
     /// Execute on the engine. Stats are metered into the engine's session
     /// accumulator as well as returned in the report.
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError>;
@@ -67,8 +78,23 @@ pub trait Workload {
     fn check(&self, report: &KernelReport) -> Result<(), String>;
 }
 
+/// Workload queues dispatch directly onto a [`lac_sim::LacChip`]: the job's
+/// cost is the workload's flop estimate and its output is the uniform
+/// [`KernelReport`].
+impl ChipJob for Box<dyn Workload> {
+    type Output = KernelReport;
+
+    fn cost_hint(&self) -> u64 {
+        Workload::cost_hint(self.as_ref())
+    }
+
+    fn run_on(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        self.run(eng)
+    }
+}
+
 /// Uniform result of one workload run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KernelReport {
     /// Which workload produced this ([`Workload::name`]).
     pub kernel: String,
@@ -85,7 +111,7 @@ pub struct KernelReport {
 }
 
 /// Per-kernel extras riding on the unified report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Details {
     /// Updated `C` of a GEMM-class kernel (also TRMM's product and SYMM's
     /// accumulation).
@@ -227,6 +253,10 @@ impl Workload for GemmWorkload {
         "gemm"
     }
 
+    fn cost_hint(&self) -> u64 {
+        (2 * self.a.rows() * self.a.cols() * self.b.cols()) as u64
+    }
+
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
         let lay = GemmDataLayout::new(self.params.mc, self.params.kc, self.params.n);
         eng.load_image(lay.pack(&self.a, &self.b, &self.c));
@@ -285,6 +315,10 @@ impl SyrkWorkload {
 impl Workload for SyrkWorkload {
     fn name(&self) -> &str {
         "syrk"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        (self.a.rows() * (self.a.rows() + 1) * self.a.cols()) as u64
     }
 
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
@@ -367,6 +401,10 @@ impl Workload for TrsmStackedWorkload {
         "trsm-stacked"
     }
 
+    fn cost_hint(&self) -> u64 {
+        (self.l.rows() * self.l.rows() * self.b.cols()) as u64
+    }
+
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
         let nr = self.l.rows();
         let w = self.b.cols();
@@ -429,6 +467,10 @@ impl Workload for BlockedTrsmWorkload {
         "trsm"
     }
 
+    fn cost_hint(&self) -> u64 {
+        (self.l.rows() * self.l.rows() * self.b.cols()) as u64
+    }
+
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
         let (x, stats) = blocked_trsm_run(eng.core_mut(), &self.l, &self.b)?;
         Ok(finish(eng, self.name(), stats, None, Details::Trsm { x }))
@@ -468,6 +510,10 @@ impl TrmmWorkload {
 impl Workload for TrmmWorkload {
     fn name(&self) -> &str {
         "trmm"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        (self.l.rows() * self.l.rows() * self.b.cols()) as u64
     }
 
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
@@ -523,6 +569,10 @@ impl Workload for SymmWorkload {
         "symm"
     }
 
+    fn cost_hint(&self) -> u64 {
+        (2 * self.a_lower.rows() * self.a_lower.rows() * self.b.cols()) as u64
+    }
+
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
         let (c, stats) = blocked_symm_run(eng.core_mut(), &self.a_lower, &self.b, &self.c)?;
         Ok(finish(eng, self.name(), stats, None, Details::Gemm { c }))
@@ -566,6 +616,10 @@ impl CholKernelWorkload {
 impl Workload for CholKernelWorkload {
     fn name(&self) -> &str {
         "chol-kernel"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        (self.a.rows().pow(3) / 3).max(1) as u64
     }
 
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
@@ -620,6 +674,10 @@ impl Workload for BlockedCholWorkload {
         "chol"
     }
 
+    fn cost_hint(&self) -> u64 {
+        (self.a.rows().pow(3) / 3).max(1) as u64
+    }
+
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
         let (l, stats) = blocked_cholesky_run(eng.core_mut(), &self.a)?;
         Ok(finish(
@@ -662,6 +720,10 @@ impl LuPanelWorkload {
 impl Workload for LuPanelWorkload {
     fn name(&self) -> &str {
         "lu-panel"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        (2 * self.a.rows() * self.a.cols() * self.a.cols()) as u64
     }
 
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
@@ -718,6 +780,10 @@ impl BlockedLuWorkload {
 impl Workload for BlockedLuWorkload {
     fn name(&self) -> &str {
         "lu"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        (2 * self.a.rows().pow(3) / 3).max(1) as u64
     }
 
     fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
@@ -782,6 +848,10 @@ impl QrPanelWorkload {
 impl Workload for QrPanelWorkload {
     fn name(&self) -> &str {
         "qr-panel"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        (2 * self.a.rows() * self.a.cols() * self.a.cols()) as u64
     }
 
     fn config(&self, base: LacConfig) -> LacConfig {
@@ -852,6 +922,10 @@ impl Workload for VecnormWorkload {
         "vecnorm"
     }
 
+    fn cost_hint(&self) -> u64 {
+        (2 * self.x.len()) as u64
+    }
+
     fn config(&self, base: LacConfig) -> LacConfig {
         LacConfig {
             fpu: FpuConfig {
@@ -915,6 +989,10 @@ impl Fft64Workload {
 impl Workload for Fft64Workload {
     fn name(&self) -> &str {
         "fft64"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        64 * 6 * 3 // n/4·log4(n) radix-4 butterflies, ~complex-mul flops each
     }
 
     /// Grow the local stores to the kernel's scratch minima if the base
@@ -985,6 +1063,105 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(VecnormWorkload::demo()),
         Box::new(Fft64Workload::demo()),
     ]
+}
+
+/// Problem scale of a [`registry_sized`] instance. Every scale keeps the
+/// constraints of the 4×4 core (dimensions multiples of `nr`, QR panels
+/// tall, GEMM's overlap needing `kc ≥ 2·nr`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProblemSize {
+    /// The smallest instances the schedules admit.
+    Small,
+    /// The demo scale ([`registry`] equivalents, different operands).
+    Medium,
+    /// Several blocking steps per kernel — exercises the blocked drivers.
+    Large,
+}
+
+impl ProblemSize {
+    pub const ALL: [ProblemSize; 3] = [ProblemSize::Small, ProblemSize::Medium, ProblemSize::Large];
+}
+
+/// Every registry workload at a chosen problem scale, with operands salted
+/// by `size` so the three suites factor different matrices. Fixed-size
+/// kernels (the `nr×nr` Cholesky tile, the 64-point FFT) vary operands
+/// only.
+pub fn registry_sized(size: ProblemSize) -> Vec<Box<dyn Workload>> {
+    // Per-size dimensions: (square block n, panel width w, vector length).
+    let (n, w, len, salt) = match size {
+        ProblemSize::Small => (8, 4, 16, 100),
+        ProblemSize::Medium => (16, 8, 64, 200),
+        ProblemSize::Large => (32, 12, 256, 300),
+    };
+    let spd = demo_spd(n, salt);
+    vec![
+        Box::new(GemmWorkload::new(
+            demo_matrix(n, n, salt + 1),
+            demo_matrix(n, n, salt + 2),
+            demo_matrix(n, n, salt + 3),
+        )),
+        Box::new(SyrkWorkload::new(
+            demo_matrix(n, n / 2, salt + 4),
+            demo_matrix(n, n, salt + 5).symmetrize_from_lower(),
+        )),
+        Box::new(TrsmStackedWorkload::new(
+            demo_lower(4, salt + 6),
+            demo_matrix(4, 4 * w, salt + 7),
+        )),
+        Box::new(BlockedTrsmWorkload::new(
+            demo_lower(n, salt + 8),
+            demo_matrix(n, w, salt + 9),
+        )),
+        Box::new(TrmmWorkload::new(
+            demo_lower(n, salt + 10),
+            demo_matrix(n, w, salt + 11),
+        )),
+        Box::new(SymmWorkload::new(
+            demo_matrix(n, n, salt + 12).tril(),
+            demo_matrix(n, w, salt + 13),
+            demo_matrix(n, w, salt + 14),
+        )),
+        Box::new(CholKernelWorkload::new(demo_spd(4, salt + 15))),
+        Box::new(BlockedCholWorkload::new(spd)),
+        Box::new(LuPanelWorkload::new(
+            demo_matrix(2 * n, 4, salt + 17),
+            LuOptions::default(),
+        )),
+        Box::new(BlockedLuWorkload::new(
+            demo_matrix(n, n, salt + 18),
+            LuOptions::default(),
+        )),
+        Box::new(QrPanelWorkload::new(
+            demo_matrix(2 * n, 4, salt + 19),
+            VnormOptions {
+                exponent_extension: true,
+                comparator: false,
+            },
+        )),
+        Box::new(VecnormWorkload::new(
+            (0..len).map(|i| demo_value(i, 0, salt + 20)).collect(),
+            VnormOptions {
+                exponent_extension: false,
+                comparator: true,
+            },
+        )),
+        Box::new(Fft64Workload::new(
+            (0..64)
+                .map(|i| Complex::new(demo_value(i, 1, salt + 21), demo_value(i, 2, salt + 21)))
+                .collect(),
+        )),
+    ]
+}
+
+/// One core configuration every registry workload can run on: the base
+/// config folded through each workload's [`Workload::config`] adaptation.
+/// This is the config to build [`lac_sim::LacChip`] shards with when mixed
+/// registry queues are dispatched across cores.
+pub fn registry_chip_config(base: LacConfig) -> LacConfig {
+    registry()
+        .iter()
+        .chain(&registry_sized(ProblemSize::Large))
+        .fold(base, |cfg, w| w.config(cfg))
 }
 
 #[cfg(test)]

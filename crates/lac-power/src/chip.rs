@@ -1,0 +1,178 @@
+//! Chip-level energy: price a multi-core [`ChipStats`] the way
+//! [`crate::EnergyModel`] prices a single core's [`lac_sim::ExecStats`].
+//!
+//! A chip run costs the sum of its cores' dynamic energy plus *uncore*
+//! energy the per-core model cannot see: the shared on-chip memory
+//! interconnect pays an arbitration/wire premium per word crossing a core
+//! boundary, and the uncore (NUCA banks, clock spine, off-chip PHY) burns
+//! static power for the whole makespan regardless of which cores are busy —
+//! a core that finishes early stops issuing MACs but does not power down
+//! the fabric around it.
+
+use crate::energy::{EnergyModel, EnergySummary};
+use lac_sim::ChipStats;
+
+/// Converts a chip run's merged statistics into energy and power.
+#[derive(Clone, Copy, Debug)]
+pub struct ChipEnergyModel {
+    /// Per-core pricing (every shard is identical).
+    pub core: EnergyModel,
+    /// Interconnect/arbitration premium per external word moved between a
+    /// core and the shared on-chip memory, pJ/word (on top of the bank
+    /// access energy the core model already counts).
+    pub uncore_pj_per_word: f64,
+    /// Static uncore power per core, mW — NUCA leakage, clock distribution
+    /// and the off-chip interface, burned over the whole makespan.
+    pub uncore_static_mw_per_core: f64,
+}
+
+impl ChipEnergyModel {
+    /// The dissertation's chip context: LAC cores next to a NUCA on-chip
+    /// memory. ~8 pJ/word of interconnect on top of the bank access and a
+    /// few mW of always-on uncore per core slot.
+    pub fn lap_default() -> Self {
+        Self {
+            core: EnergyModel::lac_default(),
+            uncore_pj_per_word: 8.0,
+            uncore_static_mw_per_core: 5.0,
+        }
+    }
+
+    /// Price one chip run. Per-core entries line up with
+    /// `stats.per_core`.
+    pub fn summarize(&self, stats: &ChipStats) -> ChipEnergy {
+        let per_core: Vec<EnergySummary> = stats
+            .per_core
+            .iter()
+            .map(|s| self.core.summarize(s))
+            .collect();
+        let cores_nj: f64 = per_core.iter().map(|e| e.energy_nj).sum();
+
+        let words = (stats.aggregate.ext_reads + stats.aggregate.ext_writes) as f64;
+        let makespan_s = stats.makespan_cycles as f64 / (self.core.freq_ghz * 1e9);
+        let uncore_nj = words * self.uncore_pj_per_word / 1000.0
+            + self.uncore_static_mw_per_core * 1e-3 // mW → W
+                * stats.per_core.len() as f64
+                * makespan_s
+                * 1e9; // J → nJ
+        let total_nj = cores_nj + uncore_nj;
+
+        let (avg_power_mw, gflops_per_w) = if stats.makespan_cycles == 0 {
+            (0.0, 0.0)
+        } else {
+            let watts = total_nj * 1e-9 / makespan_s;
+            let gflops = stats.flops() as f64 / makespan_s / 1e9;
+            (watts * 1e3, gflops / watts)
+        };
+
+        ChipEnergy {
+            per_core,
+            cores_nj,
+            uncore_nj,
+            total_nj,
+            avg_power_mw,
+            gflops_per_w,
+        }
+    }
+}
+
+/// Energy/power of one chip queue run, wall-clocked by the makespan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChipEnergy {
+    /// Each core's own summary (power averaged over that core's busy
+    /// cycles), in core order.
+    pub per_core: Vec<EnergySummary>,
+    /// Sum of per-core dynamic energy, nJ.
+    pub cores_nj: f64,
+    /// Interconnect + static uncore energy, nJ.
+    pub uncore_nj: f64,
+    /// Whole-chip energy, nJ.
+    pub total_nj: f64,
+    /// Chip power averaged over the makespan, mW.
+    pub avg_power_mw: f64,
+    /// Chip efficiency over the makespan, GFLOPS/W.
+    pub gflops_per_w: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_sim::ExecStats;
+
+    fn busy(cycles: u64) -> ExecStats {
+        ExecStats {
+            cycles,
+            mac_ops: cycles * 16,
+            sram_a_reads: cycles * 4,
+            sram_b_reads: cycles * 16,
+            ext_reads: cycles,
+            active_cycles: cycles,
+            ..Default::default()
+        }
+    }
+
+    fn chip_stats(per_core: Vec<ExecStats>) -> ChipStats {
+        let mut aggregate = ExecStats::default();
+        for s in &per_core {
+            aggregate.merge(s);
+        }
+        let makespan_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
+        let jobs_per_core = per_core.iter().map(|_| 1).collect();
+        ChipStats {
+            per_core,
+            jobs_per_core,
+            makespan_cycles,
+            aggregate,
+        }
+    }
+
+    #[test]
+    fn totals_decompose_into_cores_plus_uncore() {
+        let m = ChipEnergyModel::lap_default();
+        let stats = chip_stats(vec![busy(10_000), busy(8_000)]);
+        let e = m.summarize(&stats);
+        assert_eq!(e.per_core.len(), 2);
+        assert!((e.total_nj - e.cores_nj - e.uncore_nj).abs() < 1e-9);
+        assert!(e.uncore_nj > 0.0 && e.cores_nj > e.uncore_nj);
+        assert!(e.avg_power_mw > 0.0 && e.gflops_per_w > 0.0);
+    }
+
+    #[test]
+    fn idle_chip_still_pays_static_uncore() {
+        let m = ChipEnergyModel::lap_default();
+        let idle = ExecStats {
+            cycles: 10_000,
+            ..Default::default()
+        };
+        let e = m.summarize(&chip_stats(vec![idle, idle]));
+        assert_eq!(e.cores_nj, 0.0, "no events, no core energy");
+        assert!(e.uncore_nj > 0.0, "the fabric never sleeps");
+    }
+
+    #[test]
+    fn doubling_cores_roughly_doubles_energy_at_equal_work_each() {
+        let m = ChipEnergyModel::lap_default();
+        let e2 = m.summarize(&chip_stats(vec![busy(10_000); 2]));
+        let e4 = m.summarize(&chip_stats(vec![busy(10_000); 4]));
+        let ratio = e4.total_nj / e2.total_nj;
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+        // Same makespan, twice the flops: double the power, same efficiency.
+        assert!((e4.gflops_per_w / e2.gflops_per_w - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn chip_efficiency_stays_in_core_ballpark() {
+        // Uncore overhead should cost a few percent, not change the
+        // GFLOPS/W order of magnitude the single-core model reports.
+        let m = ChipEnergyModel::lap_default();
+        let core_eff = m.core.gflops_per_w(&busy(100_000));
+        let chip_eff = m
+            .summarize(&chip_stats(vec![busy(100_000); 4]))
+            .gflops_per_w;
+        assert!(chip_eff < core_eff, "uncore cannot be free");
+        assert!(
+            chip_eff > 0.7 * core_eff,
+            "uncore should be a tax, not the bill"
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! * Broadcast bus: 0.023 mm²/PE, negligible power at nr = 4.
 //! * Idle/leakage: 25–30% of dynamic power.
 
+pub mod chip;
 pub mod compare;
 pub mod components;
 pub mod energy;
@@ -27,6 +28,7 @@ pub mod fft_designs;
 pub mod pe;
 pub mod sram;
 
+pub use chip::{ChipEnergy, ChipEnergyModel};
 pub use compare::{platform_cores_table, platform_systems_table, power_breakdown, PlatformRow};
 pub use components::{FmacModel, Precision, Technology};
 pub use energy::{EnergyModel, EnergySummary, SessionEnergy};

@@ -1,0 +1,534 @@
+//! Chip-level simulation: a [`LacChip`] owns `S` [`LacEngine`] shards behind
+//! a shared external-memory bandwidth budget and a [`Scheduler`] that
+//! dispatches a queue of jobs across them (Chapter 4's multi-core LAP, made
+//! executable).
+//!
+//! The analytical chip models in `lac-model` relate core count, on-chip
+//! bandwidth and utilization; this module is their simulation counterpart.
+//! Production clients of such a chip — e.g. interior-point solvers whose
+//! iterations are dominated by independent Cholesky/GEMM factorizations —
+//! submit *streams* of jobs, so the unit of work here is a [`ChipJob`]
+//! queue, not a single program:
+//!
+//! * every shard is one [`LacEngine`] session (per-core architectural state
+//!   and meters persist across queue runs);
+//! * the chip's aggregate external bandwidth budget is partitioned evenly
+//!   across the shards (the paper's per-core `x = y/S` words/cycle share of
+//!   the on-chip memory's `y`), enforced per core by the simulator's
+//!   [`LacConfig::ext_words_per_cycle`] hazard check;
+//! * the [`Scheduler`] decides the job → core assignment *before* execution
+//!   (from deterministic cost hints), so a queue run is reproducible
+//!   bit-for-bit no matter how the host threads interleave;
+//! * the shards then run their buckets in parallel on a hand-rolled
+//!   [`std::thread::scope`] pool — one worker per core, no work stealing —
+//!   and the per-core [`ExecStats`] deltas are merged into a [`ChipStats`]
+//!   with per-core breakdown, aggregate counters, and the makespan.
+//!
+//! Simulated time and host time are distinct: the makespan is the slowest
+//! core's *simulated* cycle count for its bucket, which is independent of
+//! host scheduling.
+
+use crate::config::LacConfig;
+use crate::engine::LacEngine;
+use crate::error::SimError;
+use crate::isa::Program;
+use crate::stats::ExecStats;
+
+/// What one core's worker returns: its bucket's `(job index, output)`
+/// pairs, or the first simulation error it hit.
+type CoreResult<T> = Result<Vec<(usize, T)>, SimError>;
+
+/// One unit of schedulable work: a job knows how to run itself on a core's
+/// engine and how expensive it roughly is (for load-aware placement).
+pub trait ChipJob: Send + Sync {
+    /// What the job produces (functional outputs plus per-run stats).
+    type Output: Send;
+
+    /// Estimated cost in arbitrary-but-consistent units (e.g. flops). Only
+    /// the *relative* magnitudes matter, and only to the
+    /// [`Scheduler::LeastLoaded`] policy. Defaults to 1 (all jobs equal).
+    fn cost_hint(&self) -> u64 {
+        1
+    }
+
+    /// Execute on one core's engine. Stats must be metered into the
+    /// engine's session accumulator (all `LacEngine` run doors do this).
+    fn run_on(&self, eng: &mut LacEngine) -> Result<Self::Output, SimError>;
+}
+
+/// The simplest job: one [`Program`], optionally with a memory image staged
+/// into the engine-owned bank first.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramJob {
+    pub prog: Program,
+    /// Replaces the shard's memory bank before the run when present.
+    pub image: Option<Vec<f64>>,
+    /// Cost reported to the scheduler ([`ChipJob::cost_hint`]).
+    pub cost: u64,
+}
+
+impl ProgramJob {
+    pub fn new(prog: Program) -> Self {
+        let cost = prog.steps.len() as u64;
+        Self {
+            prog,
+            image: None,
+            cost,
+        }
+    }
+
+    pub fn with_image(mut self, image: Vec<f64>) -> Self {
+        self.image = Some(image);
+        self
+    }
+}
+
+impl ChipJob for ProgramJob {
+    type Output = ExecStats;
+
+    fn cost_hint(&self) -> u64 {
+        self.cost.max(1)
+    }
+
+    fn run_on(&self, eng: &mut LacEngine) -> Result<ExecStats, SimError> {
+        if let Some(image) = &self.image {
+            eng.load_image(image.clone());
+        }
+        eng.run_program(&self.prog)
+    }
+}
+
+/// Job → core placement policy. Assignment happens up front from cost
+/// hints, so every policy is deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Hand jobs to cores round-robin in arrival order — the queue drains
+    /// first-in-first-out with no load awareness.
+    #[default]
+    Fifo,
+    /// Greedy list scheduling: each job (in arrival order) goes to the core
+    /// with the least accumulated estimated load, ties to the lowest core
+    /// index. With accurate hints this approximates makespan-minimizing
+    /// placement (LPT without the sort, keeping arrival order).
+    LeastLoaded,
+}
+
+impl Scheduler {
+    /// Compute the job → core assignment for a queue of `costs` over
+    /// `num_cores` cores. `assignment[j]` is the core that runs job `j`.
+    pub fn assign(&self, costs: &[u64], num_cores: usize) -> Vec<usize> {
+        assert!(num_cores >= 1, "a chip has at least one core");
+        match self {
+            Scheduler::Fifo => (0..costs.len()).map(|j| j % num_cores).collect(),
+            Scheduler::LeastLoaded => {
+                let mut load = vec![0u64; num_cores];
+                costs
+                    .iter()
+                    .map(|&c| {
+                        let core = (0..num_cores).min_by_key(|&i| (load[i], i)).unwrap();
+                        load[core] += c.max(1);
+                        core
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Static configuration of a chip: `S` identical cores behind one external
+/// bandwidth budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ChipConfig {
+    /// Number of cores `S`.
+    pub cores: usize,
+    /// Per-core configuration (every shard is identical).
+    pub core: LacConfig,
+    /// Aggregate external-memory bandwidth budget in words/cycle across the
+    /// whole chip, split evenly over the cores (each shard gets
+    /// `total / cores`, enforced as its `ext_words_per_cycle` cap).
+    /// `None` leaves the cores unconstrained.
+    pub ext_words_per_cycle_total: Option<usize>,
+    /// Initial engine-owned bank size per shard, words.
+    pub mem_words_per_core: Option<usize>,
+}
+
+impl ChipConfig {
+    pub fn new(cores: usize, core: LacConfig) -> Self {
+        Self {
+            cores,
+            core,
+            ext_words_per_cycle_total: None,
+            mem_words_per_core: None,
+        }
+    }
+
+    /// Set the aggregate bandwidth budget (words/cycle for the whole chip).
+    pub fn with_bandwidth_budget(mut self, words_per_cycle: usize) -> Self {
+        self.ext_words_per_cycle_total = Some(words_per_cycle);
+        self
+    }
+
+    /// The per-core share of the budget, if one is set. The split is even;
+    /// a budget smaller than the core count still grants each core one
+    /// word/cycle (a core that can never talk to memory cannot run any
+    /// kernel at all).
+    pub fn per_core_bandwidth(&self) -> Option<usize> {
+        self.ext_words_per_cycle_total
+            .map(|total| (total / self.cores).max(1))
+    }
+
+    /// The effective configuration a shard is built with: the core config
+    /// plus this chip's per-core bandwidth cap (the tighter of the two when
+    /// the core config already carries one).
+    pub fn shard_config(&self) -> LacConfig {
+        let cap = match (self.per_core_bandwidth(), self.core.ext_words_per_cycle) {
+            (Some(share), Some(own)) => Some(share.min(own)),
+            (Some(share), None) => Some(share),
+            (None, own) => own,
+        };
+        LacConfig {
+            ext_words_per_cycle: cap,
+            ..self.core
+        }
+    }
+}
+
+/// Merged result of one queue run: per-core breakdown plus chip aggregates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChipStats {
+    /// Stats delta of each core over this queue run, in core order.
+    pub per_core: Vec<ExecStats>,
+    /// How many jobs each core ran.
+    pub jobs_per_core: Vec<u64>,
+    /// Simulated makespan: the slowest core's busy cycles for its bucket.
+    pub makespan_cycles: u64,
+    /// Sum of every core's counters (cycles summed too — that is aggregate
+    /// busy time, not wall time; wall time is the makespan).
+    pub aggregate: ExecStats,
+}
+
+impl ChipStats {
+    /// Total jobs dispatched in this run.
+    pub fn jobs(&self) -> u64 {
+        self.jobs_per_core.iter().sum()
+    }
+
+    /// Floating-point operations across all cores.
+    pub fn flops(&self) -> u64 {
+        self.aggregate.flops()
+    }
+
+    /// Whole-chip MAC-slot utilization: executed MACs against the peak of
+    /// `S` cores over the makespan. Idle cores (and the slack of cores that
+    /// finish early) count against the chip, matching the paper's chip
+    /// utilization axis.
+    pub fn utilization(&self, nr: usize) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        let peak = self.makespan_cycles as f64 * self.per_core.len() as f64 * (nr * nr) as f64;
+        (self.aggregate.mac_ops + self.aggregate.fma_ops) as f64 / peak
+    }
+
+    /// Aggregate external-memory traffic per makespan cycle (words/cycle
+    /// demanded of the shared interface).
+    pub fn ext_words_per_cycle(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        (self.aggregate.ext_reads + self.aggregate.ext_writes) as f64 / self.makespan_cycles as f64
+    }
+
+    /// Parallel speedup of this run against the same work on one core:
+    /// aggregate busy cycles / makespan.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.aggregate.cycles as f64 / self.makespan_cycles as f64
+    }
+}
+
+/// Everything a queue run produces: per-job outputs (in submission order)
+/// plus the merged [`ChipStats`].
+#[derive(Clone, Debug)]
+pub struct ChipRun<T> {
+    /// One output per job, in the order the jobs were submitted.
+    pub outputs: Vec<T>,
+    /// Which core ran each job (same order as `outputs`).
+    pub assignment: Vec<usize>,
+    pub stats: ChipStats,
+}
+
+/// A multi-core chip: `S` engine shards plus the scheduler-facing queue
+/// door, [`LacChip::run_queue`].
+pub struct LacChip {
+    cfg: ChipConfig,
+    shards: Vec<LacEngine>,
+}
+
+impl LacChip {
+    pub fn new(cfg: ChipConfig) -> Self {
+        assert!(cfg.cores >= 1, "a chip has at least one core");
+        let shard_cfg = cfg.shard_config();
+        let shards = (0..cfg.cores)
+            .map(|_| {
+                let mut b = LacEngine::builder().config(shard_cfg);
+                if let Some(words) = cfg.mem_words_per_core {
+                    b = b.mem_words(words);
+                }
+                b.build()
+            })
+            .collect();
+        Self { cfg, shards }
+    }
+
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's engine (per-core session meters survive queue runs).
+    pub fn shard(&self, i: usize) -> &LacEngine {
+        &self.shards[i]
+    }
+
+    pub fn shard_mut(&mut self, i: usize) -> &mut LacEngine {
+        &mut self.shards[i]
+    }
+
+    /// Run a queue of jobs to completion under `sched`.
+    ///
+    /// The assignment is computed up front from the jobs' cost hints, then
+    /// every core executes its bucket in arrival order on its own OS thread
+    /// (a scoped pool — one worker per core, joined before return). Outputs
+    /// come back in submission order regardless of placement.
+    ///
+    /// On a simulation error the first error (by core index, then bucket
+    /// order) is returned; the other workers stop at their next job
+    /// boundary rather than draining their buckets. Work that already
+    /// simulated stays metered in the shard sessions — sessions meter, they
+    /// do not roll back — so `Err` means "the queue did not complete", not
+    /// "nothing ran". Use [`LacChip::shard`] session meters (or
+    /// `reset_session` per shard) if a retry must not double-count.
+    pub fn run_queue<J: ChipJob>(
+        &mut self,
+        jobs: &[J],
+        sched: Scheduler,
+    ) -> Result<ChipRun<J::Output>, SimError> {
+        let cores = self.shards.len();
+        let costs: Vec<u64> = jobs.iter().map(|j| j.cost_hint()).collect();
+        let assignment = sched.assign(&costs, cores);
+
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); cores];
+        for (job, &core) in assignment.iter().enumerate() {
+            buckets[core].push(job);
+        }
+
+        let before: Vec<ExecStats> = self.shards.iter().map(|e| *e.session_stats()).collect();
+
+        // Hand-rolled scoped pool: one worker per core; each owns exactly
+        // its shard (&mut) and reads the shared job slice. A failed worker
+        // raises `abort` so its peers stop at the next job boundary instead
+        // of simulating the rest of their buckets for a doomed run.
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let per_core_outputs: Vec<Vec<(usize, J::Output)>> = {
+            let abort = &abort;
+            let results: Vec<CoreResult<J::Output>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&buckets)
+                    .map(|(eng, bucket)| {
+                        scope.spawn(move || {
+                            let mut done = Vec::with_capacity(bucket.len());
+                            for &j in bucket {
+                                if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                                    break;
+                                }
+                                match jobs[j].run_on(eng) {
+                                    Ok(out) => done.push((j, out)),
+                                    Err(e) => {
+                                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                                        return Err(e);
+                                    }
+                                }
+                            }
+                            Ok(done)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chip worker thread panicked"))
+                    .collect()
+            });
+            results.into_iter().collect::<Result<Vec<_>, _>>()?
+        };
+
+        let per_core: Vec<ExecStats> = self
+            .shards
+            .iter()
+            .zip(&before)
+            .map(|(eng, b)| eng.session_stats().since(b))
+            .collect();
+        let mut aggregate = ExecStats::default();
+        for s in &per_core {
+            aggregate.merge(s);
+        }
+        let makespan_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
+        let jobs_per_core: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+
+        let mut slots: Vec<Option<J::Output>> = (0..jobs.len()).map(|_| None).collect();
+        for (j, out) in per_core_outputs.into_iter().flatten() {
+            debug_assert!(slots[j].is_none(), "job {j} ran twice");
+            slots[j] = Some(out);
+        }
+        let outputs = slots
+            .into_iter()
+            .enumerate()
+            .map(|(j, o)| o.unwrap_or_else(|| panic!("job {j} never ran")))
+            .collect();
+
+        Ok(ChipRun {
+            outputs,
+            assignment,
+            stats: ChipStats {
+                per_core,
+                jobs_per_core,
+                makespan_cycles,
+                aggregate,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ExtOp, ProgramBuilder, Source};
+
+    /// A program that issues one MAC and `extra` idle cycles.
+    fn job(extra: usize) -> ProgramJob {
+        let cfg = LacConfig::default();
+        let mut b = ProgramBuilder::new(cfg.nr);
+        let t = b.push_step();
+        b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+        b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+        let t = b.push_step();
+        b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+        b.idle(cfg.fpu.pipeline_depth + extra);
+        ProgramJob::new(b.build())
+    }
+
+    #[test]
+    fn fifo_round_robins_in_order() {
+        let s = Scheduler::Fifo;
+        assert_eq!(s.assign(&[1, 1, 1, 1, 1], 2), vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn least_loaded_balances_uneven_costs() {
+        let s = Scheduler::LeastLoaded;
+        // Core 0 takes the heavy job, cores alternate around it.
+        assert_eq!(s.assign(&[10, 1, 1, 1], 2), vec![0, 1, 1, 1]);
+        // Zero-cost jobs still count as load (no core starves the others).
+        assert_eq!(s.assign(&[0, 0, 0, 0], 2), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn queue_outputs_in_submission_order_and_stats_merge() {
+        let jobs: Vec<ProgramJob> = (0..5).map(|i| job(4 * i)).collect();
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let run = chip.run_queue(&jobs, Scheduler::Fifo).unwrap();
+        assert_eq!(run.outputs.len(), 5);
+        assert_eq!(run.stats.jobs(), 5);
+        // Outputs in submission order: cycle counts grow with the idle tail.
+        for w in run.outputs.windows(2) {
+            assert!(w[1].cycles > w[0].cycles);
+        }
+        // Aggregate equals the sum of per-core deltas.
+        let mut sum = ExecStats::default();
+        for s in &run.stats.per_core {
+            sum.merge(s);
+        }
+        assert_eq!(sum, run.stats.aggregate);
+        assert_eq!(run.stats.aggregate.mac_ops, 5);
+        assert_eq!(
+            run.stats.makespan_cycles,
+            run.stats.per_core.iter().map(|s| s.cycles).max().unwrap()
+        );
+        // Shards keep their session meters (they are LacEngine sessions).
+        assert_eq!(
+            chip.shard(0).cycles() + chip.shard(1).cycles(),
+            run.stats.aggregate.cycles
+        );
+    }
+
+    #[test]
+    fn bandwidth_budget_splits_across_shards() {
+        let cfg = ChipConfig::new(4, LacConfig::default()).with_bandwidth_budget(16);
+        assert_eq!(cfg.per_core_bandwidth(), Some(4));
+        let chip = LacChip::new(cfg);
+        assert_eq!(chip.shard(0).config().ext_words_per_cycle, Some(4));
+        // The tighter of chip share and an existing core cap wins.
+        let capped = ChipConfig::new(
+            2,
+            LacConfig {
+                ext_words_per_cycle: Some(2),
+                ..Default::default()
+            },
+        )
+        .with_bandwidth_budget(16);
+        assert_eq!(capped.shard_config().ext_words_per_cycle, Some(2));
+    }
+
+    #[test]
+    fn same_queue_same_results_under_both_policies() {
+        let jobs: Vec<ProgramJob> = (0..6).map(job).collect();
+        let mut outs = Vec::new();
+        for sched in [Scheduler::Fifo, Scheduler::LeastLoaded] {
+            let mut chip = LacChip::new(ChipConfig::new(3, LacConfig::default()));
+            let run = chip.run_queue(&jobs, sched).unwrap();
+            outs.push(run.outputs);
+        }
+        assert_eq!(outs[0], outs[1], "placement must not change results");
+    }
+
+    #[test]
+    fn failing_job_aborts_queue_but_sessions_keep_metering() {
+        // Job 1 reads an undriven row bus — a hard SimError.
+        let bad = {
+            let mut b = ProgramBuilder::new(LacConfig::default().nr);
+            let t = b.push_step();
+            b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
+            ProgramJob::new(b.build())
+        };
+        let jobs = vec![job(0), bad, job(0)];
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let err = chip.run_queue(&jobs, Scheduler::Fifo).unwrap_err();
+        assert_eq!(err.cycle, 0, "the bad job fails on its first cycle");
+        // Partial work stays metered: Err means "queue incomplete", not
+        // "nothing ran". Core 0 ran job 0 and, depending on when it saw the
+        // abort flag, possibly job 2 — either way its session kept count.
+        assert!(chip.shard(0).cycles() > 0);
+        assert!((1..=2).contains(&chip.shard(0).programs_run()));
+        assert_eq!(
+            chip.shard(1).programs_run(),
+            0,
+            "the bad job never finished"
+        );
+    }
+
+    #[test]
+    fn single_core_chip_serializes() {
+        let jobs: Vec<ProgramJob> = (0..3).map(|_| job(0)).collect();
+        let mut chip = LacChip::new(ChipConfig::new(1, LacConfig::default()));
+        let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+        assert_eq!(run.stats.makespan_cycles, run.stats.aggregate.cycles);
+        assert!((run.stats.speedup() - 1.0).abs() < 1e-12);
+    }
+}

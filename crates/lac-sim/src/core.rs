@@ -58,11 +58,23 @@ struct PeState {
 }
 
 /// Per-cycle port-usage counters for one PE (reset each cycle).
-#[derive(Default)]
+#[derive(Clone, Copy, Default)]
 struct PortUse {
     sram_a: usize,
     sram_b: usize,
     rf_reads: usize,
+}
+
+/// Per-cycle scratch buffers, owned by the core and reused across cycles so
+/// the hot loop never allocates (a chip run simulates tens of millions of
+/// cycles across many shard threads — per-cycle `Vec`s turn into allocator
+/// contention, not just wasted time).
+#[derive(Default)]
+struct Scratch {
+    port_use: Vec<PortUse>,
+    row_bus: Vec<Option<f64>>,
+    col_bus: Vec<Option<f64>>,
+    commits: Vec<Commit>,
 }
 
 /// Deferred register/SRAM/accumulator writes (commit at end of cycle).
@@ -79,6 +91,7 @@ pub struct Lac {
     cfg: LacConfig,
     pes: Vec<PeState>,
     stats: ExecStats,
+    scratch: Scratch,
 }
 
 impl Lac {
@@ -110,6 +123,7 @@ impl Lac {
             cfg,
             pes,
             stats: ExecStats::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -165,6 +179,22 @@ impl Lac {
     }
 
     fn exec_step(&mut self, t: usize, step: &Step, mem: &mut ExternalMem) -> Result<(), SimError> {
+        // The scratch buffers move out for the duration of the step so the
+        // borrow checker lets `resolve` (&mut self) run while they are in
+        // use; they move back afterwards, capacity intact.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.exec_step_inner(t, step, mem, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn exec_step_inner(
+        &mut self,
+        t: usize,
+        step: &Step,
+        mem: &mut ExternalMem,
+        scratch: &mut Scratch,
+    ) -> Result<(), SimError> {
         let nr = self.cfg.nr;
         let err = |pe: Option<(usize, usize)>, kind: HazardKind| SimError { cycle: t, pe, kind };
 
@@ -181,11 +211,17 @@ impl Lac {
             }
         }
 
-        let mut port_use: Vec<PortUse> = (0..nr * nr).map(|_| PortUse::default()).collect();
+        let port_use = &mut scratch.port_use;
+        port_use.clear();
+        port_use.resize(nr * nr, PortUse::default());
 
         // --- phase 1: resolve bus writers --------------------------------
-        let mut row_bus: Vec<Option<f64>> = vec![None; nr];
-        let mut col_bus: Vec<Option<f64>> = vec![None; nr];
+        let row_bus = &mut scratch.row_bus;
+        let col_bus = &mut scratch.col_bus;
+        row_bus.clear();
+        row_bus.resize(nr, None);
+        col_bus.clear();
+        col_bus.resize(nr, None);
 
         // External loads drive column buses.
         for op in &step.ext {
@@ -233,13 +269,14 @@ impl Lac {
         }
 
         // --- phase 2: resolve datapath inputs, issue MAC/FMA/SFU ---------
-        let mut commits: Vec<Commit> = Vec::new();
+        let commits = &mut scratch.commits;
+        commits.clear();
         let mut any_issue = false;
 
         for r in 0..nr {
             for c in 0..nr {
                 let idx = r * nr + c;
-                let instr = step.pes[idx].clone();
+                let instr = &step.pes[idx];
                 let here = Some((r, c));
 
                 if instr.mac.is_some() && instr.fma.is_some() {
@@ -254,8 +291,8 @@ impl Lac {
                 }
 
                 if let Some((sa, sb)) = instr.mac {
-                    let a = self.resolve(t, (r, c), sa, &row_bus, &col_bus, &mut port_use[idx])?;
-                    let b = self.resolve(t, (r, c), sb, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let a = self.resolve(t, (r, c), sa, row_bus, col_bus, &mut port_use[idx])?;
+                    let b = self.resolve(t, (r, c), sb, row_bus, col_bus, &mut port_use[idx])?;
                     self.pes[idx]
                         .mac
                         .issue_mac_signed(a, b, instr.negate_product)
@@ -264,9 +301,9 @@ impl Lac {
                     any_issue = true;
                 }
                 if let Some((sa, sb, sc)) = instr.fma {
-                    let a = self.resolve(t, (r, c), sa, &row_bus, &col_bus, &mut port_use[idx])?;
-                    let b = self.resolve(t, (r, c), sb, &row_bus, &col_bus, &mut port_use[idx])?;
-                    let cv = self.resolve(t, (r, c), sc, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let a = self.resolve(t, (r, c), sa, row_bus, col_bus, &mut port_use[idx])?;
+                    let b = self.resolve(t, (r, c), sb, row_bus, col_bus, &mut port_use[idx])?;
+                    let cv = self.resolve(t, (r, c), sc, row_bus, col_bus, &mut port_use[idx])?;
                     self.pes[idx]
                         .mac
                         .issue_fma_signed(a, b, cv, instr.negate_product)
@@ -285,7 +322,7 @@ impl Lac {
                         ));
                     }
                     let v =
-                        self.resolve(t, (r, c), cmp.value, &row_bus, &col_bus, &mut port_use[idx])?;
+                        self.resolve(t, (r, c), cmp.value, row_bus, col_bus, &mut port_use[idx])?;
                     let cur = self.pes[idx].rf[cmp.val_reg];
                     self.stats.cmp_ops += 1;
                     if !lac_fpu::magnitude_ge(cur, v) {
@@ -298,7 +335,7 @@ impl Lac {
                     if !self.pes[idx].mac.idle() {
                         return Err(err(here, HazardKind::AccHazard));
                     }
-                    let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let v = self.resolve(t, (r, c), src, row_bus, col_bus, &mut port_use[idx])?;
                     commits.push(Commit::AccLoad(idx, v));
                     self.stats.acc_accesses += 1;
                 }
@@ -313,7 +350,7 @@ impl Lac {
                             },
                         ));
                     }
-                    let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let v = self.resolve(t, (r, c), src, row_bus, col_bus, &mut port_use[idx])?;
                     port_use[idx].sram_a += 1;
                     commits.push(Commit::SramA(idx, addr, v));
                     self.stats.sram_a_writes += 1;
@@ -329,7 +366,7 @@ impl Lac {
                             },
                         ));
                     }
-                    let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let v = self.resolve(t, (r, c), src, row_bus, col_bus, &mut port_use[idx])?;
                     port_use[idx].sram_b += 1;
                     commits.push(Commit::SramB(idx, addr, v));
                     self.stats.sram_b_writes += 1;
@@ -344,13 +381,13 @@ impl Lac {
                             },
                         ));
                     }
-                    let v = self.resolve(t, (r, c), src, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let v = self.resolve(t, (r, c), src, row_bus, col_bus, &mut port_use[idx])?;
                     commits.push(Commit::Reg(idx, ridx, v));
                     self.stats.rf_writes += 1;
                 }
                 if let Some((op, sa, sb)) = instr.sfu {
-                    let a = self.resolve(t, (r, c), sa, &row_bus, &col_bus, &mut port_use[idx])?;
-                    let b = self.resolve(t, (r, c), sb, &row_bus, &col_bus, &mut port_use[idx])?;
+                    let a = self.resolve(t, (r, c), sa, row_bus, col_bus, &mut port_use[idx])?;
+                    let b = self.resolve(t, (r, c), sb, row_bus, col_bus, &mut port_use[idx])?;
                     let unit_idx = match self.cfg.divsqrt {
                         DivSqrtImpl::Software => idx,
                         DivSqrtImpl::DiagonalPes => {
@@ -434,7 +471,7 @@ impl Lac {
         }
 
         // --- phase 5: commit writes ---------------------------------------
-        for cmt in commits {
+        for cmt in commits.drain(..) {
             match cmt {
                 Commit::SramA(idx, addr, v) => self.pes[idx].sram_a[addr] = v,
                 Commit::SramB(idx, addr, v) => self.pes[idx].sram_b[addr] = v,

@@ -21,6 +21,7 @@
 //! Any violation is a hard [`SimError`] carrying the offending cycle — a
 //! mis-scheduled kernel cannot silently produce a wrong cycle count.
 
+pub mod chip;
 pub mod config;
 pub mod core;
 pub mod engine;
@@ -30,6 +31,7 @@ pub mod lap;
 pub mod stats;
 
 pub use crate::core::{ExternalMem, Lac};
+pub use chip::{ChipConfig, ChipJob, ChipRun, ChipStats, LacChip, ProgramJob, Scheduler};
 pub use config::LacConfig;
 pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;

@@ -9,7 +9,7 @@ use crate::blas1::nrm2;
 
 /// A Householder reflector `H = I - u uᵀ / τ` with `u = [1; u2]`, stored as
 /// the tail `u2`, the scalar `τ`, and the produced diagonal value `ρ`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HouseholderReflector {
     /// Tail of the reflector vector (first element is an implicit 1).
     pub u2: Vec<f64>,

@@ -1,0 +1,93 @@
+//! Determinism guarantees: the simulator is a pure function of
+//! (configuration, program, operands). Running the same workload twice on
+//! fresh engines — or through a multi-core `LacChip` under any scheduler
+//! policy — must reproduce bit-identical functional outputs and identical
+//! cycle counts. Placement and host-thread interleaving must never leak
+//! into results.
+
+use lap::lac_kernels::{
+    registry, registry_chip_config, registry_sized, KernelReport, ProblemSize, Workload,
+};
+use lap::lac_sim::{ChipConfig, LacChip, LacConfig, LacEngine, Scheduler};
+
+fn run_fresh(w: &dyn Workload) -> KernelReport {
+    let mut eng = LacEngine::builder()
+        .config(w.config(LacConfig::default()))
+        .build();
+    w.run(&mut eng)
+        .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()))
+}
+
+#[test]
+fn every_workload_is_bit_deterministic_on_fresh_engines() {
+    for w in registry() {
+        let first = run_fresh(w.as_ref());
+        let second = run_fresh(w.as_ref());
+        // KernelReport's PartialEq covers the Details payload (f64 compare
+        // is bitwise-exact here: equal bit patterns compare equal) and the
+        // full ExecStats counter set.
+        assert_eq!(first, second, "{}: reruns diverged", w.name());
+        assert_eq!(first.stats.cycles, second.stats.cycles);
+    }
+}
+
+#[test]
+fn chip_runs_are_deterministic_under_every_policy() {
+    let cfg = ChipConfig::new(3, registry_chip_config(LacConfig::default()));
+    for sched in [Scheduler::Fifo, Scheduler::LeastLoaded] {
+        let mut chip_a = LacChip::new(cfg);
+        let mut chip_b = LacChip::new(cfg);
+        let jobs = registry_sized(ProblemSize::Medium);
+        let run_a = chip_a.run_queue(&jobs, sched).unwrap();
+        let run_b = chip_b.run_queue(&jobs, sched).unwrap();
+        assert_eq!(run_a.assignment, run_b.assignment, "{sched:?}: placement");
+        assert_eq!(run_a.outputs, run_b.outputs, "{sched:?}: outputs");
+        assert_eq!(run_a.stats, run_b.stats, "{sched:?}: chip stats");
+    }
+}
+
+#[test]
+fn scheduler_policy_changes_placement_but_not_results() {
+    // The registry's cost hints differ wildly across kernels, so FIFO and
+    // least-loaded place jobs differently — yet every per-job report,
+    // including cycle counts, must be identical (cores are identical and
+    // job state never leaks across a queue run's jobs on fresh shards).
+    let cfg = ChipConfig::new(4, registry_chip_config(LacConfig::default()));
+    let jobs = registry_sized(ProblemSize::Medium);
+    let fifo = LacChip::new(cfg).run_queue(&jobs, Scheduler::Fifo).unwrap();
+    let ll = LacChip::new(cfg)
+        .run_queue(&jobs, Scheduler::LeastLoaded)
+        .unwrap();
+    assert_ne!(
+        fifo.assignment, ll.assignment,
+        "policies should disagree on this queue (costs are uneven)"
+    );
+    assert_eq!(fifo.outputs, ll.outputs, "results depend on placement");
+    // Chip-level aggregates are placement-independent too (sums commute).
+    assert_eq!(fifo.stats.aggregate, ll.stats.aggregate);
+}
+
+#[test]
+fn engine_and_chip_shard_agree_per_workload() {
+    // A 1-core chip is just an engine with a queue in front: identical
+    // reports for the whole registry run back-to-back.
+    let shared = registry_chip_config(LacConfig::default());
+    let jobs = registry();
+    let mut eng = LacEngine::builder().config(shared).build();
+    let direct: Vec<KernelReport> = jobs
+        .iter()
+        .map(|w| {
+            w.run(&mut eng)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()))
+        })
+        .collect();
+    let chip_run = LacChip::new(ChipConfig::new(1, shared))
+        .run_queue(&jobs, Scheduler::Fifo)
+        .unwrap();
+    assert_eq!(direct, chip_run.outputs);
+    assert_eq!(
+        chip_run.stats.makespan_cycles,
+        eng.cycles(),
+        "1-core chip session equals the plain engine session"
+    );
+}

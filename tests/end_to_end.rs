@@ -6,8 +6,8 @@ use lap::lac_kernels::{
     BlockedCholWorkload, BlockedTrsmWorkload, Details, Fft64Workload, GemmWorkload, LuOptions,
     LuPanelWorkload, Workload,
 };
-use lap::lac_power::{EnergyModel, SessionEnergy};
-use lap::lac_sim::{LacConfig, LacEngine};
+use lap::lac_power::{ChipEnergyModel, EnergyModel, SessionEnergy};
+use lap::lac_sim::{ChipConfig, LacChip, LacConfig, LacEngine, Scheduler};
 use lap::linalg_ref::{
     cholesky, fft_radix4, gemm, lu_partial_pivot, max_abs_diff, trsm, Complex, Matrix, Side,
     Triangle,
@@ -62,6 +62,14 @@ fn gemm_chain_matches_reference_composition() {
         2,
         "one session metered both chained GEMMs"
     );
+    // Session accumulation across back-to-back workloads: both runs were
+    // identical in shape, so every session counter is exactly double one
+    // run's (cycles, MACs, and external traffic alike).
+    let s = eng.session_stats();
+    assert_eq!(s.cycles % 2, 0);
+    assert_eq!(s.mac_ops, 2 * (16 * 16 * 16));
+    assert_eq!(s.ext_reads % 2, 0);
+    assert_eq!(eng.flops(), 2 * s.mac_ops + s.sfu_ops);
 
     let mut expect_ab = Matrix::zeros(16, 16);
     gemm(&a, &b, &mut expect_ab);
@@ -95,8 +103,16 @@ fn cholesky_then_trsm_solves_spd_system() {
     trsm(Side::Left, Triangle::Lower, l, &mut expect);
     assert!(max_abs_diff(x, &expect) < 1e-8);
 
-    // Session accounting covers both factor and solve.
+    // Session accounting covers both factor and solve, counter for counter.
     assert_eq!(eng.cycles(), chol_rep.stats.cycles + trsm_rep.stats.cycles);
+    let mut expect_session = chol_rep.stats;
+    expect_session.merge(&trsm_rep.stats);
+    assert_eq!(
+        *eng.session_stats(),
+        expect_session,
+        "session is exactly the sum of its workloads"
+    );
+    assert_eq!(eng.workloads_run(), 2);
 }
 
 #[test]
@@ -150,10 +166,10 @@ fn energy_model_scales_with_work() {
 }
 
 #[test]
-fn multi_core_lap_splits_gemm_by_row_panels() {
-    // Chapter 4's work distribution: each core owns a row panel of C with
-    // its own bank of on-chip memory — one engine session per core; the
-    // makespan is the slowest session.
+fn multi_core_chip_splits_gemm_by_row_panels() {
+    // Chapter 4's work distribution, through the chip layer: each core owns
+    // a row panel of C with its own bank of on-chip memory; the scheduler
+    // dispatches the panel queue and the makespan is the slowest shard.
     let s = 4;
     let (mc, kc, n) = (16, 16, 16); // per-core panel: C is (s·mc) × n
     let mut rng = StdRng::seed_from_u64(9);
@@ -161,26 +177,50 @@ fn multi_core_lap_splits_gemm_by_row_panels() {
     let b = Matrix::random(kc, n, &mut rng);
     let c0 = Matrix::random(s * mc, n, &mut rng);
 
+    let jobs: Vec<Box<dyn Workload>> = (0..s)
+        .map(|core| {
+            Box::new(GemmWorkload::new(
+                a.block(core * mc, 0, mc, kc),
+                b.clone(),
+                c0.block(core * mc, 0, mc, n),
+            )) as Box<dyn Workload>
+        })
+        .collect();
+
+    let mut chip = LacChip::new(ChipConfig::new(s, LacConfig::default()));
+    let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+    assert_eq!(run.stats.jobs(), s as u64);
+    assert_eq!(
+        run.stats.jobs_per_core,
+        vec![1; s],
+        "equal jobs, equal cores"
+    );
+    assert!(run.stats.makespan_cycles > 0);
+    assert!(
+        (run.stats.speedup() - s as f64).abs() < 1e-9,
+        "panels are independent"
+    );
+    assert!(run.stats.utilization(LacConfig::default().nr) > 0.4);
+
+    // Reassemble C from the per-job reports (submission order) and verify
+    // against the reference full-size GEMM.
     let mut got = Matrix::zeros(s * mc, n);
-    let mut makespan = 0u64;
-    for core in 0..s {
-        let a_panel = a.block(core * mc, 0, mc, kc);
-        let c_panel = c0.block(core * mc, 0, mc, n);
-        let mut eng = engine();
-        let w = GemmWorkload::new(a_panel, b.clone(), c_panel);
-        let report = w.run(&mut eng).unwrap();
+    for (core, report) in run.outputs.iter().enumerate() {
         assert!(report.utilization > 0.4);
-        let Details::Gemm { c } = report.details else {
+        let Details::Gemm { c } = &report.details else {
             panic!("gemm reports C")
         };
-        got.set_block(core * mc, 0, &c);
-        makespan = makespan.max(eng.cycles());
+        got.set_block(core * mc, 0, c);
     }
-    assert!(makespan > 0);
-    // Assemble and verify against the reference full-size GEMM.
     let mut expect = c0;
     gemm(&a, &b, &mut expect);
     assert!(max_abs_diff(&got, &expect) < 1e-10);
+
+    // The chip energy summary prices the run and decomposes exactly.
+    let e = ChipEnergyModel::lap_default().summarize(&run.stats);
+    assert_eq!(e.per_core.len(), s);
+    assert!(e.total_nj > 0.0);
+    assert!((e.total_nj - e.cores_nj - e.uncore_nj).abs() < 1e-9);
 }
 
 #[test]

@@ -1,0 +1,144 @@
+//! Property tests (vendored proptest) for the chip scheduler invariants:
+//! whatever the queue, core count, costs, and policy —
+//!
+//! * every job is assigned, and runs, exactly once;
+//! * `ChipStats` aggregate counters equal the sum of the per-core stats;
+//! * the makespan equals the busiest core's cycles and bounds every core;
+//! * the least-loaded policy's imbalance is bounded by the largest job.
+
+use lap::lac_sim::{ChipConfig, ChipStats, ExecStats, LacChip, LacConfig, ProgramJob, Scheduler};
+use lap::lac_sim::{ExtOp, ProgramBuilder, Source};
+use proptest::prelude::*;
+
+fn policy(least_loaded: bool) -> Scheduler {
+    if least_loaded {
+        Scheduler::LeastLoaded
+    } else {
+        Scheduler::Fifo
+    }
+}
+
+/// A tiny program: one external load + one MAC + `extra` idle cycles, so
+/// per-job cycles and event counts are known in closed form.
+fn mac_job(extra: usize) -> ProgramJob {
+    let cfg = LacConfig::default();
+    let mut b = ProgramBuilder::new(cfg.nr);
+    let t = b.push_step();
+    b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+    b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+    let t = b.push_step();
+    b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+    b.idle(cfg.fpu.pipeline_depth + extra);
+    ProgramJob::new(b.build())
+}
+
+fn sum_per_core(stats: &ChipStats) -> ExecStats {
+    let mut sum = ExecStats::default();
+    for s in &stats.per_core {
+        sum.merge(s);
+    }
+    sum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assignment_is_total_and_in_range(
+        costs in prop::collection::vec(0u64..1000, 0..64),
+        cores in 1usize..=12,
+        least_loaded in any::<bool>(),
+    ) {
+        let assign = policy(least_loaded).assign(&costs, cores);
+        prop_assert_eq!(assign.len(), costs.len(), "every job placed exactly once");
+        prop_assert!(assign.iter().all(|&c| c < cores), "cores in range");
+    }
+
+    #[test]
+    fn fifo_is_round_robin(costs in prop::collection::vec(0u64..1000, 0..64),
+                           cores in 1usize..=12) {
+        let assign = Scheduler::Fifo.assign(&costs, cores);
+        for (j, &c) in assign.iter().enumerate() {
+            prop_assert_eq!(c, j % cores);
+        }
+    }
+
+    #[test]
+    fn least_loaded_imbalance_bounded_by_largest_job(
+        costs in prop::collection::vec(1u64..1000, 1..64),
+        cores in 1usize..=12,
+    ) {
+        let assign = Scheduler::LeastLoaded.assign(&costs, cores);
+        let mut load = vec![0u64; cores];
+        for (j, &c) in assign.iter().enumerate() {
+            load[c] += costs[j];
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        let biggest = *costs.iter().max().unwrap();
+        // Greedy list scheduling: a core only receives a job while it is a
+        // minimum, so no core ends more than one job above another unless
+        // the queue ran out (min may stay 0 with fewer jobs than cores).
+        prop_assert!(
+            max - min <= biggest,
+            "imbalance {} exceeds largest job {biggest}",
+            max - min
+        );
+    }
+
+    #[test]
+    fn chip_totals_equal_sum_of_cores(
+        extras in prop::collection::vec(0usize..24, 1..24),
+        cores in 1usize..=6,
+        least_loaded in any::<bool>(),
+    ) {
+        let jobs: Vec<ProgramJob> = extras.iter().map(|&e| mac_job(e)).collect();
+        let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
+        let run = chip.run_queue(&jobs, policy(least_loaded)).unwrap();
+
+        // Every job ran exactly once…
+        prop_assert_eq!(run.outputs.len(), jobs.len());
+        prop_assert_eq!(run.stats.jobs(), jobs.len() as u64);
+        prop_assert_eq!(
+            run.stats.jobs_per_core.iter().sum::<u64>(),
+            jobs.len() as u64
+        );
+        // …and each issued exactly one MAC.
+        prop_assert_eq!(run.stats.aggregate.mac_ops, jobs.len() as u64);
+
+        // Aggregate equals the per-core sum, counter for counter.
+        prop_assert_eq!(sum_per_core(&run.stats), run.stats.aggregate);
+
+        // Makespan is the busiest core, and bounds every core.
+        let busiest = run.stats.per_core.iter().map(|s| s.cycles).max().unwrap();
+        prop_assert_eq!(run.stats.makespan_cycles, busiest);
+        for s in &run.stats.per_core {
+            prop_assert!(s.cycles <= run.stats.makespan_cycles);
+        }
+
+        // Per-job outputs carry the exact per-job cycle counts: job j runs
+        // 2 + pipeline + extra cycles regardless of placement.
+        let p = LacConfig::default().fpu.pipeline_depth as u64;
+        for (out, &extra) in run.outputs.iter().zip(&extras) {
+            prop_assert_eq!(out.cycles, 2 + p + extra as u64);
+        }
+    }
+
+    #[test]
+    fn shard_sessions_accumulate_across_queue_runs(
+        extras in prop::collection::vec(0usize..8, 1..12),
+        cores in 1usize..=4,
+    ) {
+        let jobs: Vec<ProgramJob> = extras.iter().map(|&e| mac_job(e)).collect();
+        let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
+        let first = chip.run_queue(&jobs, Scheduler::Fifo).unwrap();
+        let second = chip.run_queue(&jobs, Scheduler::Fifo).unwrap();
+        // Same queue, same placement, same per-run stats…
+        prop_assert_eq!(&first.stats, &second.stats);
+        // …while the shard sessions keep the running total of both runs.
+        let session_total: u64 = (0..chip.num_cores())
+            .map(|i| chip.shard(i).cycles())
+            .sum();
+        prop_assert_eq!(session_total, 2 * first.stats.aggregate.cycles);
+    }
+}
