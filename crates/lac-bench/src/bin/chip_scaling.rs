@@ -11,12 +11,14 @@
 //! once and shared by every job on every core — only the operand images
 //! differ per panel.
 
-use lac_bench::{f, pct, table};
+use lac_bench::json::Json;
+use lac_bench::{emit_json, f, json_mode, pct, table};
 use lac_kernels::{gemm_program, GemmDataLayout, GemmParams};
 use lac_model::ChipGemmModel;
 use lac_power::ChipEnergyModel;
 use lac_sim::{
-    ChipConfig, ChipJob, ExecStats, LacChip, LacConfig, LacEngine, Program, Scheduler, SimError,
+    ChipConfig, ChipJob, ExecStats, JobGraph, LacChip, LacConfig, LacEngine, Program, Scheduler,
+    SimError,
 };
 use linalg_ref::{gemm, max_abs_diff, Matrix};
 use rand::rngs::StdRng;
@@ -72,12 +74,14 @@ fn main() {
 
     let energy_model = ChipEnergyModel::lap_default();
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     let mut baseline_makespan = None;
     for cores in [1usize, 2, 4, 8, 16] {
         let cfg = ChipConfig::new(cores, base_cfg).with_bandwidth_budget(X_PER_CORE * cores);
         let mut chip = LacChip::new(cfg);
+        let graph: JobGraph<&PanelJob> = queue.iter().collect();
         let run = chip
-            .run_queue(&queue, Scheduler::LeastLoaded)
+            .run_graph(&graph, Scheduler::LeastLoaded)
             .expect("hazard-free schedule");
         let sim_util = run.stats.utilization(base_cfg.nr);
 
@@ -110,6 +114,16 @@ fn main() {
         let loaded = (queue.len() as f64 / cores as f64).min(1.0);
         let predicted = model_util * loaded;
 
+        // The documented invariant, enforced rather than just printed:
+        // simulation and closed-form model agree within 5% at every point.
+        let rel_err = (sim_util - predicted).abs() / predicted;
+        assert!(
+            rel_err < 0.05,
+            "{cores} cores: sim utilization {sim_util:.4} vs model {predicted:.4} \
+             ({:.1}% off)",
+            rel_err * 100.0
+        );
+
         let base = *baseline_makespan.get_or_insert(run.stats.makespan_cycles);
         let speedup = base as f64 / run.stats.makespan_cycles as f64;
         let e = energy_model.summarize(&run.stats);
@@ -124,6 +138,25 @@ fn main() {
             f(e.total_nj / 1000.0),
             f(e.gflops_per_w),
         ]);
+        points.push(Json::obj([
+            ("bench", Json::from("chip_scaling")),
+            ("cores", Json::from(cores)),
+            ("jobs", Json::from(run.stats.jobs())),
+            ("makespan_cycles", Json::from(run.stats.makespan_cycles)),
+            ("speedup_vs_1core", Json::from(speedup)),
+            ("sim_utilization", Json::from(sim_util)),
+            ("model_utilization", Json::from(predicted)),
+            (
+                "ext_words_per_cycle",
+                Json::from(run.stats.ext_words_per_cycle()),
+            ),
+            ("energy_uj", Json::from(e.total_nj / 1000.0)),
+            ("gflops_per_w", Json::from(e.gflops_per_w)),
+        ]));
+    }
+    emit_json(Json::arr(points));
+    if json_mode() {
+        return;
     }
     table(
         &format!(

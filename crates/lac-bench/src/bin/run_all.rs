@@ -56,7 +56,20 @@ fn workload_sweep() -> Result<(), String> {
 }
 
 fn is_generator_name(n: &str) -> bool {
-    n.starts_with("fig") || n.starts_with("table") || n.starts_with("sec") || n.starts_with("chip")
+    n.starts_with("fig")
+        || n.starts_with("table")
+        || n.starts_with("sec")
+        || n.starts_with("chip")
+        || n.starts_with("solver")
+}
+
+/// Generators that support `--json-out <path>`: they print their table
+/// and write machine-readable perf points in one run, which this driver
+/// archives next to the binaries (`target/release/perf/`). An explicit
+/// list (unlike bin discovery) because probing would mean extra runs;
+/// extend it when a bin gains the flag.
+fn emits_json(n: &str) -> bool {
+    n == "chip_scaling" || n == "solver_loop"
 }
 
 /// Generator binaries built next to this one (no hard-coded list).
@@ -130,9 +143,22 @@ fn main() {
     for name in &bins {
         let exe = dir.join(name);
         println!("\n######## {name} ########");
-        let status = Command::new(&exe).status();
-        match status {
-            Ok(s) if s.success() => {}
+        let mut cmd = Command::new(&exe);
+        let archive = emits_json(name).then(|| dir.join("perf").join(format!("{name}.json")));
+        if let Some(path) = &archive {
+            cmd.arg("--json-out").arg(path);
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {
+                if let Some(path) = &archive {
+                    if path.is_file() {
+                        println!("-> perf points archived to {}", path.display());
+                    } else {
+                        eprintln!("!! {name} exited 0 but wrote no {}", path.display());
+                        failures.push(format!("{name} --json-out"));
+                    }
+                }
+            }
             other => {
                 eprintln!("!! {name} failed: {other:?}");
                 failures.push(name.clone());

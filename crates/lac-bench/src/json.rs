@@ -1,0 +1,249 @@
+//! Minimal hand-rolled JSON serializer (the build has no crates.io
+//! access, so no serde): enough for the bench binaries' `--json` mode —
+//! objects, arrays, strings, integers and floats, with escaping.
+//!
+//! ```
+//! use lac_bench::json::Json;
+//! let point = Json::obj([
+//!     ("cores", Json::from(4u64)),
+//!     ("speedup", Json::from(3.25)),
+//!     ("policy", Json::from("critical-path")),
+//! ]);
+//! assert_eq!(
+//!     point.render(),
+//!     r#"{"cores":4,"speedup":3.25,"policy":"critical-path"}"#
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value. Build with the `From` impls and [`Json::obj`] /
+/// [`Json::arr`]; serialize with [`Json::render`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers keep full `u64` precision (no float round-trip).
+    UInt(u64),
+    Int(i64),
+    /// Non-finite floats render as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serialize compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serialize with two-space indentation — what the archived perf
+    /// points use so diffs stay readable.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is valid JSON for finite f64.
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        let v = Json::obj([
+            ("name", Json::from("chip \"A\"\n")),
+            ("cores", Json::from(16u64)),
+            ("util", Json::from(0.875)),
+            ("nan", Json::from(f64::NAN)),
+            ("flags", Json::arr([Json::from(true), Json::Null])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"chip \"A\"\n","cores":16,"util":0.875,"nan":null,"flags":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn integers_keep_full_precision() {
+        let big = u64::MAX;
+        assert_eq!(Json::from(big).render(), big.to_string());
+        assert_eq!(Json::from(-42i64).render(), "-42");
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest() {
+        assert_eq!(Json::from(0.1).render(), "0.1");
+        assert_eq!(Json::from(3.0).render(), "3");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_nests_with_two_spaces() {
+        let v = Json::obj([("rows", Json::arr([Json::from(1u64)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"rows\": [\n    1\n  ]\n}\n");
+        assert_eq!(Json::arr([]).render_pretty(), "[]\n");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+    }
+}

@@ -6,7 +6,47 @@
 //! where applicable so the shape comparison is immediate. `run_all`
 //! regenerates everything (that is what EXPERIMENTS.md records).
 
+pub mod json;
+
 use std::fmt::Display;
+
+/// True when the binary was invoked with `--json` — the bench bins then
+/// emit machine-readable perf points instead of tables.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Value of `--json-out <path>`, if present: the bin prints its table as
+/// usual *and* writes the perf points there — one simulation, both
+/// artifacts (how `run_all` archives without double-running generators).
+pub fn json_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json-out" {
+            return Some(std::path::PathBuf::from(
+                args.next().expect("--json-out takes a path"),
+            ));
+        }
+    }
+    None
+}
+
+/// Handle the two JSON flags at the end of a bench bin: `--json` prints
+/// the points to stdout (suppressing the table is the caller's job via
+/// [`json_mode`]); `--json-out <path>` writes them to the path. Panics on
+/// an unwritable path — an archive silently missing is worse.
+pub fn emit_json(points: json::Json) {
+    if let Some(path) = json_out_path() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("mkdir {dir:?}: {e}"));
+        }
+        std::fs::write(&path, points.render_pretty())
+            .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    }
+    if json_mode() {
+        println!("{}", points.render_pretty());
+    }
+}
 
 /// Print a titled table with aligned columns.
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {

@@ -37,6 +37,7 @@ pub mod gemm;
 pub mod layout;
 pub mod lu;
 pub mod qr;
+pub mod solver;
 pub mod symm;
 pub mod syrk;
 pub mod trmm;
@@ -50,6 +51,7 @@ pub use gemm::{gemm_program, GemmParams, GemmReport};
 pub use layout::{ALayout, GemmDataLayout};
 pub use lu::{pack_to_factors, LuOptions, LuReport};
 pub use qr::QrPanelReport;
+pub use solver::{SolverGraph, SolverJob, SolverLoopParams, SolverLoopWorkload, SolverReference};
 pub use syrk::{SyrkDataLayout, SyrkParams, SyrkReport};
 pub use trsm::TrsmReport;
 pub use vecnorm::{VnormOptions, VnormReport};

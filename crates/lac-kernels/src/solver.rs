@@ -1,0 +1,614 @@
+//! The chained-factorization solver loop: an IPM-style composite workload
+//! whose rounds feed each other — the headline client of the dependency
+//! graph service (`lac_sim::LacService`).
+//!
+//! Interior-point methods (see PAPERS.md: IP-PMM for convex QP, interior
+//! point DDP) spend essentially all their time in a loop of the same three
+//! kernels: factor the round's normal-equations matrix (CHOL), solve a
+//! block of right-hand sides against the factor (TRSM), and build the next
+//! round's matrix from the solutions (SYRK/GEMM rank-k updates). Round
+//! `k+1` cannot start before round `k`'s updates land, but *within* a
+//! round the per-panel solves and updates are independent — exactly the
+//! diamond-per-round DAG the graph scheduler exists for.
+//!
+//! [`SolverLoopWorkload`] models that loop over deterministic demo
+//! operands:
+//!
+//! ```text
+//! A₀ SPD;  for k = 0..rounds:
+//!     Lₖ = chol(Aₖ)                       (serial spine)
+//!     Xₖ,ₚ = Lₖ⁻¹ Bₚ        p = 0..P      (fan-out: blocked TRSM)
+//!     Sₖ,ₚ = Xₖ,ₚ·Xₖ,ₚᵀ     p = 0..P      (fan-out: SYRK)
+//!     Aₖ₊₁ = Aₖ + Σₚ Sₖ,ₚ                 (reduction, fixed panel order)
+//! ```
+//!
+//! Every `Sₖ,ₚ` is positive semidefinite, so `Aₖ` stays SPD and the chain
+//! factors for any round count. The reduction runs host-side in fixed
+//! panel order (the accumulate-at-memory step of a real chip), so the
+//! whole loop is bit-deterministic no matter where the graph scheduler
+//! places the jobs — and bit-identical to the serial single-engine run.
+//!
+//! Two doors:
+//!
+//! * [`Workload`] (`run` on one `LacEngine`) — the whole loop serially on
+//!   one core, per-round reports rolled into one [`KernelReport`] with
+//!   [`Details::Solver`]. Registered in [`crate::registry`] like any
+//!   kernel.
+//! * [`SolverLoopWorkload::graph`] — the same loop as a
+//!   [`JobGraph`] of [`SolverJob`]s for a multi-core chip/service; rounds
+//!   chain through shared state behind the graph's dependency edges.
+//!   [`SolverLoopWorkload::check_graph`] verifies every per-round output
+//!   against an independent `linalg-ref` chain.
+
+use crate::chol::blocked_cholesky_run;
+use crate::syrk::{syrk_run, SyrkDataLayout, SyrkParams};
+use crate::trsm::blocked_trsm_run;
+use crate::workload::{
+    close, demo_matrix, demo_spd, expect_details, finish, Details, KernelReport, Workload,
+};
+use lac_sim::{ChipJob, ExecStats, JobGraph, JobId, LacEngine, SimError};
+use linalg_ref::{cholesky, gemm, max_abs_diff, trsm, Matrix, Side, Triangle};
+use std::sync::{Arc, Mutex};
+
+/// Shape of one solver loop. All dimensions follow the 4×4 core's blocked
+/// kernels: `n` a multiple of `nr`, panels `n × width`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverLoopParams {
+    /// System dimension (the SPD matrix is `n × n`).
+    pub n: usize,
+    /// IPM iterations (CHOL → TRSM → SYRK rounds).
+    pub rounds: usize,
+    /// Right-hand-side panels per round — the intra-round fan-out.
+    pub panels: usize,
+    /// Columns per panel.
+    pub width: usize,
+    /// Seed for the deterministic demo operands.
+    pub salt: u64,
+}
+
+impl Default for SolverLoopParams {
+    /// A 3-round loop on a 16×16 system with two 8-column panels — small
+    /// enough for the registry sweeps, structured enough to show the
+    /// serial-spine/parallel-round shape.
+    fn default() -> Self {
+        Self {
+            n: 16,
+            rounds: 3,
+            panels: 2,
+            width: 8,
+            salt: 40,
+        }
+    }
+}
+
+/// Per-round ground truth computed by `linalg-ref` (see
+/// [`SolverLoopWorkload::reference`]).
+pub struct SolverReference {
+    /// `Lₖ` per round.
+    pub factors: Vec<Matrix>,
+    /// `Xₖ,ₚ` per round and panel.
+    pub x: Vec<Vec<Matrix>>,
+    /// `Sₖ,ₚ` (lower triangle) per round and panel.
+    pub s: Vec<Vec<Matrix>>,
+    /// `A` after the last round's update.
+    pub final_a: Matrix,
+}
+
+/// The composite IPM-style solver loop workload. See the module docs for
+/// the recurrence.
+#[derive(Clone, Debug)]
+pub struct SolverLoopWorkload {
+    pub params: SolverLoopParams,
+    /// Round 0's SPD system matrix.
+    pub a0: Matrix,
+    /// The stacked right-hand sides, `n × (panels · width)`.
+    pub b: Matrix,
+}
+
+/// Shared state the graph jobs communicate through. The dependency edges
+/// guarantee every access is ordered (parents complete before children
+/// start), and reductions walk panels in fixed order, so the contents are
+/// bit-deterministic regardless of placement.
+struct SolverState {
+    /// Current `Aₖ`, full symmetric.
+    a: Matrix,
+    /// Current round's factor.
+    l: Matrix,
+    /// Current round's per-panel solutions.
+    x: Vec<Option<Matrix>>,
+    /// Current round's per-panel updates, consumed by the next CHOL.
+    s: Vec<Option<Matrix>>,
+}
+
+/// `A (full symmetric) += S (lower triangle)`, mirroring the update into
+/// both triangles.
+fn add_sym_update(a: &mut Matrix, s_lower: &Matrix) {
+    let n = a.rows();
+    for j in 0..n {
+        for i in j..n {
+            let v = a[(i, j)] + s_lower[(i, j)];
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+}
+
+/// Meter one graph step into the engine session and wrap it in the uniform
+/// report (unlike [`finish`] this does not count a whole workload).
+fn step_report(
+    eng: &mut LacEngine,
+    name: &str,
+    stats: ExecStats,
+    details: Details,
+) -> KernelReport {
+    eng.absorb(&stats);
+    let nr = eng.config().nr;
+    KernelReport {
+        kernel: name.to_string(),
+        stats,
+        useful_flops: stats.flops(),
+        utilization: stats.utilization(nr),
+        details,
+    }
+}
+
+/// `S = X·Xᵀ` (lower) on the device via the §5.2 SYRK schedule, from a
+/// zeroed accumulator.
+fn device_syrk(eng: &mut LacEngine, x: &Matrix) -> Result<(Matrix, ExecStats), SimError> {
+    let (mc, kc) = (x.rows(), x.cols());
+    let lay = SyrkDataLayout::new(mc, kc);
+    let mut image = vec![0.0; lay.total_words()];
+    for p in 0..kc {
+        for i in 0..mc {
+            image[lay.a_addr(i, p)] = x[(i, p)];
+        }
+    }
+    eng.load_image(image);
+    let (lac, mem) = eng.parts();
+    let rep = syrk_run(
+        lac,
+        mem,
+        &lay,
+        &SyrkParams {
+            mc,
+            kc,
+            negate: false,
+        },
+    )?;
+    let s = Matrix::from_fn(mc, mc, |i, j| {
+        if i >= j {
+            eng.mem().read(lay.c_addr(i, j))
+        } else {
+            0.0
+        }
+    });
+    Ok((s, rep.stats))
+}
+
+impl SolverLoopWorkload {
+    pub fn new(params: SolverLoopParams) -> Self {
+        assert!(params.rounds >= 1 && params.panels >= 1);
+        let a0 = demo_spd(params.n, params.salt);
+        let b = demo_matrix(params.n, params.panels * params.width, params.salt + 1);
+        Self { params, a0, b }
+    }
+
+    pub fn demo() -> Self {
+        Self::new(SolverLoopParams::default())
+    }
+
+    /// Panel `p` of the right-hand-side block.
+    pub fn b_panel(&self, p: usize) -> Matrix {
+        self.b
+            .block(0, p * self.params.width, self.params.n, self.params.width)
+    }
+
+    fn chol_cost(&self) -> u64 {
+        (self.params.n.pow(3) as u64 / 3).max(1)
+    }
+
+    fn trsm_cost(&self) -> u64 {
+        (self.params.n * self.params.n * self.params.width) as u64
+    }
+
+    fn syrk_cost(&self) -> u64 {
+        (self.params.n * (self.params.n + 1) * self.params.width) as u64
+    }
+
+    /// The loop as ground truth in `linalg-ref`, fully independent of the
+    /// simulator.
+    pub fn reference(&self) -> Result<SolverReference, String> {
+        let p = self.params;
+        let mut a = self.a0.clone();
+        let mut factors = Vec::with_capacity(p.rounds);
+        let mut xs = Vec::with_capacity(p.rounds);
+        let mut ss = Vec::with_capacity(p.rounds);
+        for k in 0..p.rounds {
+            let l = cholesky(&a).map_err(|e| format!("solver-loop: reference round {k}: {e:?}"))?;
+            let mut round_x = Vec::with_capacity(p.panels);
+            let mut round_s = Vec::with_capacity(p.panels);
+            for panel in 0..p.panels {
+                let mut x = self.b_panel(panel);
+                trsm(Side::Left, Triangle::Lower, &l, &mut x);
+                let mut s = Matrix::zeros(p.n, p.n);
+                gemm(&x, &x.transpose(), &mut s);
+                round_x.push(x);
+                round_s.push(s.tril());
+            }
+            for s in &round_s {
+                add_sym_update(&mut a, s);
+            }
+            factors.push(l);
+            xs.push(round_x);
+            ss.push(round_s);
+        }
+        Ok(SolverReference {
+            factors,
+            x: xs,
+            s: ss,
+            final_a: a,
+        })
+    }
+
+    /// The loop as a dependency graph: per round one CHOL job (parented on
+    /// the previous round's SYRKs — it also folds their updates into `A`),
+    /// `panels` TRSM jobs fanning out of it, and `panels` SYRK jobs
+    /// feeding the next round. Job ids follow construction order, so
+    /// [`GraphRun::outputs`](lac_sim::GraphRun) line up with
+    /// [`SolverLoopWorkload::check_graph`].
+    pub fn graph(&self) -> SolverGraph {
+        let p = self.params;
+        let state = Arc::new(Mutex::new(SolverState {
+            a: self.a0.clone(),
+            l: Matrix::zeros(p.n, p.n),
+            x: vec![None; p.panels],
+            s: vec![None; p.panels],
+        }));
+        let mut graph = JobGraph::new();
+        let mut chol_ids = Vec::with_capacity(p.rounds);
+        let mut trsm_ids = Vec::with_capacity(p.rounds);
+        let mut syrk_ids = Vec::with_capacity(p.rounds);
+        let mut prev_syrks: Vec<JobId> = Vec::new();
+        for round in 0..p.rounds {
+            let chol = graph.add_after(
+                SolverJob {
+                    state: Arc::clone(&state),
+                    cost: self.chol_cost(),
+                    step: SolverStep::Chol { round },
+                },
+                &prev_syrks,
+            );
+            prev_syrks.clear();
+            let mut round_trsm = Vec::with_capacity(p.panels);
+            let mut round_syrk = Vec::with_capacity(p.panels);
+            for panel in 0..p.panels {
+                let t = graph.add_after(
+                    SolverJob {
+                        state: Arc::clone(&state),
+                        cost: self.trsm_cost(),
+                        step: SolverStep::Trsm {
+                            panel,
+                            b: self.b_panel(panel),
+                        },
+                    },
+                    &[chol],
+                );
+                let s = graph.add_after(
+                    SolverJob {
+                        state: Arc::clone(&state),
+                        cost: self.syrk_cost(),
+                        step: SolverStep::Syrk { panel },
+                    },
+                    &[t],
+                );
+                round_trsm.push(t);
+                round_syrk.push(s);
+                prev_syrks.push(s);
+            }
+            chol_ids.push(chol);
+            trsm_ids.push(round_trsm);
+            syrk_ids.push(round_syrk);
+        }
+        SolverGraph {
+            graph,
+            chol: chol_ids,
+            trsm: trsm_ids,
+            syrk: syrk_ids,
+        }
+    }
+
+    /// Verify a graph run's per-round outputs (in [`SolverGraph`] id
+    /// order) against the independent `linalg-ref` chain: factors,
+    /// per-panel solutions, and per-panel updates, every round.
+    pub fn check_graph(&self, outputs: &[KernelReport]) -> Result<(), String> {
+        let p = self.params;
+        let expect_len = p.rounds * (1 + 2 * p.panels);
+        if outputs.len() != expect_len {
+            return Err(format!(
+                "solver-loop: graph produced {} outputs, expected {expect_len}",
+                outputs.len()
+            ));
+        }
+        let reference = self.reference()?;
+        let stride = 1 + 2 * p.panels;
+        for k in 0..p.rounds {
+            let Details::Cholesky { l } = &outputs[k * stride].details else {
+                return Err(expect_details("solver-chol", "Cholesky"));
+            };
+            rel_close(
+                &format!("solver-loop round {k}"),
+                "L",
+                l,
+                &reference.factors[k],
+            )?;
+            for panel in 0..p.panels {
+                // Construction interleaves per panel: chol, then
+                // (trsm, syrk) pairs.
+                let Details::Trsm { x } = &outputs[k * stride + 1 + 2 * panel].details else {
+                    return Err(expect_details("solver-trsm", "Trsm"));
+                };
+                rel_close(
+                    &format!("solver-loop round {k} panel {panel}"),
+                    "X",
+                    x,
+                    &reference.x[k][panel],
+                )?;
+                let Details::Syrk { c } = &outputs[k * stride + 2 + 2 * panel].details else {
+                    return Err(expect_details("solver-syrk", "Syrk"));
+                };
+                rel_close(
+                    &format!("solver-loop round {k} panel {panel}"),
+                    "S",
+                    c,
+                    &reference.s[k][panel],
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scale-robust comparison: max-abs error relative to the reference's
+/// magnitude (the chain's matrices grow with every rank-k update).
+fn rel_close(kernel: &str, what: &str, got: &Matrix, reference: &Matrix) -> Result<(), String> {
+    let scale = 1.0 + reference.fro_norm();
+    close(kernel, what, max_abs_diff(got, reference) / scale, 1e-7)
+}
+
+impl Workload for SolverLoopWorkload {
+    fn name(&self) -> &str {
+        "solver-loop"
+    }
+
+    fn cost_hint(&self) -> u64 {
+        self.params.rounds as u64
+            * (self.chol_cost() + self.params.panels as u64 * (self.trsm_cost() + self.syrk_cost()))
+    }
+
+    /// The whole loop serially on one engine — identical arithmetic, in
+    /// the same order, as the graph execution, so the per-round factors
+    /// are bit-identical between the two doors.
+    fn run(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let p = self.params;
+        let mut a = self.a0.clone();
+        let mut total = ExecStats::default();
+        let mut factors = Vec::with_capacity(p.rounds);
+        for _ in 0..p.rounds {
+            let (l, stats) = blocked_cholesky_run(eng.core_mut(), &a)?;
+            total.merge(&stats);
+            let mut updates = Vec::with_capacity(p.panels);
+            for panel in 0..p.panels {
+                let (x, stats) = blocked_trsm_run(eng.core_mut(), &l, &self.b_panel(panel))?;
+                total.merge(&stats);
+                let (s, stats) = device_syrk(eng, &x)?;
+                total.merge(&stats);
+                updates.push(s);
+            }
+            for s in &updates {
+                add_sym_update(&mut a, s);
+            }
+            factors.push(l);
+        }
+        Ok(finish(
+            eng,
+            self.name(),
+            total,
+            None,
+            Details::Solver {
+                factors,
+                final_a: a,
+            },
+        ))
+    }
+
+    fn check(&self, report: &KernelReport) -> Result<(), String> {
+        let Details::Solver { factors, final_a } = &report.details else {
+            return Err(expect_details(self.name(), "Solver"));
+        };
+        let reference = self.reference()?;
+        if factors.len() != reference.factors.len() {
+            return Err(format!(
+                "{}: {} rounds reported, expected {}",
+                self.name(),
+                factors.len(),
+                reference.factors.len()
+            ));
+        }
+        for (k, (got, want)) in factors.iter().zip(&reference.factors).enumerate() {
+            rel_close(&format!("{} round {k}", self.name()), "L", got, want)?;
+        }
+        rel_close(self.name(), "final A", final_a, &reference.final_a)
+    }
+}
+
+/// The graph form of a solver loop: the [`JobGraph`] to submit plus the
+/// per-round job ids (`outputs[id.index()]` is that step's report).
+pub struct SolverGraph {
+    pub graph: JobGraph<SolverJob>,
+    /// Round `k`'s CHOL job.
+    pub chol: Vec<JobId>,
+    /// Round `k`, panel `p`'s TRSM job.
+    pub trsm: Vec<Vec<JobId>>,
+    /// Round `k`, panel `p`'s SYRK job.
+    pub syrk: Vec<Vec<JobId>>,
+}
+
+/// One step of the solver loop as a chip job. Steps communicate through
+/// the loop's shared state; the graph's edges order every access.
+pub struct SolverJob {
+    state: Arc<Mutex<SolverState>>,
+    cost: u64,
+    step: SolverStep,
+}
+
+enum SolverStep {
+    /// Fold the previous round's updates into `A` (fixed panel order),
+    /// then factor.
+    Chol { round: usize },
+    /// Solve `L·X = Bₚ` against the current factor.
+    Trsm { panel: usize, b: Matrix },
+    /// `Sₚ = Xₚ·Xₚᵀ` for the next round's matrix.
+    Syrk { panel: usize },
+}
+
+impl ChipJob for SolverJob {
+    type Output = KernelReport;
+
+    fn cost_hint(&self) -> u64 {
+        self.cost.max(1)
+    }
+
+    fn run_on(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        match &self.step {
+            SolverStep::Chol { round } => {
+                let a = {
+                    let mut st = self.state.lock().expect("solver state poisoned");
+                    if *round > 0 {
+                        for p in 0..st.s.len() {
+                            let s = st.s[p].take().expect("round k-1 SYRK feeds round k");
+                            add_sym_update(&mut st.a, &s);
+                        }
+                    }
+                    st.a.clone()
+                };
+                let (l, stats) = blocked_cholesky_run(eng.core_mut(), &a)?;
+                self.state.lock().expect("solver state poisoned").l = l.clone();
+                Ok(step_report(
+                    eng,
+                    "solver-chol",
+                    stats,
+                    Details::Cholesky { l },
+                ))
+            }
+            SolverStep::Trsm { panel, b } => {
+                let l = self.state.lock().expect("solver state poisoned").l.clone();
+                let (x, stats) = blocked_trsm_run(eng.core_mut(), &l, b)?;
+                self.state.lock().expect("solver state poisoned").x[*panel] = Some(x.clone());
+                Ok(step_report(eng, "solver-trsm", stats, Details::Trsm { x }))
+            }
+            SolverStep::Syrk { panel } => {
+                let x = self.state.lock().expect("solver state poisoned").x[*panel]
+                    .clone()
+                    .expect("round k TRSM feeds round k SYRK");
+                let (s, stats) = device_syrk(eng, &x)?;
+                self.state.lock().expect("solver state poisoned").s[*panel] = Some(s.clone());
+                Ok(step_report(
+                    eng,
+                    "solver-syrk",
+                    stats,
+                    Details::Syrk { c: s },
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_sim::{ChipConfig, LacChip, LacConfig, LacService, Scheduler};
+
+    fn small() -> SolverLoopWorkload {
+        SolverLoopWorkload::new(SolverLoopParams {
+            n: 8,
+            rounds: 2,
+            panels: 2,
+            width: 4,
+            salt: 99,
+        })
+    }
+
+    #[test]
+    fn serial_run_matches_reference_chain() {
+        let w = small();
+        let mut eng = LacEngine::builder().config(LacConfig::default()).build();
+        let report = w.run(&mut eng).unwrap();
+        w.check(&report).unwrap();
+        assert_eq!(report.kernel, "solver-loop");
+        assert!(report.stats.cycles > 0);
+    }
+
+    #[test]
+    fn graph_matches_reference_and_serial_bitwise() {
+        let w = small();
+        let sg = w.graph();
+        assert_eq!(sg.graph.len(), 2 * (1 + 2 * 2));
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let run = chip.run_graph(&sg.graph, Scheduler::CriticalPath).unwrap();
+        w.check_graph(&run.outputs).unwrap();
+
+        // The serial door runs the identical arithmetic in the identical
+        // order, so factors agree bit-for-bit, not just within tolerance.
+        let mut eng = LacEngine::builder().config(LacConfig::default()).build();
+        let serial = w.run(&mut eng).unwrap();
+        let Details::Solver { factors, .. } = &serial.details else {
+            panic!("solver report");
+        };
+        for (k, &chol_id) in sg.chol.iter().enumerate() {
+            let Details::Cholesky { l } = &run.outputs[chol_id.index()].details else {
+                panic!("chol report");
+            };
+            assert_eq!(l, &factors[k], "round {k} factor must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn rounds_serialize_but_panels_overlap() {
+        let w = SolverLoopWorkload::new(SolverLoopParams {
+            n: 8,
+            rounds: 3,
+            panels: 4,
+            width: 4,
+            salt: 7,
+        });
+        let sg = w.graph();
+        let mut chip = LacChip::new(ChipConfig::new(4, LacConfig::default()));
+        let run = chip.run_graph(&sg.graph, Scheduler::CriticalPath).unwrap();
+        // Waves: per round CHOL, TRSMs, SYRKs — 3 × 3.
+        assert_eq!(run.waves, 9);
+        // The chip overlapped the fan-out: strictly faster than serial.
+        assert!(run.stats.makespan_cycles < run.stats.aggregate.cycles);
+    }
+
+    #[test]
+    fn service_reruns_are_bit_identical_across_policies() {
+        let w = small();
+        let mut baseline = None;
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+        ] {
+            let mut svc: LacService<SolverJob> =
+                LacService::new(ChipConfig::new(3, LacConfig::default()));
+            let first = svc.submit(w.graph().graph, sched).unwrap();
+            let second = svc.submit(w.graph().graph, sched).unwrap();
+            assert_eq!(first.outputs, second.outputs, "{sched:?}: rerun diverged");
+            assert_eq!(first.stats, second.stats, "{sched:?}: rerun stats diverged");
+            match &baseline {
+                None => baseline = Some(first.outputs),
+                Some(b) => assert_eq!(b, &first.outputs, "{sched:?}: policy changed results"),
+            }
+        }
+    }
+}

@@ -133,10 +133,16 @@ pub enum Details {
     Vecnorm { norm: f64 },
     /// The 64-point spectrum, natural order.
     Fft { spectrum: Vec<Complex> },
+    /// The per-round Cholesky factors and final system matrix of a
+    /// [`crate::solver::SolverLoopWorkload`].
+    Solver {
+        factors: Vec<Matrix>,
+        final_a: Matrix,
+    },
 }
 
 /// Meter a finished run into the session and assemble the uniform report.
-fn finish(
+pub(crate) fn finish(
     eng: &mut LacEngine,
     name: &str,
     stats: ExecStats,
@@ -159,11 +165,11 @@ fn finish(
     }
 }
 
-fn expect_details(kernel: &str, wanted: &str) -> String {
+pub(crate) fn expect_details(kernel: &str, wanted: &str) -> String {
     format!("{kernel}: report carries foreign details (wanted {wanted})")
 }
 
-fn close(kernel: &str, what: &str, err: f64, tol: f64) -> Result<(), String> {
+pub(crate) fn close(kernel: &str, what: &str, err: f64, tol: f64) -> Result<(), String> {
     if err < tol {
         Ok(())
     } else {
@@ -177,7 +183,7 @@ fn close(kernel: &str, what: &str, err: f64, tol: f64) -> Result<(), String> {
 
 /// SplitMix64-style hash → [-1, 1); keeps demo problems reproducible
 /// without a rand dependency in the library.
-fn demo_value(i: usize, j: usize, salt: u64) -> f64 {
+pub(crate) fn demo_value(i: usize, j: usize, salt: u64) -> f64 {
     let mut z = (i as u64)
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add((j as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
@@ -188,12 +194,12 @@ fn demo_value(i: usize, j: usize, salt: u64) -> f64 {
     (z >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
 }
 
-fn demo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
+pub(crate) fn demo_matrix(rows: usize, cols: usize, salt: u64) -> Matrix {
     Matrix::from_fn(rows, cols, |i, j| demo_value(i, j, salt))
 }
 
 /// SPD: `M·Mᵀ + n·I` over a demo matrix.
-fn demo_spd(n: usize, salt: u64) -> Matrix {
+pub(crate) fn demo_spd(n: usize, salt: u64) -> Matrix {
     let m = demo_matrix(n, n, salt);
     Matrix::from_fn(n, n, |i, j| {
         let dot: f64 = (0..n).map(|p| m[(i, p)] * m[(j, p)]).sum();
@@ -202,7 +208,7 @@ fn demo_spd(n: usize, salt: u64) -> Matrix {
 }
 
 /// Lower-triangular with diagonal bounded away from zero.
-fn demo_lower(n: usize, salt: u64) -> Matrix {
+pub(crate) fn demo_lower(n: usize, salt: u64) -> Matrix {
     Matrix::from_fn(n, n, |i, j| {
         if i > j {
             demo_value(i, j, salt)
@@ -1062,6 +1068,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(QrPanelWorkload::demo()),
         Box::new(VecnormWorkload::demo()),
         Box::new(Fft64Workload::demo()),
+        Box::new(crate::solver::SolverLoopWorkload::demo()),
     ]
 }
 
@@ -1149,6 +1156,17 @@ pub fn registry_sized(size: ProblemSize) -> Vec<Box<dyn Workload>> {
             (0..64)
                 .map(|i| Complex::new(demo_value(i, 1, salt + 21), demo_value(i, 2, salt + 21)))
                 .collect(),
+        )),
+        Box::new(crate::solver::SolverLoopWorkload::new(
+            crate::solver::SolverLoopParams {
+                // The chained rounds already multiply the work, so the
+                // solver scales fan-out rather than the system dimension.
+                n: if size == ProblemSize::Small { 8 } else { 16 },
+                rounds: if size == ProblemSize::Large { 3 } else { 2 },
+                panels: if size == ProblemSize::Large { 4 } else { 2 },
+                width: if size == ProblemSize::Small { 4 } else { 8 },
+                salt: salt + 22,
+            },
         )),
     ]
 }

@@ -9,7 +9,7 @@
 
 use lac_kernels::{GemmWorkload, Workload};
 use lac_model::ChipGemmModel;
-use lac_sim::{ChipConfig, LacChip, LacConfig, Scheduler};
+use lac_sim::{ChipConfig, JobGraph, LacChip, LacConfig, Scheduler};
 use linalg_ref::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,7 +47,8 @@ fn chip_gemm_utilization_within_5pct_of_model() {
         let (n, jobs) = queue(s);
         let cfg = ChipConfig::new(s, LacConfig::default()).with_bandwidth_budget(X_PER_CORE * s);
         let mut chip = LacChip::new(cfg);
-        let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+        let graph: JobGraph<&Box<dyn Workload>> = jobs.iter().collect();
+        let run = chip.run_graph(&graph, Scheduler::LeastLoaded).unwrap();
 
         // Functional truth first: every panel verifies against linalg-ref.
         for (w, report) in jobs.iter().zip(&run.outputs) {
@@ -82,7 +83,8 @@ fn chip_makespan_tracks_model_panel_cycles() {
     let (n, jobs) = queue(s);
     let cfg = ChipConfig::new(s, LacConfig::default()).with_bandwidth_budget(X_PER_CORE * s);
     let mut chip = LacChip::new(cfg);
-    let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+    let graph: JobGraph<&Box<dyn Workload>> = jobs.iter().collect();
+    let run = chip.run_graph(&graph, Scheduler::LeastLoaded).unwrap();
 
     // cycles_panel(y) is one rank-kc update of the whole C across all S
     // cores — exactly one queue drain at n = S·mc per-core panels.
@@ -111,7 +113,8 @@ fn doubling_cores_halves_makespan_at_fixed_problem() {
     for s in [2usize, 4] {
         let cfg = ChipConfig::new(s, LacConfig::default()).with_bandwidth_budget(X_PER_CORE * s);
         let mut chip = LacChip::new(cfg);
-        let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+        let graph: JobGraph<&Box<dyn Workload>> = jobs.iter().collect();
+        let run = chip.run_graph(&graph, Scheduler::LeastLoaded).unwrap();
         makespans.push(run.stats.makespan_cycles as f64);
     }
     let ratio = makespans[0] / makespans[1];

@@ -41,6 +41,20 @@ impl ChipEnergyModel {
     /// Price one chip run. Per-core entries line up with
     /// `stats.per_core`.
     pub fn summarize(&self, stats: &ChipStats) -> ChipEnergy {
+        self.summarize_over(stats, stats.makespan_cycles)
+    }
+
+    /// Price chip work over an explicit wall clock — the door for
+    /// long-lived sessions: a `lac_sim::LacService` accumulates busy
+    /// counters across submissions while its clock also advances through
+    /// dependency stalls and idle gaps *between* batches, and the static
+    /// uncore burns for all of it. `summarize` is the single-run special
+    /// case (`wall = makespan`). `wall_cycles` must cover the busy time.
+    pub fn summarize_over(&self, stats: &ChipStats, wall_cycles: u64) -> ChipEnergy {
+        assert!(
+            stats.per_core.iter().all(|s| s.cycles <= wall_cycles),
+            "wall clock shorter than a core's busy time"
+        );
         let per_core: Vec<EnergySummary> = stats
             .per_core
             .iter()
@@ -49,7 +63,7 @@ impl ChipEnergyModel {
         let cores_nj: f64 = per_core.iter().map(|e| e.energy_nj).sum();
 
         let words = (stats.aggregate.ext_reads + stats.aggregate.ext_writes) as f64;
-        let makespan_s = stats.makespan_cycles as f64 / (self.core.freq_ghz * 1e9);
+        let makespan_s = wall_cycles as f64 / (self.core.freq_ghz * 1e9);
         let uncore_nj = words * self.uncore_pj_per_word / 1000.0
             + self.uncore_static_mw_per_core * 1e-3 // mW → W
                 * stats.per_core.len() as f64
@@ -57,7 +71,7 @@ impl ChipEnergyModel {
                 * 1e9; // J → nJ
         let total_nj = cores_nj + uncore_nj;
 
-        let (avg_power_mw, gflops_per_w) = if stats.makespan_cycles == 0 {
+        let (avg_power_mw, gflops_per_w) = if wall_cycles == 0 {
             (0.0, 0.0)
         } else {
             let watts = total_nj * 1e-9 / makespan_s;
@@ -158,6 +172,31 @@ mod tests {
         assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
         // Same makespan, twice the flops: double the power, same efficiency.
         assert!((e4.gflops_per_w / e2.gflops_per_w - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn idle_between_batches_costs_static_energy_only() {
+        // The same busy work priced over a 3x longer service clock: core
+        // dynamic energy is unchanged, uncore grows by exactly the static
+        // power over the extra wall time, efficiency drops.
+        let m = ChipEnergyModel::lap_default();
+        let stats = chip_stats(vec![busy(10_000); 2]);
+        let tight = m.summarize_over(&stats, 10_000);
+        let padded = m.summarize_over(&stats, 30_000);
+        assert_eq!(tight.cores_nj, padded.cores_nj);
+        let extra_s = 20_000.0 / (m.core.freq_ghz * 1e9);
+        let expected_extra_nj = m.uncore_static_mw_per_core * 1e-3 * 2.0 * extra_s * 1e9;
+        assert!((padded.uncore_nj - tight.uncore_nj - expected_extra_nj).abs() < 1e-6);
+        assert!(padded.gflops_per_w < tight.gflops_per_w);
+        // And summarize() is the wall = makespan special case.
+        assert_eq!(m.summarize(&stats), tight);
+    }
+
+    #[test]
+    #[should_panic(expected = "wall clock shorter")]
+    fn wall_clock_cannot_undercut_busy_time() {
+        let m = ChipEnergyModel::lap_default();
+        m.summarize_over(&chip_stats(vec![busy(10_000)]), 5_000);
     }
 
     #[test]

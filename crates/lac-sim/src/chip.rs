@@ -1,42 +1,42 @@
 //! Chip-level simulation: a [`LacChip`] owns `S` [`LacEngine`] shards behind
-//! a shared external-memory bandwidth budget and a [`Scheduler`] that
-//! dispatches a queue of jobs across them (Chapter 4's multi-core LAP, made
-//! executable).
+//! a shared external-memory bandwidth budget and runs [`JobGraph`]s of
+//! [`ChipJob`]s across them (Chapter 4's multi-core LAP, made executable).
 //!
 //! The analytical chip models in `lac-model` relate core count, on-chip
 //! bandwidth and utilization; this module is their simulation counterpart.
 //! Production clients of such a chip — e.g. interior-point solvers whose
-//! iterations are dominated by independent Cholesky/GEMM factorizations —
-//! submit *streams* of jobs, so the unit of work here is a [`ChipJob`]
-//! queue, not a single program:
+//! iterations are chained Cholesky/TRSM/GEMM factorizations — submit
+//! *dependency graphs* of jobs, so the front door here is
+//! [`LacChip::run_graph`] (and, for long-lived submission sessions, the
+//! persistent [`crate::service::LacService`]):
 //!
 //! * every shard is one [`LacEngine`] session (per-core architectural state
-//!   and meters persist across queue runs);
-//! * the chip's aggregate external bandwidth budget is partitioned evenly
-//!   across the shards (the paper's per-core `x = y/S` words/cycle share of
-//!   the on-chip memory's `y`), enforced per core by the simulator's
-//!   [`LacConfig::ext_words_per_cycle`] hazard check;
-//! * the [`Scheduler`] decides the job → core assignment *before* execution
-//!   (from deterministic cost hints), so a queue run is reproducible
-//!   bit-for-bit no matter how the host threads interleave;
-//! * the shards then run their buckets in parallel on a hand-rolled
-//!   [`std::thread::scope`] pool — one worker per core, no work stealing —
-//!   and the per-core [`ExecStats`] deltas are merged into a [`ChipStats`]
-//!   with per-core breakdown, aggregate counters, and the makespan.
+//!   and meters persist across graph runs);
+//! * the chip's aggregate external bandwidth budget is partitioned across
+//!   the shards (the paper's per-core `x = y/S` words/cycle share of the
+//!   on-chip memory's `y`, with the division remainder spread over the
+//!   first shards so the shares sum exactly to the budget), enforced per
+//!   core by the simulator's [`LacConfig::ext_words_per_cycle`] hazard
+//!   check;
+//! * the [`Scheduler`] plans each dependency wave *before* execution
+//!   (from deterministic cost hints — see [`crate::service::plan_wave`]),
+//!   so a graph run is reproducible bit-for-bit no matter how the host
+//!   threads interleave;
+//! * the shards then run their buckets in parallel — one worker per core,
+//!   no work stealing — and the per-core [`ExecStats`] deltas are merged
+//!   into a [`ChipStats`] with per-core breakdown, aggregate counters, and
+//!   the makespan (dependency stalls included).
 //!
-//! Simulated time and host time are distinct: the makespan is the slowest
-//! core's *simulated* cycle count for its bucket, which is independent of
-//! host scheduling.
+//! Simulated time and host time are distinct: the makespan is accumulated
+//! from each wave's slowest bucket in *simulated* cycles, which is
+//! independent of host scheduling.
 
 use crate::config::LacConfig;
 use crate::engine::LacEngine;
 use crate::error::SimError;
 use crate::isa::Program;
+use crate::service::{drive, plan_wave, run_one, Done, GraphRun, JobGraph};
 use crate::stats::ExecStats;
-
-/// What one core's worker returns: its bucket's `(job index, output)`
-/// pairs, or the first simulation error it hit.
-type CoreResult<T> = Result<Vec<(usize, T)>, SimError>;
 
 /// One unit of schedulable work: a job knows how to run itself on a core's
 /// engine and how expensive it roughly is (for load-aware placement).
@@ -45,8 +45,9 @@ pub trait ChipJob: Send + Sync {
     type Output: Send;
 
     /// Estimated cost in arbitrary-but-consistent units (e.g. flops). Only
-    /// the *relative* magnitudes matter, and only to the
-    /// [`Scheduler::LeastLoaded`] policy. Defaults to 1 (all jobs equal).
+    /// the *relative* magnitudes matter, and only to the load-aware
+    /// policies ([`Scheduler::LeastLoaded`], [`Scheduler::CriticalPath`]).
+    /// Defaults to 1 (all jobs equal).
     fn cost_hint(&self) -> u64 {
         1
     }
@@ -54,6 +55,20 @@ pub trait ChipJob: Send + Sync {
     /// Execute on one core's engine. Stats must be metered into the
     /// engine's session accumulator (all `LacEngine` run doors do this).
     fn run_on(&self, eng: &mut LacEngine) -> Result<Self::Output, SimError>;
+}
+
+/// References dispatch like the jobs they point at — this is what lets a
+/// borrowed queue run through an owned [`JobGraph`].
+impl<J: ChipJob + ?Sized> ChipJob for &J {
+    type Output = J::Output;
+
+    fn cost_hint(&self) -> u64 {
+        (**self).cost_hint()
+    }
+
+    fn run_on(&self, eng: &mut LacEngine) -> Result<Self::Output, SimError> {
+        (**self).run_on(eng)
+    }
 }
 
 /// The simplest job: one [`Program`], optionally with a memory image staged
@@ -98,40 +113,44 @@ impl ChipJob for ProgramJob {
     }
 }
 
-/// Job → core placement policy. Assignment happens up front from cost
-/// hints, so every policy is deterministic.
+/// Job → core placement policy. Every dependency wave (for a flat queue:
+/// the single wave holding every job) is planned up front from cost hints,
+/// so every policy is deterministic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Scheduler {
-    /// Hand jobs to cores round-robin in arrival order — the queue drains
-    /// first-in-first-out with no load awareness.
+    /// Hand ready jobs to cores round-robin in submission order — the
+    /// wave drains first-in-first-out with no load awareness.
     #[default]
     Fifo,
-    /// Greedy list scheduling: each job (in arrival order) goes to the core
-    /// with the least accumulated estimated load, ties to the lowest core
-    /// index. With accurate hints this approximates makespan-minimizing
-    /// placement (LPT without the sort, keeping arrival order).
+    /// Greedy list scheduling: each ready job (in submission order) goes
+    /// to the core with the least accumulated estimated load, ties to the
+    /// lowest core index. With accurate hints this approximates
+    /// makespan-minimizing placement (LPT without the sort, keeping
+    /// submission order).
     LeastLoaded,
+    /// Critical-path-first list scheduling: ready jobs are served in
+    /// descending order of their longest remaining cost-hint path through
+    /// the graph (ties to the lower job id), each placed on the
+    /// least-loaded core. Long dependency chains start as early as
+    /// possible; on a flat queue the priority degenerates to the job's own
+    /// cost, i.e. longest-processing-time-first.
+    CriticalPath,
 }
 
 impl Scheduler {
-    /// Compute the job → core assignment for a queue of `costs` over
+    /// Compute the job → core assignment for a flat queue of `costs` over
     /// `num_cores` cores. `assignment[j]` is the core that runs job `j`.
+    /// This is [`plan_wave`] over the everything-ready wave, inverted.
     pub fn assign(&self, costs: &[u64], num_cores: usize) -> Vec<usize> {
-        assert!(num_cores >= 1, "a chip has at least one core");
-        match self {
-            Scheduler::Fifo => (0..costs.len()).map(|j| j % num_cores).collect(),
-            Scheduler::LeastLoaded => {
-                let mut load = vec![0u64; num_cores];
-                costs
-                    .iter()
-                    .map(|&c| {
-                        let core = (0..num_cores).min_by_key(|&i| (load[i], i)).unwrap();
-                        load[core] += c.max(1);
-                        core
-                    })
-                    .collect()
+        let ready: Vec<usize> = (0..costs.len()).collect();
+        let buckets = plan_wave(*self, &ready, costs, costs, num_cores);
+        let mut assignment = vec![0usize; costs.len()];
+        for (core, bucket) in buckets.iter().enumerate() {
+            for &j in bucket {
+                assignment[j] = core;
             }
         }
+        assignment
     }
 }
 
@@ -144,9 +163,9 @@ pub struct ChipConfig {
     /// Per-core configuration (every shard is identical).
     pub core: LacConfig,
     /// Aggregate external-memory bandwidth budget in words/cycle across the
-    /// whole chip, split evenly over the cores (each shard gets
-    /// `total / cores`, enforced as its `ext_words_per_cycle` cap).
-    /// `None` leaves the cores unconstrained.
+    /// whole chip, split across the cores (see
+    /// [`ChipConfig::shard_bandwidth`]). `None` leaves the cores
+    /// unconstrained.
     pub ext_words_per_cycle_total: Option<usize>,
     /// Initial engine-owned bank size per shard, words.
     pub mem_words_per_core: Option<usize>,
@@ -168,20 +187,32 @@ impl ChipConfig {
         self
     }
 
-    /// The per-core share of the budget, if one is set. The split is even;
-    /// a budget smaller than the core count still grants each core one
-    /// word/cycle (a core that can never talk to memory cannot run any
-    /// kernel at all).
-    pub fn per_core_bandwidth(&self) -> Option<usize> {
-        self.ext_words_per_cycle_total
-            .map(|total| (total / self.cores).max(1))
+    /// Shard `core`'s share of the budget, if one is set: `total / cores`
+    /// words/cycle, with the division remainder handed out one word to
+    /// each of the first `total % cores` shards — so the shares sum
+    /// exactly to the budget instead of silently dropping up to
+    /// `cores − 1` words/cycle. A budget smaller than the core count
+    /// still grants each core one word/cycle (a core that can never talk
+    /// to memory cannot run any kernel at all); only in that degenerate
+    /// case may the sum exceed the budget.
+    pub fn shard_bandwidth(&self, core: usize) -> Option<usize> {
+        assert!(
+            core < self.cores,
+            "shard {core} of a {}-core chip",
+            self.cores
+        );
+        self.ext_words_per_cycle_total.map(|total| {
+            let base = total / self.cores;
+            let extra = usize::from(core < total % self.cores);
+            (base + extra).max(1)
+        })
     }
 
-    /// The effective configuration a shard is built with: the core config
-    /// plus this chip's per-core bandwidth cap (the tighter of the two when
-    /// the core config already carries one).
-    pub fn shard_config(&self) -> LacConfig {
-        let cap = match (self.per_core_bandwidth(), self.core.ext_words_per_cycle) {
+    /// The effective configuration shard `core` is built with: the core
+    /// config plus this chip's per-core bandwidth share (the tighter of
+    /// the two when the core config already carries a cap).
+    pub fn shard_config(&self, core: usize) -> LacConfig {
+        let cap = match (self.shard_bandwidth(core), self.core.ext_words_per_cycle) {
             (Some(share), Some(own)) => Some(share.min(own)),
             (Some(share), None) => Some(share),
             (None, own) => own,
@@ -191,16 +222,34 @@ impl ChipConfig {
             ..self.core
         }
     }
+
+    /// The bandwidth split must conserve the budget: outside the
+    /// one-word-minimum degenerate case, the shard shares sum exactly to
+    /// the chip total. Checked whenever shards are built.
+    pub(crate) fn assert_budget_conserved(&self) {
+        if let Some(total) = self.ext_words_per_cycle_total {
+            if total >= self.cores {
+                let sum: usize = (0..self.cores)
+                    .map(|c| self.shard_bandwidth(c).unwrap())
+                    .sum();
+                assert_eq!(
+                    sum, total,
+                    "bandwidth split dropped words: shards sum to {sum} of {total}"
+                );
+            }
+        }
+    }
 }
 
-/// Merged result of one queue run: per-core breakdown plus chip aggregates.
+/// Merged result of one graph run: per-core breakdown plus chip aggregates.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ChipStats {
-    /// Stats delta of each core over this queue run, in core order.
+    /// Stats delta of each core over this run, in core order.
     pub per_core: Vec<ExecStats>,
     /// How many jobs each core ran.
     pub jobs_per_core: Vec<u64>,
-    /// Simulated makespan: the slowest core's busy cycles for its bucket.
+    /// Simulated makespan: the sum over dependency waves of each wave's
+    /// slowest bucket (for a flat queue: the slowest core's busy cycles).
     pub makespan_cycles: u64,
     /// Sum of every core's counters (cycles summed too — that is aggregate
     /// busy time, not wall time; wall time is the makespan).
@@ -219,9 +268,9 @@ impl ChipStats {
     }
 
     /// Whole-chip MAC-slot utilization: executed MACs against the peak of
-    /// `S` cores over the makespan. Idle cores (and the slack of cores that
-    /// finish early) count against the chip, matching the paper's chip
-    /// utilization axis.
+    /// `S` cores over the makespan. Idle cores (dependency stalls, and the
+    /// slack of cores that finish early) count against the chip, matching
+    /// the paper's chip utilization axis.
     pub fn utilization(&self, nr: usize) -> f64 {
         if self.makespan_cycles == 0 {
             return 0.0;
@@ -250,7 +299,9 @@ impl ChipStats {
 }
 
 /// Everything a queue run produces: per-job outputs (in submission order)
-/// plus the merged [`ChipStats`].
+/// plus the merged [`ChipStats`]. The graph door returns the richer
+/// [`GraphRun`]; this shape survives for the deprecated
+/// [`LacChip::run_queue`].
 #[derive(Clone, Debug)]
 pub struct ChipRun<T> {
     /// One output per job, in the order the jobs were submitted.
@@ -260,8 +311,12 @@ pub struct ChipRun<T> {
     pub stats: ChipStats,
 }
 
-/// A multi-core chip: `S` engine shards plus the scheduler-facing queue
-/// door, [`LacChip::run_queue`].
+/// A multi-core chip: `S` engine shards plus the scheduler-facing graph
+/// door, [`LacChip::run_graph`].
+///
+/// `LacChip` borrows the calling thread and scoped workers per run; for a
+/// persistent submission service whose workers (and shards) outlive
+/// individual graphs, see [`crate::service::LacService`].
 pub struct LacChip {
     cfg: ChipConfig,
     shards: Vec<LacEngine>,
@@ -270,10 +325,10 @@ pub struct LacChip {
 impl LacChip {
     pub fn new(cfg: ChipConfig) -> Self {
         assert!(cfg.cores >= 1, "a chip has at least one core");
-        let shard_cfg = cfg.shard_config();
+        cfg.assert_budget_conserved();
         let shards = (0..cfg.cores)
-            .map(|_| {
-                let mut b = LacEngine::builder().config(shard_cfg);
+            .map(|core| {
+                let mut b = LacEngine::builder().config(cfg.shard_config(core));
                 if let Some(words) = cfg.mem_words_per_core {
                     b = b.mem_words(words);
                 }
@@ -291,7 +346,7 @@ impl LacChip {
         self.shards.len()
     }
 
-    /// One shard's engine (per-core session meters survive queue runs).
+    /// One shard's engine (per-core session meters survive graph runs).
     pub fn shard(&self, i: usize) -> &LacEngine {
         &self.shards[i]
     }
@@ -300,108 +355,81 @@ impl LacChip {
         &mut self.shards[i]
     }
 
-    /// Run a queue of jobs to completion under `sched`.
+    /// Run a dependency graph of jobs to completion under `sched`.
     ///
-    /// The assignment is computed up front from the jobs' cost hints, then
-    /// every core executes its bucket in arrival order on its own OS thread
-    /// (a scoped pool — one worker per core, joined before return). Outputs
-    /// come back in submission order regardless of placement.
+    /// Execution proceeds in deterministic waves over the ready set (see
+    /// the [`crate::service`] module docs): each wave is planned up front
+    /// from the jobs' cost hints, then every core executes its bucket in
+    /// plan order on its own scoped worker thread. Outputs come back in
+    /// submission order regardless of placement.
     ///
-    /// On a simulation error the first error (by core index, then bucket
-    /// order) is returned; the other workers stop at their next job
-    /// boundary rather than draining their buckets. Work that already
-    /// simulated stays metered in the shard sessions — sessions meter, they
-    /// do not roll back — so `Err` means "the queue did not complete", not
-    /// "nothing ran". Use [`LacChip::shard`] session meters (or
-    /// `reset_session` per shard) if a retry must not double-count.
+    /// On a simulation error the earliest *observed* error (by core
+    /// index, then bucket position) is returned; the other workers stop
+    /// at their next job boundary and no later wave is dispatched. (If
+    /// several jobs of one wave would fail, which of them still ran
+    /// before seeing the abort flag is host-timing dependent, so the
+    /// reported error may vary — determinism covers successful runs, not
+    /// failure identity.) Work that already simulated stays metered in
+    /// the shard sessions — sessions meter, they do not roll back — so
+    /// `Err` means "the graph did not complete", not "nothing ran". Use
+    /// [`LacChip::shard`] session meters (or `reset_session` per shard)
+    /// if a retry must not double-count.
+    pub fn run_graph<J: ChipJob>(
+        &mut self,
+        graph: &JobGraph<J>,
+        sched: Scheduler,
+    ) -> Result<GraphRun<J::Output>, SimError> {
+        let cores = self.shards.len();
+        let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint()).collect();
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx) = std::sync::mpsc::channel::<Done<J::Output>>();
+            let mut txs = Vec::with_capacity(cores);
+            for (core, eng) in self.shards.iter_mut().enumerate() {
+                let (tx, rx) = std::sync::mpsc::channel::<usize>();
+                txs.push(tx);
+                let done_tx = done_tx.clone();
+                let abort = &abort;
+                scope.spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let outcome = run_one(eng, &graph.jobs[job], abort);
+                        if done_tx.send(Done { core, job, outcome }).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drive(
+                &costs,
+                &graph.parents,
+                &graph.children,
+                sched,
+                cores,
+                |core, job| txs[core].send(job).expect("chip worker hung up"),
+                || done_rx.recv().expect("chip worker hung up"),
+            )
+            // `txs` drop here, closing the submission channels; the scoped
+            // workers drain and exit, and the scope joins them.
+        })
+    }
+
+    /// Run a flat, order-free queue of jobs — the pre-graph API, kept as a
+    /// thin wrapper over a single-batch [`JobGraph`].
+    #[deprecated(
+        note = "express the work as a `JobGraph` and use `LacChip::run_graph`, \
+                or hold a persistent `lac_sim::LacService`"
+    )]
     pub fn run_queue<J: ChipJob>(
         &mut self,
         jobs: &[J],
         sched: Scheduler,
     ) -> Result<ChipRun<J::Output>, SimError> {
-        let cores = self.shards.len();
-        let costs: Vec<u64> = jobs.iter().map(|j| j.cost_hint()).collect();
-        let assignment = sched.assign(&costs, cores);
-
-        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); cores];
-        for (job, &core) in assignment.iter().enumerate() {
-            buckets[core].push(job);
-        }
-
-        let before: Vec<ExecStats> = self.shards.iter().map(|e| *e.session_stats()).collect();
-
-        // Hand-rolled scoped pool: one worker per core; each owns exactly
-        // its shard (&mut) and reads the shared job slice. A failed worker
-        // raises `abort` so its peers stop at the next job boundary instead
-        // of simulating the rest of their buckets for a doomed run.
-        let abort = std::sync::atomic::AtomicBool::new(false);
-        let per_core_outputs: Vec<Vec<(usize, J::Output)>> = {
-            let abort = &abort;
-            let results: Vec<CoreResult<J::Output>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .zip(&buckets)
-                    .map(|(eng, bucket)| {
-                        scope.spawn(move || {
-                            let mut done = Vec::with_capacity(bucket.len());
-                            for &j in bucket {
-                                if abort.load(std::sync::atomic::Ordering::Relaxed) {
-                                    break;
-                                }
-                                match jobs[j].run_on(eng) {
-                                    Ok(out) => done.push((j, out)),
-                                    Err(e) => {
-                                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                                        return Err(e);
-                                    }
-                                }
-                            }
-                            Ok(done)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("chip worker thread panicked"))
-                    .collect()
-            });
-            results.into_iter().collect::<Result<Vec<_>, _>>()?
-        };
-
-        let per_core: Vec<ExecStats> = self
-            .shards
-            .iter()
-            .zip(&before)
-            .map(|(eng, b)| eng.session_stats().since(b))
-            .collect();
-        let mut aggregate = ExecStats::default();
-        for s in &per_core {
-            aggregate.merge(s);
-        }
-        let makespan_cycles = per_core.iter().map(|s| s.cycles).max().unwrap_or(0);
-        let jobs_per_core: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
-
-        let mut slots: Vec<Option<J::Output>> = (0..jobs.len()).map(|_| None).collect();
-        for (j, out) in per_core_outputs.into_iter().flatten() {
-            debug_assert!(slots[j].is_none(), "job {j} ran twice");
-            slots[j] = Some(out);
-        }
-        let outputs = slots
-            .into_iter()
-            .enumerate()
-            .map(|(j, o)| o.unwrap_or_else(|| panic!("job {j} never ran")))
-            .collect();
-
+        let graph: JobGraph<&J> = jobs.iter().collect();
+        let run = self.run_graph(&graph, sched)?;
         Ok(ChipRun {
-            outputs,
-            assignment,
-            stats: ChipStats {
-                per_core,
-                jobs_per_core,
-                makespan_cycles,
-                aggregate,
-            },
+            outputs: run.outputs,
+            assignment: run.assignment,
+            stats: run.stats,
         })
     }
 }
@@ -440,12 +468,22 @@ mod tests {
     }
 
     #[test]
-    fn queue_outputs_in_submission_order_and_stats_merge() {
-        let jobs: Vec<ProgramJob> = (0..5).map(|i| job(4 * i)).collect();
+    fn critical_path_on_flat_queue_is_lpt() {
+        // Longest job first, then greedy balance: 9→core0, 7→core1,
+        // 5→core1 (7+5=12 vs 9… no, core1 has 7 < 9 → 5 joins core1),
+        // 3→core0 (9 vs 12).
+        let s = Scheduler::CriticalPath;
+        assert_eq!(s.assign(&[3, 9, 5, 7], 2), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn graph_outputs_in_submission_order_and_stats_merge() {
+        let graph: JobGraph<ProgramJob> = (0..5).map(|i| job(4 * i)).collect();
         let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
-        let run = chip.run_queue(&jobs, Scheduler::Fifo).unwrap();
+        let run = chip.run_graph(&graph, Scheduler::Fifo).unwrap();
         assert_eq!(run.outputs.len(), 5);
         assert_eq!(run.stats.jobs(), 5);
+        assert_eq!(run.waves, 1, "a flat graph is a single wave");
         // Outputs in submission order: cycle counts grow with the idle tail.
         for w in run.outputs.windows(2) {
             assert!(w[1].cycles > w[0].cycles);
@@ -469,11 +507,20 @@ mod tests {
     }
 
     #[test]
-    fn bandwidth_budget_splits_across_shards() {
+    fn bandwidth_budget_splits_across_shards_without_remainder_loss() {
         let cfg = ChipConfig::new(4, LacConfig::default()).with_bandwidth_budget(16);
-        assert_eq!(cfg.per_core_bandwidth(), Some(4));
+        assert_eq!(cfg.shard_bandwidth(0), Some(4));
         let chip = LacChip::new(cfg);
         assert_eq!(chip.shard(0).config().ext_words_per_cycle, Some(4));
+        // A non-divisible budget hands the remainder to the first shards
+        // and conserves the total.
+        let uneven = ChipConfig::new(4, LacConfig::default()).with_bandwidth_budget(18);
+        let shares: Vec<usize> = (0..4).map(|c| uneven.shard_bandwidth(c).unwrap()).collect();
+        assert_eq!(shares, vec![5, 5, 4, 4]);
+        assert_eq!(shares.iter().sum::<usize>(), 18);
+        let chip = LacChip::new(uneven);
+        assert_eq!(chip.shard(0).config().ext_words_per_cycle, Some(5));
+        assert_eq!(chip.shard(3).config().ext_words_per_cycle, Some(4));
         // The tighter of chip share and an existing core cap wins.
         let capped = ChipConfig::new(
             2,
@@ -483,52 +530,100 @@ mod tests {
             },
         )
         .with_bandwidth_budget(16);
-        assert_eq!(capped.shard_config().ext_words_per_cycle, Some(2));
+        assert_eq!(capped.shard_config(0).ext_words_per_cycle, Some(2));
     }
 
     #[test]
-    fn same_queue_same_results_under_both_policies() {
-        let jobs: Vec<ProgramJob> = (0..6).map(job).collect();
+    fn same_graph_same_results_under_every_policy() {
         let mut outs = Vec::new();
-        for sched in [Scheduler::Fifo, Scheduler::LeastLoaded] {
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+        ] {
+            let graph: JobGraph<ProgramJob> = (0..6).map(job).collect();
             let mut chip = LacChip::new(ChipConfig::new(3, LacConfig::default()));
-            let run = chip.run_queue(&jobs, sched).unwrap();
+            let run = chip.run_graph(&graph, sched).unwrap();
             outs.push(run.outputs);
         }
         assert_eq!(outs[0], outs[1], "placement must not change results");
+        assert_eq!(outs[1], outs[2], "placement must not change results");
+    }
+
+    /// A job that reads an undriven row bus — a hard SimError at cycle 0.
+    fn bad_job() -> ProgramJob {
+        let mut b = ProgramBuilder::new(LacConfig::default().nr);
+        let t = b.push_step();
+        b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
+        ProgramJob::new(b.build())
     }
 
     #[test]
-    fn failing_job_aborts_queue_but_sessions_keep_metering() {
-        // Job 1 reads an undriven row bus — a hard SimError.
-        let bad = {
-            let mut b = ProgramBuilder::new(LacConfig::default().nr);
-            let t = b.push_step();
-            b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
-            ProgramJob::new(b.build())
-        };
-        let jobs = vec![job(0), bad, job(0)];
+    fn failing_job_aborts_graph_but_sessions_keep_metering() {
+        // The bad job sits alone in wave 2, so wave 1 completes everywhere
+        // before the failure — the partial metering is deterministic.
+        let mut graph = JobGraph::new();
+        let first = graph.add(job(0));
+        graph.add_after(bad_job(), &[first]);
+        graph.add(job(0));
         let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
-        let err = chip.run_queue(&jobs, Scheduler::Fifo).unwrap_err();
+        let err = chip.run_graph(&graph, Scheduler::Fifo).unwrap_err();
         assert_eq!(err.cycle, 0, "the bad job fails on its first cycle");
-        // Partial work stays metered: Err means "queue incomplete", not
-        // "nothing ran". Core 0 ran job 0 and, depending on when it saw the
-        // abort flag, possibly job 2 — either way its session kept count.
+        // Partial work stays metered: Err means "graph incomplete", not
+        // "nothing ran". Core 0 completed job 0 (the bad job errored out
+        // mid-run, so it never counted); core 1 completed job 2.
         assert!(chip.shard(0).cycles() > 0);
-        assert!((1..=2).contains(&chip.shard(0).programs_run()));
+        assert_eq!(chip.shard(0).programs_run(), 1);
+        assert_eq!(chip.shard(1).programs_run(), 1);
+    }
+
+    #[test]
+    fn peers_stop_at_the_next_job_boundary_after_a_failure() {
+        // Same-wave failure: the bad job leads core 0's bucket, so core 0
+        // skips its remaining jobs; core 1 stops wherever the abort flag
+        // catches it (host-timing dependent, bounded by its bucket).
+        let graph: JobGraph<ProgramJob> = vec![bad_job(), job(0), job(0), job(0), job(0)]
+            .into_iter()
+            .collect();
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let err = chip.run_graph(&graph, Scheduler::Fifo).unwrap_err();
+        assert_eq!(err.cycle, 0);
         assert_eq!(
-            chip.shard(1).programs_run(),
+            chip.shard(0).programs_run(),
             0,
-            "the bad job never finished"
+            "bucket skipped after the failure"
         );
+        assert!(chip.shard(1).programs_run() <= 2);
     }
 
     #[test]
     fn single_core_chip_serializes() {
-        let jobs: Vec<ProgramJob> = (0..3).map(|_| job(0)).collect();
+        let graph: JobGraph<ProgramJob> = (0..3).map(|_| job(0)).collect();
         let mut chip = LacChip::new(ChipConfig::new(1, LacConfig::default()));
-        let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+        let run = chip.run_graph(&graph, Scheduler::LeastLoaded).unwrap();
         assert_eq!(run.stats.makespan_cycles, run.stats.aggregate.cycles);
         assert!((run.stats.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_queue_compat_wrapper_matches_run_graph() {
+        // The deprecated flat door must stay bit-identical to a flat graph
+        // over the same jobs (it *is* one).
+        let jobs: Vec<ProgramJob> = (0..7).map(|i| job(3 * i)).collect();
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+        ] {
+            let mut via_queue = LacChip::new(ChipConfig::new(3, LacConfig::default()));
+            let queue_run = via_queue.run_queue(&jobs, sched).unwrap();
+            let mut via_graph = LacChip::new(ChipConfig::new(3, LacConfig::default()));
+            let graph: JobGraph<ProgramJob> = jobs.iter().cloned().collect();
+            let graph_run = via_graph.run_graph(&graph, sched).unwrap();
+            assert_eq!(queue_run.outputs, graph_run.outputs);
+            assert_eq!(queue_run.assignment, graph_run.assignment);
+            assert_eq!(queue_run.stats, graph_run.stats);
+        }
     }
 }

@@ -28,6 +28,7 @@ pub mod engine;
 pub mod error;
 pub mod isa;
 pub mod lap;
+pub mod service;
 pub mod stats;
 
 pub use crate::core::{ExternalMem, Lac};
@@ -37,4 +38,5 @@ pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;
 pub use isa::{CmpUpdate, ExtOp, PeInstr, Program, ProgramBuilder, Source, Step};
 pub use lap::{Lap, LapRunSummary};
+pub use service::{plan_wave, GraphRun, JobGraph, JobId, LacService, ServiceSession};
 pub use stats::ExecStats;

@@ -1,0 +1,874 @@
+//! The chip's submission-based front-end: [`JobGraph`] expresses DAGs of
+//! [`ChipJob`]s with dependencies, and [`LacService`] keeps one persistent
+//! worker thread per core alive across submissions — the production shape
+//! of the multi-core LAP, where a solver loop (e.g. the repeated
+//! Cholesky/TRSM/GEMM rounds of an interior-point method) submits graph
+//! after graph against the same warm shards.
+//!
+//! The chip's original (now deprecated) flat-queue door could only drain
+//! an order-free batch, and every call paid worker-pool setup and
+//! teardown. This module replaces it:
+//!
+//! * **[`JobGraph`]** — jobs are added in submission order and may depend
+//!   on previously added jobs (`add_after` / `add_dep`). Because an edge
+//!   can only point backwards, the graph is acyclic by construction. A job
+//!   becomes *ready* only when all its parents completed.
+//! * **Deterministic wave dispatch** — execution proceeds in waves over
+//!   the ready set. Each wave is planned up front from cost hints by the
+//!   [`Scheduler`] policy ([`plan_wave`]): `Fifo` round-robins in job-id
+//!   order, `LeastLoaded` greedily balances estimated load, and
+//!   [`Scheduler::CriticalPath`] serves the longest remaining cost-hint
+//!   path first (classic critical-path list scheduling — on a flat graph
+//!   it degenerates to longest-processing-time-first). Planning never
+//!   looks at host timing, so a graph run is reproducible bit-for-bit no
+//!   matter how the OS schedules the workers.
+//! * **Simulated clock with idle accounting** — a wave's simulated span is
+//!   its slowest core's bucket; cores with lighter buckets accrue idle
+//!   cycles. The makespan is the sum of wave spans, so chip utilization
+//!   and the static/uncore terms of `lac-power`'s chip energy model see
+//!   dependency stalls, not just busy time.
+//! * **[`LacService`]** — owns the shards *inside* long-lived worker
+//!   threads (one per core, fed through `mpsc` channels — the submission
+//!   door) and accumulates a [`ServiceSession`]: per-core meters, a
+//!   service clock summing submission makespans (plus explicit
+//!   [`LacService::advance_idle`] gaps between batches), and graph/job
+//!   counts. `session().chip_stats()` prices the whole service lifetime
+//!   through `lac_power::ChipEnergyModel`, idle included.
+//!
+//! Data flows between dependent jobs through whatever shared state the
+//! jobs close over (e.g. an `Arc<Mutex<…>>` — see `lac-kernels`'
+//! `SolverLoopWorkload`); the graph guarantees every parent's writes
+//! happen-before its children run, and the wave planner fixes reduction
+//! order, so shared-state workloads stay bit-deterministic.
+
+use crate::chip::{ChipConfig, ChipJob, ChipStats, Scheduler};
+use crate::engine::LacEngine;
+use crate::error::SimError;
+use crate::stats::ExecStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Handle to a job added to a [`JobGraph`]; ids are dense and ordered by
+/// submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(usize);
+
+impl JobId {
+    /// Position of the job in submission order (also its index in
+    /// [`GraphRun::outputs`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A DAG of jobs: nodes are [`ChipJob`]s, edges are dependencies. A job
+/// may only depend on previously added jobs, so the graph is acyclic by
+/// construction.
+#[derive(Clone, Debug)]
+pub struct JobGraph<J> {
+    pub(crate) jobs: Vec<J>,
+    /// `parents[j]` — indices of jobs that must complete before `j` runs.
+    pub(crate) parents: Vec<Vec<usize>>,
+    /// `children[j]` — inverse of `parents`.
+    pub(crate) children: Vec<Vec<usize>>,
+}
+
+impl<J> Default for JobGraph<J> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<J> JobGraph<J> {
+    pub fn new() -> Self {
+        Self {
+            jobs: Vec::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Add an independent job (no parents).
+    pub fn add(&mut self, job: J) -> JobId {
+        self.add_after(job, &[])
+    }
+
+    /// Add a job that becomes ready only after every job in `parents`
+    /// completed. Duplicate parents are deduplicated.
+    pub fn add_after(&mut self, job: J, parents: &[JobId]) -> JobId {
+        let id = JobId(self.jobs.len());
+        self.jobs.push(job);
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        for &p in parents {
+            self.add_dep(p, id);
+        }
+        id
+    }
+
+    /// Record that `child` depends on `parent`. Panics unless `parent` was
+    /// added before `child` — the invariant that keeps every graph a DAG.
+    pub fn add_dep(&mut self, parent: JobId, child: JobId) {
+        assert!(
+            child.0 < self.jobs.len(),
+            "child {child:?} is not in this graph"
+        );
+        assert!(
+            parent.0 < child.0,
+            "a job can only depend on earlier-submitted jobs ({parent:?} !< {child:?})"
+        );
+        if !self.parents[child.0].contains(&parent.0) {
+            self.parents[child.0].push(parent.0);
+            self.children[parent.0].push(child.0);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub fn job(&self, id: JobId) -> &J {
+        &self.jobs[id.0]
+    }
+
+    /// Parents of `id`, in the order the edges were added.
+    pub fn parents_of(&self, id: JobId) -> impl Iterator<Item = JobId> + '_ {
+        self.parents[id.0].iter().map(|&p| JobId(p))
+    }
+
+    /// All edges `(parent, child)` of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = (JobId, JobId)> + '_ {
+        self.parents
+            .iter()
+            .enumerate()
+            .flat_map(|(c, ps)| ps.iter().map(move |&p| (JobId(p), JobId(c))))
+    }
+}
+
+/// Collecting jobs builds the flat (edge-free) graph — the shape the
+/// deprecated queue door wraps.
+impl<J> FromIterator<J> for JobGraph<J> {
+    fn from_iter<T: IntoIterator<Item = J>>(iter: T) -> Self {
+        let mut g = Self::new();
+        for j in iter {
+            g.add(j);
+        }
+        g
+    }
+}
+
+/// Longest remaining cost-hint path from each job to a sink (inclusive of
+/// the job's own cost) — the [`Scheduler::CriticalPath`] priority.
+pub(crate) fn critical_paths(costs: &[u64], children: &[Vec<usize>]) -> Vec<u64> {
+    let mut cp = vec![0u64; costs.len()];
+    for j in (0..costs.len()).rev() {
+        let tail = children[j].iter().map(|&c| cp[c]).max().unwrap_or(0);
+        cp[j] = costs[j].max(1) + tail;
+    }
+    cp
+}
+
+/// Split one wave's ready set into per-core buckets under `sched`.
+///
+/// `ready` holds job indices in ascending id order; `costs` and
+/// `priority` are indexed by job id (for a flat queue the priority *is*
+/// the cost). Planning is a pure function of its arguments, which is what
+/// makes graph runs deterministic; it is public so invariants (e.g. "no
+/// core idles while a ready job exists") can be property-tested directly.
+pub fn plan_wave(
+    sched: Scheduler,
+    ready: &[usize],
+    costs: &[u64],
+    priority: &[u64],
+    cores: usize,
+) -> Vec<Vec<usize>> {
+    assert!(cores >= 1, "a chip has at least one core");
+    let mut buckets = vec![Vec::new(); cores];
+    match sched {
+        Scheduler::Fifo => {
+            for (k, &j) in ready.iter().enumerate() {
+                buckets[k % cores].push(j);
+            }
+        }
+        Scheduler::LeastLoaded | Scheduler::CriticalPath => {
+            let mut order: Vec<usize> = ready.to_vec();
+            if sched == Scheduler::CriticalPath {
+                order.sort_by_key(|&j| (std::cmp::Reverse(priority[j]), j));
+            }
+            let mut load = vec![0u64; cores];
+            for &j in &order {
+                let core = (0..cores).min_by_key(|&c| (load[c], c)).unwrap();
+                load[core] += costs[j].max(1);
+                buckets[core].push(j);
+            }
+        }
+    }
+    buckets
+}
+
+/// How one dispatched job ended.
+pub(crate) enum JobOutcome<T> {
+    /// Output plus the job's session-stats delta.
+    Completed(T, ExecStats),
+    /// Skipped at the job boundary because a peer already failed.
+    Skipped,
+    /// The simulation rejected the schedule.
+    Failed(SimError),
+    /// The job itself panicked (caught so the worker can still report —
+    /// an unreported job would deadlock the coordinator's wave
+    /// collection). The coordinator re-raises after the wave drains.
+    Panicked(String),
+}
+
+/// What one worker reports back per dispatched job.
+pub(crate) struct Done<T> {
+    pub(crate) core: usize,
+    pub(crate) job: usize,
+    pub(crate) outcome: JobOutcome<T>,
+}
+
+/// Run one job on a worker's engine, honoring the shared abort flag and
+/// measuring the session delta. Shared by the scoped
+/// ([`crate::chip::LacChip::run_graph`]) and persistent ([`LacService`])
+/// back-ends. Never unwinds: every dispatched job must produce a report,
+/// or the coordinator would wait forever.
+pub(crate) fn run_one<J: ChipJob>(
+    eng: &mut LacEngine,
+    job: &J,
+    abort: &AtomicBool,
+) -> JobOutcome<J::Output> {
+    if abort.load(Ordering::Relaxed) {
+        return JobOutcome::Skipped;
+    }
+    let before = *eng.session_stats();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run_on(eng))) {
+        Ok(Ok(out)) => JobOutcome::Completed(out, eng.session_stats().since(&before)),
+        Ok(Err(e)) => {
+            abort.store(true, Ordering::Relaxed);
+            JobOutcome::Failed(e)
+        }
+        Err(payload) => {
+            abort.store(true, Ordering::Relaxed);
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            JobOutcome::Panicked(msg)
+        }
+    }
+}
+
+/// Everything one graph submission produces.
+#[derive(Clone, Debug)]
+pub struct GraphRun<T> {
+    /// One output per job, indexed by [`JobId::index`] (submission order).
+    pub outputs: Vec<T>,
+    /// Which core ran each job (same order as `outputs`).
+    pub assignment: Vec<usize>,
+    /// How many dependency waves the run took (the graph's effective
+    /// depth under this policy).
+    pub waves: usize,
+    /// Simulated cycles each core spent waiting on dependencies (its
+    /// waves' spans minus its own buckets). `busy + idle = makespan` per
+    /// core.
+    pub idle_per_core: Vec<u64>,
+    /// Busy-cycle breakdown and aggregate; `makespan_cycles` is the sum of
+    /// wave spans, so it *includes* dependency stalls.
+    pub stats: ChipStats,
+}
+
+/// The deterministic coordinator: plan waves, dispatch buckets through
+/// `dispatch`, collect exactly one [`Done`] per dispatched job via
+/// `collect`, advance the simulated clock, release children. Backend
+/// agnostic — `dispatch`/`collect` hide whether workers are scoped
+/// borrows or persistent threads.
+pub(crate) fn drive<T>(
+    costs: &[u64],
+    parents: &[Vec<usize>],
+    children: &[Vec<usize>],
+    sched: Scheduler,
+    cores: usize,
+    mut dispatch: impl FnMut(usize, usize),
+    mut collect: impl FnMut() -> Done<T>,
+) -> Result<GraphRun<T>, SimError> {
+    let n = costs.len();
+    let priority = critical_paths(costs, children);
+    let mut indegree: Vec<usize> = parents.iter().map(|p| p.len()).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&j| indegree[j] == 0).collect();
+
+    let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut assignment = vec![0usize; n];
+    let mut dispatch_slot = vec![(0usize, 0usize); n]; // (core, position in bucket)
+    let mut per_core = vec![ExecStats::default(); cores];
+    let mut jobs_per_core = vec![0u64; cores];
+    let mut idle_per_core = vec![0u64; cores];
+    let mut makespan = 0u64;
+    let mut waves = 0usize;
+
+    while !ready.is_empty() {
+        waves += 1;
+        let buckets = plan_wave(sched, &ready, costs, &priority, cores);
+        let mut dispatched = 0usize;
+        for (core, bucket) in buckets.iter().enumerate() {
+            for (pos, &j) in bucket.iter().enumerate() {
+                assignment[j] = core;
+                dispatch_slot[j] = (core, pos);
+                dispatch(core, j);
+                dispatched += 1;
+            }
+        }
+
+        let mut wave_cycles = vec![0u64; cores];
+        let mut completed: Vec<usize> = Vec::with_capacity(dispatched);
+        let mut first_err: Option<((usize, usize), SimError)> = None;
+        let mut first_panic: Option<((usize, usize), String)> = None;
+        for _ in 0..dispatched {
+            let done = collect();
+            // Error/panic selection: among the failures observed, the job
+            // earliest by (core index, bucket position) wins, whatever
+            // order the host delivered the reports in. (Which peers
+            // skipped vs ran after the abort flag rose is host-timing
+            // dependent, so with several failing jobs in one wave the
+            // observed set itself can vary.)
+            let slot = dispatch_slot[done.job];
+            match done.outcome {
+                JobOutcome::Completed(out, delta) => {
+                    wave_cycles[done.core] += delta.cycles;
+                    per_core[done.core].merge(&delta);
+                    jobs_per_core[done.core] += 1;
+                    outputs[done.job] = Some(out);
+                    completed.push(done.job);
+                }
+                // Skipped at the job boundary after a peer's failure: no
+                // simulated work happened.
+                JobOutcome::Skipped => {}
+                JobOutcome::Failed(e) => {
+                    if first_err.as_ref().is_none_or(|(s, _)| slot < *s) {
+                        first_err = Some((slot, e));
+                    }
+                }
+                JobOutcome::Panicked(msg) => {
+                    if first_panic.as_ref().is_none_or(|(s, _)| slot < *s) {
+                        first_panic = Some((slot, msg));
+                    }
+                }
+            }
+        }
+        // Every dispatched job has reported, so nothing is in flight and
+        // the backend stays usable — now surface failures, panics first
+        // (they are harness bugs, not schedule rejections).
+        if let Some(((core, pos), msg)) = first_panic {
+            panic!("chip job panicked on core {core} (bucket position {pos}): {msg}");
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+
+        let span = wave_cycles.iter().copied().max().unwrap_or(0);
+        for c in 0..cores {
+            idle_per_core[c] += span - wave_cycles[c];
+        }
+        makespan += span;
+
+        let mut next: Vec<usize> = Vec::new();
+        for &j in &completed {
+            for &child in &children[j] {
+                indegree[child] -= 1;
+                if indegree[child] == 0 {
+                    next.push(child);
+                }
+            }
+        }
+        next.sort_unstable();
+        ready = next;
+    }
+
+    let mut aggregate = ExecStats::default();
+    for s in &per_core {
+        aggregate.merge(s);
+    }
+    let outputs = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(j, o)| o.unwrap_or_else(|| panic!("job {j} never became ready (dangling parent?)")))
+        .collect();
+    Ok(GraphRun {
+        outputs,
+        assignment,
+        waves,
+        idle_per_core,
+        stats: ChipStats {
+            per_core,
+            jobs_per_core,
+            makespan_cycles: makespan,
+            aggregate,
+        },
+    })
+}
+
+/// Messages down a worker's submission channel.
+enum WorkerMsg<J> {
+    Run { graph: Arc<JobGraph<J>>, job: usize },
+    Shutdown,
+}
+
+/// Lifetime meters of a [`LacService`], accumulated across every
+/// submission (and explicit idle gaps) since construction.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceSession {
+    /// Per-core busy stats summed over all completed submissions.
+    pub per_core: Vec<ExecStats>,
+    /// Jobs each core completed over the service lifetime.
+    pub jobs_per_core: Vec<u64>,
+    /// The service clock: submission makespans plus
+    /// [`LacService::advance_idle`] gaps. Cores are considered powered for
+    /// the whole clock, so static/uncore energy accrues over it.
+    pub clock_cycles: u64,
+    /// Completed graph submissions.
+    pub graphs_run: u64,
+}
+
+impl ServiceSession {
+    /// Jobs completed over the service lifetime.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_per_core.iter().sum()
+    }
+
+    /// The session as a [`ChipStats`] whose makespan is the service clock —
+    /// feed this to `lac_power::ChipEnergyModel` to price the whole
+    /// service lifetime, dependency stalls and between-batch idle
+    /// included.
+    pub fn chip_stats(&self) -> ChipStats {
+        let mut aggregate = ExecStats::default();
+        for s in &self.per_core {
+            aggregate.merge(s);
+        }
+        ChipStats {
+            per_core: self.per_core.clone(),
+            jobs_per_core: self.jobs_per_core.clone(),
+            makespan_cycles: self.clock_cycles,
+            aggregate,
+        }
+    }
+}
+
+/// A persistent multi-core submission service: `S` worker threads, each
+/// owning one [`LacEngine`] shard for the service's whole lifetime, fed
+/// through `mpsc` submission channels. Submissions run dependency-aware
+/// [`JobGraph`]s; between submissions the shards stay warm (architectural
+/// state and session meters persist), which is the point — a solver loop
+/// submits round after round without paying pool setup/teardown.
+///
+/// Dropping the service shuts the workers down and joins them.
+pub struct LacService<J: ChipJob + 'static> {
+    cfg: ChipConfig,
+    txs: Vec<Sender<WorkerMsg<J>>>,
+    done_rx: Receiver<Done<J::Output>>,
+    handles: Vec<JoinHandle<()>>,
+    abort: Arc<AtomicBool>,
+    session: ServiceSession,
+}
+
+impl<J: ChipJob + 'static> LacService<J> {
+    /// Build the shards (per-core bandwidth split per
+    /// [`ChipConfig::shard_config`]) and spawn one worker thread per core.
+    pub fn new(cfg: ChipConfig) -> Self {
+        assert!(cfg.cores >= 1, "a chip has at least one core");
+        cfg.assert_budget_conserved();
+        let abort = Arc::new(AtomicBool::new(false));
+        let (done_tx, done_rx) = channel::<Done<J::Output>>();
+        let mut txs = Vec::with_capacity(cfg.cores);
+        let mut handles = Vec::with_capacity(cfg.cores);
+        for core in 0..cfg.cores {
+            let mut b = LacEngine::builder().config(cfg.shard_config(core));
+            if let Some(words) = cfg.mem_words_per_core {
+                b = b.mem_words(words);
+            }
+            let eng = b.build();
+            let (tx, rx) = channel::<WorkerMsg<J>>();
+            let done_tx = done_tx.clone();
+            let abort = Arc::clone(&abort);
+            handles.push(std::thread::spawn(move || {
+                service_worker(core, eng, rx, done_tx, abort)
+            }));
+            txs.push(tx);
+        }
+        Self {
+            cfg,
+            txs,
+            done_rx,
+            handles,
+            abort,
+            session: ServiceSession {
+                per_core: vec![ExecStats::default(); cfg.cores],
+                jobs_per_core: vec![0; cfg.cores],
+                clock_cycles: 0,
+                graphs_run: 0,
+            },
+        }
+    }
+
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    pub fn num_cores(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Run a job graph to completion under `sched` and fold its meters
+    /// into the service session.
+    ///
+    /// On a simulation error the earliest *observed* failure's error (by
+    /// core index, then bucket position; see
+    /// [`LacChip::run_graph`](crate::chip::LacChip::run_graph) for the
+    /// multi-failure caveat) is returned; peers stop at their next job
+    /// boundary and no later wave is dispatched. Work that already
+    /// simulated stays metered in the worker shards but a failed
+    /// submission does not advance the service session — `Err` means "the
+    /// graph did not complete".
+    pub fn submit(
+        &mut self,
+        graph: JobGraph<J>,
+        sched: Scheduler,
+    ) -> Result<GraphRun<J::Output>, SimError> {
+        self.abort.store(false, Ordering::Relaxed);
+        let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint()).collect();
+        let graph = Arc::new(graph);
+        let run = drive(
+            &costs,
+            &graph.parents,
+            &graph.children,
+            sched,
+            self.txs.len(),
+            |core, job| {
+                self.txs[core]
+                    .send(WorkerMsg::Run {
+                        graph: Arc::clone(&graph),
+                        job,
+                    })
+                    .expect("service worker hung up");
+            },
+            || self.done_rx.recv().expect("service worker hung up"),
+        )?;
+        for c in 0..self.session.per_core.len() {
+            self.session.per_core[c].merge(&run.stats.per_core[c]);
+            self.session.jobs_per_core[c] += run.stats.jobs_per_core[c];
+        }
+        self.session.clock_cycles += run.stats.makespan_cycles;
+        self.session.graphs_run += 1;
+        Ok(run)
+    }
+
+    /// Model a gap between batches: the chip sits powered but idle for
+    /// `cycles`. Only the service clock advances, so static/uncore energy
+    /// accrues while busy counters do not.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        self.session.clock_cycles += cycles;
+    }
+
+    /// Lifetime meters across every submission since construction.
+    pub fn session(&self) -> &ServiceSession {
+        &self.session
+    }
+}
+
+impl<J: ChipJob + 'static> Drop for LacService<J> {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn service_worker<J: ChipJob>(
+    core: usize,
+    mut eng: LacEngine,
+    rx: Receiver<WorkerMsg<J>>,
+    tx: Sender<Done<J::Output>>,
+    abort: Arc<AtomicBool>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Run { graph, job } => {
+                let outcome = run_one(&mut eng, &graph.jobs[job], &abort);
+                if tx.send(Done { core, job, outcome }).is_err() {
+                    break;
+                }
+            }
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::{ChipConfig, LacChip, ProgramJob};
+    use crate::config::LacConfig;
+    use crate::isa::{ExtOp, ProgramBuilder, Source};
+
+    /// One external load + one MAC + `extra` idle cycles, with a chosen
+    /// scheduler cost.
+    fn job(extra: usize, cost: u64) -> ProgramJob {
+        let cfg = LacConfig::default();
+        let mut b = ProgramBuilder::new(cfg.nr);
+        let t = b.push_step();
+        b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+        b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+        let t = b.push_step();
+        b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+        b.idle(cfg.fpu.pipeline_depth + extra);
+        let mut j = ProgramJob::new(b.build());
+        j.cost = cost;
+        j
+    }
+
+    #[test]
+    fn graph_construction_dedups_edges() {
+        let mut g = JobGraph::new();
+        let a = g.add(0u8);
+        let b = g.add_after(1u8, &[a, a]);
+        assert_eq!(g.parents_of(b).collect::<Vec<_>>(), vec![a]);
+        assert_eq!(g.edges().count(), 1);
+        assert_eq!(a.index(), 0);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier-submitted")]
+    fn forward_edges_are_rejected() {
+        let mut g = JobGraph::new();
+        let a = g.add(0u8);
+        let b = g.add(1u8);
+        g.add_dep(b, a);
+    }
+
+    #[test]
+    fn critical_path_is_longest_cost_chain() {
+        // chain 0→1→2 (costs 1,2,3) plus lone 3 (cost 10).
+        let costs = [1, 2, 3, 10];
+        let children = vec![vec![1], vec![2], vec![], vec![]];
+        assert_eq!(critical_paths(&costs, &children), vec![6, 5, 3, 10]);
+    }
+
+    #[test]
+    fn plan_wave_is_work_conserving() {
+        let costs = [5u64, 1, 1, 1, 1];
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+        ] {
+            let buckets = plan_wave(sched, &[0, 1, 2, 3, 4], &costs, &costs, 3);
+            assert!(
+                buckets.iter().all(|b| !b.is_empty()),
+                "{sched:?} idled a core with ready jobs on hand"
+            );
+            // Fewer ready jobs than cores: nobody hoards.
+            let buckets = plan_wave(sched, &[0, 1], &costs, &costs, 3);
+            assert!(buckets.iter().all(|b| b.len() <= 1), "{sched:?} hoarded");
+        }
+    }
+
+    #[test]
+    fn critical_path_wave_order_prefers_long_chains() {
+        // Priorities say job 2 unlocks the most downstream work.
+        let costs = [1u64, 1, 1];
+        let priority = [3u64, 5, 9];
+        let buckets = plan_wave(Scheduler::CriticalPath, &[0, 1, 2], &costs, &priority, 1);
+        assert_eq!(buckets[0], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn diamond_runs_in_three_waves_with_idle_accounting() {
+        // 0 → {1, 2} → 3 on two cores: the fan-out wave is parallel, the
+        // fan-in waves leave core 1 idle.
+        let mut g = JobGraph::new();
+        let a = g.add(job(0, 1));
+        let b = g.add_after(job(8, 1), &[a]);
+        let c = g.add_after(job(4, 1), &[a]);
+        let _d = g.add_after(job(0, 1), &[b, c]);
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let run = chip.run_graph(&g, Scheduler::Fifo).unwrap();
+        assert_eq!(run.waves, 3);
+        assert_eq!(run.outputs.len(), 4);
+        // Makespan = source + max(fan-out) + sink; per-core busy + idle
+        // reconstructs it exactly.
+        let fan = run.outputs[b.index()]
+            .cycles
+            .max(run.outputs[c.index()].cycles);
+        assert_eq!(
+            run.stats.makespan_cycles,
+            run.outputs[0].cycles + fan + run.outputs[3].cycles
+        );
+        for core in 0..2 {
+            assert_eq!(
+                run.stats.per_core[core].cycles + run.idle_per_core[core],
+                run.stats.makespan_cycles,
+                "core {core}: busy + idle must equal the makespan"
+            );
+        }
+        assert!(run.idle_per_core.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn chain_serializes_regardless_of_core_count() {
+        let mut g = JobGraph::new();
+        let mut prev = g.add(job(0, 1));
+        for i in 1..5 {
+            prev = g.add_after(job(i, 1), &[prev]);
+        }
+        let mut chip = LacChip::new(ChipConfig::new(4, LacConfig::default()));
+        let run = chip.run_graph(&g, Scheduler::CriticalPath).unwrap();
+        assert_eq!(run.waves, 5);
+        assert_eq!(
+            run.stats.makespan_cycles,
+            run.outputs.iter().map(|o| o.cycles).sum::<u64>(),
+            "a chain cannot overlap"
+        );
+    }
+
+    #[test]
+    fn service_keeps_session_across_submissions_and_idle() {
+        let flat = || -> JobGraph<ProgramJob> { (0..6).map(|i| job(i, 1 + i as u64)).collect() };
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let first = svc.submit(flat(), Scheduler::LeastLoaded).unwrap();
+        let second = svc.submit(flat(), Scheduler::LeastLoaded).unwrap();
+        assert_eq!(first.outputs, second.outputs, "warm shards change nothing");
+        assert_eq!(svc.session().graphs_run, 2);
+        assert_eq!(svc.session().jobs_run(), 12);
+        assert_eq!(
+            svc.session().clock_cycles,
+            first.stats.makespan_cycles + second.stats.makespan_cycles
+        );
+        svc.advance_idle(1_000);
+        let stats = svc.session().chip_stats();
+        assert_eq!(
+            stats.makespan_cycles,
+            first.stats.makespan_cycles + second.stats.makespan_cycles + 1_000
+        );
+        // Busy counters did not move with the idle clock.
+        assert_eq!(
+            stats.aggregate.cycles,
+            first.stats.aggregate.cycles + second.stats.aggregate.cycles
+        );
+    }
+
+    #[test]
+    fn service_submissions_match_chip_run_graph() {
+        let build = || -> JobGraph<ProgramJob> {
+            let mut g = JobGraph::new();
+            let a = g.add(job(0, 3));
+            let b = g.add_after(job(2, 2), &[a]);
+            g.add_after(job(1, 1), &[a, b]);
+            g
+        };
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+        ] {
+            let mut svc: LacService<ProgramJob> =
+                LacService::new(ChipConfig::new(3, LacConfig::default()));
+            let via_service = svc.submit(build(), sched).unwrap();
+            let mut chip = LacChip::new(ChipConfig::new(3, LacConfig::default()));
+            let via_chip = chip.run_graph(&build(), sched).unwrap();
+            assert_eq!(via_service.outputs, via_chip.outputs);
+            assert_eq!(via_service.assignment, via_chip.assignment);
+            assert_eq!(via_service.stats, via_chip.stats);
+        }
+    }
+
+    /// A job whose `run_on` panics (e.g. an operand assert) — must not
+    /// deadlock the coordinator's wave collection.
+    struct PanickyJob;
+
+    impl ChipJob for PanickyJob {
+        type Output = ExecStats;
+
+        fn run_on(&self, _eng: &mut LacEngine) -> Result<ExecStats, crate::error::SimError> {
+            panic!("operand shape rejected");
+        }
+    }
+
+    #[test]
+    fn panicking_job_propagates_instead_of_deadlocking() {
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let graph: JobGraph<PanickyJob> = [PanickyJob, PanickyJob].into_iter().collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            chip.run_graph(&graph, Scheduler::Fifo)
+        }))
+        .expect_err("the job's panic must surface");
+        let msg = caught.downcast_ref::<String>().expect("panic message");
+        assert!(
+            msg.contains("operand shape rejected"),
+            "panic message lost: {msg}"
+        );
+    }
+
+    #[test]
+    fn service_survives_a_panicking_job() {
+        // Mixed graph: the panicking job is caught and re-raised by the
+        // coordinator after the wave drains, so no worker dies and the
+        // service keeps serving.
+        struct MaybePanic(bool, ProgramJob);
+        impl ChipJob for MaybePanic {
+            type Output = ExecStats;
+            fn run_on(&self, eng: &mut LacEngine) -> Result<ExecStats, crate::error::SimError> {
+                assert!(!self.0, "bad operand");
+                self.1.run_on(eng)
+            }
+        }
+        let mut svc: LacService<MaybePanic> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let bad: JobGraph<MaybePanic> = vec![
+            MaybePanic(false, job(0, 1)),
+            MaybePanic(true, job(0, 1)),
+            MaybePanic(false, job(0, 1)),
+        ]
+        .into_iter()
+        .collect();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            svc.submit(bad, Scheduler::Fifo)
+        }))
+        .expect_err("panic surfaces through submit");
+        let ok: JobGraph<MaybePanic> = (0..4).map(|i| MaybePanic(false, job(i, 1))).collect();
+        let run = svc.submit(ok, Scheduler::LeastLoaded).unwrap();
+        assert_eq!(run.outputs.len(), 4, "workers outlive a job panic");
+    }
+
+    #[test]
+    fn service_error_leaves_it_usable() {
+        let bad = {
+            let mut b = ProgramBuilder::new(LacConfig::default().nr);
+            let t = b.push_step();
+            b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
+            ProgramJob::new(b.build())
+        };
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let mut g = JobGraph::new();
+        let a = g.add(job(0, 1));
+        g.add_after(bad, &[a]);
+        let err = svc.submit(g, Scheduler::Fifo).unwrap_err();
+        assert_eq!(err.cycle, 0);
+        assert_eq!(svc.session().graphs_run, 0, "failed graphs do not count");
+        // The service recovers: the next submission completes.
+        let ok: JobGraph<ProgramJob> = (0..4).map(|i| job(i, 1)).collect();
+        let run = svc.submit(ok, Scheduler::CriticalPath).unwrap();
+        assert_eq!(run.outputs.len(), 4);
+        assert_eq!(svc.session().graphs_run, 1);
+    }
+}

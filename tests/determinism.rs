@@ -1,14 +1,21 @@
 //! Determinism guarantees: the simulator is a pure function of
 //! (configuration, program, operands). Running the same workload twice on
-//! fresh engines — or through a multi-core `LacChip` under any scheduler
-//! policy — must reproduce bit-identical functional outputs and identical
-//! cycle counts. Placement and host-thread interleaving must never leak
-//! into results.
+//! fresh engines — or through a multi-core `LacChip`/`LacService` graph
+//! under any scheduler policy — must reproduce bit-identical functional
+//! outputs and identical cycle counts. Placement and host-thread
+//! interleaving must never leak into results.
 
 use lap::lac_kernels::{
-    registry, registry_chip_config, registry_sized, KernelReport, ProblemSize, Workload,
+    registry, registry_chip_config, registry_sized, KernelReport, ProblemSize, SolverLoopWorkload,
+    Workload,
 };
-use lap::lac_sim::{ChipConfig, LacChip, LacConfig, LacEngine, Scheduler};
+use lap::lac_sim::{ChipConfig, JobGraph, LacChip, LacConfig, LacEngine, LacService, Scheduler};
+
+const POLICIES: [Scheduler; 3] = [
+    Scheduler::Fifo,
+    Scheduler::LeastLoaded,
+    Scheduler::CriticalPath,
+];
 
 fn run_fresh(w: &dyn Workload) -> KernelReport {
     let mut eng = LacEngine::builder()
@@ -16,6 +23,10 @@ fn run_fresh(w: &dyn Workload) -> KernelReport {
         .build();
     w.run(&mut eng)
         .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()))
+}
+
+fn registry_graph(size: ProblemSize) -> JobGraph<Box<dyn Workload>> {
+    registry_sized(size).into_iter().collect()
 }
 
 #[test]
@@ -32,44 +43,56 @@ fn every_workload_is_bit_deterministic_on_fresh_engines() {
 }
 
 #[test]
-fn chip_runs_are_deterministic_under_every_policy() {
+fn chip_graph_runs_are_deterministic_under_every_policy() {
     let cfg = ChipConfig::new(3, registry_chip_config(LacConfig::default()));
-    for sched in [Scheduler::Fifo, Scheduler::LeastLoaded] {
+    for sched in POLICIES {
         let mut chip_a = LacChip::new(cfg);
         let mut chip_b = LacChip::new(cfg);
-        let jobs = registry_sized(ProblemSize::Medium);
-        let run_a = chip_a.run_queue(&jobs, sched).unwrap();
-        let run_b = chip_b.run_queue(&jobs, sched).unwrap();
+        let run_a = chip_a
+            .run_graph(&registry_graph(ProblemSize::Medium), sched)
+            .unwrap();
+        let run_b = chip_b
+            .run_graph(&registry_graph(ProblemSize::Medium), sched)
+            .unwrap();
         assert_eq!(run_a.assignment, run_b.assignment, "{sched:?}: placement");
         assert_eq!(run_a.outputs, run_b.outputs, "{sched:?}: outputs");
         assert_eq!(run_a.stats, run_b.stats, "{sched:?}: chip stats");
+        assert_eq!(run_a.waves, run_b.waves, "{sched:?}: waves");
+        assert_eq!(run_a.idle_per_core, run_b.idle_per_core, "{sched:?}: idle");
     }
 }
 
 #[test]
 fn scheduler_policy_changes_placement_but_not_results() {
-    // The registry's cost hints differ wildly across kernels, so FIFO and
-    // least-loaded place jobs differently — yet every per-job report,
+    // The registry's cost hints differ wildly across kernels, so the
+    // policies place jobs differently — yet every per-job report,
     // including cycle counts, must be identical (cores are identical and
-    // job state never leaks across a queue run's jobs on fresh shards).
+    // job state never leaks across a graph run's jobs on fresh shards).
     let cfg = ChipConfig::new(4, registry_chip_config(LacConfig::default()));
-    let jobs = registry_sized(ProblemSize::Medium);
-    let fifo = LacChip::new(cfg).run_queue(&jobs, Scheduler::Fifo).unwrap();
-    let ll = LacChip::new(cfg)
-        .run_queue(&jobs, Scheduler::LeastLoaded)
-        .unwrap();
+    let runs: Vec<_> = POLICIES
+        .iter()
+        .map(|&sched| {
+            LacChip::new(cfg)
+                .run_graph(&registry_graph(ProblemSize::Medium), sched)
+                .unwrap()
+        })
+        .collect();
     assert_ne!(
-        fifo.assignment, ll.assignment,
+        runs[0].assignment, runs[1].assignment,
         "policies should disagree on this queue (costs are uneven)"
     );
-    assert_eq!(fifo.outputs, ll.outputs, "results depend on placement");
-    // Chip-level aggregates are placement-independent too (sums commute).
-    assert_eq!(fifo.stats.aggregate, ll.stats.aggregate);
+    for run in &runs[1..] {
+        assert_eq!(runs[0].outputs, run.outputs, "results depend on placement");
+        // Chip-level aggregates are placement-independent too (sums
+        // commute), as is the wave structure (readiness is policy-free).
+        assert_eq!(runs[0].stats.aggregate, run.stats.aggregate);
+        assert_eq!(runs[0].waves, run.waves);
+    }
 }
 
 #[test]
 fn engine_and_chip_shard_agree_per_workload() {
-    // A 1-core chip is just an engine with a queue in front: identical
+    // A 1-core chip is just an engine with a graph in front: identical
     // reports for the whole registry run back-to-back.
     let shared = registry_chip_config(LacConfig::default());
     let jobs = registry();
@@ -81,8 +104,9 @@ fn engine_and_chip_shard_agree_per_workload() {
                 .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()))
         })
         .collect();
+    let graph: JobGraph<Box<dyn Workload>> = registry().into_iter().collect();
     let chip_run = LacChip::new(ChipConfig::new(1, shared))
-        .run_queue(&jobs, Scheduler::Fifo)
+        .run_graph(&graph, Scheduler::Fifo)
         .unwrap();
     assert_eq!(direct, chip_run.outputs);
     assert_eq!(
@@ -90,4 +114,25 @@ fn engine_and_chip_shard_agree_per_workload() {
         eng.cycles(),
         "1-core chip session equals the plain engine session"
     );
+}
+
+#[test]
+fn solver_graph_is_bit_identical_across_services_and_policies() {
+    // The dependency-graph door with *stateful* jobs (rounds feed each
+    // other through shared state): still bit-deterministic, because the
+    // graph orders every access and reductions run in fixed panel order.
+    let w = SolverLoopWorkload::demo();
+    let mut baseline: Option<Vec<KernelReport>> = None;
+    for sched in POLICIES {
+        let mut svc = LacService::new(ChipConfig::new(4, LacConfig::default()));
+        let first = svc.submit(w.graph().graph, sched).unwrap();
+        let second = svc.submit(w.graph().graph, sched).unwrap();
+        assert_eq!(first.outputs, second.outputs, "{sched:?}: warm rerun");
+        assert_eq!(first.stats, second.stats, "{sched:?}: warm rerun stats");
+        w.check_graph(&first.outputs).unwrap();
+        match &baseline {
+            None => baseline = Some(first.outputs),
+            Some(b) => assert_eq!(b, &first.outputs, "{sched:?} changed solver results"),
+        }
+    }
 }

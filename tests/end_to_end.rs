@@ -188,7 +188,8 @@ fn multi_core_chip_splits_gemm_by_row_panels() {
         .collect();
 
     let mut chip = LacChip::new(ChipConfig::new(s, LacConfig::default()));
-    let run = chip.run_queue(&jobs, Scheduler::LeastLoaded).unwrap();
+    let graph: lap::lac_sim::JobGraph<Box<dyn Workload>> = jobs.into_iter().collect();
+    let run = chip.run_graph(&graph, Scheduler::LeastLoaded).unwrap();
     assert_eq!(run.stats.jobs(), s as u64);
     assert_eq!(
         run.stats.jobs_per_core,

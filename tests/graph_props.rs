@@ -1,0 +1,299 @@
+//! Property tests (vendored proptest) for the dependency-graph scheduler:
+//! whatever the DAG shape, core count, costs, and policy —
+//!
+//! * every job runs exactly once, and never before all its parents
+//!   finished (observed through a shared execution log);
+//! * per-core busy + idle cycles reconstruct the makespan exactly;
+//! * wave planning is work-conserving: no core idles while a ready job
+//!   exists, and no core hoards when jobs are scarcer than cores;
+//! * named shapes (chain, diamond, fan-out) produce the wave structure
+//!   they must.
+
+use lap::lac_sim::{
+    plan_wave, ChipConfig, ChipJob, ExecStats, JobGraph, LacChip, LacConfig, LacEngine, LacService,
+    ProgramJob, Scheduler, SimError,
+};
+use lap::lac_sim::{ExtOp, ProgramBuilder, Source};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const POLICIES: [Scheduler; 3] = [
+    Scheduler::Fifo,
+    Scheduler::LeastLoaded,
+    Scheduler::CriticalPath,
+];
+
+fn policy(which: u8) -> Scheduler {
+    POLICIES[which as usize % 3]
+}
+
+fn mac_job(extra: usize) -> ProgramJob {
+    let cfg = LacConfig::default();
+    let mut b = ProgramBuilder::new(cfg.nr);
+    let t = b.push_step();
+    b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+    b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+    let t = b.push_step();
+    b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+    b.idle(cfg.fpu.pipeline_depth + extra);
+    ProgramJob::new(b.build())
+}
+
+/// A job that appends its id to a shared log when it runs — the probe for
+/// the parents-run-first invariant. (Same-wave log order is host-timing
+/// dependent; parent→child pairs never share a wave, so their relative
+/// order is not.)
+struct LogJob {
+    id: usize,
+    inner: ProgramJob,
+    log: Arc<Mutex<Vec<usize>>>,
+}
+
+impl ChipJob for LogJob {
+    type Output = ExecStats;
+
+    fn cost_hint(&self) -> u64 {
+        self.inner.cost_hint()
+    }
+
+    fn run_on(&self, eng: &mut LacEngine) -> Result<ExecStats, SimError> {
+        let out = self.inner.run_on(eng)?;
+        self.log.lock().unwrap().push(self.id);
+        Ok(out)
+    }
+}
+
+/// Build a pseudo-random DAG: job `j > 0` gets up to two parents drawn
+/// from `seeds` (values index earlier jobs; a sentinel leaves some jobs
+/// as roots). Returns the graph, its edges, and the shared log.
+#[allow(clippy::type_complexity)]
+fn random_dag(
+    extras: &[usize],
+    seeds: &[u64],
+) -> (
+    JobGraph<LogJob>,
+    Vec<(usize, usize)>,
+    Arc<Mutex<Vec<usize>>>,
+) {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut graph = JobGraph::new();
+    let mut edges = Vec::new();
+    let mut ids = Vec::new();
+    for (j, &extra) in extras.iter().enumerate() {
+        let mut parents = Vec::new();
+        if j > 0 {
+            for take in 0..2usize {
+                let seed = seeds[(2 * j + take) % seeds.len()];
+                // ~1 in 3 candidate slots stays empty, keeping a mix of
+                // roots, chains and joins.
+                if !seed.is_multiple_of(3) {
+                    let p = (seed as usize) % j;
+                    parents.push(ids[p]);
+                    edges.push((p, j));
+                }
+            }
+        }
+        let id = graph.add_after(
+            LogJob {
+                id: j,
+                inner: mac_job(extra),
+                log: Arc::clone(&log),
+            },
+            &parents,
+        );
+        assert_eq!(id.index(), j);
+        ids.push(id);
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    (graph, edges, log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dag_runs_every_job_once_and_parents_first(
+        extras in prop::collection::vec(0usize..16, 1..32),
+        seeds in prop::collection::vec(any::<u64>(), 8..9),
+        cores in 1usize..=5,
+        which in any::<u8>(),
+    ) {
+        let (graph, edges, log) = random_dag(&extras, &seeds);
+        let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
+        let run = chip.run_graph(&graph, policy(which)).unwrap();
+
+        // Exactly once.
+        prop_assert_eq!(run.outputs.len(), extras.len());
+        let order = log.lock().unwrap().clone();
+        prop_assert_eq!(order.len(), extras.len(), "log: every job exactly once");
+        let mut position = vec![usize::MAX; extras.len()];
+        for (pos, &id) in order.iter().enumerate() {
+            prop_assert_eq!(position[id], usize::MAX, "job {} logged twice", id);
+            position[id] = pos;
+        }
+        // No job before its parents.
+        for &(p, c) in &edges {
+            prop_assert!(
+                position[p] < position[c],
+                "child {} ran before parent {}", c, p
+            );
+        }
+
+        // Accounting: aggregate = Σ per-core; busy + idle = makespan.
+        let mut sum = ExecStats::default();
+        for s in &run.stats.per_core {
+            sum.merge(s);
+        }
+        prop_assert_eq!(sum, run.stats.aggregate);
+        for core in 0..cores {
+            prop_assert_eq!(
+                run.stats.per_core[core].cycles + run.idle_per_core[core],
+                run.stats.makespan_cycles
+            );
+        }
+        // The makespan sits between the critical chain bound and fully
+        // serial execution.
+        prop_assert!(run.stats.makespan_cycles <= run.stats.aggregate.cycles);
+        prop_assert!(run.waves >= 1 && run.waves <= extras.len());
+    }
+
+    #[test]
+    fn dag_results_are_policy_and_backend_independent(
+        extras in prop::collection::vec(0usize..12, 1..16),
+        seeds in prop::collection::vec(any::<u64>(), 6..7),
+        cores in 1usize..=4,
+    ) {
+        let mut baseline: Option<Vec<ExecStats>> = None;
+        for sched in POLICIES {
+            // Scoped-chip backend…
+            let (graph, _, _) = random_dag(&extras, &seeds);
+            let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
+            let chip_run = chip.run_graph(&graph, sched).unwrap();
+            // …and the persistent service must agree bit for bit.
+            let (graph, _, _) = random_dag(&extras, &seeds);
+            let mut svc = LacService::new(ChipConfig::new(cores, LacConfig::default()));
+            let svc_run = svc.submit(graph, sched).unwrap();
+            prop_assert_eq!(&chip_run.outputs, &svc_run.outputs);
+            prop_assert_eq!(&chip_run.stats, &svc_run.stats);
+            match &baseline {
+                None => baseline = Some(chip_run.outputs),
+                Some(b) => prop_assert_eq!(b, &chip_run.outputs, "{:?} changed results", sched),
+            }
+        }
+    }
+
+    #[test]
+    fn wave_planning_is_work_conserving(
+        costs in prop::collection::vec(1u64..1000, 1..48),
+        cores in 1usize..=8,
+        which in any::<u8>(),
+    ) {
+        let ready: Vec<usize> = (0..costs.len()).collect();
+        let buckets = plan_wave(policy(which), &ready, &costs, &costs, cores);
+        // Every ready job lands in exactly one bucket.
+        let mut seen: Vec<usize> = buckets.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, ready.clone());
+        if ready.len() >= cores {
+            // No core idles while a ready job exists…
+            prop_assert!(
+                buckets.iter().all(|b| !b.is_empty()),
+                "{:?} idled a core with {} ready jobs", policy(which), ready.len()
+            );
+        } else {
+            // …and no core hoards while another sits empty.
+            prop_assert!(buckets.iter().all(|b| b.len() <= 1));
+        }
+    }
+}
+
+#[test]
+fn chain_diamond_fanout_produce_their_wave_structure() {
+    for sched in POLICIES {
+        // Chain: n sequential jobs → n waves, zero overlap.
+        let mut chain = JobGraph::new();
+        let mut prev = chain.add(mac_job(0));
+        for i in 1..6 {
+            prev = chain.add_after(mac_job(i), &[prev]);
+        }
+        let mut chip = LacChip::new(ChipConfig::new(4, LacConfig::default()));
+        let run = chip.run_graph(&chain, sched).unwrap();
+        assert_eq!(run.waves, 6, "{sched:?}: chain depth");
+        assert_eq!(
+            run.stats.makespan_cycles, run.stats.aggregate.cycles,
+            "{sched:?}: a chain cannot overlap"
+        );
+
+        // Diamond: 1 → {2..5} → 1 on 4 cores → 3 waves, middle overlaps.
+        let mut diamond = JobGraph::new();
+        let top = diamond.add(mac_job(0));
+        let mids: Vec<_> = (0..4)
+            .map(|i| diamond.add_after(mac_job(4 * i), &[top]))
+            .collect();
+        diamond.add_after(mac_job(0), &mids);
+        let mut chip = LacChip::new(ChipConfig::new(4, LacConfig::default()));
+        let run = chip.run_graph(&diamond, sched).unwrap();
+        assert_eq!(run.waves, 3, "{sched:?}: diamond depth");
+        let mid_cycles: Vec<u64> = mids.iter().map(|m| run.outputs[m.index()].cycles).collect();
+        assert_eq!(
+            run.stats.makespan_cycles,
+            run.outputs[0].cycles
+                + mid_cycles.iter().copied().max().unwrap()
+                + run.outputs[5].cycles,
+            "{sched:?}: middle wave runs at the slowest middle job"
+        );
+
+        // Fan-out: 1 root, 8 leaves on 4 cores → 2 waves, leaves spread
+        // across all cores.
+        let mut fan = JobGraph::new();
+        let root = fan.add(mac_job(0));
+        for i in 0..8 {
+            fan.add_after(mac_job(i), &[root]);
+        }
+        let mut chip = LacChip::new(ChipConfig::new(4, LacConfig::default()));
+        let run = chip.run_graph(&fan, sched).unwrap();
+        assert_eq!(run.waves, 2, "{sched:?}: fan-out depth");
+        let leaf_cores: std::collections::HashSet<usize> =
+            run.assignment[1..].iter().copied().collect();
+        assert_eq!(leaf_cores.len(), 4, "{sched:?}: leaves use every core");
+    }
+}
+
+#[test]
+fn critical_path_prioritizes_long_chains_over_heavy_singletons() {
+    // Wave 1's ready set holds a cost-20 job heading a 5-deep chain
+    // (remaining path 100) and a lone cost-50 job. On two cores the
+    // critical-path policy must serve the chain head first (it lands on
+    // core 0, the first greedy pick); the lone job fills core 1 in the
+    // same wave and the chain keeps the run at 5 waves.
+    let mut chain_job = mac_job(8);
+    chain_job.cost = 20;
+    let mut lone = chain_job.clone();
+    lone.cost = 50;
+    let mut g = JobGraph::new();
+    let head = g.add(chain_job.clone());
+    let mut prev = head;
+    for _ in 0..4 {
+        prev = g.add_after(chain_job.clone(), &[prev]);
+    }
+    let lone_id = g.add(lone);
+    let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+    let run = chip.run_graph(&g, Scheduler::CriticalPath).unwrap();
+    assert_eq!(run.waves, 5, "the chain sets the depth");
+    assert_eq!(
+        run.assignment[head.index()],
+        0,
+        "highest critical path gets the first slot"
+    );
+    assert_eq!(
+        run.assignment[lone_id.index()],
+        1,
+        "the singleton overlaps the chain head, not the whole chain"
+    );
+    // LeastLoaded ignores the chain structure: it sees cost 20 vs 50 in
+    // submission order and still must produce identical outputs.
+    let mut chip_ll = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+    let run_ll = chip_ll.run_graph(&g, Scheduler::LeastLoaded).unwrap();
+    assert_eq!(run.outputs, run_ll.outputs);
+}

@@ -1,20 +1,26 @@
-//! Property tests (vendored proptest) for the chip scheduler invariants:
-//! whatever the queue, core count, costs, and policy —
+//! Property tests (vendored proptest) for the flat-queue scheduler
+//! invariants: whatever the queue, core count, costs, and policy —
 //!
 //! * every job is assigned, and runs, exactly once;
 //! * `ChipStats` aggregate counters equal the sum of the per-core stats;
-//! * the makespan equals the busiest core's cycles and bounds every core;
-//! * the least-loaded policy's imbalance is bounded by the largest job.
+//! * a flat graph's makespan equals the busiest core's cycles and bounds
+//!   every core;
+//! * the load-aware policies' imbalance is bounded by the largest job.
+//!
+//! Graph-shaped invariants (dependency ordering, wave structure, the
+//! critical-path policy) live in `tests/graph_props.rs`.
 
-use lap::lac_sim::{ChipConfig, ChipStats, ExecStats, LacChip, LacConfig, ProgramJob, Scheduler};
+use lap::lac_sim::{
+    ChipConfig, ChipStats, ExecStats, JobGraph, LacChip, LacConfig, ProgramJob, Scheduler,
+};
 use lap::lac_sim::{ExtOp, ProgramBuilder, Source};
 use proptest::prelude::*;
 
-fn policy(least_loaded: bool) -> Scheduler {
-    if least_loaded {
-        Scheduler::LeastLoaded
-    } else {
-        Scheduler::Fifo
+fn policy(which: u8) -> Scheduler {
+    match which % 3 {
+        0 => Scheduler::Fifo,
+        1 => Scheduler::LeastLoaded,
+        _ => Scheduler::CriticalPath,
     }
 }
 
@@ -47,9 +53,9 @@ proptest! {
     fn assignment_is_total_and_in_range(
         costs in prop::collection::vec(0u64..1000, 0..64),
         cores in 1usize..=12,
-        least_loaded in any::<bool>(),
+        which in any::<u8>(),
     ) {
-        let assign = policy(least_loaded).assign(&costs, cores);
+        let assign = policy(which).assign(&costs, cores);
         prop_assert_eq!(assign.len(), costs.len(), "every job placed exactly once");
         prop_assert!(assign.iter().all(|&c| c < cores), "cores in range");
     }
@@ -64,11 +70,13 @@ proptest! {
     }
 
     #[test]
-    fn least_loaded_imbalance_bounded_by_largest_job(
+    fn load_aware_imbalance_bounded_by_largest_job(
         costs in prop::collection::vec(1u64..1000, 1..64),
         cores in 1usize..=12,
+        critical_path in any::<bool>(),
     ) {
-        let assign = Scheduler::LeastLoaded.assign(&costs, cores);
+        let sched = if critical_path { Scheduler::CriticalPath } else { Scheduler::LeastLoaded };
+        let assign = sched.assign(&costs, cores);
         let mut load = vec![0u64; cores];
         for (j, &c) in assign.iter().enumerate() {
             load[c] += costs[j];
@@ -81,7 +89,7 @@ proptest! {
         // the queue ran out (min may stay 0 with fewer jobs than cores).
         prop_assert!(
             max - min <= biggest,
-            "imbalance {} exceeds largest job {biggest}",
+            "{sched:?}: imbalance {} exceeds largest job {biggest}",
             max - min
         );
     }
@@ -90,30 +98,36 @@ proptest! {
     fn chip_totals_equal_sum_of_cores(
         extras in prop::collection::vec(0usize..24, 1..24),
         cores in 1usize..=6,
-        least_loaded in any::<bool>(),
+        which in any::<u8>(),
     ) {
-        let jobs: Vec<ProgramJob> = extras.iter().map(|&e| mac_job(e)).collect();
+        let graph: JobGraph<ProgramJob> = extras.iter().map(|&e| mac_job(e)).collect();
         let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
-        let run = chip.run_queue(&jobs, policy(least_loaded)).unwrap();
+        let run = chip.run_graph(&graph, policy(which)).unwrap();
 
         // Every job ran exactly once…
-        prop_assert_eq!(run.outputs.len(), jobs.len());
-        prop_assert_eq!(run.stats.jobs(), jobs.len() as u64);
+        prop_assert_eq!(run.outputs.len(), extras.len());
+        prop_assert_eq!(run.stats.jobs(), extras.len() as u64);
         prop_assert_eq!(
             run.stats.jobs_per_core.iter().sum::<u64>(),
-            jobs.len() as u64
+            extras.len() as u64
         );
         // …and each issued exactly one MAC.
-        prop_assert_eq!(run.stats.aggregate.mac_ops, jobs.len() as u64);
+        prop_assert_eq!(run.stats.aggregate.mac_ops, extras.len() as u64);
 
         // Aggregate equals the per-core sum, counter for counter.
         prop_assert_eq!(sum_per_core(&run.stats), run.stats.aggregate);
 
-        // Makespan is the busiest core, and bounds every core.
+        // A flat graph is one wave: makespan is the busiest core, bounds
+        // every core, and busy + idle reconstructs it per core.
+        prop_assert_eq!(run.waves, 1);
         let busiest = run.stats.per_core.iter().map(|s| s.cycles).max().unwrap();
         prop_assert_eq!(run.stats.makespan_cycles, busiest);
-        for s in &run.stats.per_core {
+        for (core, s) in run.stats.per_core.iter().enumerate() {
             prop_assert!(s.cycles <= run.stats.makespan_cycles);
+            prop_assert_eq!(
+                s.cycles + run.idle_per_core[core],
+                run.stats.makespan_cycles
+            );
         }
 
         // Per-job outputs carry the exact per-job cycle counts: job j runs
@@ -125,15 +139,15 @@ proptest! {
     }
 
     #[test]
-    fn shard_sessions_accumulate_across_queue_runs(
+    fn shard_sessions_accumulate_across_graph_runs(
         extras in prop::collection::vec(0usize..8, 1..12),
         cores in 1usize..=4,
     ) {
-        let jobs: Vec<ProgramJob> = extras.iter().map(|&e| mac_job(e)).collect();
+        let graph: JobGraph<ProgramJob> = extras.iter().map(|&e| mac_job(e)).collect();
         let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
-        let first = chip.run_queue(&jobs, Scheduler::Fifo).unwrap();
-        let second = chip.run_queue(&jobs, Scheduler::Fifo).unwrap();
-        // Same queue, same placement, same per-run stats…
+        let first = chip.run_graph(&graph, Scheduler::Fifo).unwrap();
+        let second = chip.run_graph(&graph, Scheduler::Fifo).unwrap();
+        // Same graph, same placement, same per-run stats…
         prop_assert_eq!(&first.stats, &second.stats);
         // …while the shard sessions keep the running total of both runs.
         let session_total: u64 = (0..chip.num_cores())
