@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Repo hygiene gates, runnable locally (`bash ci/gates.sh`) and in CI's
+# lint job. Each gate greps for a pattern that is only permitted in the
+# named wrapper modules; any other occurrence is a regression.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Gate 1: deprecated-API call sites. The pre-engine free functions and the
+# flat run_queue door are #[deprecated]; with -D warnings any call site
+# needs allow(deprecated), which is only permitted in the two files
+# hosting the shims: lac-kernels' lib.rs (re-exports of the free
+# functions) and lac-sim's chip.rs (run_queue and its compat tests).
+hits=$(grep -rnE "allow\([^)]*deprecated" --include='*.rs' . \
+  | grep -v '^\./crates/lac-kernels/src/lib\.rs' \
+  | grep -v '^\./crates/lac-sim/src/chip\.rs' \
+  | grep -v '^\./target/' || true)
+if [ -n "$hits" ]; then
+  echo "new #[deprecated] call sites outside the wrapper modules:"
+  echo "$hits"
+  fail=1
+fi
+
+# Gate 2: flat-queue call sites. run_queue is a compat wrapper over a
+# single-wave JobGraph; new code must submit graphs (LacChip::run_graph /
+# LacService). Any mention outside the wrapper module (which hosts its
+# tests too) is a regression.
+hits=$(grep -rn "run_queue" --include='*.rs' . \
+  | grep -v '^\./crates/lac-sim/src/chip\.rs' \
+  | grep -v '^\./target/' || true)
+if [ -n "$hits" ]; then
+  echo "run_queue call sites outside the compat wrapper:"
+  echo "$hits"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "all grep gates passed"
+fi
+exit "$fail"

@@ -61,6 +61,7 @@ fn is_generator_name(n: &str) -> bool {
         || n.starts_with("sec")
         || n.starts_with("chip")
         || n.starts_with("solver")
+        || n.starts_with("service")
 }
 
 /// Generators that support `--json-out <path>`: they print their table
@@ -69,7 +70,7 @@ fn is_generator_name(n: &str) -> bool {
 /// list (unlike bin discovery) because probing would mean extra runs;
 /// extend it when a bin gains the flag.
 fn emits_json(n: &str) -> bool {
-    n == "chip_scaling" || n == "solver_loop"
+    n == "chip_scaling" || n == "solver_loop" || n == "service_throughput"
 }
 
 /// Generator binaries built next to this one (no hard-coded list).

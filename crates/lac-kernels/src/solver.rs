@@ -203,16 +203,30 @@ impl SolverLoopWorkload {
             .block(0, p * self.params.width, self.params.n, self.params.width)
     }
 
-    fn chol_cost(&self) -> u64 {
+    /// Scheduler cost hint of one CHOL step (flop-count shaped). The step
+    /// costs are public so service clients can budget admission control
+    /// ([`lac_sim::TenantConfig::max_inflight_cost`]) in the same
+    /// tenant-agnostic cost-hint currency the planner schedules by.
+    pub fn chol_cost(&self) -> u64 {
         (self.params.n.pow(3) as u64 / 3).max(1)
     }
 
-    fn trsm_cost(&self) -> u64 {
+    /// Scheduler cost hint of one per-panel TRSM step.
+    pub fn trsm_cost(&self) -> u64 {
         (self.params.n * self.params.n * self.params.width) as u64
     }
 
-    fn syrk_cost(&self) -> u64 {
+    /// Scheduler cost hint of one per-panel SYRK step.
+    pub fn syrk_cost(&self) -> u64 {
         (self.params.n * (self.params.n + 1) * self.params.width) as u64
+    }
+
+    /// Total admission cost of one [`SolverLoopWorkload::graph`]
+    /// submission — identical to [`Workload::cost_hint`], and to
+    /// `JobGraph::total_cost` of the built graph, because the graph door
+    /// carries the same per-step hints.
+    pub fn graph_cost(&self) -> u64 {
+        self.cost_hint()
     }
 
     /// The loop as ground truth in `linalg-ref`, fully independent of the

@@ -88,6 +88,66 @@ impl ChipEnergyModel {
             gflops_per_w,
         }
     }
+
+    /// Attribute a multi-tenant service lifetime's energy to its tenants.
+    ///
+    /// `per_tenant` holds each tenant's accumulated busy stats (e.g.
+    /// `lac_sim::LacService::tenant_busy_stats`), `cores` the chip's core
+    /// count and `wall_cycles` the service clock. Each tenant pays
+    ///
+    /// * its own **dynamic** energy — the per-core model priced over its
+    ///   jobs' events, plus the interconnect premium on its external
+    ///   words — and
+    /// * a share of the **static uncore** burned over the whole wall
+    ///   clock, split in proportion to busy cycles (the tenant that used
+    ///   the chip more owns more of the fabric kept powered for it). With
+    ///   no busy cycles anywhere the static burn is split evenly.
+    ///
+    /// Attribution is conserving: when `per_tenant` partitions the work of
+    /// a [`ChipEnergyModel::summarize_over`] call, the tenant totals sum
+    /// to its `total_nj` (the per-event core model is linear in the
+    /// counters).
+    pub fn attribute(
+        &self,
+        per_tenant: &[lac_sim::ExecStats],
+        cores: usize,
+        wall_cycles: u64,
+    ) -> Vec<TenantEnergy> {
+        let wall_s = wall_cycles as f64 / (self.core.freq_ghz * 1e9);
+        let static_nj = self.uncore_static_mw_per_core * 1e-3 * cores as f64 * wall_s * 1e9;
+        let busy_total: u64 = per_tenant.iter().map(|s| s.cycles).sum();
+        per_tenant
+            .iter()
+            .map(|s| {
+                let words = (s.ext_reads + s.ext_writes) as f64;
+                let dynamic_nj =
+                    self.core.summarize(s).energy_nj + words * self.uncore_pj_per_word / 1000.0;
+                let share = if busy_total == 0 {
+                    1.0 / per_tenant.len().max(1) as f64
+                } else {
+                    s.cycles as f64 / busy_total as f64
+                };
+                let static_share_nj = static_nj * share;
+                TenantEnergy {
+                    dynamic_nj,
+                    static_share_nj,
+                    total_nj: dynamic_nj + static_share_nj,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One tenant's attributed share of a service lifetime's energy (see
+/// [`ChipEnergyModel::attribute`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TenantEnergy {
+    /// Core events + interconnect words of this tenant's own jobs, nJ.
+    pub dynamic_nj: f64,
+    /// This tenant's share of the always-on uncore static burn, nJ.
+    pub static_share_nj: f64,
+    /// `dynamic_nj + static_share_nj`.
+    pub total_nj: f64,
 }
 
 /// Energy/power of one chip queue run, wall-clocked by the makespan.
@@ -197,6 +257,38 @@ mod tests {
     fn wall_clock_cannot_undercut_busy_time() {
         let m = ChipEnergyModel::lap_default();
         m.summarize_over(&chip_stats(vec![busy(10_000)]), 5_000);
+    }
+
+    #[test]
+    fn tenant_attribution_conserves_the_service_total() {
+        // Two tenants partition a 2-core service's work 3:1; priced over a
+        // padded wall clock, their attributed totals must sum exactly to
+        // the chip summary (the core model is linear in the counters) and
+        // split the static uncore 3:1.
+        let m = ChipEnergyModel::lap_default();
+        let stats = chip_stats(vec![busy(12_000), busy(4_000)]);
+        let wall = 40_000;
+        let whole = m.summarize_over(&stats, wall);
+        let shares = m.attribute(&[busy(12_000), busy(4_000)], 2, wall);
+        assert_eq!(shares.len(), 2);
+        let sum: f64 = shares.iter().map(|t| t.total_nj).sum();
+        assert!(
+            (sum - whole.total_nj).abs() < 1e-6 * whole.total_nj,
+            "attribution leaks energy: {sum} vs {}",
+            whole.total_nj
+        );
+        assert!(
+            (shares[0].static_share_nj / shares[1].static_share_nj - 3.0).abs() < 1e-9,
+            "static split follows busy share"
+        );
+        assert!(shares[0].dynamic_nj > shares[1].dynamic_nj);
+        for t in &shares {
+            assert!((t.total_nj - t.dynamic_nj - t.static_share_nj).abs() < 1e-9);
+        }
+        // An all-idle service splits the static burn evenly.
+        let idle = m.attribute(&[ExecStats::default(); 2], 2, wall);
+        assert_eq!(idle[0], idle[1]);
+        assert!(idle[0].static_share_nj > 0.0 && idle[0].dynamic_nj == 0.0);
     }
 
     #[test]

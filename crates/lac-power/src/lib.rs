@@ -28,7 +28,7 @@ pub mod fft_designs;
 pub mod pe;
 pub mod sram;
 
-pub use chip::{ChipEnergy, ChipEnergyModel};
+pub use chip::{ChipEnergy, ChipEnergyModel, TenantEnergy};
 pub use compare::{platform_cores_table, platform_systems_table, power_breakdown, PlatformRow};
 pub use components::{FmacModel, Precision, Technology};
 pub use energy::{EnergyModel, EnergySummary, SessionEnergy};

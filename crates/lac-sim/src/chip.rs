@@ -135,20 +135,38 @@ pub enum Scheduler {
     /// possible; on a flat queue the priority degenerates to the job's own
     /// cost, i.e. longest-processing-time-first.
     CriticalPath,
+    /// Deficit-weighted fair sharing across tenants, the multi-tenant
+    /// service's streaming policy: each wave dispatches at most one job
+    /// per core (the streaming quantum), picking jobs whose tenant has the
+    /// lowest accumulated cost-hint usage normalized by its weight (ties
+    /// broken by critical-path priority, then job id — see
+    /// [`crate::service::plan_wave_tenanted`]). Planned purely from cost
+    /// hints and tenant deficits, so runs stay bit-deterministic. With a
+    /// single tenant every deficit is equal and the pick order degenerates
+    /// to [`Scheduler::CriticalPath`]'s, quantum by quantum.
+    FairShare,
 }
 
 impl Scheduler {
     /// Compute the job → core assignment for a flat queue of `costs` over
     /// `num_cores` cores. `assignment[j]` is the core that runs job `j`.
-    /// This is [`plan_wave`] over the everything-ready wave, inverted.
+    /// This is [`plan_wave`] over the everything-ready wave, inverted —
+    /// repeated until the queue drains for the quantum-capped
+    /// [`Scheduler::FairShare`] (the other policies dispatch everything in
+    /// one wave).
     pub fn assign(&self, costs: &[u64], num_cores: usize) -> Vec<usize> {
-        let ready: Vec<usize> = (0..costs.len()).collect();
-        let buckets = plan_wave(*self, &ready, costs, costs, num_cores);
         let mut assignment = vec![0usize; costs.len()];
-        for (core, bucket) in buckets.iter().enumerate() {
-            for &j in bucket {
-                assignment[j] = core;
+        let mut ready: Vec<usize> = (0..costs.len()).collect();
+        while !ready.is_empty() {
+            let buckets = plan_wave(*self, &ready, costs, costs, num_cores);
+            let mut planned = vec![false; costs.len()];
+            for (core, bucket) in buckets.iter().enumerate() {
+                for &j in bucket {
+                    assignment[j] = core;
+                    planned[j] = true;
+                }
             }
+            ready.retain(|&j| !planned[j]);
         }
         assignment
     }

@@ -34,6 +34,22 @@
 //!   [`LacService::advance_idle`] gaps between batches), and graph/job
 //!   counts. `session().chip_stats()` prices the whole service lifetime
 //!   through `lac_power::ChipEnergyModel`, idle included.
+//! * **Multi-tenant streaming admission** — many clients ([`TenantId`]s
+//!   registered via [`LacService::add_tenant`]) hold concurrent
+//!   [`TenantSession`]s against one service. [`LacService::enqueue`]
+//!   charges each graph's total cost hint against the tenant's in-flight
+//!   budget and bounces over-budget submissions with *deterministic
+//!   backpressure* ([`Rejected`] hands the graph back); admitted graphs
+//!   from every tenant then interleave wave-by-wave in one
+//!   [`LacService::run_admitted`] round. The
+//!   [`Scheduler::FairShare`](crate::chip::Scheduler) policy dispatches
+//!   one job per core per wave, picking by weight-normalized accumulated
+//!   cost-hint usage ([`plan_wave_tenanted`]) — planned purely from cost
+//!   hints and tenant deficits, so rounds stay bit-identical across
+//!   reruns and host interleavings. Per-tenant meters (throughput,
+//!   wait-vs-run, busy stats for
+//!   `lac_power::ChipEnergyModel::attribute`) accumulate in each
+//!   [`TenantSession`].
 //!
 //! Data flows between dependent jobs through whatever shared state the
 //! jobs close over (e.g. an `Arc<Mutex<…>>` — see `lac-kernels`'
@@ -151,6 +167,16 @@ impl<J> JobGraph<J> {
     }
 }
 
+impl<J: ChipJob> JobGraph<J> {
+    /// Total scheduler cost of the graph (zero-cost jobs count as 1, like
+    /// everywhere in the planner) — the currency admission control
+    /// charges against [`TenantConfig::max_inflight_cost`] and the
+    /// fair-share deficits accumulate.
+    pub fn total_cost(&self) -> u64 {
+        self.jobs.iter().map(|j| j.cost_hint().max(1)).sum()
+    }
+}
+
 /// Collecting jobs builds the flat (edge-free) graph — the shape the
 /// deprecated queue door wraps.
 impl<J> FromIterator<J> for JobGraph<J> {
@@ -208,6 +234,59 @@ pub fn plan_wave(
                 buckets[core].push(j);
             }
         }
+        Scheduler::FairShare => {
+            // Single-tenant view of the streaming planner: every job
+            // belongs to one tenant with zero accumulated usage, so the
+            // pick order is critical-path order, one job per core.
+            let tenant_of = vec![0usize; costs.len()];
+            return plan_wave_tenanted(ready, costs, priority, &tenant_of, &[0], &[1], cores);
+        }
+    }
+    buckets
+}
+
+/// The [`Scheduler::FairShare`] wave planner: dispatch at most one job per
+/// core (the streaming quantum), repeatedly picking the ready job whose
+/// tenant currently has the lowest accumulated cost-hint usage normalized
+/// by its weight (exact cross-multiplied comparison — no floats), breaking
+/// ties by critical-path `priority` (descending) and then job id. Each
+/// pick charges the tenant's usage locally, so one wave interleaves
+/// tenants instead of letting the hungriest tenant take every slot.
+///
+/// `tenant_of[j]` maps a job to its tenant index; `usage`/`weights` are
+/// indexed by tenant. Like [`plan_wave`] this is a pure function of its
+/// arguments — the determinism anchor — and public so fairness and
+/// work-conservation invariants can be property-tested directly.
+pub fn plan_wave_tenanted(
+    ready: &[usize],
+    costs: &[u64],
+    priority: &[u64],
+    tenant_of: &[usize],
+    usage: &[u64],
+    weights: &[u64],
+    cores: usize,
+) -> Vec<Vec<usize>> {
+    assert!(cores >= 1, "a chip has at least one core");
+    let mut buckets = vec![Vec::new(); cores];
+    let mut local_usage = usage.to_vec();
+    let mut remaining: Vec<usize> = ready.to_vec();
+    for bucket in buckets.iter_mut().take(cores.min(ready.len())) {
+        let (pos, &j) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                let (ta, tb) = (tenant_of[a], tenant_of[b]);
+                // usage[ta]/weights[ta] vs usage[tb]/weights[tb], exactly.
+                let ua = local_usage[ta] as u128 * weights[tb].max(1) as u128;
+                let ub = local_usage[tb] as u128 * weights[ta].max(1) as u128;
+                ua.cmp(&ub)
+                    .then_with(|| priority[b].cmp(&priority[a]))
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("remaining is non-empty");
+        remaining.swap_remove(pos);
+        local_usage[tenant_of[j]] += costs[j].max(1);
+        bucket.push(j);
     }
     buckets
 }
@@ -272,6 +351,8 @@ pub struct GraphRun<T> {
     pub outputs: Vec<T>,
     /// Which core ran each job (same order as `outputs`).
     pub assignment: Vec<usize>,
+    /// Which dependency wave (0-based) dispatched each job.
+    pub wave_of: Vec<usize>,
     /// How many dependency waves the run took (the graph's effective
     /// depth under this policy).
     pub waves: usize,
@@ -284,20 +365,58 @@ pub struct GraphRun<T> {
     pub stats: ChipStats,
 }
 
+/// Per-tenant meter deltas of one [`drive_multi`] round.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TenantDelta {
+    /// Busy stats of this tenant's completed jobs.
+    pub(crate) busy: ExecStats,
+    /// Jobs this tenant completed.
+    pub(crate) jobs: u64,
+    /// Simulated cycles this tenant's jobs spent ready-but-undispatched
+    /// (dispatch clock minus ready clock, summed over jobs).
+    pub(crate) wait_cycles: u64,
+    /// Cost hints this tenant dispatched — the fair-share usage currency.
+    pub(crate) cost_dispatched: u64,
+}
+
+/// Everything one multi-tenant round produces (the tenant-aware superset
+/// of [`GraphRun`], which [`drive`] projects down to).
+pub(crate) struct MultiRun<T> {
+    pub(crate) outputs: Vec<T>,
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) wave_of: Vec<usize>,
+    pub(crate) waves: usize,
+    pub(crate) idle_per_core: Vec<u64>,
+    pub(crate) stats: ChipStats,
+    pub(crate) per_tenant: Vec<TenantDelta>,
+}
+
 /// The deterministic coordinator: plan waves, dispatch buckets through
 /// `dispatch`, collect exactly one [`Done`] per dispatched job via
 /// `collect`, advance the simulated clock, release children. Backend
 /// agnostic — `dispatch`/`collect` hide whether workers are scoped
 /// borrows or persistent threads.
-pub(crate) fn drive<T>(
+///
+/// Tenant-aware: `tenant_of` maps each job to a tenant, and `usage` (the
+/// accumulated fair-share deficit counters, indexed like `weights`) is
+/// charged as jobs dispatch — in place, so [`Scheduler::FairShare`]'s
+/// quantum waves see usage evolve *within* the round and the counters
+/// carry across rounds. The quantum-capped policy leaves undispatched
+/// ready jobs in the ready set for later waves; the full-dispatch
+/// policies drain it every wave, exactly as before.
+#[allow(clippy::too_many_arguments)] // the coordinator's full context is the point
+pub(crate) fn drive_multi<T>(
     costs: &[u64],
     parents: &[Vec<usize>],
     children: &[Vec<usize>],
+    tenant_of: &[usize],
+    weights: &[u64],
+    usage: &mut [u64],
     sched: Scheduler,
     cores: usize,
     mut dispatch: impl FnMut(usize, usize),
     mut collect: impl FnMut() -> Done<T>,
-) -> Result<GraphRun<T>, SimError> {
+) -> Result<MultiRun<T>, SimError> {
     let n = costs.len();
     let priority = critical_paths(costs, children);
     let mut indegree: Vec<usize> = parents.iter().map(|p| p.len()).collect();
@@ -305,25 +424,40 @@ pub(crate) fn drive<T>(
 
     let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let mut assignment = vec![0usize; n];
+    let mut wave_of = vec![0usize; n];
+    let mut ready_clock = vec![0u64; n];
+    let mut in_wave = vec![false; n];
     let mut dispatch_slot = vec![(0usize, 0usize); n]; // (core, position in bucket)
     let mut per_core = vec![ExecStats::default(); cores];
     let mut jobs_per_core = vec![0u64; cores];
     let mut idle_per_core = vec![0u64; cores];
+    let mut per_tenant = vec![TenantDelta::default(); weights.len()];
     let mut makespan = 0u64;
     let mut waves = 0usize;
 
     while !ready.is_empty() {
-        waves += 1;
-        let buckets = plan_wave(sched, &ready, costs, &priority, cores);
+        let buckets = match sched {
+            Scheduler::FairShare => {
+                plan_wave_tenanted(&ready, costs, &priority, tenant_of, usage, weights, cores)
+            }
+            _ => plan_wave(sched, &ready, costs, &priority, cores),
+        };
         let mut dispatched = 0usize;
         for (core, bucket) in buckets.iter().enumerate() {
             for (pos, &j) in bucket.iter().enumerate() {
                 assignment[j] = core;
+                wave_of[j] = waves;
+                in_wave[j] = true;
                 dispatch_slot[j] = (core, pos);
+                let t = tenant_of[j];
+                per_tenant[t].wait_cycles += makespan - ready_clock[j];
+                per_tenant[t].cost_dispatched += costs[j].max(1);
+                usage[t] += costs[j].max(1);
                 dispatch(core, j);
                 dispatched += 1;
             }
         }
+        waves += 1;
 
         let mut wave_cycles = vec![0u64; cores];
         let mut completed: Vec<usize> = Vec::with_capacity(dispatched);
@@ -343,6 +477,9 @@ pub(crate) fn drive<T>(
                     wave_cycles[done.core] += delta.cycles;
                     per_core[done.core].merge(&delta);
                     jobs_per_core[done.core] += 1;
+                    let t = tenant_of[done.job];
+                    per_tenant[t].busy.merge(&delta);
+                    per_tenant[t].jobs += 1;
                     outputs[done.job] = Some(out);
                     completed.push(done.job);
                 }
@@ -377,11 +514,14 @@ pub(crate) fn drive<T>(
         }
         makespan += span;
 
-        let mut next: Vec<usize> = Vec::new();
+        // Undispatched ready jobs (the quantum-capped policy's backlog)
+        // stay ready; children released by this wave join them.
+        let mut next: Vec<usize> = ready.iter().copied().filter(|&j| !in_wave[j]).collect();
         for &j in &completed {
             for &child in &children[j] {
                 indegree[child] -= 1;
                 if indegree[child] == 0 {
+                    ready_clock[child] = makespan;
                     next.push(child);
                 }
             }
@@ -399,9 +539,10 @@ pub(crate) fn drive<T>(
         .enumerate()
         .map(|(j, o)| o.unwrap_or_else(|| panic!("job {j} never became ready (dangling parent?)")))
         .collect();
-    Ok(GraphRun {
+    Ok(MultiRun {
         outputs,
         assignment,
+        wave_of,
         waves,
         idle_per_core,
         stats: ChipStats {
@@ -410,13 +551,222 @@ pub(crate) fn drive<T>(
             makespan_cycles: makespan,
             aggregate,
         },
+        per_tenant,
     })
 }
 
-/// Messages down a worker's submission channel.
+/// Single-tenant projection of [`drive_multi`]: every job belongs to one
+/// anonymous tenant with fresh usage — what [`LacChip::run_graph`]
+/// (`crate::chip`) and [`LacService::submit`] drive.
+pub(crate) fn drive<T>(
+    costs: &[u64],
+    parents: &[Vec<usize>],
+    children: &[Vec<usize>],
+    sched: Scheduler,
+    cores: usize,
+    dispatch: impl FnMut(usize, usize),
+    collect: impl FnMut() -> Done<T>,
+) -> Result<GraphRun<T>, SimError> {
+    let tenant_of = vec![0usize; costs.len()];
+    let mut usage = [0u64];
+    let run = drive_multi(
+        costs,
+        parents,
+        children,
+        &tenant_of,
+        &[1],
+        &mut usage,
+        sched,
+        cores,
+        dispatch,
+        collect,
+    )?;
+    Ok(GraphRun {
+        outputs: run.outputs,
+        assignment: run.assignment,
+        wave_of: run.wave_of,
+        waves: run.waves,
+        idle_per_core: run.idle_per_core,
+        stats: run.stats,
+    })
+}
+
+/// Messages down a worker's submission channel. `job` indexes into
+/// `graph`; `tag` is the coordinator-side job id reported back in
+/// [`Done`] (they differ when a round interleaves several graphs).
 enum WorkerMsg<J> {
-    Run { graph: Arc<JobGraph<J>>, job: usize },
+    Run {
+        graph: Arc<JobGraph<J>>,
+        job: usize,
+        tag: usize,
+    },
     Shutdown,
+}
+
+/// A tenant of the multi-tenant service door: a client whose submissions
+/// are admitted, scheduled and metered separately. Ids are dense and
+/// ordered by [`LacService::add_tenant`] registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(usize);
+
+impl TenantId {
+    /// Position of the tenant in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Static per-tenant policy knobs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Display name (reports and error messages).
+    pub name: String,
+    /// Fair-share weight: under [`Scheduler::FairShare`] a tenant is
+    /// served in proportion to `weight` (a weight-2 tenant gets twice the
+    /// cost-hint share of a weight-1 tenant when both have work ready).
+    /// Zero is treated as 1.
+    pub weight: u64,
+    /// Admission budget: the maximum total cost hint this tenant may have
+    /// admitted-but-not-completed. [`LacService::enqueue`] rejects (with
+    /// deterministic backpressure) any graph that would exceed it. `None`
+    /// admits everything.
+    pub max_inflight_cost: Option<u64>,
+}
+
+impl TenantConfig {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            weight: 1,
+            max_inflight_cost: None,
+        }
+    }
+
+    pub fn with_weight(mut self, weight: u64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    pub fn with_admission_budget(mut self, max_inflight_cost: u64) -> Self {
+        self.max_inflight_cost = Some(max_inflight_cost);
+        self
+    }
+}
+
+/// Lifetime meters of one tenant, accumulated across every completed
+/// round — the per-tenant counterpart of the service-wide
+/// [`ServiceSession`]. Feed `busy` per tenant to
+/// `lac_power::ChipEnergyModel::attribute` (with the service clock as the
+/// wall) for per-tenant energy.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantSession {
+    /// Busy stats summed over this tenant's completed jobs.
+    pub busy: ExecStats,
+    /// Jobs completed.
+    pub jobs_run: u64,
+    /// Graphs admitted through [`LacService::enqueue`].
+    pub graphs_admitted: u64,
+    /// Admitted graphs that completed a round.
+    pub graphs_completed: u64,
+    /// Submissions bounced by admission control.
+    pub graphs_rejected: u64,
+    /// Cost currently admitted but not yet completed (what admission
+    /// control bounds).
+    pub inflight_cost: u64,
+    /// Completed cost hints — the fair-share usage counter the
+    /// [`Scheduler::FairShare`] deficit comparison normalizes by weight.
+    pub cost_completed: u64,
+    /// Simulated cycles this tenant's jobs sat ready-but-undispatched
+    /// (the scheduling delay the fair-share policy trades between
+    /// tenants).
+    pub wait_cycles: u64,
+}
+
+impl TenantSession {
+    /// Cycles this tenant's jobs actually simulated (the run side of
+    /// wait-vs-run).
+    pub fn run_cycles(&self) -> u64 {
+        self.busy.cycles
+    }
+
+    /// Completed cost hints per simulated kilocycle of `clock` — the
+    /// tenant's throughput over a service lifetime (use
+    /// [`ServiceSession::clock_cycles`]).
+    pub fn throughput_per_kcycle(&self, clock_cycles: u64) -> f64 {
+        if clock_cycles == 0 {
+            return 0.0;
+        }
+        self.cost_completed as f64 * 1000.0 / clock_cycles as f64
+    }
+}
+
+/// Receipt for one admitted graph: which tenant, and where in the
+/// service-wide admission order it sits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphTicket {
+    pub tenant: TenantId,
+    /// Service-wide admission sequence number (dense, starting at 0).
+    pub seq: u64,
+}
+
+/// Deterministic backpressure: the graph bounced off the tenant's
+/// admission budget and is handed back untouched for a later retry
+/// (typically after [`LacService::run_admitted`] drains in-flight cost).
+pub struct Rejected<J> {
+    /// The submission, returned to the caller.
+    pub graph: JobGraph<J>,
+    pub tenant: TenantId,
+    /// Total cost hint of the rejected graph.
+    pub graph_cost: u64,
+    /// The tenant's admitted-but-uncompleted cost at rejection time.
+    pub inflight_cost: u64,
+    /// The budget that was exceeded.
+    pub budget: u64,
+}
+
+impl<J> std::fmt::Debug for Rejected<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rejected")
+            .field("tenant", &self.tenant)
+            .field("graph_cost", &self.graph_cost)
+            .field("inflight_cost", &self.inflight_cost)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One admitted graph waiting for the next round.
+struct PendingGraph<J> {
+    ticket: GraphTicket,
+    graph: JobGraph<J>,
+    cost: u64,
+}
+
+/// One graph's slice of a completed round.
+#[derive(Clone, Debug)]
+pub struct GraphCompletion<T> {
+    pub ticket: GraphTicket,
+    /// One output per job, indexed by the graph's [`JobId::index`].
+    pub outputs: Vec<T>,
+    /// Which core ran each job.
+    pub assignment: Vec<usize>,
+    /// Which round wave (0-based) dispatched each job.
+    pub wave_of: Vec<usize>,
+}
+
+/// Everything one [`LacService::run_admitted`] round produces: per-graph
+/// completions in admission order, plus the round-wide schedule meters.
+#[derive(Clone, Debug)]
+pub struct ServiceRound<T> {
+    /// Completed graphs, in admission (ticket) order.
+    pub graphs: Vec<GraphCompletion<T>>,
+    /// Dependency waves the interleaved round took.
+    pub waves: usize,
+    /// Per-core dependency-stall cycles (`busy + idle = makespan`).
+    pub idle_per_core: Vec<u64>,
+    /// Merged busy breakdown; `makespan_cycles` is the round's simulated
+    /// span with every admitted graph interleaved.
+    pub stats: ChipStats,
 }
 
 /// Lifetime meters of a [`LacService`], accumulated across every
@@ -474,6 +824,9 @@ pub struct LacService<J: ChipJob + 'static> {
     handles: Vec<JoinHandle<()>>,
     abort: Arc<AtomicBool>,
     session: ServiceSession,
+    tenants: Vec<(TenantConfig, TenantSession)>,
+    pending: Vec<PendingGraph<J>>,
+    next_seq: u64,
 }
 
 impl<J: ChipJob + 'static> LacService<J> {
@@ -512,6 +865,9 @@ impl<J: ChipJob + 'static> LacService<J> {
                 clock_cycles: 0,
                 graphs_run: 0,
             },
+            tenants: Vec::new(),
+            pending: Vec::new(),
+            next_seq: 0,
         }
     }
 
@@ -553,6 +909,7 @@ impl<J: ChipJob + 'static> LacService<J> {
                     .send(WorkerMsg::Run {
                         graph: Arc::clone(&graph),
                         job,
+                        tag: job,
                     })
                     .expect("service worker hung up");
             },
@@ -565,6 +922,268 @@ impl<J: ChipJob + 'static> LacService<J> {
         self.session.clock_cycles += run.stats.makespan_cycles;
         self.session.graphs_run += 1;
         Ok(run)
+    }
+
+    /// Register a tenant on the multi-tenant submission door. Tenants are
+    /// permanent for the service's lifetime; their ids index
+    /// [`LacService::tenant_session`] and the fair-share deficit counters.
+    pub fn add_tenant(&mut self, cfg: TenantConfig) -> TenantId {
+        let id = TenantId(self.tenants.len());
+        self.tenants.push((cfg, TenantSession::default()));
+        id
+    }
+
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn tenant_config(&self, t: TenantId) -> &TenantConfig {
+        &self.tenants[t.0].0
+    }
+
+    /// The tenant's lifetime meters (updated only by completed rounds).
+    pub fn tenant_session(&self, t: TenantId) -> &TenantSession {
+        &self.tenants[t.0].1
+    }
+
+    /// Every tenant's busy stats in registration order — the shape
+    /// `lac_power::ChipEnergyModel::attribute` prices.
+    pub fn tenant_busy_stats(&self) -> Vec<ExecStats> {
+        self.tenants.iter().map(|(_, s)| s.busy).collect()
+    }
+
+    /// Graphs admitted and waiting for the next [`LacService::run_admitted`].
+    pub fn pending_graphs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total admitted-but-unrun cost currently queued, across tenants.
+    pub fn pending_cost(&self) -> u64 {
+        self.pending.iter().map(|p| p.cost).sum()
+    }
+
+    /// Submit a graph through tenant `t`'s admission door.
+    ///
+    /// Admission is *deterministic backpressure*: the graph's total cost
+    /// hint is charged against the tenant's in-flight budget
+    /// ([`TenantConfig::max_inflight_cost`]); if it does not fit, the
+    /// graph is handed back in [`Rejected`] — a pure function of the
+    /// enqueue/run history, never of host timing — and the tenant's
+    /// rejection counter bumps. Admitted graphs wait (order-tagged by
+    /// [`GraphTicket::seq`]) for the next [`LacService::run_admitted`]
+    /// round; in-flight cost drains when their round completes.
+    pub fn enqueue(&mut self, t: TenantId, graph: JobGraph<J>) -> Result<GraphTicket, Rejected<J>> {
+        let cost = graph.total_cost();
+        let (cfg, session) = &mut self.tenants[t.0];
+        if let Some(budget) = cfg.max_inflight_cost {
+            if session.inflight_cost + cost > budget {
+                session.graphs_rejected += 1;
+                return Err(Rejected {
+                    graph,
+                    tenant: t,
+                    graph_cost: cost,
+                    inflight_cost: session.inflight_cost,
+                    budget,
+                });
+            }
+        }
+        session.inflight_cost += cost;
+        session.graphs_admitted += 1;
+        let ticket = GraphTicket {
+            tenant: t,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.pending.push(PendingGraph {
+            ticket,
+            graph,
+            cost,
+        });
+        Ok(ticket)
+    }
+
+    /// Run every admitted graph to completion in one interleaved round:
+    /// the graphs are fused into a single dependency pool (edges never
+    /// cross graphs) and scheduled wave-by-wave under `sched`, so one
+    /// tenant's fan-out fills the dependency stalls of another's serial
+    /// spine. Under [`Scheduler::FairShare`] each wave hands out at most
+    /// one job per core, picking by weight-normalized accumulated usage —
+    /// the deficits persist in [`TenantSession::cost_completed`], so
+    /// fairness holds across rounds, not just within one. Banked credit
+    /// is capped at the tenant's own backlog (the deficit-round-robin
+    /// rule of resetting an empty queue's counter): a tenant cannot sit
+    /// idle for a long time and then starve the others indefinitely — it
+    /// may clear at most its current pending cost before they resume.
+    ///
+    /// On success the round folds into the service session (its makespan
+    /// advances the service clock once — the graphs ran concurrently) and
+    /// into each tenant's [`TenantSession`]; admitted cost drains. On a
+    /// simulation error the earliest observed failure is returned (see
+    /// [`LacService::submit`]), the round's graphs are dropped, their
+    /// in-flight cost drains, and neither the service session nor the
+    /// tenant meters advance — `Err` means "the round did not complete".
+    pub fn run_admitted(&mut self, sched: Scheduler) -> Result<ServiceRound<J::Output>, SimError> {
+        let pending = std::mem::take(&mut self.pending);
+        let cores = self.txs.len();
+        if pending.is_empty() {
+            return Ok(ServiceRound {
+                graphs: Vec::new(),
+                waves: 0,
+                idle_per_core: vec![0; cores],
+                stats: ChipStats {
+                    per_core: vec![ExecStats::default(); cores],
+                    jobs_per_core: vec![0; cores],
+                    makespan_cycles: 0,
+                    aggregate: ExecStats::default(),
+                },
+            });
+        }
+        self.abort.store(false, Ordering::Relaxed);
+
+        // Fuse the admitted graphs into one job pool with per-job tenant
+        // tags; offsets recover each graph's slice afterwards.
+        let mut costs = Vec::new();
+        let mut parents: Vec<Vec<usize>> = Vec::new();
+        let mut children: Vec<Vec<usize>> = Vec::new();
+        let mut tenant_of = Vec::new();
+        let mut owner = Vec::new(); // global job -> (graph index, local job)
+        let mut tickets = Vec::with_capacity(pending.len());
+        let mut graph_costs = Vec::with_capacity(pending.len());
+        let mut graphs: Vec<Arc<JobGraph<J>>> = Vec::with_capacity(pending.len());
+        for (g, p) in pending.into_iter().enumerate() {
+            let offset = costs.len();
+            tickets.push(p.ticket);
+            graph_costs.push(p.cost);
+            costs.extend(p.graph.jobs.iter().map(|j| j.cost_hint()));
+            parents.extend(
+                p.graph
+                    .parents
+                    .iter()
+                    .map(|ps| ps.iter().map(|&j| j + offset).collect::<Vec<_>>()),
+            );
+            children.extend(
+                p.graph
+                    .children
+                    .iter()
+                    .map(|cs| cs.iter().map(|&j| j + offset).collect::<Vec<_>>()),
+            );
+            tenant_of.extend(std::iter::repeat_n(p.ticket.tenant.0, p.graph.jobs.len()));
+            owner.extend((0..p.graph.jobs.len()).map(|local| (g, local)));
+            graphs.push(Arc::new(p.graph));
+        }
+
+        let weights: Vec<u64> = self.tenants.iter().map(|(c, _)| c.weight.max(1)).collect();
+        let mut usage: Vec<u64> = self.tenants.iter().map(|(_, s)| s.cost_completed).collect();
+
+        // Cap banked deficit credit at the tenant's own backlog — the
+        // deficit-round-robin "reset on an empty queue" rule, adapted to
+        // rounds: a tenant that sat idle while others accumulated usage
+        // may be served at most its current pending cost before the
+        // others resume. Without the floor a long-idle tenant's credit
+        // would grant it unbounded priority across rounds. The floor is
+        // recomputed per round from the live meters (which stay
+        // truthful), so it is still a pure function of the enqueue/run
+        // history.
+        let mut backlog = vec![0u64; self.tenants.len()];
+        for (g, &cost) in graph_costs.iter().enumerate() {
+            backlog[tickets[g].tenant.0] += cost;
+        }
+        let busiest = (0..self.tenants.len())
+            .filter(|&t| backlog[t] > 0)
+            .max_by(|&a, &b| {
+                (usage[a] as u128 * weights[b] as u128)
+                    .cmp(&(usage[b] as u128 * weights[a] as u128))
+            });
+        if let Some(m) = busiest {
+            for t in 0..self.tenants.len() {
+                if backlog[t] == 0 {
+                    continue;
+                }
+                let target = (usage[m] as u128 * weights[t] as u128)
+                    .div_ceil(weights[m] as u128)
+                    .min(u64::MAX as u128) as u64;
+                usage[t] = usage[t].max(target.saturating_sub(backlog[t]));
+            }
+        }
+
+        let txs = &self.txs;
+        let done_rx = &self.done_rx;
+        let run = drive_multi(
+            &costs,
+            &parents,
+            &children,
+            &tenant_of,
+            &weights,
+            &mut usage,
+            sched,
+            cores,
+            |core, job| {
+                let (g, local) = owner[job];
+                txs[core]
+                    .send(WorkerMsg::Run {
+                        graph: Arc::clone(&graphs[g]),
+                        job: local,
+                        tag: job,
+                    })
+                    .expect("service worker hung up");
+            },
+            || done_rx.recv().expect("service worker hung up"),
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => {
+                // The round is gone; its admitted cost must not pin the
+                // tenants' budgets forever.
+                for (g, &cost) in graph_costs.iter().enumerate() {
+                    self.tenants[tickets[g].tenant.0].1.inflight_cost -= cost;
+                }
+                return Err(e);
+            }
+        };
+
+        // Fold the round into the service session (one clock advance — the
+        // graphs ran interleaved) and the per-tenant meters.
+        for c in 0..cores {
+            self.session.per_core[c].merge(&run.stats.per_core[c]);
+            self.session.jobs_per_core[c] += run.stats.jobs_per_core[c];
+        }
+        self.session.clock_cycles += run.stats.makespan_cycles;
+        self.session.graphs_run += graphs.len() as u64;
+        for (t, delta) in run.per_tenant.iter().enumerate() {
+            let session = &mut self.tenants[t].1;
+            session.busy.merge(&delta.busy);
+            session.jobs_run += delta.jobs;
+            session.wait_cycles += delta.wait_cycles;
+            session.cost_completed += delta.cost_dispatched;
+        }
+        for (g, &cost) in graph_costs.iter().enumerate() {
+            let session = &mut self.tenants[tickets[g].tenant.0].1;
+            session.inflight_cost -= cost;
+            session.graphs_completed += 1;
+        }
+
+        // Slice the fused outputs back into per-graph completions.
+        let mut completions: Vec<GraphCompletion<J::Output>> = tickets
+            .iter()
+            .map(|&ticket| GraphCompletion {
+                ticket,
+                outputs: Vec::new(),
+                assignment: Vec::new(),
+                wave_of: Vec::new(),
+            })
+            .collect();
+        for (job, out) in run.outputs.into_iter().enumerate() {
+            let (g, _) = owner[job];
+            completions[g].outputs.push(out);
+            completions[g].assignment.push(run.assignment[job]);
+            completions[g].wave_of.push(run.wave_of[job]);
+        }
+        Ok(ServiceRound {
+            graphs: completions,
+            waves: run.waves,
+            idle_per_core: run.idle_per_core,
+            stats: run.stats,
+        })
     }
 
     /// Model a gap between batches: the chip sits powered but idle for
@@ -600,9 +1219,16 @@ fn service_worker<J: ChipJob>(
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Run { graph, job } => {
+            WorkerMsg::Run { graph, job, tag } => {
                 let outcome = run_one(&mut eng, &graph.jobs[job], &abort);
-                if tx.send(Done { core, job, outcome }).is_err() {
+                if tx
+                    .send(Done {
+                        core,
+                        job: tag,
+                        outcome,
+                    })
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -669,6 +1295,7 @@ mod tests {
             Scheduler::Fifo,
             Scheduler::LeastLoaded,
             Scheduler::CriticalPath,
+            Scheduler::FairShare,
         ] {
             let buckets = plan_wave(sched, &[0, 1, 2, 3, 4], &costs, &costs, 3);
             assert!(
@@ -679,6 +1306,265 @@ mod tests {
             let buckets = plan_wave(sched, &[0, 1], &costs, &costs, 3);
             assert!(buckets.iter().all(|b| b.len() <= 1), "{sched:?} hoarded");
         }
+        // The streaming quantum: FairShare never queues two jobs on one
+        // core in a single wave.
+        let buckets = plan_wave(Scheduler::FairShare, &[0, 1, 2, 3, 4], &costs, &costs, 3);
+        assert!(buckets.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn fair_share_planner_interleaves_tenants_within_a_wave() {
+        // Tenant 0 owns jobs {0,1,2}, tenant 1 owns {3,4,5}; equal usage
+        // and weights, equal costs. The hungriest tenant must not take
+        // every slot: picks alternate as local usage is charged.
+        let costs = [1u64; 6];
+        let tenant_of = [0, 0, 0, 1, 1, 1];
+        let buckets = plan_wave_tenanted(
+            &[0, 1, 2, 3, 4, 5],
+            &costs,
+            &costs,
+            &tenant_of,
+            &[0, 0],
+            &[1, 1],
+            4,
+        );
+        let picked: Vec<usize> = buckets.iter().flatten().copied().collect();
+        assert_eq!(picked, vec![0, 3, 1, 4], "deficit picks alternate tenants");
+        // A tenant with triple weight gets three slots to the other's one.
+        let buckets = plan_wave_tenanted(
+            &[0, 1, 2, 3, 4, 5],
+            &costs,
+            &costs,
+            &tenant_of,
+            &[0, 0],
+            &[1, 3],
+            4,
+        );
+        let t1_share = buckets
+            .iter()
+            .flatten()
+            .filter(|&&j| tenant_of[j] == 1)
+            .count();
+        assert_eq!(t1_share, 3, "weight-3 tenant takes 3 of 4 quantum slots");
+    }
+
+    #[test]
+    fn single_tenant_fair_share_matches_critical_path_outputs() {
+        // The degradation guarantee: with one tenant every deficit is
+        // equal, so FairShare picks in critical-path order and the
+        // outputs (placement-independent by the determinism invariant)
+        // are bit-identical to CriticalPath's.
+        let build = || -> JobGraph<ProgramJob> {
+            let mut g = JobGraph::new();
+            let a = g.add(job(0, 9));
+            let b = g.add_after(job(3, 2), &[a]);
+            let c = g.add_after(job(1, 7), &[a]);
+            for i in 0..4 {
+                g.add_after(job(i, 1 + i as u64), &[b, c]);
+            }
+            g
+        };
+        let mut chip_fs = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let fs = chip_fs.run_graph(&build(), Scheduler::FairShare).unwrap();
+        let mut chip_cp = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        let cp = chip_cp
+            .run_graph(&build(), Scheduler::CriticalPath)
+            .unwrap();
+        assert_eq!(fs.outputs, cp.outputs);
+        // And the quantum cap shows in the wave structure: FairShare
+        // needs at least as many waves (one job per core per wave).
+        assert!(fs.waves >= cp.waves);
+    }
+
+    #[test]
+    fn multi_tenant_round_interleaves_and_meters() {
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let alice = svc.add_tenant(TenantConfig::new("alice"));
+        let bob = svc.add_tenant(TenantConfig::new("bob"));
+        let flat = |salt: usize| -> JobGraph<ProgramJob> {
+            (0..4).map(|i| job(salt + i, 1 + i as u64)).collect()
+        };
+        let ta = svc.enqueue(alice, flat(0)).unwrap();
+        let tb = svc.enqueue(bob, flat(8)).unwrap();
+        assert_eq!((ta.seq, tb.seq), (0, 1));
+        assert_eq!(svc.pending_graphs(), 2);
+
+        let round = svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(svc.pending_graphs(), 0);
+        assert_eq!(round.graphs.len(), 2);
+        assert_eq!(round.graphs[0].ticket, ta);
+        // Per-graph outputs are bit-identical to a dedicated single-tenant
+        // service running the same graph (outputs are placement-free).
+        let mut solo: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let solo_run = solo.submit(flat(8), Scheduler::FairShare).unwrap();
+        assert_eq!(round.graphs[1].outputs, solo_run.outputs);
+
+        // Meters: the round advanced the service clock once, and the
+        // tenants partition the busy work.
+        assert_eq!(svc.session().graphs_run, 2);
+        assert_eq!(svc.session().clock_cycles, round.stats.makespan_cycles);
+        let (a, b) = (svc.tenant_session(alice), svc.tenant_session(bob));
+        assert_eq!(a.jobs_run + b.jobs_run, 8);
+        assert_eq!(a.graphs_completed, 1);
+        assert_eq!(a.inflight_cost, 0, "completed cost drained");
+        assert_eq!(a.cost_completed + b.cost_completed, 2 * (1 + 2 + 3 + 4));
+        let mut busy_sum = ExecStats::default();
+        busy_sum.merge(&a.busy);
+        busy_sum.merge(&b.busy);
+        assert_eq!(busy_sum, round.stats.aggregate);
+        // Wait-vs-run: on 2 cores with 8 unit-quantum jobs somebody waited.
+        assert!(a.wait_cycles + b.wait_cycles > 0);
+        assert_eq!(a.run_cycles(), a.busy.cycles);
+
+        // Rerun the identical admission sequence on a fresh service: the
+        // round is bit-identical (schedule, stats, outputs).
+        let mut svc2: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let a2 = svc2.add_tenant(TenantConfig::new("alice"));
+        let b2 = svc2.add_tenant(TenantConfig::new("bob"));
+        svc2.enqueue(a2, flat(0)).unwrap();
+        svc2.enqueue(b2, flat(8)).unwrap();
+        let round2 = svc2.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(round.stats, round2.stats);
+        assert_eq!(round.waves, round2.waves);
+        for (g1, g2) in round.graphs.iter().zip(&round2.graphs) {
+            assert_eq!(g1.outputs, g2.outputs);
+            assert_eq!(g1.assignment, g2.assignment);
+            assert_eq!(g1.wave_of, g2.wave_of);
+        }
+    }
+
+    #[test]
+    fn admission_backpressure_is_deterministic_and_hands_the_graph_back() {
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let t = svc.add_tenant(TenantConfig::new("bounded").with_admission_budget(10));
+        let graph =
+            |costs: &[u64]| -> JobGraph<ProgramJob> { costs.iter().map(|&c| job(0, c)).collect() };
+        assert_eq!(graph(&[4, 3]).total_cost(), 7);
+        svc.enqueue(t, graph(&[4, 3])).unwrap();
+        // 7 in flight, budget 10: a cost-4 graph must bounce…
+        let rejected = svc.enqueue(t, graph(&[2, 2])).unwrap_err();
+        assert_eq!(rejected.graph_cost, 4);
+        assert_eq!(rejected.inflight_cost, 7);
+        assert_eq!(rejected.budget, 10);
+        assert_eq!(rejected.graph.len(), 2, "the graph comes back intact");
+        // …while a cost-3 one still fits.
+        svc.enqueue(t, graph(&[3])).unwrap();
+        assert_eq!(svc.tenant_session(t).graphs_rejected, 1);
+        assert_eq!(svc.tenant_session(t).inflight_cost, 10);
+
+        // Draining the round frees the budget; the bounced graph retries
+        // successfully — backpressure, not denial.
+        svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(svc.tenant_session(t).inflight_cost, 0);
+        svc.enqueue(t, rejected.graph).unwrap();
+        let round = svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(round.graphs.len(), 1);
+        assert_eq!(svc.tenant_session(t).graphs_completed, 3);
+    }
+
+    #[test]
+    fn fair_share_deficits_carry_across_rounds() {
+        // Round 1: only alice runs, building up usage. Round 2: both
+        // tenants submit — bob (zero usage) must be served first.
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        let alice = svc.add_tenant(TenantConfig::new("alice"));
+        let bob = svc.add_tenant(TenantConfig::new("bob"));
+        let flat = || -> JobGraph<ProgramJob> { (0..3).map(|i| job(i, 5)).collect() };
+        svc.enqueue(alice, flat()).unwrap();
+        svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(svc.tenant_session(alice).cost_completed, 15);
+
+        svc.enqueue(alice, flat()).unwrap();
+        svc.enqueue(bob, flat()).unwrap();
+        let round = svc.run_admitted(Scheduler::FairShare).unwrap();
+        // On one core the wave order is the pick order: bob's three jobs
+        // must all dispatch before alice's first (bob trails by 15 cost).
+        let alice_first = round.graphs[0].wave_of.iter().min().unwrap();
+        let bob_last = round.graphs[1].wave_of.iter().max().unwrap();
+        assert!(
+            bob_last < alice_first,
+            "bob (deficit 15) must be served before alice resumes"
+        );
+    }
+
+    #[test]
+    fn idle_credit_is_capped_at_own_backlog() {
+        // alice and carol build up usage (100 and 60) while bob sits
+        // idle. When bob finally submits, his banked credit is floored to
+        // (busiest normalized usage − his backlog) = 100 − 30 = 70, so
+        // carol (60) is served first — bob cannot convert indefinite
+        // idleness into front-of-every-queue priority, only into
+        // clearing his own backlog early.
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        let alice = svc.add_tenant(TenantConfig::new("alice"));
+        let bob = svc.add_tenant(TenantConfig::new("bob"));
+        let carol = svc.add_tenant(TenantConfig::new("carol"));
+        let flat = |jobs: usize, cost: u64| -> JobGraph<ProgramJob> {
+            (0..jobs).map(|i| job(i, cost)).collect()
+        };
+        svc.enqueue(alice, flat(4, 25)).unwrap();
+        svc.enqueue(carol, flat(2, 30)).unwrap();
+        svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(svc.tenant_session(alice).cost_completed, 100);
+        assert_eq!(svc.tenant_session(carol).cost_completed, 60);
+
+        svc.enqueue(alice, flat(1, 10)).unwrap();
+        svc.enqueue(carol, flat(1, 30)).unwrap();
+        svc.enqueue(bob, flat(1, 30)).unwrap();
+        let round = svc.run_admitted(Scheduler::FairShare).unwrap();
+        // One core, one job per wave: pick order is wave order. Floored
+        // usages are alice 100, carol 60, bob 70 → carol, bob, alice.
+        assert_eq!(round.graphs[1].wave_of, vec![0], "carol first (60)");
+        assert_eq!(round.graphs[2].wave_of, vec![1], "bob capped to 70");
+        assert_eq!(round.graphs[0].wave_of, vec![2], "alice last (100)");
+        // The cap never inflates the truthful meter.
+        assert_eq!(svc.tenant_session(bob).cost_completed, 30);
+    }
+
+    #[test]
+    fn empty_round_is_a_noop() {
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        svc.add_tenant(TenantConfig::new("idle"));
+        let round = svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(round.graphs.len(), 0);
+        assert_eq!(round.waves, 0);
+        assert_eq!(round.stats.makespan_cycles, 0);
+        assert_eq!(svc.session().graphs_run, 0);
+    }
+
+    #[test]
+    fn failed_round_drains_inflight_but_not_sessions() {
+        let bad = {
+            let mut b = ProgramBuilder::new(LacConfig::default().nr);
+            let t = b.push_step();
+            b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
+            ProgramJob::new(b.build())
+        };
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let t = svc.add_tenant(TenantConfig::new("unlucky").with_admission_budget(100));
+        let mut g = JobGraph::new();
+        let a = g.add(job(0, 1));
+        g.add_after(bad, &[a]);
+        svc.enqueue(t, g).unwrap();
+        svc.run_admitted(Scheduler::FairShare).unwrap_err();
+        let s = svc.tenant_session(t);
+        assert_eq!(s.inflight_cost, 0, "a failed round frees the budget");
+        assert_eq!(s.graphs_completed, 0);
+        assert_eq!(s.jobs_run, 0, "tenant meters only advance on success");
+        assert_eq!(svc.session().graphs_run, 0);
+        // The service recovers.
+        let ok: JobGraph<ProgramJob> = (0..4).map(|i| job(i, 1)).collect();
+        svc.enqueue(t, ok).unwrap();
+        let round = svc.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(round.graphs[0].outputs.len(), 4);
     }
 
     #[test]

@@ -17,14 +17,30 @@ use lap::lac_sim::{ExtOp, ProgramBuilder, Source};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
 
+/// The full-dispatch policies (every wave drains the ready set — what the
+/// wave-planning work-conservation shape assumes). The quantum-capped
+/// `FairShare` joins [`ALL_POLICIES`] for the policy-independent
+/// invariants; its own planner properties live in
+/// `tests/service_props.rs`.
 const POLICIES: [Scheduler; 3] = [
     Scheduler::Fifo,
     Scheduler::LeastLoaded,
     Scheduler::CriticalPath,
 ];
 
+const ALL_POLICIES: [Scheduler; 4] = [
+    Scheduler::Fifo,
+    Scheduler::LeastLoaded,
+    Scheduler::CriticalPath,
+    Scheduler::FairShare,
+];
+
 fn policy(which: u8) -> Scheduler {
     POLICIES[which as usize % 3]
+}
+
+fn any_policy(which: u8) -> Scheduler {
+    ALL_POLICIES[which as usize % 4]
 }
 
 fn mac_job(extra: usize) -> ProgramJob {
@@ -121,7 +137,7 @@ proptest! {
     ) {
         let (graph, edges, log) = random_dag(&extras, &seeds);
         let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
-        let run = chip.run_graph(&graph, policy(which)).unwrap();
+        let run = chip.run_graph(&graph, any_policy(which)).unwrap();
 
         // Exactly once.
         prop_assert_eq!(run.outputs.len(), extras.len());
@@ -165,7 +181,7 @@ proptest! {
         cores in 1usize..=4,
     ) {
         let mut baseline: Option<Vec<ExecStats>> = None;
-        for sched in POLICIES {
+        for sched in ALL_POLICIES {
             // Scoped-chip backend…
             let (graph, _, _) = random_dag(&extras, &seeds);
             let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));

@@ -55,7 +55,15 @@ proptest! {
         cores in 1usize..=12,
         which in any::<u8>(),
     ) {
-        let assign = policy(which).assign(&costs, cores);
+        // All four policies, including the quantum-capped FairShare whose
+        // assign() loops waves until the queue drains.
+        let sched = match which % 4 {
+            0 => Scheduler::Fifo,
+            1 => Scheduler::LeastLoaded,
+            2 => Scheduler::CriticalPath,
+            _ => Scheduler::FairShare,
+        };
+        let assign = sched.assign(&costs, cores);
         prop_assert_eq!(assign.len(), costs.len(), "every job placed exactly once");
         prop_assert!(assign.iter().all(|&c| c < cores), "cores in range");
     }
