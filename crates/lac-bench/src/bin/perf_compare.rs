@@ -28,7 +28,7 @@ use std::process::ExitCode;
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 /// Fields that identify a point within its benchmark file.
-const IDENTITY_FIELDS: [&str; 5] = ["bench", "tenants", "cores", "rounds", "policy"];
+const IDENTITY_FIELDS: [&str; 6] = ["bench", "chips", "tenants", "cores", "rounds", "policy"];
 
 fn identity(point: &Json) -> String {
     let mut key = String::new();

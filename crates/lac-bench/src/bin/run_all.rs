@@ -60,6 +60,7 @@ fn is_generator_name(n: &str) -> bool {
         || n.starts_with("table")
         || n.starts_with("sec")
         || n.starts_with("chip")
+        || n.starts_with("cluster")
         || n.starts_with("solver")
         || n.starts_with("service")
 }
@@ -70,7 +71,7 @@ fn is_generator_name(n: &str) -> bool {
 /// list (unlike bin discovery) because probing would mean extra runs;
 /// extend it when a bin gains the flag.
 fn emits_json(n: &str) -> bool {
-    n == "chip_scaling" || n == "solver_loop" || n == "service_throughput"
+    n == "chip_scaling" || n == "cluster_scaling" || n == "solver_loop" || n == "service_throughput"
 }
 
 /// Generator binaries built next to this one (no hard-coded list).

@@ -7,7 +7,7 @@
 //! one SFU pass per iteration, exactly the dependency chain the paper counts
 //! as `2p(nr−1) + q·nr` cycles.
 //!
-//! [`blocked_cholesky_run`] composes it with the stacked TRSM and negated
+//! `blocked_cholesky_run` composes it with the stacked TRSM and negated
 //! SYRK kernels into the right-looking blocked algorithm (Chol → TRSM →
 //! SYRK) the dissertation maps across the memory hierarchy.
 
@@ -20,6 +20,7 @@ use linalg_ref::Matrix;
 /// Report of a Cholesky kernel run.
 #[derive(Clone, Debug)]
 pub struct CholReport {
+    /// Event counters of the run.
     pub stats: ExecStats,
 }
 
@@ -227,18 +228,6 @@ pub(crate) fn blocked_cholesky_run(
         work.set_block(r0 + nr, r0 + nr, &sym);
     }
     Ok((work.tril(), total))
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `CholKernelWorkload` on a `LacEngine`")]
-pub fn run_cholesky_kernel(lac: &mut Lac, mem: &mut ExternalMem) -> Result<CholReport, SimError> {
-    cholesky_kernel_run(lac, mem)
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `BlockedCholWorkload` on a `LacEngine`")]
-pub fn run_blocked_cholesky(lac: &mut Lac, a: &Matrix) -> Result<(Matrix, ExecStats), SimError> {
-    blocked_cholesky_run(lac, a)
 }
 
 #[cfg(test)]

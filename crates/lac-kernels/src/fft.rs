@@ -23,6 +23,7 @@ use std::f64::consts::PI;
 /// Report of a 64-point FFT run.
 #[derive(Clone, Debug)]
 pub struct Fft64Report {
+    /// Event counters of the run.
     pub stats: ExecStats,
     /// FMA operations issued per butterfly stage ≈ the paper's 24-FMA
     /// optimized butterfly plus the add layers.
@@ -388,12 +389,6 @@ pub(crate) fn fft64_run(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Rep
         stats,
         fma_per_pe: stats.fma_ops / 16,
     })
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `Fft64Workload` on a `LacEngine`")]
-pub fn run_fft64(lac: &mut Lac, mem: &mut ExternalMem) -> Result<Fft64Report, SimError> {
-    fft64_run(lac, mem)
 }
 
 #[cfg(test)]

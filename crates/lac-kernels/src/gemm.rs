@@ -18,8 +18,11 @@ use lac_sim::{ExecStats, ExtOp, Lac, Program, ProgramBuilder, SimError, Source};
 /// Parameters for a GEMM inner-kernel run.
 #[derive(Clone, Copy, Debug)]
 pub struct GemmParams {
+    /// Row-panel height (rows of `A` and `C`).
     pub mc: usize,
+    /// Panel depth (columns of `A`, rows of `B`).
     pub kc: usize,
+    /// Output width (columns of `B` and `C`).
     pub n: usize,
     /// Use the overlapped (register-double-buffered) schedule.
     pub overlap: bool,
@@ -36,6 +39,7 @@ impl Default for GemmParams {
 }
 
 impl GemmParams {
+    /// The overlapped (register-double-buffered) schedule.
     pub fn new(mc: usize, kc: usize, n: usize) -> Self {
         Self {
             mc,
@@ -46,6 +50,7 @@ impl GemmParams {
         }
     }
 
+    /// The naive (non-overlapped) schedule — the §3.3 baseline.
     pub fn simple(mc: usize, kc: usize, n: usize) -> Self {
         Self {
             mc,
@@ -60,6 +65,7 @@ impl GemmParams {
 /// Result of a GEMM kernel run.
 #[derive(Clone, Debug)]
 pub struct GemmReport {
+    /// Event counters of the run.
     pub stats: ExecStats,
     /// Useful MAC operations (`mc · kc · n`).
     pub useful_macs: u64,
@@ -394,17 +400,6 @@ pub(crate) fn gemm_run(
         useful_macs: useful,
         utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
     })
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `GemmWorkload` on a `LacEngine`")]
-pub fn run_gemm(
-    lac: &mut Lac,
-    mem: &mut lac_sim::ExternalMem,
-    lay: &GemmDataLayout,
-    params: &GemmParams,
-) -> Result<GemmReport, SimError> {
-    gemm_run(lac, mem, lay, params)
 }
 
 #[cfg(test)]

@@ -11,12 +11,17 @@ use linalg_ref::Matrix;
 /// Round-robin layout of an `mc × kc` block of `A` over an `nr × nr` mesh.
 #[derive(Clone, Copy, Debug)]
 pub struct ALayout {
+    /// Block height, rows.
     pub mc: usize,
+    /// Block depth, columns.
     pub kc: usize,
+    /// Mesh dimension.
     pub nr: usize,
 }
 
 impl ALayout {
+    /// Lay an `mc × kc` block over an `nr × nr` mesh (dimensions must
+    /// be multiples of `nr`).
     pub fn new(mc: usize, kc: usize, nr: usize) -> Self {
         assert!(
             mc.is_multiple_of(nr) && kc.is_multiple_of(nr),
@@ -45,15 +50,22 @@ impl ALayout {
 /// (`C(mc×n) += A(mc×kc) · B(kc×n)`), all column-major.
 #[derive(Clone, Copy, Debug)]
 pub struct GemmDataLayout {
+    /// Row-panel height.
     pub mc: usize,
+    /// Panel depth.
     pub kc: usize,
+    /// Output width.
     pub n: usize,
+    /// Word offset of `A` in the image.
     pub a_off: usize,
+    /// Word offset of `B` in the image.
     pub b_off: usize,
+    /// Word offset of `C` in the image.
     pub c_off: usize,
 }
 
 impl GemmDataLayout {
+    /// Pack `A`, then `B`, then `C` back to back from offset 0.
     pub fn new(mc: usize, kc: usize, n: usize) -> Self {
         let a_off = 0;
         let b_off = a_off + mc * kc;
@@ -68,20 +80,24 @@ impl GemmDataLayout {
         }
     }
 
+    /// Size of the whole working-set image, words.
     pub fn total_words(&self) -> usize {
         self.c_off + self.mc * self.n
     }
 
+    /// Image address of `A(i, p)`.
     pub fn a_addr(&self, i: usize, p: usize) -> usize {
         debug_assert!(i < self.mc && p < self.kc);
         self.a_off + p * self.mc + i
     }
 
+    /// Image address of `B(p, j)`.
     pub fn b_addr(&self, p: usize, j: usize) -> usize {
         debug_assert!(p < self.kc && j < self.n);
         self.b_off + j * self.kc + p
     }
 
+    /// Image address of `C(i, j)`.
     pub fn c_addr(&self, i: usize, j: usize) -> usize {
         debug_assert!(i < self.mc && j < self.n);
         self.c_off + j * self.mc + i

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Algorithm → architecture mappings for the Linear Algebra Core.
 //!
 //! Each module turns one of the dissertation's algorithms into LAC
@@ -11,8 +12,9 @@
 //! Every kernel is exposed through the unified [`Workload`] trait and run
 //! on a [`lac_sim::LacEngine`] session (see [`workload`]); [`registry`]
 //! enumerates one canonical instance of each for data-driven harnesses.
-//! The pre-engine free functions (`run_gemm`, `run_blocked_cholesky`, …)
-//! remain as deprecated wrappers.
+//! (The pre-engine free functions — `run_gemm`, `run_blocked_cholesky`, …
+//! — went through a deprecation cycle and have been removed; drive the
+//! corresponding `*Workload` instead.)
 //!
 //! All kernels are functionally verified against `linalg-ref` in their tests,
 //! and their measured cycle counts are compared against the dissertation's
@@ -51,7 +53,9 @@ pub use gemm::{gemm_program, GemmParams, GemmReport};
 pub use layout::{ALayout, GemmDataLayout};
 pub use lu::{pack_to_factors, LuOptions, LuReport};
 pub use qr::QrPanelReport;
-pub use solver::{SolverGraph, SolverJob, SolverLoopParams, SolverLoopWorkload, SolverReference};
+pub use solver::{
+    SolverFleet, SolverGraph, SolverJob, SolverLoopParams, SolverLoopWorkload, SolverReference,
+};
 pub use syrk::{SyrkDataLayout, SyrkParams, SyrkReport};
 pub use trsm::TrsmReport;
 pub use vecnorm::{VnormOptions, VnormReport};
@@ -61,25 +65,3 @@ pub use workload::{
     LuPanelWorkload, ProblemSize, QrPanelWorkload, SymmWorkload, SyrkWorkload, TrmmWorkload,
     TrsmStackedWorkload, VecnormWorkload, Workload,
 };
-
-// Deprecated pre-engine entry points, re-exported for source compatibility.
-#[allow(deprecated)]
-pub use chol::{run_blocked_cholesky, run_cholesky_kernel};
-#[allow(deprecated)]
-pub use fft::run_fft64;
-#[allow(deprecated)]
-pub use gemm::run_gemm;
-#[allow(deprecated)]
-pub use lu::{lu_panel_matrix, run_blocked_lu, run_lu_panel};
-#[allow(deprecated)]
-pub use qr::run_qr_panel;
-#[allow(deprecated)]
-pub use symm::run_blocked_symm;
-#[allow(deprecated)]
-pub use syrk::run_syrk;
-#[allow(deprecated)]
-pub use trmm::run_blocked_trmm;
-#[allow(deprecated)]
-pub use trsm::{run_blocked_trsm, run_trsm_stacked};
-#[allow(deprecated)]
-pub use vecnorm::run_vecnorm;

@@ -39,6 +39,7 @@ impl Default for LuOptions {
 /// Report of an LU panel factorization.
 #[derive(Clone, Debug)]
 pub struct LuReport {
+    /// Event counters of the run.
     pub stats: ExecStats,
     /// Pivot row chosen at each of the `nr` iterations.
     pub pivots: Vec<usize>,
@@ -422,37 +423,6 @@ pub(crate) fn blocked_lu_run(
         work.set_block(c0 + nr, c0 + nr, &lay.unpack_c(mem.as_slice()));
     }
     Ok((work, pivots, total))
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `LuPanelWorkload` on a `LacEngine`")]
-pub fn run_lu_panel(
-    lac: &mut Lac,
-    mem: &mut ExternalMem,
-    k: usize,
-    opts: &LuOptions,
-) -> Result<LuReport, SimError> {
-    lu_panel_run(lac, mem, k, opts)
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `LuPanelWorkload` on a `LacEngine`")]
-pub fn lu_panel_matrix(
-    lac: &mut Lac,
-    a: &Matrix,
-    opts: &LuOptions,
-) -> Result<(Matrix, Vec<usize>, ExecStats), SimError> {
-    lu_panel_matrix_run(lac, a, opts)
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `BlockedLuWorkload` on a `LacEngine`")]
-pub fn run_blocked_lu(
-    lac: &mut Lac,
-    a: &Matrix,
-    opts: &LuOptions,
-) -> Result<(Matrix, Vec<usize>, ExecStats), SimError> {
-    blocked_lu_run(lac, a, opts)
 }
 
 #[cfg(test)]

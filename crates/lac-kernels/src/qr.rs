@@ -18,8 +18,11 @@ use linalg_ref::Matrix;
 /// Result of a QR panel factorization on the LAC.
 #[derive(Clone, Debug)]
 pub struct QrPanelReport {
+    /// The upper-triangular factor `R`.
     pub r: Matrix,
+    /// One Householder reflector per factored column.
     pub reflectors: Vec<HouseholderReflector>,
+    /// Event counters of the run.
     pub stats: ExecStats,
 }
 
@@ -95,16 +98,6 @@ pub(crate) fn qr_panel_run(
         reflectors,
         stats: total,
     })
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `QrPanelWorkload` on a `LacEngine`")]
-pub fn run_qr_panel(
-    lac: &mut Lac,
-    a: &Matrix,
-    opts: &VnormOptions,
-) -> Result<QrPanelReport, SimError> {
-    qr_panel_run(lac, a, opts)
 }
 
 #[cfg(test)]

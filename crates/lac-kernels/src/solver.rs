@@ -98,6 +98,7 @@ pub struct SolverReference {
 /// the recurrence.
 #[derive(Clone, Debug)]
 pub struct SolverLoopWorkload {
+    /// The loop's shape.
     pub params: SolverLoopParams,
     /// Round 0's SPD system matrix.
     pub a0: Matrix,
@@ -186,6 +187,7 @@ fn device_syrk(eng: &mut LacEngine, x: &Matrix) -> Result<(Matrix, ExecStats), S
 }
 
 impl SolverLoopWorkload {
+    /// A loop over deterministic demo operands shaped by `params`.
     pub fn new(params: SolverLoopParams) -> Self {
         assert!(params.rounds >= 1 && params.panels >= 1);
         let a0 = demo_spd(params.n, params.salt);
@@ -193,6 +195,7 @@ impl SolverLoopWorkload {
         Self { params, a0, b }
     }
 
+    /// The default registry-sized loop.
     pub fn demo() -> Self {
         Self::new(SolverLoopParams::default())
     }
@@ -288,6 +291,8 @@ impl SolverLoopWorkload {
                 SolverJob {
                     state: Arc::clone(&state),
                     cost: self.chol_cost(),
+                    // The factor L: an n × n lower triangle.
+                    words: (p.n * (p.n + 1) / 2) as u64,
                     step: SolverStep::Chol { round },
                 },
                 &prev_syrks,
@@ -300,6 +305,8 @@ impl SolverLoopWorkload {
                     SolverJob {
                         state: Arc::clone(&state),
                         cost: self.trsm_cost(),
+                        // The solved panel X: n × width.
+                        words: (p.n * p.width) as u64,
                         step: SolverStep::Trsm {
                             panel,
                             b: self.b_panel(panel),
@@ -311,6 +318,8 @@ impl SolverLoopWorkload {
                     SolverJob {
                         state: Arc::clone(&state),
                         cost: self.syrk_cost(),
+                        // The update S: an n × n lower triangle.
+                        words: (p.n * (p.n + 1) / 2) as u64,
                         step: SolverStep::Syrk { panel },
                     },
                     &[t],
@@ -458,6 +467,7 @@ impl Workload for SolverLoopWorkload {
 /// The graph form of a solver loop: the [`JobGraph`] to submit plus the
 /// per-round job ids (`outputs[id.index()]` is that step's report).
 pub struct SolverGraph {
+    /// The dependency graph to submit.
     pub graph: JobGraph<SolverJob>,
     /// Round `k`'s CHOL job.
     pub chol: Vec<JobId>,
@@ -472,6 +482,9 @@ pub struct SolverGraph {
 pub struct SolverJob {
     state: Arc<Mutex<SolverState>>,
     cost: u64,
+    /// Output footprint in words ([`lac_sim::ChipJob::transfer_words`]) —
+    /// what a cross-chip dependent would pull over the link.
+    words: u64,
     step: SolverStep,
 }
 
@@ -490,6 +503,10 @@ impl ChipJob for SolverJob {
 
     fn cost_hint(&self) -> u64 {
         self.cost.max(1)
+    }
+
+    fn transfer_words(&self) -> u64 {
+        self.words.max(1)
     }
 
     fn run_on(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
@@ -534,6 +551,84 @@ impl ChipJob for SolverJob {
                 ))
             }
         }
+    }
+}
+
+/// A fleet of independent solver loops fused into one [`JobGraph`] — the
+/// partition-aware submission shape for a multi-chip
+/// [`lac_sim::LacCluster`].
+///
+/// Each loop is one weakly-connected component of the fused graph, so the
+/// cluster's default `CostBins` partitioner keeps every loop whole on one
+/// chip (its round-to-round edges never pay inter-chip transfer cost) and
+/// bin-packs the loops across chips by total cost hint. The loops get
+/// distinct salts, so every member solves a different system.
+pub struct SolverFleet {
+    /// The member workloads, in fleet order.
+    pub loops: Vec<SolverLoopWorkload>,
+    /// All members' graphs fused by [`JobGraph::append`] (no cross-member
+    /// edges).
+    pub graph: JobGraph<SolverJob>,
+    /// Member `m`'s job ids within [`SolverFleet::graph`], in the
+    /// member's own construction order — its slice of a run's outputs.
+    pub members: Vec<Vec<lac_sim::JobId>>,
+}
+
+impl SolverFleet {
+    /// Build `count` independent loops shaped by `base`, salted
+    /// `base.salt + m` for member `m`.
+    pub fn new(base: SolverLoopParams, count: usize) -> Self {
+        assert!(count >= 1, "a fleet has at least one loop");
+        let loops: Vec<SolverLoopWorkload> = (0..count)
+            .map(|m| {
+                SolverLoopWorkload::new(SolverLoopParams {
+                    salt: base.salt + m as u64,
+                    ..base
+                })
+            })
+            .collect();
+        let mut graph = JobGraph::new();
+        let members = loops
+            .iter()
+            .map(|w| graph.append(w.graph().graph))
+            .collect();
+        Self {
+            loops,
+            graph,
+            members,
+        }
+    }
+
+    /// Total admission cost of the fused fleet (the sum of the members'
+    /// [`SolverLoopWorkload::graph_cost`]s, and of the fused graph's
+    /// `total_cost` — the fusion preserves per-job hints).
+    pub fn total_cost(&self) -> u64 {
+        self.loops.iter().map(|w| w.graph_cost()).sum()
+    }
+
+    /// Verify a fleet run's outputs (indexed like
+    /// [`SolverFleet::graph`]'s job ids) against every member's
+    /// independent `linalg-ref` chain.
+    pub fn check(&self, outputs: &[KernelReport]) -> Result<(), String> {
+        if outputs.len() != self.graph.len() {
+            return Err(format!(
+                "solver-fleet: {} outputs for {} jobs",
+                outputs.len(),
+                self.graph.len()
+            ));
+        }
+        for (m, (w, ids)) in self.loops.iter().zip(&self.members).enumerate() {
+            // `JobGraph::append` hands back contiguous in-order ids, so a
+            // member's outputs are a plain slice — no re-collection.
+            let start = ids.first().map_or(0, |id| id.index());
+            debug_assert!(ids
+                .iter()
+                .enumerate()
+                .all(|(k, id)| id.index() == start + k));
+            w.check_graph(&outputs[start..start + ids.len()])
+                .map_err(|e| format!("fleet member {m}: {e}"))?;
+        }
+        Ok(())
     }
 }
 
@@ -602,6 +697,49 @@ mod tests {
         assert_eq!(run.waves, 9);
         // The chip overlapped the fan-out: strictly faster than serial.
         assert!(run.stats.makespan_cycles < run.stats.aggregate.cycles);
+    }
+
+    #[test]
+    fn fleet_shards_cleanly_across_a_cluster() {
+        use lac_sim::{ClusterConfig, LacCluster, Partitioner};
+        let base = SolverLoopParams {
+            n: 8,
+            rounds: 2,
+            panels: 2,
+            width: 4,
+            salt: 1000,
+        };
+        let fleet = SolverFleet::new(base, 4);
+        assert_eq!(fleet.graph.len(), 4 * 2 * (1 + 2 * 2));
+        assert_eq!(fleet.total_cost(), fleet.graph.total_cost());
+
+        // Each loop is one component: CostBins puts one per chip, zero
+        // cut edges.
+        let part = Partitioner::CostBins.partition(&fleet.graph, 4);
+        assert!(part.cut_edges.is_empty());
+        for (m, ids) in fleet.members.iter().enumerate() {
+            let chips: Vec<usize> = ids.iter().map(|id| part.chip_of[id.index()]).collect();
+            assert!(
+                chips.windows(2).all(|w| w[0] == w[1]),
+                "member {m} split across chips"
+            );
+        }
+
+        let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(2, LacConfig::default()));
+        let mut cluster: LacCluster<SolverJob> = LacCluster::new(cfg);
+        let run = cluster
+            .run_graph(&fleet.graph, Scheduler::CriticalPath)
+            .unwrap();
+        fleet.check(&run.outputs).unwrap();
+        assert!(run.transfers.is_empty(), "components never pay the link");
+
+        // Rerun (fresh graph — solver state is consumed) is bit-identical.
+        let fleet2 = SolverFleet::new(base, 4);
+        let run2 = cluster
+            .run_graph(&fleet2.graph, Scheduler::CriticalPath)
+            .unwrap();
+        assert_eq!(run.outputs, run2.outputs);
+        assert_eq!(run.stats, run2.stats);
     }
 
     #[test]

@@ -63,17 +63,6 @@ pub(crate) fn blocked_symm_run(
     Ok((out, total))
 }
 
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `SymmWorkload` on a `LacEngine`")]
-pub fn run_blocked_symm(
-    lac: &mut Lac,
-    a_lower: &Matrix,
-    b: &Matrix,
-    c0: &Matrix,
-) -> Result<(Matrix, ExecStats), SimError> {
-    blocked_symm_run(lac, a_lower, b, c0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,9 @@ use lac_sim::{ExecStats, ExtOp, Lac, ProgramBuilder, SimError, Source};
 /// Parameters for a SYRK run: `C (mc×mc, lower) += A (mc×kc) · Aᵀ`.
 #[derive(Clone, Copy, Debug)]
 pub struct SyrkParams {
+    /// Output dimension (`C` is `mc × mc`).
     pub mc: usize,
+    /// Inner (rank) dimension.
     pub kc: usize,
     /// Compute `C -= A·Aᵀ` instead (the trailing downdate of blocked
     /// Cholesky).
@@ -31,6 +33,7 @@ impl Default for SyrkParams {
 }
 
 impl SyrkParams {
+    /// An accumulating (`C += A·Aᵀ`) run.
     pub fn new(mc: usize, kc: usize) -> Self {
         Self {
             mc,
@@ -43,12 +46,16 @@ impl SyrkParams {
 /// External-memory layout for SYRK: `A` then full `C` (lower significant).
 #[derive(Clone, Copy, Debug)]
 pub struct SyrkDataLayout {
+    /// Output dimension.
     pub mc: usize,
+    /// Inner dimension.
     pub kc: usize,
+    /// Word offset of `C` in the image.
     pub c_off: usize,
 }
 
 impl SyrkDataLayout {
+    /// Pack `A` from offset 0 with `C` right behind it.
     pub fn new(mc: usize, kc: usize) -> Self {
         Self {
             mc,
@@ -57,14 +64,17 @@ impl SyrkDataLayout {
         }
     }
 
+    /// Size of the whole working-set image, words.
     pub fn total_words(&self) -> usize {
         self.c_off + self.mc * self.mc
     }
 
+    /// Image address of `A(i, p)`.
     pub fn a_addr(&self, i: usize, p: usize) -> usize {
         p * self.mc + i
     }
 
+    /// Image address of `C(i, j)` (stored full, lower significant).
     pub fn c_addr(&self, i: usize, j: usize) -> usize {
         self.c_off + j * self.mc + i
     }
@@ -82,10 +92,12 @@ impl SyrkDataLayout {
 /// Report of a SYRK run.
 #[derive(Clone, Debug)]
 pub struct SyrkReport {
+    /// Event counters of the run.
     pub stats: ExecStats,
     /// Useful MACs: tiles on/below the diagonal (what contributes to the
     /// stored lower triangle).
     pub useful_macs: u64,
+    /// Utilization against peak over the run.
     pub utilization: f64,
 }
 
@@ -261,17 +273,6 @@ pub(crate) fn syrk_run(
         useful_macs: useful,
         utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
     })
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `SyrkWorkload` on a `LacEngine`")]
-pub fn run_syrk(
-    lac: &mut Lac,
-    mem: &mut lac_sim::ExternalMem,
-    lay: &SyrkDataLayout,
-    params: &SyrkParams,
-) -> Result<SyrkReport, SimError> {
-    syrk_run(lac, mem, lay, params)
 }
 
 #[cfg(test)]

@@ -52,16 +52,6 @@ pub(crate) fn blocked_trmm_run(
     Ok((out, total))
 }
 
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `TrmmWorkload` on a `LacEngine`")]
-pub fn run_blocked_trmm(
-    lac: &mut Lac,
-    l: &Matrix,
-    b0: &Matrix,
-) -> Result<(Matrix, ExecStats), SimError> {
-    blocked_trmm_run(lac, l, b0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,12 +2,12 @@
 //!
 //! The `nr × nr` diagonal solve is the latency-bound part: every iteration
 //! needs a reciprocal, a scaled row, and a rank-1 update, each dependent on
-//! the last. [`trsm_stacked_run`] implements the *stacked* schedule of
+//! the last. `trsm_stacked_run` implements the *stacked* schedule of
 //! Figure 5.5 — `m = W/nr` independent right-hand-side tiles are pushed
 //! through the MAC pipelines back to back, so the scale of tile `s+p` issues
 //! while tile `s` retires and the FPU stages stay full.
 //!
-//! [`blocked_trsm_run`] is the Figure 5.7 driver: each row panel is first
+//! `blocked_trsm_run` is the Figure 5.7 driver: each row panel is first
 //! updated with a (negated) GEMM against the already-solved panels, then
 //! solved with the stacked kernel.
 
@@ -20,9 +20,11 @@ use linalg_ref::Matrix;
 /// Report of a TRSM run.
 #[derive(Clone, Debug)]
 pub struct TrsmReport {
+    /// Event counters of the run.
     pub stats: ExecStats,
     /// Useful MACs: `W · nr(nr+1)/2` plus the scale multiplies.
     pub useful_macs: u64,
+    /// Utilization against peak over the run.
     pub utilization: f64,
 }
 
@@ -233,26 +235,6 @@ pub(crate) fn blocked_trsm_run(
         x.set_block(r0, 0, &solved);
     }
     Ok((x, total))
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `TrsmStackedWorkload` on a `LacEngine`")]
-pub fn run_trsm_stacked(
-    lac: &mut Lac,
-    mem: &mut ExternalMem,
-    w: usize,
-) -> Result<TrsmReport, SimError> {
-    trsm_stacked_run(lac, mem, w)
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `BlockedTrsmWorkload` on a `LacEngine`")]
-pub fn run_blocked_trsm(
-    lac: &mut Lac,
-    l: &Matrix,
-    b0: &Matrix,
-) -> Result<(Matrix, ExecStats), SimError> {
-    blocked_trsm_run(lac, l, b0)
 }
 
 #[cfg(test)]

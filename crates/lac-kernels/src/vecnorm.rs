@@ -32,6 +32,7 @@ pub struct VnormOptions {
 /// Report of a vector-norm run.
 #[derive(Clone, Debug)]
 pub struct VnormReport {
+    /// Event counters of the run.
     pub stats: ExecStats,
     /// The computed ‖x‖₂.
     pub result: f64,
@@ -268,17 +269,6 @@ pub(crate) fn vecnorm_run(
         stats: total,
         result,
     })
-}
-
-/// Free-function entry point from the pre-engine API.
-#[deprecated(note = "drive the kernel through `VecnormWorkload` on a `LacEngine`")]
-pub fn run_vecnorm(
-    lac: &mut Lac,
-    mem: &mut ExternalMem,
-    k: usize,
-    opts: &VnormOptions,
-) -> Result<VnormReport, SimError> {
-    vecnorm_run(lac, mem, k, opts)
 }
 
 #[cfg(test)]

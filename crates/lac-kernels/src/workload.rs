@@ -52,6 +52,27 @@ use linalg_ref::{
 /// `Send + Sync` is part of the contract so workloads can be queued onto a
 /// multi-core [`lac_sim::LacChip`] (every implementor is plain operand
 /// data).
+///
+/// ```
+/// use lac_kernels::{Details, GemmWorkload, Workload};
+/// use lac_sim::{LacConfig, LacEngine};
+///
+/// let w = GemmWorkload::demo(); // 16×16×16, deterministic operands
+/// let mut eng = LacEngine::builder()
+///     .config(w.config(LacConfig::default()))
+///     .build();
+/// let report = w.run(&mut eng).expect("hazard-free schedule");
+///
+/// // Every workload self-verifies against linalg-ref…
+/// w.check(&report).expect("matches the reference");
+/// // …reports uniformly…
+/// assert_eq!(report.kernel, "gemm");
+/// assert_eq!(report.useful_flops, 2 * 16 * 16 * 16);
+/// let Details::Gemm { c } = &report.details else { panic!() };
+/// assert_eq!((c.rows(), c.cols()), (16, 16));
+/// // …and meters the session engine.
+/// assert_eq!(eng.workloads_run(), 1);
+/// ```
 pub trait Workload: Send + Sync {
     /// Stable kernel name (registry key, display label).
     fn name(&self) -> &str;
@@ -115,28 +136,55 @@ pub struct KernelReport {
 pub enum Details {
     /// Updated `C` of a GEMM-class kernel (also TRMM's product and SYMM's
     /// accumulation).
-    Gemm { c: Matrix },
+    Gemm {
+        /// The updated output matrix.
+        c: Matrix,
+    },
     /// Updated lower triangle of SYRK's `C`.
-    Syrk { c: Matrix },
+    Syrk {
+        /// The updated output (lower triangle significant).
+        c: Matrix,
+    },
     /// Solution panel `X` of a triangular solve.
-    Trsm { x: Matrix },
+    Trsm {
+        /// The solution panel.
+        x: Matrix,
+    },
     /// Cholesky factor `L` (lower).
-    Cholesky { l: Matrix },
+    Cholesky {
+        /// The factor.
+        l: Matrix,
+    },
     /// LAPACK-packed `L\U` factors plus pivot rows.
-    Lu { factors: Matrix, pivots: Vec<usize> },
+    Lu {
+        /// `L\U` packed LAPACK-style.
+        factors: Matrix,
+        /// Pivot row per iteration.
+        pivots: Vec<usize>,
+    },
     /// Upper-triangular `R` and the Householder reflectors of a QR panel.
     Qr {
+        /// The triangular factor.
         r: Matrix,
+        /// One reflector per factored column.
         reflectors: Vec<HouseholderReflector>,
     },
     /// The computed ‖x‖₂.
-    Vecnorm { norm: f64 },
+    Vecnorm {
+        /// The norm.
+        norm: f64,
+    },
     /// The 64-point spectrum, natural order.
-    Fft { spectrum: Vec<Complex> },
+    Fft {
+        /// The transform.
+        spectrum: Vec<Complex>,
+    },
     /// The per-round Cholesky factors and final system matrix of a
     /// [`crate::solver::SolverLoopWorkload`].
     Solver {
+        /// `Lₖ` per round.
         factors: Vec<Matrix>,
+        /// The system matrix after the last update.
         final_a: Matrix,
     },
 }
@@ -225,9 +273,13 @@ pub(crate) fn demo_lower(n: usize, salt: u64) -> Matrix {
 /// `C += A·B` through the rank-1-update schedule of §3.1–3.4.
 #[derive(Clone, Debug)]
 pub struct GemmWorkload {
+    /// Left operand.
     pub a: Matrix,
+    /// Right operand.
     pub b: Matrix,
+    /// Accumulator / output.
     pub c: Matrix,
+    /// Blocking and schedule options.
     pub params: GemmParams,
 }
 
@@ -240,11 +292,13 @@ impl GemmWorkload {
         Self { a, b, c, params }
     }
 
+    /// Override the schedule options.
     pub fn with_params(mut self, params: GemmParams) -> Self {
         self.params = params;
         self
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(
             demo_matrix(16, 16, 1),
@@ -298,18 +352,23 @@ impl Workload for GemmWorkload {
 /// `C (lower) += A·Aᵀ` with the bus-transpose of §5.2.
 #[derive(Clone, Debug)]
 pub struct SyrkWorkload {
+    /// The rank-`kc` factor.
     pub a: Matrix,
+    /// Accumulator / output (lower triangle significant).
     pub c: Matrix,
+    /// Shape options.
     pub params: SyrkParams,
 }
 
 impl SyrkWorkload {
+    /// An accumulating run over the operands' natural dimensions.
     pub fn new(a: Matrix, c: Matrix) -> Self {
         let params = SyrkParams::new(a.rows(), a.cols());
         assert_eq!((c.rows(), c.cols()), (a.rows(), a.rows()));
         Self { a, c, params }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(
             demo_matrix(16, 8, 4),
@@ -386,17 +445,21 @@ impl Workload for SyrkWorkload {
 /// Stacked diagonal solve `L X = B` of Figure 5.5 (`L` is `nr × nr`).
 #[derive(Clone, Debug)]
 pub struct TrsmStackedWorkload {
+    /// The `nr × nr` lower-triangular factor.
     pub l: Matrix,
+    /// Right-hand sides.
     pub b: Matrix,
 }
 
 impl TrsmStackedWorkload {
+    /// Solve `L X = B` for the given operands.
     pub fn new(l: Matrix, b: Matrix) -> Self {
         assert_eq!(l.rows(), l.cols());
         assert_eq!(b.rows(), l.rows());
         Self { l, b }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_lower(4, 6), demo_matrix(4, 16, 7))
     }
@@ -452,17 +515,21 @@ impl Workload for TrsmStackedWorkload {
 /// diagonal solves.
 #[derive(Clone, Debug)]
 pub struct BlockedTrsmWorkload {
+    /// The lower-triangular factor.
     pub l: Matrix,
+    /// Right-hand sides.
     pub b: Matrix,
 }
 
 impl BlockedTrsmWorkload {
+    /// Solve `L X = B` for the given operands.
     pub fn new(l: Matrix, b: Matrix) -> Self {
         assert_eq!(l.rows(), l.cols());
         assert_eq!(b.rows(), l.rows());
         Self { l, b }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_lower(16, 8), demo_matrix(16, 8, 9))
     }
@@ -497,17 +564,21 @@ impl Workload for BlockedTrsmWorkload {
 /// `B := L·B` as growing-panel GEMMs (§5.1).
 #[derive(Clone, Debug)]
 pub struct TrmmWorkload {
+    /// The lower-triangular multiplier.
     pub l: Matrix,
+    /// The panel to multiply in place.
     pub b: Matrix,
 }
 
 impl TrmmWorkload {
+    /// Compute `B := L·B` for the given operands.
     pub fn new(l: Matrix, b: Matrix) -> Self {
         assert_eq!(l.rows(), l.cols());
         assert_eq!(b.rows(), l.rows());
         Self { l, b }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_lower(16, 10), demo_matrix(16, 8, 11))
     }
@@ -548,12 +619,16 @@ impl Workload for TrmmWorkload {
 /// `C += A·B` with symmetric `A` stored in its lower triangle (§5.1).
 #[derive(Clone, Debug)]
 pub struct SymmWorkload {
+    /// Symmetric `A`, stored in its lower triangle.
     pub a_lower: Matrix,
+    /// Right operand.
     pub b: Matrix,
+    /// Accumulator / output.
     pub c: Matrix,
 }
 
 impl SymmWorkload {
+    /// Compute `C += A·B` for the given operands.
     pub fn new(a_lower: Matrix, b: Matrix, c: Matrix) -> Self {
         assert_eq!(a_lower.rows(), a_lower.cols());
         assert_eq!(b.rows(), a_lower.rows());
@@ -561,6 +636,7 @@ impl SymmWorkload {
         Self { a_lower, b, c }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(
             demo_matrix(16, 16, 12).tril(),
@@ -605,15 +681,18 @@ impl Workload for SymmWorkload {
 /// The `nr × nr` Cholesky tile kernel of §6.1.1.
 #[derive(Clone, Debug)]
 pub struct CholKernelWorkload {
+    /// The SPD tile to factor.
     pub a: Matrix,
 }
 
 impl CholKernelWorkload {
+    /// Factor the given `nr × nr` SPD tile.
     pub fn new(a: Matrix) -> Self {
         assert_eq!(a.rows(), a.cols());
         Self { a }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_spd(4, 15))
     }
@@ -661,15 +740,18 @@ impl Workload for CholKernelWorkload {
 /// Blocked right-looking Cholesky (Chol → TRSM → SYRK, Figure 6.1).
 #[derive(Clone, Debug)]
 pub struct BlockedCholWorkload {
+    /// The SPD matrix to factor.
     pub a: Matrix,
 }
 
 impl BlockedCholWorkload {
+    /// Factor the given SPD matrix.
     pub fn new(a: Matrix) -> Self {
         assert_eq!(a.rows(), a.cols());
         Self { a }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_spd(16, 16))
     }
@@ -709,15 +791,19 @@ impl Workload for BlockedCholWorkload {
 /// Panel LU with partial pivoting (§6.1.2), `K × nr`.
 #[derive(Clone, Debug)]
 pub struct LuPanelWorkload {
+    /// The `K × nr` panel to factor.
     pub a: Matrix,
+    /// Pivot-search implementation options.
     pub opts: LuOptions,
 }
 
 impl LuPanelWorkload {
+    /// Factor the given panel.
     pub fn new(a: Matrix, opts: LuOptions) -> Self {
         Self { a, opts }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_matrix(16, 4, 17), LuOptions::default())
     }
@@ -768,16 +854,20 @@ impl Workload for LuPanelWorkload {
 /// Blocked LU with partial pivoting over a square matrix.
 #[derive(Clone, Debug)]
 pub struct BlockedLuWorkload {
+    /// The square matrix to factor.
     pub a: Matrix,
+    /// Pivot-search implementation options.
     pub opts: LuOptions,
 }
 
 impl BlockedLuWorkload {
+    /// Factor the given matrix.
     pub fn new(a: Matrix, opts: LuOptions) -> Self {
         assert_eq!(a.rows(), a.cols());
         Self { a, opts }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(demo_matrix(16, 16, 18), LuOptions::default())
     }
@@ -830,16 +920,20 @@ impl Workload for BlockedLuWorkload {
 /// Householder QR panel driven by the vector-norm kernel (§6.1.3).
 #[derive(Clone, Debug)]
 pub struct QrPanelWorkload {
+    /// The tall panel to factor (`rows ≥ cols`).
     pub a: Matrix,
+    /// Norm-kernel options for the column norms.
     pub opts: VnormOptions,
 }
 
 impl QrPanelWorkload {
+    /// Factor the given panel.
     pub fn new(a: Matrix, opts: VnormOptions) -> Self {
         assert!(a.rows() >= a.cols());
         Self { a, opts }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         Self::new(
             demo_matrix(16, 4, 19),
@@ -898,11 +992,14 @@ impl Workload for QrPanelWorkload {
 /// ‖x‖₂ with the §A.2 extension options (Figure 6.6).
 #[derive(Clone, Debug)]
 pub struct VecnormWorkload {
+    /// The vector (length a positive multiple of 8).
     pub x: Vec<f64>,
+    /// Extension options (wide accumulator, SFU form).
     pub opts: VnormOptions,
 }
 
 impl VecnormWorkload {
+    /// Compute `‖x‖₂` for the given vector.
     pub fn new(x: Vec<f64>, opts: VnormOptions) -> Self {
         assert!(
             x.len().is_multiple_of(8) && !x.is_empty(),
@@ -911,6 +1008,7 @@ impl VecnormWorkload {
         Self { x, opts }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         let x = (0..64).map(|i| demo_value(i, 0, 20)).collect();
         Self::new(
@@ -975,15 +1073,18 @@ impl Workload for VecnormWorkload {
 /// 64-point radix-4 complex FFT on the hybrid core (§6.2 / Appendix B).
 #[derive(Clone, Debug)]
 pub struct Fft64Workload {
+    /// The 64-point input signal.
     pub signal: Vec<Complex>,
 }
 
 impl Fft64Workload {
+    /// Transform the given 64-point signal.
     pub fn new(signal: Vec<Complex>) -> Self {
         assert_eq!(signal.len(), 64, "the kernel transforms exactly 64 points");
         Self { signal }
     }
 
+    /// The registry's canonical instance (deterministic demo operands).
     pub fn demo() -> Self {
         let signal = (0..64)
             .map(|i| Complex::new(demo_value(i, 1, 21), demo_value(i, 2, 21)))
@@ -1086,6 +1187,7 @@ pub enum ProblemSize {
 }
 
 impl ProblemSize {
+    /// The three scales, small to large.
     pub const ALL: [ProblemSize; 3] = [ProblemSize::Small, ProblemSize::Medium, ProblemSize::Large];
 }
 

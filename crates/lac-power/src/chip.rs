@@ -13,6 +13,37 @@ use crate::energy::{EnergyModel, EnergySummary};
 use lac_sim::ChipStats;
 
 /// Converts a chip run's merged statistics into energy and power.
+///
+/// ```
+/// use lac_power::ChipEnergyModel;
+/// use lac_sim::{ChipStats, ExecStats};
+///
+/// // Two cores: one busy for 10k cycles, one idle — a dependency-stalled
+/// // chip run as `LacChip::run_graph` would report it.
+/// let busy = ExecStats {
+///     cycles: 10_000,
+///     mac_ops: 100_000,
+///     sram_a_reads: 40_000,
+///     ext_reads: 10_000,
+///     active_cycles: 10_000,
+///     ..Default::default()
+/// };
+/// let mut aggregate = ExecStats::default();
+/// aggregate.merge(&busy);
+/// let stats = ChipStats {
+///     per_core: vec![busy, ExecStats::default()],
+///     jobs_per_core: vec![1, 0],
+///     makespan_cycles: 10_000,
+///     aggregate,
+/// };
+///
+/// let model = ChipEnergyModel::lap_default();
+/// let e = model.summarize(&stats);
+/// // Totals decompose into per-core dynamic energy plus the uncore.
+/// assert!((e.total_nj - e.cores_nj - e.uncore_nj).abs() < 1e-9);
+/// assert!(e.uncore_nj > 0.0, "the fabric never sleeps");
+/// assert!(e.gflops_per_w > 0.0);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct ChipEnergyModel {
     /// Per-core pricing (every shard is identical).

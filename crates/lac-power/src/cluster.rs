@@ -1,0 +1,201 @@
+//! Cluster-level energy: price a multi-chip [`ClusterStats`] the way
+//! [`crate::ChipEnergyModel`] prices one chip's [`lac_sim::ChipStats`].
+//!
+//! A cluster run costs the sum of its chips' energy — each chip priced by
+//! the per-chip model *over the shared cluster wall clock*, because a
+//! chip whose cores finished early keeps its uncore powered until the
+//! whole run retires — plus *interconnect* energy the chip model cannot
+//! see: every word serialized over a chip-to-chip link pays a SerDes/PHY
+//! premium per word (an order of magnitude above the on-chip
+//! interconnect's), and each chip's link endpoint burns static power for
+//! the whole makespan whether or not traffic flows.
+
+use crate::chip::{ChipEnergy, ChipEnergyModel};
+use lac_sim::ClusterStats;
+
+/// Converts a cluster run's merged statistics into energy and power.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterEnergyModel {
+    /// Per-chip pricing (every chip is priced by the same model).
+    pub chip: ChipEnergyModel,
+    /// Link energy per word moved between chips, pJ/word — SerDes,
+    /// package crossing and PHY, on top of everything the chip model
+    /// already counts.
+    pub link_pj_per_word: f64,
+    /// Static power of each chip's link endpoint (PLLs, always-on lanes),
+    /// mW per chip, burned over the whole cluster makespan.
+    pub link_static_mw_per_chip: f64,
+}
+
+impl ClusterEnergyModel {
+    /// The deployment the cluster simulator models: LAP chips joined by a
+    /// PCIe-class serial link. ~40 pJ/word across the package (5× the
+    /// on-chip interconnect premium) and ~15 mW of always-on endpoint per
+    /// chip.
+    pub fn lap_default() -> Self {
+        Self {
+            chip: ChipEnergyModel::lap_default(),
+            link_pj_per_word: 40.0,
+            link_static_mw_per_chip: 15.0,
+        }
+    }
+
+    /// Price one cluster run.
+    ///
+    /// Conserving by construction: each entry of
+    /// [`ClusterEnergy::per_chip`] equals
+    /// [`ChipEnergyModel::summarize_over`] of that chip's stats over the
+    /// cluster makespan — the cluster model only *adds* the link terms,
+    /// it never re-prices chip work.
+    pub fn summarize(&self, stats: &ClusterStats) -> ClusterEnergy {
+        let per_chip: Vec<ChipEnergy> = stats
+            .per_chip
+            .iter()
+            .map(|c| self.chip.summarize_over(c, stats.makespan_cycles))
+            .collect();
+        let chips_nj: f64 = per_chip.iter().map(|e| e.total_nj).sum();
+
+        let wall_s = stats.makespan_cycles as f64 / (self.chip.core.freq_ghz * 1e9);
+        let link_nj = stats.transferred_words as f64 * self.link_pj_per_word / 1000.0
+            + self.link_static_mw_per_chip * 1e-3 // mW → W
+                * stats.per_chip.len() as f64
+                * wall_s
+                * 1e9; // J → nJ
+        let total_nj = chips_nj + link_nj;
+
+        let (avg_power_mw, gflops_per_w) = if stats.makespan_cycles == 0 {
+            (0.0, 0.0)
+        } else {
+            let watts = total_nj * 1e-9 / wall_s;
+            let gflops = stats.flops() as f64 / wall_s / 1e9;
+            (watts * 1e3, gflops / watts)
+        };
+
+        ClusterEnergy {
+            per_chip,
+            chips_nj,
+            link_nj,
+            total_nj,
+            avg_power_mw,
+            gflops_per_w,
+        }
+    }
+}
+
+/// Energy/power of one cluster run, wall-clocked by the cluster makespan
+/// (see [`ClusterEnergyModel::summarize`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterEnergy {
+    /// Each chip's own summary, priced over the cluster makespan, in chip
+    /// order.
+    pub per_chip: Vec<ChipEnergy>,
+    /// Sum of per-chip totals (cores + per-chip uncore), nJ.
+    pub chips_nj: f64,
+    /// Inter-chip link energy: per-word transfers + static endpoints, nJ.
+    pub link_nj: f64,
+    /// Whole-cluster energy, nJ.
+    pub total_nj: f64,
+    /// Cluster power averaged over the makespan, mW.
+    pub avg_power_mw: f64,
+    /// Cluster efficiency over the makespan, GFLOPS/W.
+    pub gflops_per_w: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_sim::{ChipStats, ExecStats};
+
+    fn busy(cycles: u64) -> ExecStats {
+        ExecStats {
+            cycles,
+            mac_ops: cycles * 16,
+            sram_a_reads: cycles * 4,
+            sram_b_reads: cycles * 16,
+            ext_reads: cycles,
+            active_cycles: cycles,
+            ..Default::default()
+        }
+    }
+
+    fn chip_stats(per_core: Vec<ExecStats>, makespan: u64) -> ChipStats {
+        let mut aggregate = ExecStats::default();
+        for s in &per_core {
+            aggregate.merge(s);
+        }
+        let jobs_per_core = per_core.iter().map(|_| 1).collect();
+        ChipStats {
+            per_core,
+            jobs_per_core,
+            makespan_cycles: makespan,
+            aggregate,
+        }
+    }
+
+    fn cluster_stats(chips: usize, cycles: u64, words: u64) -> ClusterStats {
+        let per_chip: Vec<ChipStats> = (0..chips)
+            .map(|_| chip_stats(vec![busy(cycles); 2], cycles))
+            .collect();
+        let mut aggregate = ExecStats::default();
+        for c in &per_chip {
+            aggregate.merge(&c.aggregate);
+        }
+        ClusterStats {
+            per_chip,
+            makespan_cycles: cycles,
+            transferred_words: words,
+            transfer_cycles: words / 4,
+            transfer_stall_cycles: 0,
+            aggregate,
+        }
+    }
+
+    #[test]
+    fn totals_decompose_into_chips_plus_links() {
+        let m = ClusterEnergyModel::lap_default();
+        let e = m.summarize(&cluster_stats(3, 10_000, 5_000));
+        assert_eq!(e.per_chip.len(), 3);
+        assert!((e.total_nj - e.chips_nj - e.link_nj).abs() < 1e-9);
+        assert!(e.link_nj > 0.0 && e.chips_nj > e.link_nj);
+        assert!(e.avg_power_mw > 0.0 && e.gflops_per_w > 0.0);
+    }
+
+    #[test]
+    fn per_chip_entries_conserve_the_chip_model() {
+        // The cluster model must not re-price chip work: every per-chip
+        // entry is exactly the chip model over the cluster wall clock.
+        let m = ClusterEnergyModel::lap_default();
+        let stats = cluster_stats(2, 10_000, 1_000);
+        let e = m.summarize(&stats);
+        for (chip, entry) in stats.per_chip.iter().zip(&e.per_chip) {
+            assert_eq!(
+                entry,
+                &m.chip.summarize_over(chip, stats.makespan_cycles),
+                "cluster pricing diverged from the chip model"
+            );
+        }
+        let direct: f64 = e.per_chip.iter().map(|c| c.total_nj).sum();
+        assert!((e.chips_nj - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_links_still_pay_static_endpoint_power() {
+        let m = ClusterEnergyModel::lap_default();
+        let quiet = m.summarize(&cluster_stats(2, 10_000, 0));
+        let chatty = m.summarize(&cluster_stats(2, 10_000, 100_000));
+        assert!(quiet.link_nj > 0.0, "endpoints never sleep");
+        let expected_transfer_nj = 100_000.0 * m.link_pj_per_word / 1000.0;
+        assert!((chatty.link_nj - quiet.link_nj - expected_transfer_nj).abs() < 1e-6);
+        assert_eq!(quiet.chips_nj, chatty.chips_nj, "chip work unchanged");
+    }
+
+    #[test]
+    fn doubling_chips_roughly_doubles_energy_at_equal_work_each() {
+        let m = ClusterEnergyModel::lap_default();
+        let e2 = m.summarize(&cluster_stats(2, 10_000, 0));
+        let e4 = m.summarize(&cluster_stats(4, 10_000, 0));
+        let ratio = e4.total_nj / e2.total_nj;
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+        assert!((e4.gflops_per_w / e2.gflops_per_w - 1.0).abs() < 0.05);
+    }
+}

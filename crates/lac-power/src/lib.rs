@@ -20,6 +20,7 @@
 //! * Idle/leakage: 25–30% of dynamic power.
 
 pub mod chip;
+pub mod cluster;
 pub mod compare;
 pub mod components;
 pub mod energy;
@@ -29,6 +30,7 @@ pub mod pe;
 pub mod sram;
 
 pub use chip::{ChipEnergy, ChipEnergyModel, TenantEnergy};
+pub use cluster::{ClusterEnergy, ClusterEnergyModel};
 pub use compare::{platform_cores_table, platform_systems_table, power_breakdown, PlatformRow};
 pub use components::{FmacModel, Precision, Technology};
 pub use energy::{EnergyModel, EnergySummary, SessionEnergy};

@@ -52,6 +52,16 @@ pub trait ChipJob: Send + Sync {
         1
     }
 
+    /// Estimated size of this job's output in words — what a dependent
+    /// job placed on *another chip* must pull over the inter-chip link
+    /// (see [`crate::cluster::LacCluster`]). Like [`ChipJob::cost_hint`]
+    /// this is a deterministic modeling hint, not a measurement; it only
+    /// prices cross-chip dependency edges. Defaults to 1 (a scalar
+    /// handoff).
+    fn transfer_words(&self) -> u64 {
+        1
+    }
+
     /// Execute on one core's engine. Stats must be metered into the
     /// engine's session accumulator (all `LacEngine` run doors do this).
     fn run_on(&self, eng: &mut LacEngine) -> Result<Self::Output, SimError>;
@@ -66,6 +76,10 @@ impl<J: ChipJob + ?Sized> ChipJob for &J {
         (**self).cost_hint()
     }
 
+    fn transfer_words(&self) -> u64 {
+        (**self).transfer_words()
+    }
+
     fn run_on(&self, eng: &mut LacEngine) -> Result<Self::Output, SimError> {
         (**self).run_on(eng)
     }
@@ -75,6 +89,7 @@ impl<J: ChipJob + ?Sized> ChipJob for &J {
 /// into the engine-owned bank first.
 #[derive(Clone, Debug, Default)]
 pub struct ProgramJob {
+    /// The microprogram to execute.
     pub prog: Program,
     /// Replaces the shard's memory bank before the run when present.
     pub image: Option<Vec<f64>>,
@@ -83,6 +98,7 @@ pub struct ProgramJob {
 }
 
 impl ProgramJob {
+    /// A job whose scheduler cost defaults to the program length.
     pub fn new(prog: Program) -> Self {
         let cost = prog.steps.len() as u64;
         Self {
@@ -92,6 +108,7 @@ impl ProgramJob {
         }
     }
 
+    /// Stage `image` into the shard's bank before the program runs.
     pub fn with_image(mut self, image: Vec<f64>) -> Self {
         self.image = Some(image);
         self
@@ -190,6 +207,7 @@ pub struct ChipConfig {
 }
 
 impl ChipConfig {
+    /// `cores` identical cores, no bandwidth cap, default bank size.
     pub fn new(cores: usize, core: LacConfig) -> Self {
         Self {
             cores,
@@ -316,31 +334,42 @@ impl ChipStats {
     }
 }
 
-/// Everything a queue run produces: per-job outputs (in submission order)
-/// plus the merged [`ChipStats`]. The graph door returns the richer
-/// [`GraphRun`]; this shape survives for the deprecated
-/// [`LacChip::run_queue`].
-#[derive(Clone, Debug)]
-pub struct ChipRun<T> {
-    /// One output per job, in the order the jobs were submitted.
-    pub outputs: Vec<T>,
-    /// Which core ran each job (same order as `outputs`).
-    pub assignment: Vec<usize>,
-    pub stats: ChipStats,
-}
-
 /// A multi-core chip: `S` engine shards plus the scheduler-facing graph
 /// door, [`LacChip::run_graph`].
 ///
 /// `LacChip` borrows the calling thread and scoped workers per run; for a
 /// persistent submission service whose workers (and shards) outlive
 /// individual graphs, see [`crate::service::LacService`].
+///
+/// ```
+/// use lac_sim::{ChipConfig, JobGraph, LacChip, LacConfig, ProgramBuilder, ProgramJob, Scheduler};
+///
+/// // Two cores sharing a 8-words/cycle external bandwidth budget.
+/// let cfg = ChipConfig::new(2, LacConfig::default()).with_bandwidth_budget(8);
+/// let mut chip = LacChip::new(cfg);
+///
+/// // Four independent idle-loop jobs collect into a flat (edge-free) graph.
+/// let graph: JobGraph<ProgramJob> = (1..=4)
+///     .map(|i| {
+///         let mut b = ProgramBuilder::new(LacConfig::default().nr);
+///         b.idle(8 * i);
+///         ProgramJob::new(b.build())
+///     })
+///     .collect();
+///
+/// let run = chip.run_graph(&graph, Scheduler::LeastLoaded).unwrap();
+/// assert_eq!(run.outputs.len(), 4);          // submission order
+/// assert_eq!(run.stats.jobs(), 4);
+/// assert_eq!(run.waves, 1);                  // flat graph, single wave
+/// assert!(run.stats.makespan_cycles < run.stats.aggregate.cycles);
+/// ```
 pub struct LacChip {
     cfg: ChipConfig,
     shards: Vec<LacEngine>,
 }
 
 impl LacChip {
+    /// Build every shard per [`ChipConfig::shard_config`].
     pub fn new(cfg: ChipConfig) -> Self {
         assert!(cfg.cores >= 1, "a chip has at least one core");
         cfg.assert_budget_conserved();
@@ -356,10 +385,12 @@ impl LacChip {
         Self { cfg, shards }
     }
 
+    /// The chip's static configuration.
     pub fn config(&self) -> &ChipConfig {
         &self.cfg
     }
 
+    /// Number of cores (shards).
     pub fn num_cores(&self) -> usize {
         self.shards.len()
     }
@@ -369,8 +400,15 @@ impl LacChip {
         &self.shards[i]
     }
 
+    /// Mutable access to one shard's engine.
     pub fn shard_mut(&mut self, i: usize) -> &mut LacEngine {
         &mut self.shards[i]
+    }
+
+    /// Crate-internal: every shard at once — the cluster coordinator
+    /// spawns one scoped worker per shard across all of its chips.
+    pub(crate) fn shards_mut(&mut self) -> &mut [LacEngine] {
+        &mut self.shards
     }
 
     /// Run a dependency graph of jobs to completion under `sched`.
@@ -428,26 +466,6 @@ impl LacChip {
             )
             // `txs` drop here, closing the submission channels; the scoped
             // workers drain and exit, and the scope joins them.
-        })
-    }
-
-    /// Run a flat, order-free queue of jobs — the pre-graph API, kept as a
-    /// thin wrapper over a single-batch [`JobGraph`].
-    #[deprecated(
-        note = "express the work as a `JobGraph` and use `LacChip::run_graph`, \
-                or hold a persistent `lac_sim::LacService`"
-    )]
-    pub fn run_queue<J: ChipJob>(
-        &mut self,
-        jobs: &[J],
-        sched: Scheduler,
-    ) -> Result<ChipRun<J::Output>, SimError> {
-        let graph: JobGraph<&J> = jobs.iter().collect();
-        let run = self.run_graph(&graph, sched)?;
-        Ok(ChipRun {
-            outputs: run.outputs,
-            assignment: run.assignment,
-            stats: run.stats,
         })
     }
 }
@@ -624,24 +642,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_queue_compat_wrapper_matches_run_graph() {
-        // The deprecated flat door must stay bit-identical to a flat graph
-        // over the same jobs (it *is* one).
+    fn borrowed_queue_collects_into_a_flat_graph() {
+        // The `&J` forwarding impl is what lets a borrowed slice of jobs
+        // collect into an owned flat graph — the shape the old queue door
+        // used to wrap. It must stay bit-identical to the owned graph.
         let jobs: Vec<ProgramJob> = (0..7).map(|i| job(3 * i)).collect();
         for sched in [
             Scheduler::Fifo,
             Scheduler::LeastLoaded,
             Scheduler::CriticalPath,
         ] {
-            let mut via_queue = LacChip::new(ChipConfig::new(3, LacConfig::default()));
-            let queue_run = via_queue.run_queue(&jobs, sched).unwrap();
+            let mut via_borrow = LacChip::new(ChipConfig::new(3, LacConfig::default()));
+            let borrowed: JobGraph<&ProgramJob> = jobs.iter().collect();
+            let borrow_run = via_borrow.run_graph(&borrowed, sched).unwrap();
             let mut via_graph = LacChip::new(ChipConfig::new(3, LacConfig::default()));
             let graph: JobGraph<ProgramJob> = jobs.iter().cloned().collect();
             let graph_run = via_graph.run_graph(&graph, sched).unwrap();
-            assert_eq!(queue_run.outputs, graph_run.outputs);
-            assert_eq!(queue_run.assignment, graph_run.assignment);
-            assert_eq!(queue_run.stats, graph_run.stats);
+            assert_eq!(borrow_run.outputs, graph_run.outputs);
+            assert_eq!(borrow_run.assignment, graph_run.assignment);
+            assert_eq!(borrow_run.stats, graph_run.stats);
         }
     }
 }

@@ -1,0 +1,1233 @@
+//! Multi-chip sharded deployment: a [`LacCluster`] shards [`JobGraph`]s
+//! across N [`LacChip`]s with explicitly modeled inter-chip transfer
+//! costs — the next rung above the single-chip [`crate::service`] layer
+//! on the road from one core to a datacenter-scale fleet.
+//!
+//! The single-chip layers assume every dependency edge is free: a child
+//! job reads its parents' outputs out of the same on-chip memory. Once a
+//! graph no longer fits one chip, that assumption breaks — a dependency
+//! whose endpoints land on *different* chips must move its payload over a
+//! chip-to-chip link that is orders of magnitude narrower than the
+//! on-chip fabric. This is the same decomposition-with-communication
+//! trade-off that drives blocked-panel scheduling inside one core (the
+//! source dissertation's Chapter 4) and round-structured interior-point
+//! workloads across nodes (PAPERS.md: IP-PMM, interior-point DDP): *where
+//! you cut the graph decides how much you pay in transfers.*
+//!
+//! The module has three pieces:
+//!
+//! * **[`ClusterConfig`]** — N per-chip [`ChipConfig`]s (chips may differ
+//!   in core count and bandwidth budget) plus the inter-chip link model:
+//!   a bandwidth in words/cycle and a fixed per-hop latency. A cross-chip
+//!   edge carrying `w` words costs `hop_latency + ⌈w / link_bandwidth⌉`
+//!   simulated cycles ([`ClusterConfig::transfer_cycles`]).
+//! * **[`Partitioner`]** — the deterministic graph partitioner. The
+//!   default [`Partitioner::CostBins`] keeps weakly-connected components
+//!   whole (a component's internal edges never pay transfer cost) and
+//!   greedily bin-packs components onto chips in descending cost-hint
+//!   order; [`Partitioner::Striped`] scatters individual jobs round-robin
+//!   and exists to stress the transfer model. Partitioning is a pure
+//!   function of the graph's cost hints and edges — never of host timing
+//!   — which is what keeps cluster runs reproducible bit-for-bit.
+//! * **[`LacCluster`]** — owns the chips and coordinates execution with
+//!   the same deterministic wave machinery as the chip/service layers
+//!   ([`plan_wave`] per chip per wave), plus
+//!   transfer-aware readiness: a child whose parent completed on another
+//!   chip becomes ready only after the modeled transfer elapses on the
+//!   simulated clock. When every core would idle waiting on a link, the
+//!   clock jumps to the next transfer arrival and the gap is accounted as
+//!   [`ClusterStats::transfer_stall_cycles`].
+//!
+//! With one chip there are no cross-chip edges, every transfer charge
+//! vanishes, and the coordinator collapses to exactly the single-chip
+//! wave loop — [`LacCluster::run_graph`] on an N=1 cluster is
+//! bit-identical to [`LacChip::run_graph`], outputs and stats both (a
+//! property-tested invariant, see `tests/cluster_props.rs`).
+//!
+//! The multi-tenant front door mirrors [`crate::service::LacService`]:
+//! tenants registered with [`LacCluster::add_tenant`] hold *cluster-wide*
+//! admission budgets ([`LacCluster::enqueue`] charges the same cost-hint
+//! currency whether the graph later lands on one chip or five), and
+//! [`LacCluster::run_admitted`] fuses every admitted graph into one pool,
+//! partitions the pool, and interleaves it wave-by-wave across all chips
+//! under the chosen [`Scheduler`] policy.
+//!
+//! Energy: feed a run's [`ClusterStats`] to
+//! `lac_power::ClusterEnergyModel`, which prices each chip with the
+//! per-chip model over the shared cluster wall clock and adds the
+//! interconnect's per-word and static link energy on top.
+
+use crate::chip::{ChipConfig, ChipJob, ChipStats, LacChip, Scheduler};
+use crate::error::SimError;
+use crate::service::{
+    admit, cap_banked_credit, collect_wave, critical_paths, drain_inflight, plan_wave,
+    plan_wave_tenanted, run_one, settle_round, Done, FusedPool, GraphCompletion, GraphTicket,
+    JobGraph, JobId, PendingGraph, Rejected, TenantConfig, TenantDelta, TenantId, TenantSession,
+};
+use crate::stats::ExecStats;
+use std::sync::atomic::AtomicBool;
+
+/// Static configuration of a cluster: N chips plus the inter-chip link
+/// model.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-chip configurations, in chip-id order. Chips may differ in
+    /// core count, bandwidth budget, and memory size.
+    pub chips: Vec<ChipConfig>,
+    /// Inter-chip link bandwidth in words per simulated cycle. Every
+    /// cross-chip dependency edge serializes its payload through this
+    /// rate (links are modeled as contention-free: each transfer sees the
+    /// full bandwidth).
+    pub link_words_per_cycle: u64,
+    /// Fixed latency of one chip-to-chip hop, in simulated cycles, paid
+    /// by every cross-chip edge regardless of payload size.
+    pub hop_latency_cycles: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `chips` identical chips with the default link model
+    /// (4 words/cycle, 200-cycle hop — a PCIe-class link next to an
+    /// on-chip fabric).
+    pub fn homogeneous(chips: usize, chip: ChipConfig) -> Self {
+        assert!(chips >= 1, "a cluster has at least one chip");
+        Self {
+            chips: vec![chip; chips],
+            link_words_per_cycle: 4,
+            hop_latency_cycles: 200,
+        }
+    }
+
+    /// Override the inter-chip link model.
+    pub fn with_link(mut self, words_per_cycle: u64, hop_latency_cycles: u64) -> Self {
+        assert!(words_per_cycle >= 1, "a link moves at least one word/cycle");
+        self.link_words_per_cycle = words_per_cycle;
+        self.hop_latency_cycles = hop_latency_cycles;
+        self
+    }
+
+    /// Number of chips in the cluster.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Total cores across every chip.
+    pub fn total_cores(&self) -> usize {
+        self.chips.iter().map(|c| c.cores).sum()
+    }
+
+    /// Modeled cost of moving `words` across one inter-chip hop:
+    /// `hop_latency + ⌈words / link_bandwidth⌉` cycles.
+    pub fn transfer_cycles(&self, words: u64) -> u64 {
+        self.hop_latency_cycles + words.div_ceil(self.link_words_per_cycle.max(1))
+    }
+}
+
+/// Deterministic job → chip placement policies. Like the wave planners,
+/// partitioning is a pure function of the graph (cost hints + edges), so
+/// reruns shard identically.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Component-aware cost bins (the default): the graph's
+    /// weakly-connected components are kept whole — internal edges never
+    /// pay transfer cost — and greedily bin-packed onto the least-loaded
+    /// chip in descending total-cost order (ties: lower smallest job id,
+    /// then lower chip index). Independent submissions (e.g. a fleet of
+    /// solver loops fused by [`JobGraph::append`]) shard with *zero*
+    /// cross-chip edges; a single connected graph lands whole on one
+    /// chip rather than paying links for nothing.
+    #[default]
+    CostBins,
+    /// Stripe individual jobs round-robin by job id, ignoring edges —
+    /// maximal cross-chip traffic. Exists to exercise and stress the
+    /// transfer model (every inter-chip edge pays), not for production
+    /// placement.
+    Striped,
+}
+
+/// The partitioner's verdict for one graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// `chip_of[j]` — the chip that runs job `j` (by submission index).
+    pub chip_of: Vec<usize>,
+    /// Every dependency edge whose endpoints landed on different chips,
+    /// as `(parent, child)` in child-id order (the order the edges were
+    /// added for equal children). Each of these is charged exactly one
+    /// [`Transfer`] when its parent completes.
+    pub cut_edges: Vec<(JobId, JobId)>,
+    /// Total cost hint placed on each chip (the bin-packing load).
+    pub chip_cost: Vec<u64>,
+}
+
+impl Partitioner {
+    /// Shard `graph` across `chips` chips. Pure and deterministic: the
+    /// same graph always produces the same partition.
+    pub fn partition<J: ChipJob>(self, graph: &JobGraph<J>, chips: usize) -> Partition {
+        let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint().max(1)).collect();
+        partition_costs(self, &costs, &graph.parents, chips)
+    }
+}
+
+/// The partitioner over raw fused-pool slices (shared by the public
+/// [`Partitioner::partition`] door and the cluster's round fusion).
+pub(crate) fn partition_costs(
+    p: Partitioner,
+    costs: &[u64],
+    parents: &[Vec<usize>],
+    chips: usize,
+) -> Partition {
+    assert!(chips >= 1, "a cluster has at least one chip");
+    let n = costs.len();
+    let mut chip_of = vec![0usize; n];
+    match p {
+        Partitioner::Striped => {
+            for (j, c) in chip_of.iter_mut().enumerate() {
+                *c = j % chips;
+            }
+        }
+        Partitioner::CostBins => {
+            // Union-find over the undirected edges: weakly-connected
+            // components, root = smallest member id (path compression
+            // with union-by-min keeps that invariant).
+            let mut root: Vec<usize> = (0..n).collect();
+            fn find(root: &mut [usize], mut j: usize) -> usize {
+                while root[j] != j {
+                    root[j] = root[root[j]];
+                    j = root[j];
+                }
+                j
+            }
+            for (child, ps) in parents.iter().enumerate() {
+                for &parent in ps {
+                    let (a, b) = (find(&mut root, parent), find(&mut root, child));
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    root[hi] = lo;
+                }
+            }
+            // Components in id order: (total cost, members).
+            let mut comp_cost = vec![0u64; n];
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for (j, &cost) in costs.iter().enumerate() {
+                let r = find(&mut root, j);
+                comp_cost[r] += cost;
+                members[r].push(j);
+            }
+            // Greedy bin packing: heaviest component first (ties to the
+            // smaller root id), onto the least-loaded chip (ties to the
+            // lower chip index).
+            let mut comps: Vec<usize> = (0..n).filter(|&r| !members[r].is_empty()).collect();
+            comps.sort_by_key(|&r| (std::cmp::Reverse(comp_cost[r]), r));
+            let mut load = vec![0u64; chips];
+            for r in comps {
+                let chip = (0..chips).min_by_key(|&c| (load[c], c)).unwrap();
+                load[chip] += comp_cost[r];
+                for &j in &members[r] {
+                    chip_of[j] = chip;
+                }
+            }
+        }
+    }
+    let mut chip_cost = vec![0u64; chips];
+    for j in 0..n {
+        chip_cost[chip_of[j]] += costs[j];
+    }
+    let cut_edges = parents
+        .iter()
+        .enumerate()
+        .flat_map(|(child, ps)| ps.iter().map(move |&parent| (parent, child)))
+        .filter(|&(p, c)| chip_of[p] != chip_of[c])
+        .map(|(p, c)| (JobId::from_index(p), JobId::from_index(c)))
+        .collect();
+    Partition {
+        chip_of,
+        cut_edges,
+        chip_cost,
+    }
+}
+
+/// One modeled inter-chip payload movement: the charge for one cut edge,
+/// recorded when the parent completes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// The producing job.
+    pub parent: JobId,
+    /// The consuming job (on another chip).
+    pub child: JobId,
+    /// Chip the parent ran on.
+    pub from_chip: usize,
+    /// Chip the child runs on.
+    pub to_chip: usize,
+    /// Payload size, words ([`ChipJob::transfer_words`] of the parent).
+    pub words: u64,
+    /// Modeled cycles ([`ClusterConfig::transfer_cycles`] of `words`)
+    /// between the parent's completion and the child's earliest
+    /// readiness.
+    pub cycles: u64,
+}
+
+/// Merged result of one cluster run: per-chip [`ChipStats`] plus the
+/// interconnect traffic — the shape `lac_power::ClusterEnergyModel`
+/// prices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterStats {
+    /// Each chip's stats delta over this run, in chip order. Every chip's
+    /// `makespan_cycles` is the *cluster* makespan — chips power through
+    /// the whole run whether or not their cores are busy.
+    pub per_chip: Vec<ChipStats>,
+    /// Simulated cluster makespan: wave spans plus transfer stalls.
+    pub makespan_cycles: u64,
+    /// Words moved across inter-chip links (sum over [`Transfer`]s).
+    pub transferred_words: u64,
+    /// Modeled link cycles charged across all transfers (latency-side
+    /// total; overlapping transfers each count in full).
+    pub transfer_cycles: u64,
+    /// Cycles the simulated clock advanced with *every* core idle,
+    /// waiting on in-flight transfers — the makespan share the
+    /// interconnect alone is responsible for.
+    pub transfer_stall_cycles: u64,
+    /// Sum of every core's counters on every chip.
+    pub aggregate: ExecStats,
+}
+
+impl ClusterStats {
+    /// Total jobs dispatched in this run.
+    pub fn jobs(&self) -> u64 {
+        self.per_chip.iter().map(|c| c.jobs()).sum()
+    }
+
+    /// Floating-point operations across the whole cluster.
+    pub fn flops(&self) -> u64 {
+        self.aggregate.flops()
+    }
+
+    /// Total cores across every chip.
+    pub fn total_cores(&self) -> usize {
+        self.per_chip.iter().map(|c| c.per_core.len()).sum()
+    }
+
+    /// Cluster-wide MAC-slot utilization: executed MACs against the peak
+    /// of every core on every chip over the cluster makespan. Transfer
+    /// stalls count against the cluster, exactly as dependency stalls
+    /// count against a chip.
+    pub fn utilization(&self, nr: usize) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        let peak = self.makespan_cycles as f64 * self.total_cores() as f64 * (nr * nr) as f64;
+        (self.aggregate.mac_ops + self.aggregate.fma_ops) as f64 / peak
+    }
+
+    /// Parallel speedup of this run against the same work serialized on
+    /// one core: aggregate busy cycles / makespan.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.aggregate.cycles as f64 / self.makespan_cycles as f64
+    }
+}
+
+/// Everything one cluster graph run produces.
+#[derive(Clone, Debug)]
+pub struct ClusterRun<T> {
+    /// One output per job, indexed by [`JobId::index`] (submission
+    /// order) — placement never changes outputs.
+    pub outputs: Vec<T>,
+    /// How the partitioner sharded the graph.
+    pub partition: Partition,
+    /// Which `(chip, core-within-chip)` ran each job.
+    pub assignment: Vec<(usize, usize)>,
+    /// Which dependency wave (0-based) dispatched each job.
+    pub wave_of: Vec<usize>,
+    /// Dependency waves the run took (transfer-stall gaps between waves
+    /// are not waves — no job dispatches during a stall).
+    pub waves: usize,
+    /// Per chip, per core: simulated cycles spent idle (wave imbalance,
+    /// dependency stalls, and transfer stalls). `busy + idle = makespan`
+    /// for every core.
+    pub idle_per_core: Vec<Vec<u64>>,
+    /// Every cross-chip payload movement, in completion order. One entry
+    /// per cut edge, exactly.
+    pub transfers: Vec<Transfer>,
+    /// Per-chip and cluster-wide meters.
+    pub stats: ClusterStats,
+}
+
+/// Everything one multi-tenant cluster round produces: per-graph
+/// completions in admission order plus the round-wide schedule meters
+/// (the cluster counterpart of [`crate::service::ServiceRound`]).
+#[derive(Clone, Debug)]
+pub struct ClusterRound<T> {
+    /// Completed graphs, in admission (ticket) order. Each completion's
+    /// `assignment` holds *global* core indices (chips laid end to end in
+    /// chip order).
+    pub graphs: Vec<GraphCompletion<T>>,
+    /// How the partitioner sharded the fused round pool (`chip_of` is
+    /// indexed by fused job id, i.e. graphs laid end to end in admission
+    /// order).
+    pub partition: Partition,
+    /// Dependency waves the interleaved round took.
+    pub waves: usize,
+    /// Every cross-chip payload movement of the round.
+    pub transfers: Vec<Transfer>,
+    /// Per-chip and cluster-wide meters.
+    pub stats: ClusterStats,
+}
+
+/// Lifetime meters of a [`LacCluster`], accumulated across every
+/// completed run since construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterSession {
+    /// The cluster clock: completed runs' makespans summed.
+    pub clock_cycles: u64,
+    /// Completed graph submissions (a round counts every admitted graph).
+    pub graphs_run: u64,
+    /// Inter-chip words moved over the lifetime.
+    pub transferred_words: u64,
+    /// Modeled link cycles charged over the lifetime.
+    pub transfer_cycles: u64,
+}
+
+/// What the tenant-aware cluster coordinator hands back to the public
+/// doors.
+struct ClusterMultiRun<T> {
+    outputs: Vec<T>,
+    assignment: Vec<(usize, usize)>,
+    wave_of: Vec<usize>,
+    waves: usize,
+    idle_per_core: Vec<Vec<u64>>,
+    transfers: Vec<Transfer>,
+    stats: ClusterStats,
+    per_tenant: Vec<TenantDelta>,
+}
+
+/// The deterministic cluster coordinator: per wave, plan each chip's
+/// ready jobs with the chip's own core count, dispatch, collect, advance
+/// the shared simulated clock by the slowest bucket anywhere, then
+/// release children — delaying any child whose parent ran on another chip
+/// by the modeled transfer. A wave with no ready jobs but pending
+/// transfers fast-forwards the clock to the next arrival (a transfer
+/// stall). Everything is planned from cost hints, the partition and the
+/// transfer model, so runs are bit-identical across reruns and host
+/// interleavings; with one chip and no cut edges this is exactly the
+/// single-chip wave loop.
+#[allow(clippy::too_many_arguments)] // the coordinator's full context is the point
+fn drive_cluster<T>(
+    cfg: &ClusterConfig,
+    costs: &[u64],
+    transfer_words: &[u64],
+    parents: &[Vec<usize>],
+    children: &[Vec<usize>],
+    chip_of: &[usize],
+    tenant_of: &[usize],
+    weights: &[u64],
+    usage: &mut [u64],
+    sched: Scheduler,
+    mut dispatch: impl FnMut(usize, usize),
+    mut collect: impl FnMut() -> Done<T>,
+) -> Result<ClusterMultiRun<T>, SimError> {
+    let n = costs.len();
+    let chips = cfg.chips.len();
+    let cores_per_chip: Vec<usize> = cfg.chips.iter().map(|c| c.cores).collect();
+    // Global core index = chip_base[chip] + core-within-chip.
+    let mut chip_base = vec![0usize; chips];
+    for c in 1..chips {
+        chip_base[c] = chip_base[c - 1] + cores_per_chip[c - 1];
+    }
+    let total_cores = cfg.total_cores();
+
+    let priority = critical_paths(costs, children);
+    let mut indegree: Vec<usize> = parents.iter().map(|p| p.len()).collect();
+    // Jobs whose parents all completed, waiting for `ready_at` (transfer
+    // arrival) and a planner slot. Kept sorted by job id.
+    let mut pending: Vec<usize> = (0..n).filter(|&j| indegree[j] == 0).collect();
+    let mut ready_at = vec![0u64; n];
+
+    let mut outputs: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut assignment = vec![(0usize, 0usize); n];
+    let mut wave_of = vec![0usize; n];
+    let mut dispatch_slot = vec![(0usize, 0usize); n]; // (global core, bucket position)
+    let mut per_core = vec![ExecStats::default(); total_cores];
+    let mut jobs_per_core = vec![0u64; total_cores];
+    let mut idle_per_core = vec![0u64; total_cores];
+    let mut per_tenant = vec![TenantDelta::default(); weights.len()];
+    let mut transfers: Vec<Transfer> = Vec::new();
+    let mut transferred_words = 0u64;
+    let mut transfer_cycles = 0u64;
+    let mut transfer_stall_cycles = 0u64;
+    let mut clock = 0u64;
+    let mut waves = 0usize;
+
+    while !pending.is_empty() {
+        let ready: Vec<usize> = pending
+            .iter()
+            .copied()
+            .filter(|&j| ready_at[j] <= clock)
+            .collect();
+        if ready.is_empty() {
+            // Every pending job is waiting on an in-flight transfer:
+            // fast-forward to the earliest arrival. The whole cluster
+            // idles through the gap.
+            let next = pending.iter().map(|&j| ready_at[j]).min().unwrap();
+            let gap = next - clock;
+            for idle in idle_per_core.iter_mut() {
+                *idle += gap;
+            }
+            transfer_stall_cycles += gap;
+            clock = next;
+            continue;
+        }
+
+        // Plan chip by chip in chip order; FairShare usage is charged as
+        // each chip's buckets are fixed, so later chips see earlier
+        // chips' picks — one global deficit account, deterministically.
+        let mut in_wave = vec![false; n];
+        let mut dispatched = 0usize;
+        for chip in 0..chips {
+            let chip_ready: Vec<usize> = ready
+                .iter()
+                .copied()
+                .filter(|&j| chip_of[j] == chip)
+                .collect();
+            if chip_ready.is_empty() {
+                continue;
+            }
+            let buckets = match sched {
+                Scheduler::FairShare => plan_wave_tenanted(
+                    &chip_ready,
+                    costs,
+                    &priority,
+                    tenant_of,
+                    usage,
+                    weights,
+                    cores_per_chip[chip],
+                ),
+                _ => plan_wave(sched, &chip_ready, costs, &priority, cores_per_chip[chip]),
+            };
+            for (core, bucket) in buckets.iter().enumerate() {
+                let g = chip_base[chip] + core;
+                for (pos, &j) in bucket.iter().enumerate() {
+                    assignment[j] = (chip, core);
+                    wave_of[j] = waves;
+                    in_wave[j] = true;
+                    dispatch_slot[j] = (g, pos);
+                    let t = tenant_of[j];
+                    per_tenant[t].wait_cycles += clock - ready_at[j];
+                    per_tenant[t].cost_dispatched += costs[j].max(1);
+                    usage[t] += costs[j].max(1);
+                    dispatch(g, j);
+                    dispatched += 1;
+                }
+            }
+        }
+        waves += 1;
+
+        let mut wave_cycles = vec![0u64; total_cores];
+        // Same failure and metering semantics as `drive_multi`, by
+        // construction: both coordinators collect through the shared
+        // `collect_wave` (cores indexed globally here).
+        let mut completed = collect_wave(
+            dispatched,
+            &mut collect,
+            &dispatch_slot,
+            tenant_of,
+            &mut wave_cycles,
+            &mut per_core,
+            &mut jobs_per_core,
+            &mut per_tenant,
+            &mut outputs,
+        )?;
+
+        let span = wave_cycles.iter().copied().max().unwrap_or(0);
+        for c in 0..total_cores {
+            idle_per_core[c] += span - wave_cycles[c];
+        }
+        clock += span;
+
+        // Release children; a cross-chip edge delays the child by the
+        // modeled transfer and records the charge (exactly once per cut
+        // edge — a parent completes exactly once).
+        completed.sort_unstable();
+        for &j in &completed {
+            for &child in &children[j] {
+                let arrival = if chip_of[child] != chip_of[j] {
+                    let words = transfer_words[j].max(1);
+                    let cycles = cfg.transfer_cycles(words);
+                    transfers.push(Transfer {
+                        parent: JobId::from_index(j),
+                        child: JobId::from_index(child),
+                        from_chip: chip_of[j],
+                        to_chip: chip_of[child],
+                        words,
+                        cycles,
+                    });
+                    transferred_words += words;
+                    transfer_cycles += cycles;
+                    clock + cycles
+                } else {
+                    clock
+                };
+                ready_at[child] = ready_at[child].max(arrival);
+                indegree[child] -= 1;
+                if indegree[child] == 0 {
+                    pending.push(child);
+                }
+            }
+        }
+        // Undispatched ready jobs (the quantum-capped policy's backlog)
+        // stay pending; newly released children joined them above.
+        pending.retain(|&j| !in_wave[j]);
+        pending.sort_unstable();
+    }
+
+    let mut aggregate = ExecStats::default();
+    for s in &per_core {
+        aggregate.merge(s);
+    }
+    let outputs: Vec<T> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(j, o)| o.unwrap_or_else(|| panic!("job {j} never became ready (dangling parent?)")))
+        .collect();
+
+    let mut per_chip = Vec::with_capacity(chips);
+    let mut idle_nested = Vec::with_capacity(chips);
+    for chip in 0..chips {
+        let range = chip_base[chip]..chip_base[chip] + cores_per_chip[chip];
+        let chip_cores: Vec<ExecStats> = per_core[range.clone()].to_vec();
+        let mut chip_aggregate = ExecStats::default();
+        for s in &chip_cores {
+            chip_aggregate.merge(s);
+        }
+        per_chip.push(ChipStats {
+            per_core: chip_cores,
+            jobs_per_core: jobs_per_core[range.clone()].to_vec(),
+            makespan_cycles: clock,
+            aggregate: chip_aggregate,
+        });
+        idle_nested.push(idle_per_core[range].to_vec());
+    }
+
+    Ok(ClusterMultiRun {
+        outputs,
+        assignment,
+        wave_of,
+        waves,
+        idle_per_core: idle_nested,
+        transfers,
+        stats: ClusterStats {
+            per_chip,
+            makespan_cycles: clock,
+            transferred_words,
+            transfer_cycles,
+            transfer_stall_cycles,
+            aggregate,
+        },
+        per_tenant,
+    })
+}
+
+/// A multi-chip deployment: N [`LacChip`]s behind one deterministic
+/// partition-and-coordinate front door, with cluster-wide multi-tenant
+/// admission.
+///
+/// Like [`LacChip`] (and unlike the persistent
+/// [`crate::service::LacService`]), a cluster borrows the calling thread
+/// and scoped workers per run: one worker per core per chip, each owning
+/// its shard's [`crate::engine::LacEngine`] for the duration of the run. Shard state and
+/// session meters persist across runs — the chips are owned, not rebuilt.
+///
+/// ```
+/// use lac_sim::{ChipConfig, ClusterConfig, JobGraph, LacCluster, LacConfig, Scheduler};
+/// use lac_sim::{ProgramJob, ProgramBuilder};
+///
+/// // Two 2-core chips joined by a 4-words/cycle, 200-cycle-hop link.
+/// let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(2, LacConfig::default()));
+/// let mut cluster: LacCluster<ProgramJob> = LacCluster::new(cfg);
+///
+/// // Two independent 1-job graphs fused into one submission: the
+/// // CostBins partitioner gives each component its own chip.
+/// let mut graph = JobGraph::new();
+/// for _ in 0..2 {
+///     let mut b = ProgramBuilder::new(LacConfig::default().nr);
+///     b.idle(8);
+///     graph.add(ProgramJob::new(b.build()));
+/// }
+/// let run = cluster.run_graph(&graph, Scheduler::CriticalPath).unwrap();
+/// assert_eq!(run.outputs.len(), 2);
+/// assert_eq!(run.partition.chip_of, vec![0, 1]);
+/// assert!(run.transfers.is_empty(), "no edges were cut");
+/// ```
+pub struct LacCluster<J: ChipJob> {
+    cfg: ClusterConfig,
+    partitioner: Partitioner,
+    chips: Vec<LacChip>,
+    tenants: Vec<(TenantConfig, TenantSession)>,
+    pending: Vec<PendingGraph<J>>,
+    next_seq: u64,
+    session: ClusterSession,
+}
+
+impl<J: ChipJob> LacCluster<J> {
+    /// Build every chip of `cfg` (each chip's bandwidth budget splits
+    /// across its cores per [`ChipConfig::shard_config`]) with the
+    /// default [`Partitioner::CostBins`].
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(!cfg.chips.is_empty(), "a cluster has at least one chip");
+        let chips = cfg.chips.iter().map(|&c| LacChip::new(c)).collect();
+        Self {
+            cfg,
+            partitioner: Partitioner::CostBins,
+            chips,
+            tenants: Vec::new(),
+            pending: Vec::new(),
+            next_seq: 0,
+            session: ClusterSession::default(),
+        }
+    }
+
+    /// Override the placement policy (see [`Partitioner`]).
+    pub fn with_partitioner(mut self, p: Partitioner) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// The cluster's static configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The active placement policy.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// One chip (its shards' session meters survive cluster runs).
+    pub fn chip(&self, i: usize) -> &LacChip {
+        &self.chips[i]
+    }
+
+    /// Lifetime meters across every completed run since construction.
+    pub fn session(&self) -> &ClusterSession {
+        &self.session
+    }
+
+    /// Run a dependency graph sharded across the cluster's chips under
+    /// `sched`.
+    ///
+    /// The graph is partitioned first (see [`Partitioner`]), then
+    /// executed in deterministic waves: each chip plans its own ready
+    /// bucket per wave from cost hints, cross-chip edges delay children
+    /// by the modeled transfer, and the shared simulated clock advances
+    /// by the slowest bucket anywhere. Outputs come back in submission
+    /// order regardless of placement, bit-identical across reruns,
+    /// policies and host interleavings (the same guarantee as
+    /// [`LacChip::run_graph`], which an N=1 cluster reproduces exactly).
+    ///
+    /// Error semantics match [`LacChip::run_graph`]: the earliest
+    /// observed failure (by global core index, then bucket position) is
+    /// returned, peers stop at their next job boundary, and work that
+    /// already simulated stays metered in the shard sessions.
+    pub fn run_graph(
+        &mut self,
+        graph: &JobGraph<J>,
+        sched: Scheduler,
+    ) -> Result<ClusterRun<J::Output>, SimError> {
+        let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint()).collect();
+        let transfer_words: Vec<u64> = graph.jobs.iter().map(|j| j.transfer_words()).collect();
+        let partition = partition_costs(
+            self.partitioner,
+            &costs.iter().map(|&c| c.max(1)).collect::<Vec<_>>(),
+            &graph.parents,
+            self.chips.len(),
+        );
+        let tenant_of = vec![0usize; costs.len()];
+        let mut usage = [0u64];
+        let run = self.run_scoped(
+            |job| &graph.jobs[job],
+            &costs,
+            &transfer_words,
+            &graph.parents,
+            &graph.children,
+            &partition.chip_of,
+            &tenant_of,
+            &[1],
+            &mut usage,
+            sched,
+        )?;
+        self.session.clock_cycles += run.stats.makespan_cycles;
+        self.session.graphs_run += 1;
+        self.session.transferred_words += run.stats.transferred_words;
+        self.session.transfer_cycles += run.stats.transfer_cycles;
+        Ok(ClusterRun {
+            outputs: run.outputs,
+            partition,
+            assignment: run.assignment,
+            wave_of: run.wave_of,
+            waves: run.waves,
+            idle_per_core: run.idle_per_core,
+            transfers: run.transfers,
+            stats: run.stats,
+        })
+    }
+
+    /// Register a tenant on the cluster-wide multi-tenant door. The
+    /// tenant's admission budget and fair-share weight span every chip —
+    /// one budget, however many chips its graphs land on.
+    pub fn add_tenant(&mut self, cfg: TenantConfig) -> TenantId {
+        let id = TenantId::from_index(self.tenants.len());
+        self.tenants.push((cfg, TenantSession::default()));
+        id
+    }
+
+    /// Number of registered tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenant's lifetime meters (updated only by completed rounds).
+    pub fn tenant_session(&self, t: TenantId) -> &TenantSession {
+        &self.tenants[t.index()].1
+    }
+
+    /// Graphs admitted and waiting for the next
+    /// [`LacCluster::run_admitted`].
+    pub fn pending_graphs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Submit a graph through tenant `t`'s cluster-wide admission door —
+    /// identical deterministic-backpressure semantics to
+    /// [`crate::service::LacService::enqueue`] (it runs the same
+    /// admission function), with one budget covering all chips.
+    pub fn enqueue(&mut self, t: TenantId, graph: JobGraph<J>) -> Result<GraphTicket, Rejected<J>> {
+        let pending = admit(&mut self.tenants, &mut self.next_seq, t, graph)?;
+        let ticket = pending.ticket;
+        self.pending.push(pending);
+        Ok(ticket)
+    }
+
+    /// Run every admitted graph in one interleaved, sharded round: the
+    /// graphs fuse into a single pool (edges never cross graphs), the
+    /// pool is partitioned across chips, and execution interleaves
+    /// wave-by-wave under `sched` with the same fair-share deficits,
+    /// banked-credit cap and failure semantics as
+    /// [`crate::service::LacService::run_admitted`]. On success the round
+    /// folds into the cluster session and each tenant's
+    /// [`TenantSession`]; on error the round's graphs are dropped and
+    /// their in-flight cost drains.
+    pub fn run_admitted(&mut self, sched: Scheduler) -> Result<ClusterRound<J::Output>, SimError> {
+        let pending = std::mem::take(&mut self.pending);
+        let chips = self.chips.len();
+        if pending.is_empty() {
+            return Ok(ClusterRound {
+                graphs: Vec::new(),
+                partition: Partition {
+                    chip_of: Vec::new(),
+                    cut_edges: Vec::new(),
+                    chip_cost: vec![0; chips],
+                },
+                waves: 0,
+                transfers: Vec::new(),
+                stats: ClusterStats {
+                    per_chip: self
+                        .cfg
+                        .chips
+                        .iter()
+                        .map(|c| ChipStats {
+                            per_core: vec![ExecStats::default(); c.cores],
+                            jobs_per_core: vec![0; c.cores],
+                            makespan_cycles: 0,
+                            aggregate: ExecStats::default(),
+                        })
+                        .collect(),
+                    makespan_cycles: 0,
+                    transferred_words: 0,
+                    transfer_cycles: 0,
+                    transfer_stall_cycles: 0,
+                    aggregate: ExecStats::default(),
+                },
+            });
+        }
+
+        let pool = FusedPool::new(pending);
+        let partition = partition_costs(
+            self.partitioner,
+            &pool.costs.iter().map(|&c| c.max(1)).collect::<Vec<_>>(),
+            &pool.parents,
+            chips,
+        );
+        let weights: Vec<u64> = self.tenants.iter().map(|(c, _)| c.weight.max(1)).collect();
+        let mut usage: Vec<u64> = self.tenants.iter().map(|(_, s)| s.cost_completed).collect();
+        cap_banked_credit(&mut usage, &weights, &pool.backlog(self.tenants.len()));
+
+        let run = self.run_scoped(
+            |job| {
+                let (g, local) = pool.owner[job];
+                &pool.graphs[g].jobs[local]
+            },
+            &pool.costs,
+            &pool.transfer_words,
+            &pool.parents,
+            &pool.children,
+            &partition.chip_of,
+            &pool.tenant_of,
+            &weights,
+            &mut usage,
+            sched,
+        );
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => {
+                drain_inflight(&mut self.tenants, &pool);
+                return Err(e);
+            }
+        };
+
+        self.session.clock_cycles += run.stats.makespan_cycles;
+        self.session.graphs_run += pool.graphs.len() as u64;
+        self.session.transferred_words += run.stats.transferred_words;
+        self.session.transfer_cycles += run.stats.transfer_cycles;
+        settle_round(&mut self.tenants, &pool, &run.per_tenant);
+
+        // Flatten (chip, core) to global core indices for the shared
+        // GraphCompletion shape.
+        let mut chip_base = vec![0usize; chips];
+        for c in 1..chips {
+            chip_base[c] = chip_base[c - 1] + self.cfg.chips[c - 1].cores;
+        }
+        let global: Vec<usize> = run
+            .assignment
+            .iter()
+            .map(|&(chip, core)| chip_base[chip] + core)
+            .collect();
+        let completions = pool.completions(run.outputs, &global, &run.wave_of);
+        Ok(ClusterRound {
+            graphs: completions,
+            partition,
+            waves: run.waves,
+            transfers: run.transfers,
+            stats: run.stats,
+        })
+    }
+
+    /// Spawn one scoped worker per core per chip and drive the fused job
+    /// pool through [`drive_cluster`]. `job_of` resolves a pool index to
+    /// the job to run (identity for [`LacCluster::run_graph`], the owner
+    /// map for rounds).
+    #[allow(clippy::too_many_arguments)] // mirrors the coordinator it feeds
+    fn run_scoped<'j>(
+        &mut self,
+        job_of: impl Fn(usize) -> &'j J + Sync,
+        costs: &[u64],
+        transfer_words: &[u64],
+        parents: &[Vec<usize>],
+        children: &[Vec<usize>],
+        chip_of: &[usize],
+        tenant_of: &[usize],
+        weights: &[u64],
+        usage: &mut [u64],
+        sched: Scheduler,
+    ) -> Result<ClusterMultiRun<J::Output>, SimError>
+    where
+        J: 'j,
+    {
+        let cfg = &self.cfg;
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx) = std::sync::mpsc::channel::<Done<J::Output>>();
+            let mut txs = Vec::with_capacity(cfg.total_cores());
+            for chip in self.chips.iter_mut() {
+                for eng in chip.shards_mut().iter_mut() {
+                    let core = txs.len();
+                    let (tx, rx) = std::sync::mpsc::channel::<usize>();
+                    txs.push(tx);
+                    let done_tx = done_tx.clone();
+                    let abort = &abort;
+                    let job_of = &job_of;
+                    scope.spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let outcome = run_one(eng, job_of(job), abort);
+                            if done_tx.send(Done { core, job, outcome }).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            }
+            drive_cluster(
+                cfg,
+                costs,
+                transfer_words,
+                parents,
+                children,
+                chip_of,
+                tenant_of,
+                weights,
+                usage,
+                sched,
+                |core, job| txs[core].send(job).expect("cluster worker hung up"),
+                || done_rx.recv().expect("cluster worker hung up"),
+            )
+            // `txs` drop here; the scoped workers drain and the scope
+            // joins them.
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ProgramJob;
+    use crate::config::LacConfig;
+    use crate::isa::{ExtOp, ProgramBuilder, Source};
+
+    /// One external load + one MAC + `extra` idle cycles, with a chosen
+    /// scheduler cost.
+    fn job(extra: usize, cost: u64) -> ProgramJob {
+        let cfg = LacConfig::default();
+        let mut b = ProgramBuilder::new(cfg.nr);
+        let t = b.push_step();
+        b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+        b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+        let t = b.push_step();
+        b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+        b.idle(cfg.fpu.pipeline_depth + extra);
+        let mut j = ProgramJob::new(b.build());
+        j.cost = cost;
+        j
+    }
+
+    /// `count` independent diamond components (1 → {2} → 1 jobs each).
+    fn diamonds(count: usize) -> JobGraph<ProgramJob> {
+        let mut g = JobGraph::new();
+        for k in 0..count {
+            let a = g.add(job(k, 4));
+            let b = g.add_after(job(k + 1, 2), &[a]);
+            let c = g.add_after(job(k + 2, 2), &[a]);
+            g.add_after(job(k, 1), &[b, c]);
+        }
+        g
+    }
+
+    #[test]
+    fn cost_bins_keep_components_whole_and_balance_load() {
+        let g = diamonds(4);
+        let part = Partitioner::CostBins.partition(&g, 2);
+        assert_eq!(part.chip_of.len(), 16);
+        // Components stay whole: all four jobs of a diamond share a chip.
+        for k in 0..4 {
+            let chips: Vec<usize> = (4 * k..4 * k + 4).map(|j| part.chip_of[j]).collect();
+            assert!(
+                chips.windows(2).all(|w| w[0] == w[1]),
+                "component {k} split"
+            );
+        }
+        assert!(part.cut_edges.is_empty(), "no component edges were cut");
+        // Equal-cost components split two per chip.
+        assert_eq!(part.chip_cost, vec![18, 18]);
+    }
+
+    #[test]
+    fn striped_partition_cuts_edges_and_charges_each_once() {
+        let g = diamonds(2);
+        let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(2, LacConfig::default()))
+            .with_link(2, 50);
+        let part = Partitioner::Striped.partition(&g, 2);
+        assert!(!part.cut_edges.is_empty());
+        let mut cluster: LacCluster<ProgramJob> =
+            LacCluster::new(cfg).with_partitioner(Partitioner::Striped);
+        let run = cluster.run_graph(&g, Scheduler::CriticalPath).unwrap();
+        // Exactly one transfer per cut edge, each edge exactly once.
+        assert_eq!(run.transfers.len(), part.cut_edges.len());
+        let mut charged: Vec<(JobId, JobId)> =
+            run.transfers.iter().map(|t| (t.parent, t.child)).collect();
+        charged.sort();
+        let mut cut = part.cut_edges.clone();
+        cut.sort();
+        assert_eq!(charged, cut);
+        // ProgramJob's default transfer hint is 1 word: every charge is
+        // hop + ceil(1/2) cycles, and the totals add up.
+        for t in &run.transfers {
+            assert_eq!(t.words, 1);
+            assert_eq!(t.cycles, 50 + 1);
+            assert_ne!(t.from_chip, t.to_chip);
+        }
+        assert_eq!(run.stats.transferred_words, run.transfers.len() as u64);
+        assert_eq!(
+            run.stats.transfer_cycles,
+            run.transfers.iter().map(|t| t.cycles).sum::<u64>()
+        );
+        // Cross-chip latency showed up on the clock.
+        assert!(run.stats.transfer_stall_cycles > 0);
+        assert!(run.stats.makespan_cycles > run.stats.aggregate.cycles / 4);
+    }
+
+    #[test]
+    fn single_chip_cluster_is_bit_identical_to_the_chip_door() {
+        let cfg = ChipConfig::new(3, LacConfig::default()).with_bandwidth_budget(12);
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+            Scheduler::FairShare,
+        ] {
+            let mut cluster: LacCluster<ProgramJob> =
+                LacCluster::new(ClusterConfig::homogeneous(1, cfg));
+            let via_cluster = cluster.run_graph(&diamonds(3), sched).unwrap();
+            let mut chip = LacChip::new(cfg);
+            let via_chip = chip.run_graph(&diamonds(3), sched).unwrap();
+            assert_eq!(via_cluster.outputs, via_chip.outputs, "{sched:?}");
+            assert_eq!(
+                via_cluster.stats.per_chip[0].per_core,
+                via_chip.stats.per_core
+            );
+            assert_eq!(
+                via_cluster.stats.makespan_cycles,
+                via_chip.stats.makespan_cycles
+            );
+            assert_eq!(via_cluster.waves, via_chip.waves);
+            assert_eq!(via_cluster.stats.transferred_words, 0);
+            assert_eq!(via_cluster.stats.transfer_stall_cycles, 0);
+            // (chip, core) assignment collapses to the chip's core picks.
+            let cores: Vec<usize> = via_cluster.assignment.iter().map(|&(_, c)| c).collect();
+            assert_eq!(cores, via_chip.assignment);
+        }
+    }
+
+    #[test]
+    fn reruns_and_policies_are_bit_identical() {
+        let cfg = ClusterConfig::homogeneous(3, ChipConfig::new(2, LacConfig::default()));
+        let mut baseline: Option<Vec<ExecStats>> = None;
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::CriticalPath,
+        ] {
+            let mut cluster: LacCluster<ProgramJob> = LacCluster::new(cfg.clone());
+            let first = cluster.run_graph(&diamonds(5), sched).unwrap();
+            let second = cluster.run_graph(&diamonds(5), sched).unwrap();
+            assert_eq!(first.outputs, second.outputs, "{sched:?}: rerun diverged");
+            assert_eq!(first.stats, second.stats, "{sched:?}: rerun stats diverged");
+            assert_eq!(first.transfers, second.transfers);
+            match &baseline {
+                None => baseline = Some(first.outputs),
+                Some(b) => assert_eq!(b, &first.outputs, "{sched:?} changed results"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_independent_work_beats_one_chip() {
+        let chip = ChipConfig::new(2, LacConfig::default());
+        let mut solo: LacCluster<ProgramJob> = LacCluster::new(ClusterConfig::homogeneous(1, chip));
+        let solo_run = solo
+            .run_graph(&diamonds(8), Scheduler::CriticalPath)
+            .unwrap();
+        let mut quad: LacCluster<ProgramJob> = LacCluster::new(ClusterConfig::homogeneous(4, chip));
+        let quad_run = quad
+            .run_graph(&diamonds(8), Scheduler::CriticalPath)
+            .unwrap();
+        assert_eq!(solo_run.outputs, quad_run.outputs, "placement-free outputs");
+        assert!(
+            quad_run.stats.makespan_cycles * 2 < solo_run.stats.makespan_cycles,
+            "4 chips must halve the makespan on embarrassingly shardable work \
+             ({} vs {})",
+            quad_run.stats.makespan_cycles,
+            solo_run.stats.makespan_cycles
+        );
+        assert!(quad_run.transfers.is_empty());
+    }
+
+    #[test]
+    fn cluster_tenants_share_one_budget_across_chips() {
+        let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(2, LacConfig::default()));
+        let mut cluster: LacCluster<ProgramJob> = LacCluster::new(cfg);
+        let t = cluster.add_tenant(TenantConfig::new("bounded").with_admission_budget(20));
+        let free = cluster.add_tenant(TenantConfig::new("free"));
+        let flat = |cost: u64| -> JobGraph<ProgramJob> { (0..4).map(|i| job(i, cost)).collect() };
+        cluster.enqueue(t, flat(4)).unwrap(); // 16 in flight
+        let rejected = cluster.enqueue(t, flat(2)).unwrap_err();
+        assert_eq!(rejected.inflight_cost, 16);
+        assert_eq!(rejected.budget, 20);
+        cluster.enqueue(free, flat(3)).unwrap();
+        assert_eq!(cluster.pending_graphs(), 2);
+
+        let round = cluster.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(round.graphs.len(), 2);
+        assert_eq!(cluster.tenant_session(t).inflight_cost, 0);
+        assert_eq!(cluster.tenant_session(t).graphs_completed, 1);
+        assert_eq!(cluster.tenant_session(free).jobs_run, 4);
+        // The budget drained: the bounced graph now fits.
+        cluster.enqueue(t, rejected.graph).unwrap();
+        let round2 = cluster.run_admitted(Scheduler::FairShare).unwrap();
+        assert_eq!(round2.graphs.len(), 1);
+        // Session meters accumulated both rounds.
+        assert_eq!(cluster.session().graphs_run, 3);
+        assert_eq!(
+            cluster.session().clock_cycles,
+            round.stats.makespan_cycles + round2.stats.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn heterogeneous_chips_lay_cores_end_to_end() {
+        let cfg = ClusterConfig {
+            chips: vec![
+                ChipConfig::new(1, LacConfig::default()),
+                ChipConfig::new(3, LacConfig::default()),
+            ],
+            link_words_per_cycle: 4,
+            hop_latency_cycles: 10,
+        };
+        assert_eq!(cfg.total_cores(), 4);
+        let mut cluster: LacCluster<ProgramJob> = LacCluster::new(cfg);
+        let run = cluster
+            .run_graph(&diamonds(4), Scheduler::LeastLoaded)
+            .unwrap();
+        assert_eq!(run.outputs.len(), 16);
+        assert_eq!(run.idle_per_core[0].len(), 1);
+        assert_eq!(run.idle_per_core[1].len(), 3);
+        for (chip, core) in &run.assignment {
+            assert!(*core < cluster.chip(*chip).num_cores());
+        }
+        // Busy + idle reconstructs the makespan on every core.
+        for chip in 0..2 {
+            for core in 0..run.idle_per_core[chip].len() {
+                assert_eq!(
+                    run.stats.per_chip[chip].per_core[core].cycles + run.idle_per_core[chip][core],
+                    run.stats.makespan_cycles,
+                    "chip {chip} core {core}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failing_job_aborts_the_cluster_run() {
+        let bad = {
+            let mut b = ProgramBuilder::new(LacConfig::default().nr);
+            let t = b.push_step();
+            b.pe_mut(t, 0, 0).mac = Some((Source::RowBus, Source::Const(1.0)));
+            ProgramJob::new(b.build())
+        };
+        let mut g = JobGraph::new();
+        let a = g.add(job(0, 1));
+        g.add_after(bad, &[a]);
+        let mut cluster: LacCluster<ProgramJob> = LacCluster::new(ClusterConfig::homogeneous(
+            2,
+            ChipConfig::new(2, LacConfig::default()),
+        ));
+        let err = cluster.run_graph(&g, Scheduler::Fifo).unwrap_err();
+        assert_eq!(err.cycle, 0);
+        assert_eq!(cluster.session().graphs_run, 0, "failed runs do not count");
+        // The cluster recovers: the next run completes.
+        let run = cluster.run_graph(&diamonds(2), Scheduler::Fifo).unwrap();
+        assert_eq!(run.outputs.len(), 8);
+        assert_eq!(cluster.session().graphs_run, 1);
+    }
+}

@@ -14,32 +14,39 @@ pub struct ExternalMem {
 }
 
 impl ExternalMem {
+    /// A zeroed bank of `words` words.
     pub fn new(words: usize) -> Self {
         Self {
             data: vec![0.0; words],
         }
     }
 
+    /// Wrap a packed operand image as the bank's contents.
     pub fn from_vec(data: Vec<f64>) -> Self {
         Self { data }
     }
 
+    /// Bank size, words.
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
+    /// True for a zero-word bank.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
+    /// Read word `addr` (host-side staging access, not metered).
     pub fn read(&self, addr: usize) -> f64 {
         self.data[addr]
     }
 
+    /// Write word `addr` (host-side staging access, not metered).
     pub fn write(&mut self, addr: usize, v: f64) {
         self.data[addr] = v;
     }
 
+    /// The whole bank as a slice (result unpacking).
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
@@ -95,6 +102,8 @@ pub struct Lac {
 }
 
 impl Lac {
+    /// A fresh core in the given configuration: zeroed memories and
+    /// registers, drained pipelines, zero counters.
     pub fn new(cfg: LacConfig) -> Self {
         let per_pe_sfu = match cfg.divsqrt {
             DivSqrtImpl::Software => true,     // microcode runs on every PE
@@ -127,6 +136,7 @@ impl Lac {
         }
     }
 
+    /// The configuration the core was built with.
     pub fn config(&self) -> &LacConfig {
         &self.cfg
     }

@@ -58,6 +58,7 @@ impl LacEngineBuilder {
         self
     }
 
+    /// Construct the engine: a fresh core plus a zeroed memory bank.
     pub fn build(self) -> LacEngine {
         LacEngine {
             lac: Lac::new(self.cfg),
@@ -71,6 +72,34 @@ impl LacEngineBuilder {
 
 /// A simulation session: one core plus its external-memory bank, with
 /// stats accumulated across every program run through it.
+///
+/// ```
+/// use lac_sim::{ExtOp, LacConfig, LacEngine, ProgramBuilder, Source};
+///
+/// let cfg = LacConfig::default();
+/// let mut eng = LacEngine::builder().config(cfg).mem_words(16).build();
+///
+/// // A two-cycle microprogram: load a word onto PE (0,0)'s register,
+/// // then square it into the accumulator; idle out the FMAC pipeline.
+/// let mut b = ProgramBuilder::new(cfg.nr);
+/// let t = b.push_step();
+/// b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+/// b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+/// let t = b.push_step();
+/// b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+/// b.idle(cfg.fpu.pipeline_depth);
+/// let prog = b.build();
+///
+/// eng.load_image(vec![3.0; 16]);
+/// let stats = eng.run_program(&prog).expect("hazard-free schedule");
+/// assert_eq!(stats.mac_ops, 1);
+///
+/// // Sessions meter: a second run accumulates into the same counters.
+/// eng.run_program(&prog).unwrap();
+/// assert_eq!(eng.session_stats().mac_ops, 2);
+/// assert_eq!(eng.programs_run(), 2);
+/// assert_eq!(eng.flops(), 4);
+/// ```
 pub struct LacEngine {
     lac: Lac,
     mem: ExternalMem,
@@ -80,6 +109,7 @@ pub struct LacEngine {
 }
 
 impl LacEngine {
+    /// Start configuring an engine.
     pub fn builder() -> LacEngineBuilder {
         LacEngineBuilder::default()
     }
@@ -89,6 +119,7 @@ impl LacEngine {
         Self::builder().config(cfg).build()
     }
 
+    /// The core configuration the engine was built with.
     pub fn config(&self) -> &LacConfig {
         self.lac.config()
     }
@@ -98,6 +129,7 @@ impl LacEngine {
         &self.lac
     }
 
+    /// Mutable core access (kernel drivers run programs directly).
     pub fn core_mut(&mut self) -> &mut Lac {
         &mut self.lac
     }
@@ -107,6 +139,7 @@ impl LacEngine {
         &self.mem
     }
 
+    /// Mutable access to the engine-owned bank (operand staging).
     pub fn mem_mut(&mut self) -> &mut ExternalMem {
         &mut self.mem
     }

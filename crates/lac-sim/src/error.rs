@@ -6,8 +6,11 @@ use std::fmt;
 /// A hard simulation error (mis-scheduled microprogram or bad config).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimError {
+    /// Simulated cycle (program step index) the violation occurred in.
     pub cycle: usize,
+    /// The PE involved, as `(row, col)`, when one can be named.
     pub pe: Option<(usize, usize)>,
+    /// What was violated.
     pub kind: HazardKind,
 }
 
@@ -15,23 +18,42 @@ pub struct SimError {
 #[derive(Clone, Debug, PartialEq)]
 pub enum HazardKind {
     /// Two writers drove the same row bus.
-    RowBusConflict { row: usize },
+    RowBusConflict {
+        /// Row index of the contested bus.
+        row: usize,
+    },
     /// Two writers (PE or external) drove the same column bus.
-    ColBusConflict { col: usize },
+    ColBusConflict {
+        /// Column index of the contested bus.
+        col: usize,
+    },
     /// A bus was read but nobody drove it this cycle.
-    BusUndriven { row_bus: bool, index: usize },
+    BusUndriven {
+        /// True for a row bus, false for a column bus.
+        row_bus: bool,
+        /// Index of the undriven bus.
+        index: usize,
+    },
     /// Single-ported A memory saw more than one access.
     SramAPortConflict,
     /// Dual-ported B memory saw more than two accesses.
     SramBPortConflict,
     /// SRAM address out of configured range.
     SramOutOfRange {
+        /// Which memory: `'A'` or `'B'`.
         which: char,
+        /// The offending address.
         addr: usize,
+        /// The configured memory size, words.
         size: usize,
     },
     /// Register index out of range.
-    RegOutOfRange { idx: usize, size: usize },
+    RegOutOfRange {
+        /// The offending register index.
+        idx: usize,
+        /// The configured register-file size.
+        size: usize,
+    },
     /// Accumulator read or loaded while MACs are still in flight.
     AccHazard,
     /// MAC issued while the software divide/sqrt occupies it.
@@ -47,11 +69,24 @@ pub enum HazardKind {
     /// SFU used on a PE that has none under this divide/sqrt option.
     SfuNotPresent,
     /// External transfer count exceeded the configured words/cycle.
-    ExtBandwidthExceeded { used: usize, limit: usize },
+    ExtBandwidthExceeded {
+        /// Words the step tried to move this cycle.
+        used: usize,
+        /// The configured words/cycle cap.
+        limit: usize,
+    },
     /// External address out of range.
-    ExtOutOfRange { addr: usize, size: usize },
+    ExtOutOfRange {
+        /// The offending address.
+        addr: usize,
+        /// The external memory size, words.
+        size: usize,
+    },
     /// An external store targeted a column bus nobody drove.
-    ExtStoreUndriven { col: usize },
+    ExtStoreUndriven {
+        /// Column index of the undriven bus.
+        col: usize,
+    },
     /// Bus-to-bus forwarding in a single cycle is not implementable.
     BusToBusSameCycle,
 }

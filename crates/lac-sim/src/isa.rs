@@ -92,21 +92,25 @@ impl PeInstr {
 
     // Builder-style helpers used by the kernel generators.
 
+    /// Drive the PE's row bus with `s`.
     pub fn row_write(mut self, s: Source) -> Self {
         self.row_write = Some(s);
         self
     }
 
+    /// Drive the PE's column bus with `s`.
     pub fn col_write(mut self, s: Source) -> Self {
         self.col_write = Some(s);
         self
     }
 
+    /// Issue `acc += a * b`.
     pub fn mac(mut self, a: Source, b: Source) -> Self {
         self.mac = Some((a, b));
         self
     }
 
+    /// Issue a free-standing fused `c + a * b`.
     pub fn fma(mut self, a: Source, b: Source, c: Source) -> Self {
         self.fma = Some((a, b, c));
         self
@@ -118,31 +122,37 @@ impl PeInstr {
         self
     }
 
+    /// Attach a comparator micro-op (LU pivot search).
     pub fn cmp_update(mut self, c: CmpUpdate) -> Self {
         self.cmp_update = Some(c);
         self
     }
 
+    /// Load the accumulator from `s`.
     pub fn acc_load(mut self, s: Source) -> Self {
         self.acc_load = Some(s);
         self
     }
 
+    /// Write `s` into A memory at `addr`.
     pub fn sram_a_write(mut self, addr: usize, s: Source) -> Self {
         self.sram_a_write = Some((addr, s));
         self
     }
 
+    /// Write `s` into B memory at `addr`.
     pub fn sram_b_write(mut self, addr: usize, s: Source) -> Self {
         self.sram_b_write = Some((addr, s));
         self
     }
 
+    /// Write `s` into register `idx`.
     pub fn reg_write(mut self, idx: usize, s: Source) -> Self {
         self.reg_write = Some((idx, s));
         self
     }
 
+    /// Issue special-function op `op` on `a` (and `b` for divides).
     pub fn sfu(mut self, op: DivSqrtOp, a: Source, b: Source) -> Self {
         self.sfu = Some((op, a, b));
         self
@@ -153,16 +163,28 @@ impl PeInstr {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ExtOp {
     /// Drive column bus `col` with external memory word `addr`.
-    Load { col: usize, addr: usize },
+    Load {
+        /// Column bus to drive.
+        col: usize,
+        /// External word address to read.
+        addr: usize,
+    },
     /// Capture what a PE drove onto column bus `col` into external `addr`.
-    Store { col: usize, addr: usize },
+    Store {
+        /// Column bus to capture.
+        col: usize,
+        /// External word address to write.
+        addr: usize,
+    },
 }
 
 /// One simulated cycle: a micro-instruction per PE (row-major, length `nr²`)
 /// plus external transfers.
 #[derive(Clone, Debug, Default)]
 pub struct Step {
+    /// One micro-instruction per PE, row-major, length `nr²`.
     pub pes: Vec<PeInstr>,
+    /// External-memory transfers of this cycle (share the column buses).
     pub ext: Vec<ExtOp>,
 }
 
@@ -178,15 +200,19 @@ impl Step {
 /// A complete microprogram for one LAC.
 #[derive(Clone, Debug, Default)]
 pub struct Program {
+    /// Mesh dimension the program was generated for.
     pub nr: usize,
+    /// One [`Step`] per simulated cycle.
     pub steps: Vec<Step>,
 }
 
 impl Program {
+    /// Number of cycles (steps) in the program.
     pub fn len(&self) -> usize {
         self.steps.len()
     }
 
+    /// True when the program has no steps.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
@@ -200,6 +226,7 @@ pub struct ProgramBuilder {
 }
 
 impl ProgramBuilder {
+    /// Start an empty program for an `nr × nr` mesh.
     pub fn new(nr: usize) -> Self {
         Self {
             nr,
@@ -207,6 +234,7 @@ impl ProgramBuilder {
         }
     }
 
+    /// Mesh dimension this builder schedules for.
     pub fn nr(&self) -> usize {
         self.nr
     }
@@ -229,6 +257,7 @@ impl ProgramBuilder {
         self.steps.len()
     }
 
+    /// True when no step was pushed yet.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
@@ -252,6 +281,7 @@ impl ProgramBuilder {
         self.steps[t].ext.push(op);
     }
 
+    /// Finish: hand the accumulated steps over as a [`Program`].
     pub fn build(self) -> Program {
         Program {
             nr: self.nr,

@@ -32,6 +32,7 @@ pub struct LapRunSummary {
 }
 
 impl Lap {
+    /// `num_cores` fresh identical cores.
     pub fn new(cfg: LacConfig, num_cores: usize) -> Self {
         assert!(num_cores >= 1);
         Self {
@@ -39,10 +40,12 @@ impl Lap {
         }
     }
 
+    /// Number of cores in the array.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
     }
 
+    /// Mutable access to core `i` (per-core staging and inspection).
     pub fn core_mut(&mut self, i: usize) -> &mut Lac {
         &mut self.cores[i]
     }

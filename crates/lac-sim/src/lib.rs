@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Cycle-accurate simulator of the Linear Algebra Core (LAC).
 //!
 //! The LAC (Figure 1.1 / 3.1 of the dissertation) is an `nr × nr` mesh of
@@ -22,6 +23,7 @@
 //! mis-scheduled kernel cannot silently produce a wrong cycle count.
 
 pub mod chip;
+pub mod cluster;
 pub mod config;
 pub mod core;
 pub mod engine;
@@ -32,7 +34,11 @@ pub mod service;
 pub mod stats;
 
 pub use crate::core::{ExternalMem, Lac};
-pub use chip::{ChipConfig, ChipJob, ChipRun, ChipStats, LacChip, ProgramJob, Scheduler};
+pub use chip::{ChipConfig, ChipJob, ChipStats, LacChip, ProgramJob, Scheduler};
+pub use cluster::{
+    ClusterConfig, ClusterRound, ClusterRun, ClusterSession, ClusterStats, LacCluster, Partition,
+    Partitioner, Transfer,
+};
 pub use config::LacConfig;
 pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;

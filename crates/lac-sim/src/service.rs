@@ -5,9 +5,9 @@
 //! Cholesky/TRSM/GEMM rounds of an interior-point method) submits graph
 //! after graph against the same warm shards.
 //!
-//! The chip's original (now deprecated) flat-queue door could only drain
-//! an order-free batch, and every call paid worker-pool setup and
-//! teardown. This module replaces it:
+//! The chip's original flat-queue door (removed once every call site had
+//! migrated) could only drain an order-free batch, and every call paid
+//! worker-pool setup and teardown. This module replaces it:
 //!
 //! * **[`JobGraph`]** — jobs are added in submission order and may depend
 //!   on previously added jobs (`add_after` / `add_dep`). Because an edge
@@ -77,11 +77,34 @@ impl JobId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Crate-internal constructor (the cluster coordinator rebuilds ids
+    /// from fused-pool indices).
+    pub(crate) fn from_index(i: usize) -> Self {
+        JobId(i)
+    }
 }
 
 /// A DAG of jobs: nodes are [`ChipJob`]s, edges are dependencies. A job
 /// may only depend on previously added jobs, so the graph is acyclic by
 /// construction.
+///
+/// ```
+/// use lac_sim::JobGraph;
+///
+/// // A diamond: `a` fans out to `b`, `c`; `d` joins them. (Any payload
+/// // type works for building; running needs a `ChipJob`.)
+/// let mut g: JobGraph<&str> = JobGraph::new();
+/// let a = g.add("factor");
+/// let b = g.add_after("solve panel 0", &[a]);
+/// let c = g.add_after("solve panel 1", &[a]);
+/// let d = g.add_after("update", &[b, c]);
+///
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.edges().count(), 4);
+/// assert_eq!(g.parents_of(d).collect::<Vec<_>>(), vec![b, c]);
+/// assert_eq!(d.index(), 3); // ids are dense, in submission order
+/// ```
 #[derive(Clone, Debug)]
 pub struct JobGraph<J> {
     pub(crate) jobs: Vec<J>,
@@ -98,6 +121,7 @@ impl<J> Default for JobGraph<J> {
 }
 
 impl<J> JobGraph<J> {
+    /// An empty graph.
     pub fn new() -> Self {
         Self {
             jobs: Vec::new(),
@@ -141,14 +165,17 @@ impl<J> JobGraph<J> {
         }
     }
 
+    /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
     }
 
+    /// True when no job was added yet.
     pub fn is_empty(&self) -> bool {
         self.jobs.is_empty()
     }
 
+    /// The job behind a handle.
     pub fn job(&self, id: JobId) -> &J {
         &self.jobs[id.0]
     }
@@ -165,6 +192,31 @@ impl<J> JobGraph<J> {
             .enumerate()
             .flat_map(|(c, ps)| ps.iter().map(move |&p| (JobId(p), JobId(c))))
     }
+
+    /// Splice another graph onto the end of this one, keeping `other`'s
+    /// internal edges (re-based onto the new ids) and adding **no** edges
+    /// between the two parts — the result is the disjoint union. Returns
+    /// `other`'s jobs' new ids in their original submission order, so
+    /// callers can keep addressing the appended component (e.g. the fleet
+    /// builders in `lac-kernels` that fuse many independent solver loops
+    /// into one cluster submission).
+    pub fn append(&mut self, other: JobGraph<J>) -> Vec<JobId> {
+        let offset = self.jobs.len();
+        self.jobs.extend(other.jobs);
+        self.parents.extend(
+            other
+                .parents
+                .into_iter()
+                .map(|ps| ps.into_iter().map(|p| p + offset).collect::<Vec<_>>()),
+        );
+        self.children.extend(
+            other
+                .children
+                .into_iter()
+                .map(|cs| cs.into_iter().map(|c| c + offset).collect::<Vec<_>>()),
+        );
+        (offset..self.jobs.len()).map(JobId).collect()
+    }
 }
 
 impl<J: ChipJob> JobGraph<J> {
@@ -177,8 +229,8 @@ impl<J: ChipJob> JobGraph<J> {
     }
 }
 
-/// Collecting jobs builds the flat (edge-free) graph — the shape the
-/// deprecated queue door wraps.
+/// Collecting jobs builds the flat (edge-free) graph — an order-free
+/// batch that drains in a single dependency wave.
 impl<J> FromIterator<J> for JobGraph<J> {
     fn from_iter<T: IntoIterator<Item = J>>(iter: T) -> Self {
         let mut g = Self::new();
@@ -391,6 +443,69 @@ pub(crate) struct MultiRun<T> {
     pub(crate) per_tenant: Vec<TenantDelta>,
 }
 
+/// Collect exactly `dispatched` job reports for one wave, folding
+/// completions into the per-core and per-tenant meters and `outputs`, and
+/// returning the completed job indices. Among observed failures, the job
+/// earliest by dispatch slot (core index, bucket position) wins, whatever
+/// order the host delivered the reports in; panics are re-raised first
+/// (they are harness bugs, not schedule rejections). Once this returns,
+/// nothing is in flight, so the backend stays usable. Shared by the
+/// chip/service coordinator ([`drive_multi`]) and the cluster coordinator
+/// (`crate::cluster`), so failure and metering semantics can never drift
+/// between deployment layers.
+#[allow(clippy::too_many_arguments)] // the wave's full accounting context
+pub(crate) fn collect_wave<T>(
+    dispatched: usize,
+    mut collect: impl FnMut() -> Done<T>,
+    dispatch_slot: &[(usize, usize)],
+    tenant_of: &[usize],
+    wave_cycles: &mut [u64],
+    per_core: &mut [ExecStats],
+    jobs_per_core: &mut [u64],
+    per_tenant: &mut [TenantDelta],
+    outputs: &mut [Option<T>],
+) -> Result<Vec<usize>, SimError> {
+    let mut completed: Vec<usize> = Vec::with_capacity(dispatched);
+    let mut first_err: Option<((usize, usize), SimError)> = None;
+    let mut first_panic: Option<((usize, usize), String)> = None;
+    for _ in 0..dispatched {
+        let done = collect();
+        let slot = dispatch_slot[done.job];
+        match done.outcome {
+            JobOutcome::Completed(out, delta) => {
+                wave_cycles[done.core] += delta.cycles;
+                per_core[done.core].merge(&delta);
+                jobs_per_core[done.core] += 1;
+                let t = tenant_of[done.job];
+                per_tenant[t].busy.merge(&delta);
+                per_tenant[t].jobs += 1;
+                outputs[done.job] = Some(out);
+                completed.push(done.job);
+            }
+            // Skipped at the job boundary after a peer's failure: no
+            // simulated work happened.
+            JobOutcome::Skipped => {}
+            JobOutcome::Failed(e) => {
+                if first_err.as_ref().is_none_or(|(s, _)| slot < *s) {
+                    first_err = Some((slot, e));
+                }
+            }
+            JobOutcome::Panicked(msg) => {
+                if first_panic.as_ref().is_none_or(|(s, _)| slot < *s) {
+                    first_panic = Some((slot, msg));
+                }
+            }
+        }
+    }
+    if let Some(((core, pos), msg)) = first_panic {
+        panic!("job panicked on core {core} (bucket position {pos}): {msg}");
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(completed)
+}
+
 /// The deterministic coordinator: plan waves, dispatch buckets through
 /// `dispatch`, collect exactly one [`Done`] per dispatched job via
 /// `collect`, advance the simulated clock, release children. Backend
@@ -460,53 +575,21 @@ pub(crate) fn drive_multi<T>(
         waves += 1;
 
         let mut wave_cycles = vec![0u64; cores];
-        let mut completed: Vec<usize> = Vec::with_capacity(dispatched);
-        let mut first_err: Option<((usize, usize), SimError)> = None;
-        let mut first_panic: Option<((usize, usize), String)> = None;
-        for _ in 0..dispatched {
-            let done = collect();
-            // Error/panic selection: among the failures observed, the job
-            // earliest by (core index, bucket position) wins, whatever
-            // order the host delivered the reports in. (Which peers
-            // skipped vs ran after the abort flag rose is host-timing
-            // dependent, so with several failing jobs in one wave the
-            // observed set itself can vary.)
-            let slot = dispatch_slot[done.job];
-            match done.outcome {
-                JobOutcome::Completed(out, delta) => {
-                    wave_cycles[done.core] += delta.cycles;
-                    per_core[done.core].merge(&delta);
-                    jobs_per_core[done.core] += 1;
-                    let t = tenant_of[done.job];
-                    per_tenant[t].busy.merge(&delta);
-                    per_tenant[t].jobs += 1;
-                    outputs[done.job] = Some(out);
-                    completed.push(done.job);
-                }
-                // Skipped at the job boundary after a peer's failure: no
-                // simulated work happened.
-                JobOutcome::Skipped => {}
-                JobOutcome::Failed(e) => {
-                    if first_err.as_ref().is_none_or(|(s, _)| slot < *s) {
-                        first_err = Some((slot, e));
-                    }
-                }
-                JobOutcome::Panicked(msg) => {
-                    if first_panic.as_ref().is_none_or(|(s, _)| slot < *s) {
-                        first_panic = Some((slot, msg));
-                    }
-                }
-            }
-        }
-        // Every dispatched job has reported, so nothing is in flight and
-        // the backend stays usable — now surface failures, panics first
-        // (they are harness bugs, not schedule rejections).
-        if let Some(((core, pos), msg)) = first_panic {
-            panic!("chip job panicked on core {core} (bucket position {pos}): {msg}");
-        }
-        if let Some((_, e)) = first_err {
-            return Err(e);
-        }
+        // (Which peers skipped vs ran after the abort flag rose is
+        // host-timing dependent, so with several failing jobs in one wave
+        // the observed failure set itself can vary; the slot rule in
+        // `collect_wave` picks deterministically among the observed.)
+        let completed = collect_wave(
+            dispatched,
+            &mut collect,
+            &dispatch_slot,
+            tenant_of,
+            &mut wave_cycles,
+            &mut per_core,
+            &mut jobs_per_core,
+            &mut per_tenant,
+            &mut outputs,
+        )?;
 
         let span = wave_cycles.iter().copied().max().unwrap_or(0);
         for c in 0..cores {
@@ -614,6 +697,12 @@ impl TenantId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Crate-internal constructor (the cluster front door registers
+    /// tenants through the same dense-id scheme).
+    pub(crate) fn from_index(i: usize) -> Self {
+        TenantId(i)
+    }
 }
 
 /// Static per-tenant policy knobs.
@@ -634,6 +723,7 @@ pub struct TenantConfig {
 }
 
 impl TenantConfig {
+    /// A tenant with weight 1 and no admission budget.
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
@@ -642,11 +732,13 @@ impl TenantConfig {
         }
     }
 
+    /// Set the fair-share weight.
     pub fn with_weight(mut self, weight: u64) -> Self {
         self.weight = weight;
         self
     }
 
+    /// Bound the tenant's admitted-but-uncompleted cost.
     pub fn with_admission_budget(mut self, max_inflight_cost: u64) -> Self {
         self.max_inflight_cost = Some(max_inflight_cost);
         self
@@ -704,6 +796,7 @@ impl TenantSession {
 /// service-wide admission order it sits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GraphTicket {
+    /// The tenant the graph was admitted through.
     pub tenant: TenantId,
     /// Service-wide admission sequence number (dense, starting at 0).
     pub seq: u64,
@@ -715,6 +808,7 @@ pub struct GraphTicket {
 pub struct Rejected<J> {
     /// The submission, returned to the caller.
     pub graph: JobGraph<J>,
+    /// The tenant whose budget bounced it.
     pub tenant: TenantId,
     /// Total cost hint of the rejected graph.
     pub graph_cost: u64,
@@ -735,16 +829,218 @@ impl<J> std::fmt::Debug for Rejected<J> {
     }
 }
 
-/// One admitted graph waiting for the next round.
-struct PendingGraph<J> {
-    ticket: GraphTicket,
+/// One admitted graph waiting for the next round (shared by the service
+/// and cluster front doors).
+pub(crate) struct PendingGraph<J> {
+    pub(crate) ticket: GraphTicket,
+    pub(crate) graph: JobGraph<J>,
+    pub(crate) cost: u64,
+}
+
+/// The shared admission decision: charge `graph`'s total cost hint against
+/// tenant `t`'s in-flight budget, bouncing over-budget submissions with
+/// deterministic backpressure. Both the single-chip [`LacService::enqueue`]
+/// and the multi-chip [`crate::cluster::LacCluster::enqueue`] front doors
+/// run exactly this function, so admission behaves identically at every
+/// deployment scale.
+pub(crate) fn admit<J: ChipJob>(
+    tenants: &mut [(TenantConfig, TenantSession)],
+    next_seq: &mut u64,
+    t: TenantId,
     graph: JobGraph<J>,
-    cost: u64,
+) -> Result<PendingGraph<J>, Rejected<J>> {
+    let cost = graph.total_cost();
+    let (cfg, session) = &mut tenants[t.0];
+    if let Some(budget) = cfg.max_inflight_cost {
+        if session.inflight_cost + cost > budget {
+            session.graphs_rejected += 1;
+            return Err(Rejected {
+                graph,
+                tenant: t,
+                graph_cost: cost,
+                inflight_cost: session.inflight_cost,
+                budget,
+            });
+        }
+    }
+    session.inflight_cost += cost;
+    session.graphs_admitted += 1;
+    let ticket = GraphTicket {
+        tenant: t,
+        seq: *next_seq,
+    };
+    *next_seq += 1;
+    Ok(PendingGraph {
+        ticket,
+        graph,
+        cost,
+    })
+}
+
+/// The admitted graphs of one round fused into a single job pool: jobs
+/// renumbered densely in admission order, edges re-based (edges never
+/// cross graphs), per-job tenant tags, and the bookkeeping to slice the
+/// fused outputs back into per-graph completions afterwards.
+pub(crate) struct FusedPool<J: ChipJob> {
+    pub(crate) costs: Vec<u64>,
+    pub(crate) transfer_words: Vec<u64>,
+    pub(crate) parents: Vec<Vec<usize>>,
+    pub(crate) children: Vec<Vec<usize>>,
+    pub(crate) tenant_of: Vec<usize>,
+    /// Global job index → (graph index, job index within that graph).
+    pub(crate) owner: Vec<(usize, usize)>,
+    pub(crate) tickets: Vec<GraphTicket>,
+    pub(crate) graph_costs: Vec<u64>,
+    pub(crate) graphs: Vec<Arc<JobGraph<J>>>,
+}
+
+impl<J: ChipJob> FusedPool<J> {
+    pub(crate) fn new(pending: Vec<PendingGraph<J>>) -> Self {
+        let mut pool = FusedPool {
+            costs: Vec::new(),
+            transfer_words: Vec::new(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            tenant_of: Vec::new(),
+            owner: Vec::new(),
+            tickets: Vec::with_capacity(pending.len()),
+            graph_costs: Vec::with_capacity(pending.len()),
+            graphs: Vec::with_capacity(pending.len()),
+        };
+        for (g, p) in pending.into_iter().enumerate() {
+            let offset = pool.costs.len();
+            pool.tickets.push(p.ticket);
+            pool.graph_costs.push(p.cost);
+            pool.costs
+                .extend(p.graph.jobs.iter().map(|j| j.cost_hint()));
+            pool.transfer_words
+                .extend(p.graph.jobs.iter().map(|j| j.transfer_words()));
+            pool.parents.extend(
+                p.graph
+                    .parents
+                    .iter()
+                    .map(|ps| ps.iter().map(|&j| j + offset).collect::<Vec<_>>()),
+            );
+            pool.children.extend(
+                p.graph
+                    .children
+                    .iter()
+                    .map(|cs| cs.iter().map(|&j| j + offset).collect::<Vec<_>>()),
+            );
+            pool.tenant_of
+                .extend(std::iter::repeat_n(p.ticket.tenant.0, p.graph.jobs.len()));
+            pool.owner
+                .extend((0..p.graph.jobs.len()).map(|local| (g, local)));
+            pool.graphs.push(Arc::new(p.graph));
+        }
+        pool
+    }
+
+    /// Per-tenant pending cost of this round, indexed by tenant id.
+    pub(crate) fn backlog(&self, tenants: usize) -> Vec<u64> {
+        let mut backlog = vec![0u64; tenants];
+        for (g, &cost) in self.graph_costs.iter().enumerate() {
+            backlog[self.tickets[g].tenant.0] += cost;
+        }
+        backlog
+    }
+
+    /// Slice fused per-job vectors back into per-graph completions, in
+    /// admission (ticket) order.
+    pub(crate) fn completions<T>(
+        &self,
+        outputs: Vec<T>,
+        assignment: &[usize],
+        wave_of: &[usize],
+    ) -> Vec<GraphCompletion<T>> {
+        let mut completions: Vec<GraphCompletion<T>> = self
+            .tickets
+            .iter()
+            .map(|&ticket| GraphCompletion {
+                ticket,
+                outputs: Vec::new(),
+                assignment: Vec::new(),
+                wave_of: Vec::new(),
+            })
+            .collect();
+        for (job, out) in outputs.into_iter().enumerate() {
+            let (g, _) = self.owner[job];
+            completions[g].outputs.push(out);
+            completions[g].assignment.push(assignment[job]);
+            completions[g].wave_of.push(wave_of[job]);
+        }
+        completions
+    }
+}
+
+/// Drain a round's admitted cost out of its tenants' in-flight meters —
+/// the error-path settlement: the round's graphs are gone, but their
+/// admitted cost must not pin the tenants' budgets forever. Shared by the
+/// service and cluster `run_admitted` doors.
+pub(crate) fn drain_inflight<J: ChipJob>(
+    tenants: &mut [(TenantConfig, TenantSession)],
+    pool: &FusedPool<J>,
+) {
+    for (g, &cost) in pool.graph_costs.iter().enumerate() {
+        tenants[pool.tickets[g].tenant.0].1.inflight_cost -= cost;
+    }
+}
+
+/// Fold a completed round into its tenants' lifetime meters: busy stats,
+/// job counts, wait cycles and fair-share usage from the round's
+/// [`TenantDelta`]s, plus per-graph completion counts and the in-flight
+/// drain. Shared by the service and cluster `run_admitted` doors, so
+/// tenant accounting behaves identically at every deployment scale.
+pub(crate) fn settle_round<J: ChipJob>(
+    tenants: &mut [(TenantConfig, TenantSession)],
+    pool: &FusedPool<J>,
+    per_tenant: &[TenantDelta],
+) {
+    for (t, delta) in per_tenant.iter().enumerate() {
+        let session = &mut tenants[t].1;
+        session.busy.merge(&delta.busy);
+        session.jobs_run += delta.jobs;
+        session.wait_cycles += delta.wait_cycles;
+        session.cost_completed += delta.cost_dispatched;
+    }
+    for (g, &cost) in pool.graph_costs.iter().enumerate() {
+        let session = &mut tenants[pool.tickets[g].tenant.0].1;
+        session.inflight_cost -= cost;
+        session.graphs_completed += 1;
+    }
+}
+
+/// Cap banked fair-share deficit credit at each tenant's own backlog — the
+/// deficit-round-robin "reset on an empty queue" rule, adapted to rounds:
+/// a tenant that sat idle while others accumulated usage may be served at
+/// most its current pending cost before the others resume. Without the
+/// floor a long-idle tenant's credit would grant it unbounded priority
+/// across rounds. The floor is recomputed per round from the live meters
+/// (which stay truthful), so it is still a pure function of the
+/// enqueue/run history.
+pub(crate) fn cap_banked_credit(usage: &mut [u64], weights: &[u64], backlog: &[u64]) {
+    let busiest = (0..usage.len())
+        .filter(|&t| backlog[t] > 0)
+        .max_by(|&a, &b| {
+            (usage[a] as u128 * weights[b] as u128).cmp(&(usage[b] as u128 * weights[a] as u128))
+        });
+    if let Some(m) = busiest {
+        for t in 0..usage.len() {
+            if backlog[t] == 0 {
+                continue;
+            }
+            let target = (usage[m] as u128 * weights[t] as u128)
+                .div_ceil(weights[m] as u128)
+                .min(u64::MAX as u128) as u64;
+            usage[t] = usage[t].max(target.saturating_sub(backlog[t]));
+        }
+    }
 }
 
 /// One graph's slice of a completed round.
 #[derive(Clone, Debug)]
 pub struct GraphCompletion<T> {
+    /// Which admitted graph this slice belongs to.
     pub ticket: GraphTicket,
     /// One output per job, indexed by the graph's [`JobId::index`].
     pub outputs: Vec<T>,
@@ -817,6 +1113,35 @@ impl ServiceSession {
 /// submits round after round without paying pool setup/teardown.
 ///
 /// Dropping the service shuts the workers down and joins them.
+///
+/// ```
+/// use lac_sim::{ChipConfig, JobGraph, LacConfig, LacService, ProgramBuilder, ProgramJob, Scheduler};
+///
+/// let mut svc: LacService<ProgramJob> =
+///     LacService::new(ChipConfig::new(2, LacConfig::default()));
+///
+/// let graph = || -> JobGraph<ProgramJob> {
+///     (1..=4)
+///         .map(|i| {
+///             let mut b = ProgramBuilder::new(LacConfig::default().nr);
+///             b.idle(4 * i);
+///             ProgramJob::new(b.build())
+///         })
+///         .collect()
+/// };
+///
+/// // Two submissions against the same warm shards, plus an idle gap the
+/// // energy model will price as static burn.
+/// let first = svc.submit(graph(), Scheduler::CriticalPath).unwrap();
+/// svc.advance_idle(1_000);
+/// let second = svc.submit(graph(), Scheduler::CriticalPath).unwrap();
+/// assert_eq!(first.outputs, second.outputs); // deterministic
+/// assert_eq!(svc.session().graphs_run, 2);
+/// assert_eq!(
+///     svc.session().clock_cycles,
+///     first.stats.makespan_cycles + second.stats.makespan_cycles + 1_000
+/// );
+/// ```
 pub struct LacService<J: ChipJob + 'static> {
     cfg: ChipConfig,
     txs: Vec<Sender<WorkerMsg<J>>>,
@@ -871,10 +1196,12 @@ impl<J: ChipJob + 'static> LacService<J> {
         }
     }
 
+    /// The underlying chip configuration.
     pub fn config(&self) -> &ChipConfig {
         &self.cfg
     }
 
+    /// Number of worker cores.
     pub fn num_cores(&self) -> usize {
         self.txs.len()
     }
@@ -933,10 +1260,12 @@ impl<J: ChipJob + 'static> LacService<J> {
         id
     }
 
+    /// Number of registered tenants.
     pub fn num_tenants(&self) -> usize {
         self.tenants.len()
     }
 
+    /// The policy knobs tenant `t` registered with.
     pub fn tenant_config(&self, t: TenantId) -> &TenantConfig {
         &self.tenants[t.0].0
     }
@@ -973,32 +1302,9 @@ impl<J: ChipJob + 'static> LacService<J> {
     /// [`GraphTicket::seq`]) for the next [`LacService::run_admitted`]
     /// round; in-flight cost drains when their round completes.
     pub fn enqueue(&mut self, t: TenantId, graph: JobGraph<J>) -> Result<GraphTicket, Rejected<J>> {
-        let cost = graph.total_cost();
-        let (cfg, session) = &mut self.tenants[t.0];
-        if let Some(budget) = cfg.max_inflight_cost {
-            if session.inflight_cost + cost > budget {
-                session.graphs_rejected += 1;
-                return Err(Rejected {
-                    graph,
-                    tenant: t,
-                    graph_cost: cost,
-                    inflight_cost: session.inflight_cost,
-                    budget,
-                });
-            }
-        }
-        session.inflight_cost += cost;
-        session.graphs_admitted += 1;
-        let ticket = GraphTicket {
-            tenant: t,
-            seq: self.next_seq,
-        };
-        self.next_seq += 1;
-        self.pending.push(PendingGraph {
-            ticket,
-            graph,
-            cost,
-        });
+        let pending = admit(&mut self.tenants, &mut self.next_seq, t, graph)?;
+        let ticket = pending.ticket;
+        self.pending.push(pending);
         Ok(ticket)
     }
 
@@ -1041,87 +1347,30 @@ impl<J: ChipJob + 'static> LacService<J> {
         self.abort.store(false, Ordering::Relaxed);
 
         // Fuse the admitted graphs into one job pool with per-job tenant
-        // tags; offsets recover each graph's slice afterwards.
-        let mut costs = Vec::new();
-        let mut parents: Vec<Vec<usize>> = Vec::new();
-        let mut children: Vec<Vec<usize>> = Vec::new();
-        let mut tenant_of = Vec::new();
-        let mut owner = Vec::new(); // global job -> (graph index, local job)
-        let mut tickets = Vec::with_capacity(pending.len());
-        let mut graph_costs = Vec::with_capacity(pending.len());
-        let mut graphs: Vec<Arc<JobGraph<J>>> = Vec::with_capacity(pending.len());
-        for (g, p) in pending.into_iter().enumerate() {
-            let offset = costs.len();
-            tickets.push(p.ticket);
-            graph_costs.push(p.cost);
-            costs.extend(p.graph.jobs.iter().map(|j| j.cost_hint()));
-            parents.extend(
-                p.graph
-                    .parents
-                    .iter()
-                    .map(|ps| ps.iter().map(|&j| j + offset).collect::<Vec<_>>()),
-            );
-            children.extend(
-                p.graph
-                    .children
-                    .iter()
-                    .map(|cs| cs.iter().map(|&j| j + offset).collect::<Vec<_>>()),
-            );
-            tenant_of.extend(std::iter::repeat_n(p.ticket.tenant.0, p.graph.jobs.len()));
-            owner.extend((0..p.graph.jobs.len()).map(|local| (g, local)));
-            graphs.push(Arc::new(p.graph));
-        }
+        // tags; the pool's owner map recovers each graph's slice
+        // afterwards.
+        let pool = FusedPool::new(pending);
 
         let weights: Vec<u64> = self.tenants.iter().map(|(c, _)| c.weight.max(1)).collect();
         let mut usage: Vec<u64> = self.tenants.iter().map(|(_, s)| s.cost_completed).collect();
-
-        // Cap banked deficit credit at the tenant's own backlog — the
-        // deficit-round-robin "reset on an empty queue" rule, adapted to
-        // rounds: a tenant that sat idle while others accumulated usage
-        // may be served at most its current pending cost before the
-        // others resume. Without the floor a long-idle tenant's credit
-        // would grant it unbounded priority across rounds. The floor is
-        // recomputed per round from the live meters (which stay
-        // truthful), so it is still a pure function of the enqueue/run
-        // history.
-        let mut backlog = vec![0u64; self.tenants.len()];
-        for (g, &cost) in graph_costs.iter().enumerate() {
-            backlog[tickets[g].tenant.0] += cost;
-        }
-        let busiest = (0..self.tenants.len())
-            .filter(|&t| backlog[t] > 0)
-            .max_by(|&a, &b| {
-                (usage[a] as u128 * weights[b] as u128)
-                    .cmp(&(usage[b] as u128 * weights[a] as u128))
-            });
-        if let Some(m) = busiest {
-            for t in 0..self.tenants.len() {
-                if backlog[t] == 0 {
-                    continue;
-                }
-                let target = (usage[m] as u128 * weights[t] as u128)
-                    .div_ceil(weights[m] as u128)
-                    .min(u64::MAX as u128) as u64;
-                usage[t] = usage[t].max(target.saturating_sub(backlog[t]));
-            }
-        }
+        cap_banked_credit(&mut usage, &weights, &pool.backlog(self.tenants.len()));
 
         let txs = &self.txs;
         let done_rx = &self.done_rx;
         let run = drive_multi(
-            &costs,
-            &parents,
-            &children,
-            &tenant_of,
+            &pool.costs,
+            &pool.parents,
+            &pool.children,
+            &pool.tenant_of,
             &weights,
             &mut usage,
             sched,
             cores,
             |core, job| {
-                let (g, local) = owner[job];
+                let (g, local) = pool.owner[job];
                 txs[core]
                     .send(WorkerMsg::Run {
-                        graph: Arc::clone(&graphs[g]),
+                        graph: Arc::clone(&pool.graphs[g]),
                         job: local,
                         tag: job,
                     })
@@ -1132,11 +1381,7 @@ impl<J: ChipJob + 'static> LacService<J> {
         let run = match run {
             Ok(run) => run,
             Err(e) => {
-                // The round is gone; its admitted cost must not pin the
-                // tenants' budgets forever.
-                for (g, &cost) in graph_costs.iter().enumerate() {
-                    self.tenants[tickets[g].tenant.0].1.inflight_cost -= cost;
-                }
+                drain_inflight(&mut self.tenants, &pool);
                 return Err(e);
             }
         };
@@ -1148,36 +1393,11 @@ impl<J: ChipJob + 'static> LacService<J> {
             self.session.jobs_per_core[c] += run.stats.jobs_per_core[c];
         }
         self.session.clock_cycles += run.stats.makespan_cycles;
-        self.session.graphs_run += graphs.len() as u64;
-        for (t, delta) in run.per_tenant.iter().enumerate() {
-            let session = &mut self.tenants[t].1;
-            session.busy.merge(&delta.busy);
-            session.jobs_run += delta.jobs;
-            session.wait_cycles += delta.wait_cycles;
-            session.cost_completed += delta.cost_dispatched;
-        }
-        for (g, &cost) in graph_costs.iter().enumerate() {
-            let session = &mut self.tenants[tickets[g].tenant.0].1;
-            session.inflight_cost -= cost;
-            session.graphs_completed += 1;
-        }
+        self.session.graphs_run += pool.graphs.len() as u64;
+        settle_round(&mut self.tenants, &pool, &run.per_tenant);
 
         // Slice the fused outputs back into per-graph completions.
-        let mut completions: Vec<GraphCompletion<J::Output>> = tickets
-            .iter()
-            .map(|&ticket| GraphCompletion {
-                ticket,
-                outputs: Vec::new(),
-                assignment: Vec::new(),
-                wave_of: Vec::new(),
-            })
-            .collect();
-        for (job, out) in run.outputs.into_iter().enumerate() {
-            let (g, _) = owner[job];
-            completions[g].outputs.push(out);
-            completions[g].assignment.push(run.assignment[job]);
-            completions[g].wave_of.push(run.wave_of[job]);
-        }
+        let completions = pool.completions(run.outputs, &run.assignment, &run.wave_of);
         Ok(ServiceRound {
             graphs: completions,
             waves: run.waves,

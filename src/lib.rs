@@ -6,12 +6,16 @@
 //!
 //! - [`linalg_ref`] — reference BLAS / factorizations / FFT substrate.
 //! - [`lac_fpu`] — floating-point unit models (FMAC, reciprocal, rsqrt…).
-//! - [`lac_sim`] — cycle-accurate Linear Algebra Core simulator.
+//! - [`lac_sim`] — cycle-accurate Linear Algebra Core simulator, from one
+//!   engine session through the multi-core chip and multi-tenant service
+//!   to the multi-chip sharded cluster.
 //! - [`lac_kernels`] — algorithm→architecture microprogram generators.
 //! - [`lac_model`] — analytical performance / memory-hierarchy models.
 //! - [`lac_power`] — power & area models and platform comparisons.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
+//! See `README.md` for a quickstart, `DESIGN.md` for the experiment map,
+//! and `docs/ARCHITECTURE.md` for the layer diagram (engine → chip →
+//! service → cluster) and the paper-concept glossary.
 
 pub use lac_fpu;
 pub use lac_kernels;
