@@ -11,15 +11,28 @@
 //! identity fields (`bench`, `tenants`, `cores`, `rounds`, `policy` —
 //! whichever are present), then the gated metrics are compared:
 //!
-//! * `makespan_cycles` and `*_clock_cycles` regress when they **grow**
-//!   beyond tolerance;
+//! * `makespan_cycles`, `*_clock_cycles` and lower-is-better latency
+//!   tails (`*sojourn*` — e.g. `p99_sojourn_cycles`,
+//!   `p999_sojourn_cycles` from `service_latency`) regress when they
+//!   **grow** beyond tolerance;
 //! * metrics containing `throughput` or `speedup` regress when they
 //!   **shrink** beyond tolerance.
 //!
 //! Everything here is simulated cycles, so baselines are exact across
 //! machines; the 15% default tolerance only absorbs intentional
-//! remodeling, not noise. On failure the exact refresh command for each
-//! offending benchmark is printed.
+//! remodeling, not noise.
+//!
+//! On failure, the exact refresh command for each offending benchmark is
+//! printed, of the form
+//!
+//! ```text
+//! cargo run --release -p lac-bench --bin <bench> -- \
+//!     --json-out bench/baselines/BENCH_<bench>.json
+//! ```
+//!
+//! Run it from the repo root after an *intentional* perf trade-off and
+//! commit the regenerated `bench/baselines/BENCH_<bench>.json`; never
+//! refresh to paper over an unexplained regression.
 
 use lac_bench::json::Json;
 use std::path::{Path, PathBuf};
@@ -28,7 +41,9 @@ use std::process::ExitCode;
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 /// Fields that identify a point within its benchmark file.
-const IDENTITY_FIELDS: [&str; 6] = ["bench", "chips", "tenants", "cores", "rounds", "policy"];
+const IDENTITY_FIELDS: [&str; 8] = [
+    "bench", "chips", "tenants", "cores", "rounds", "policy", "load", "slo",
+];
 
 fn identity(point: &Json) -> String {
     let mut key = String::new();
@@ -47,7 +62,11 @@ enum Gate {
 }
 
 fn gate_for(field: &str) -> Option<Gate> {
-    if field == "makespan_cycles" || field == "clock_cycles" || field.ends_with("_clock_cycles") {
+    if field == "makespan_cycles"
+        || field == "clock_cycles"
+        || field.ends_with("_clock_cycles")
+        || field.contains("sojourn")
+    {
         Some(Gate::WorseIfHigher)
     } else if field.contains("throughput") || field.contains("speedup") {
         Some(Gate::WorseIfLower)

@@ -71,7 +71,11 @@ fn is_generator_name(n: &str) -> bool {
 /// list (unlike bin discovery) because probing would mean extra runs;
 /// extend it when a bin gains the flag.
 fn emits_json(n: &str) -> bool {
-    n == "chip_scaling" || n == "cluster_scaling" || n == "solver_loop" || n == "service_throughput"
+    n == "chip_scaling"
+        || n == "cluster_scaling"
+        || n == "solver_loop"
+        || n == "service_throughput"
+        || n == "service_latency"
 }
 
 /// Generator binaries built next to this one (no hard-coded list).

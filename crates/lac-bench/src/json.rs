@@ -364,8 +364,15 @@ fn indent(out: &mut String, depth: usize) {
 
 fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
-        // Rust's shortest-roundtrip Display is valid JSON for finite f64.
+        // Rust's shortest-roundtrip Display is valid JSON for finite f64,
+        // but renders whole floats without a decimal point ("3"), which
+        // would re-parse as Json::UInt and break Num round-trips — keep
+        // the float-ness explicit with a trailing ".0".
+        let start = out.len();
         let _ = write!(out, "{v}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
     } else {
         out.push_str("null");
     }
@@ -460,8 +467,38 @@ mod tests {
     #[test]
     fn floats_roundtrip_shortest() {
         assert_eq!(Json::from(0.1).render(), "0.1");
-        assert_eq!(Json::from(3.0).render(), "3");
+        // Whole floats keep an explicit ".0" so they re-parse as Num,
+        // not UInt.
+        assert_eq!(Json::from(3.0).render(), "3.0");
         assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn negative_numbers_round_trip() {
+        for v in [
+            Json::Int(-7),
+            Json::Int(i64::MIN),
+            Json::Num(-2.5),
+            Json::Num(-1000.0),
+        ] {
+            assert_eq!(Json::parse(&v.render()).unwrap(), v, "{}", v.render());
+        }
+        assert_eq!(Json::parse("-0.125").unwrap(), Json::Num(-0.125));
+    }
+
+    #[test]
+    fn exponent_floats_round_trip() {
+        // Whole-valued floats — whether written with an exponent or not —
+        // must come back as Num, never silently reclassified as UInt.
+        for (text, v) in [("1e3", 1000.0), ("2.5E-2", 0.025), ("-4e2", -400.0)] {
+            let parsed = Json::parse(text).unwrap();
+            assert_eq!(parsed, Json::Num(v), "{text}");
+            assert_eq!(Json::parse(&parsed.render()).unwrap(), parsed, "{text}");
+        }
+        assert_eq!(
+            Json::parse(&Json::Num(1e300).render()).unwrap(),
+            Json::Num(1e300)
+        );
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub use lu::{pack_to_factors, LuOptions, LuReport};
 pub use qr::QrPanelReport;
 pub use solver::{
     SolverFleet, SolverGraph, SolverJob, SolverLoopParams, SolverLoopWorkload, SolverReference,
+    SolverStream,
 };
 pub use syrk::{SyrkDataLayout, SyrkParams, SyrkReport};
 pub use trsm::TrsmReport;

@@ -632,6 +632,48 @@ impl SolverFleet {
     }
 }
 
+/// A streaming solver client for the open-loop traffic layer
+/// (`lac_traffic::run_open_loop`): every arrival becomes one small,
+/// independently-salted solver chain.
+///
+/// Where [`SolverFleet`] fuses many loops into *one* closed-loop
+/// submission, a stream mints one [`SolverLoopWorkload`] **per request**
+/// — the per-arrival unit of work of an interior-point solver fleet
+/// serving online traffic. The salt is a pure function of
+/// `(base.salt, tenant, index)`, so request operands are bit-identical
+/// across reruns, policies and backends while distinct requests solve
+/// distinct systems.
+#[derive(Clone, Copy, Debug)]
+pub struct SolverStream {
+    /// Shape shared by every request; `base.salt` seeds the stream.
+    pub base: SolverLoopParams,
+}
+
+impl SolverStream {
+    /// A stream minting requests shaped by `base`.
+    pub fn new(base: SolverLoopParams) -> Self {
+        Self { base }
+    }
+
+    /// The workload for one arrival, salted by `(tenant, index)`
+    /// (SplitMix64-style odd multipliers decorrelate the two axes).
+    pub fn request(&self, tenant: usize, index: u64) -> SolverLoopWorkload {
+        let salt = self
+            .base
+            .salt
+            .wrapping_add((tenant as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(index.wrapping_mul(0xd134_2543_de82_ef95));
+        SolverLoopWorkload::new(SolverLoopParams { salt, ..self.base })
+    }
+
+    /// Admission cost of one request's graph — the same for every
+    /// `(tenant, index)` because the shape is fixed, which keeps
+    /// open-loop admission budgets easy to reason about.
+    pub fn request_cost(&self) -> u64 {
+        SolverLoopWorkload::new(self.base).graph_cost()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -697,6 +739,34 @@ mod tests {
         assert_eq!(run.waves, 9);
         // The chip overlapped the fan-out: strictly faster than serial.
         assert!(run.stats.makespan_cycles < run.stats.aggregate.cycles);
+    }
+
+    #[test]
+    fn stream_requests_are_salted_and_verifiable() {
+        let stream = SolverStream::new(SolverLoopParams {
+            n: 8,
+            rounds: 1,
+            panels: 2,
+            width: 4,
+            salt: 5,
+        });
+        // Deterministic: same (tenant, index) → bit-identical operands;
+        // different identity → a different system.
+        let a = stream.request(0, 3);
+        assert_eq!(a.a0, stream.request(0, 3).a0);
+        assert_ne!(a.a0, stream.request(1, 3).a0);
+        assert_ne!(a.a0, stream.request(0, 4).a0);
+        assert_eq!(a.graph_cost(), stream.request_cost());
+
+        // Every minted request passes its own reference check end to end.
+        let mut chip = LacChip::new(ChipConfig::new(2, LacConfig::default()));
+        for (tenant, index) in [(0usize, 0u64), (1, 7)] {
+            let w = stream.request(tenant, index);
+            let run = chip
+                .run_graph(&w.graph().graph, Scheduler::CriticalPath)
+                .unwrap();
+            w.check_graph(&run.outputs).unwrap();
+        }
     }
 
     #[test]

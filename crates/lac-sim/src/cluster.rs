@@ -61,7 +61,7 @@ use crate::chip::{ChipConfig, ChipJob, ChipStats, LacChip, Scheduler};
 use crate::error::SimError;
 use crate::service::{
     admit, cap_banked_credit, collect_wave, critical_paths, drain_inflight, plan_wave,
-    plan_wave_tenanted, run_one, settle_round, Done, FusedPool, GraphCompletion, GraphTicket,
+    plan_wave_tenanted_slo, run_one, settle_round, Done, FusedPool, GraphCompletion, GraphTicket,
     JobGraph, JobId, PendingGraph, Rejected, TenantConfig, TenantDelta, TenantId, TenantSession,
 };
 use crate::stats::ExecStats;
@@ -341,6 +341,10 @@ pub struct ClusterRun<T> {
     /// Dependency waves the run took (transfer-stall gaps between waves
     /// are not waves — no job dispatches during a stall).
     pub waves: usize,
+    /// Shared simulated clock at the end of each wave, relative to the
+    /// start of the run (transfer-stall fast-forwards that precede a wave
+    /// are included in its end clock).
+    pub wave_end_cycles: Vec<u64>,
     /// Per chip, per core: simulated cycles spent idle (wave imbalance,
     /// dependency stalls, and transfer stalls). `busy + idle = makespan`
     /// for every core.
@@ -367,6 +371,11 @@ pub struct ClusterRound<T> {
     pub partition: Partition,
     /// Dependency waves the interleaved round took.
     pub waves: usize,
+    /// Shared simulated clock at the end of each wave, relative to the
+    /// start of the round: a graph completes at
+    /// `wave_end_cycles[max(wave_of)]` past the round's start — the
+    /// sojourn-time anchor the open-loop traffic layer reads.
+    pub wave_end_cycles: Vec<u64>,
     /// Every cross-chip payload movement of the round.
     pub transfers: Vec<Transfer>,
     /// Per-chip and cluster-wide meters.
@@ -377,7 +386,8 @@ pub struct ClusterRound<T> {
 /// completed run since construction.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ClusterSession {
-    /// The cluster clock: completed runs' makespans summed.
+    /// The cluster clock: completed runs' makespans summed, plus explicit
+    /// [`LacCluster::advance_idle`] gaps between rounds.
     pub clock_cycles: u64,
     /// Completed graph submissions (a round counts every admitted graph).
     pub graphs_run: u64,
@@ -394,6 +404,7 @@ struct ClusterMultiRun<T> {
     assignment: Vec<(usize, usize)>,
     wave_of: Vec<usize>,
     waves: usize,
+    wave_ends: Vec<u64>,
     idle_per_core: Vec<Vec<u64>>,
     transfers: Vec<Transfer>,
     stats: ClusterStats,
@@ -421,6 +432,7 @@ fn drive_cluster<T>(
     tenant_of: &[usize],
     weights: &[u64],
     usage: &mut [u64],
+    boost: &[u64],
     sched: Scheduler,
     mut dispatch: impl FnMut(usize, usize),
     mut collect: impl FnMut() -> Done<T>,
@@ -456,6 +468,7 @@ fn drive_cluster<T>(
     let mut transfer_stall_cycles = 0u64;
     let mut clock = 0u64;
     let mut waves = 0usize;
+    let mut wave_ends: Vec<u64> = Vec::new();
 
     while !pending.is_empty() {
         let ready: Vec<usize> = pending
@@ -492,13 +505,14 @@ fn drive_cluster<T>(
                 continue;
             }
             let buckets = match sched {
-                Scheduler::FairShare => plan_wave_tenanted(
+                Scheduler::FairShare => plan_wave_tenanted_slo(
                     &chip_ready,
                     costs,
                     &priority,
                     tenant_of,
                     usage,
                     weights,
+                    boost,
                     cores_per_chip[chip],
                 ),
                 _ => plan_wave(sched, &chip_ready, costs, &priority, cores_per_chip[chip]),
@@ -542,6 +556,7 @@ fn drive_cluster<T>(
             idle_per_core[c] += span - wave_cycles[c];
         }
         clock += span;
+        wave_ends.push(clock);
 
         // Release children; a cross-chip edge delays the child by the
         // modeled transfer and records the charge (exactly once per cut
@@ -612,6 +627,7 @@ fn drive_cluster<T>(
         assignment,
         wave_of,
         waves,
+        wave_ends,
         idle_per_core: idle_nested,
         transfers,
         stats: ClusterStats {
@@ -757,6 +773,7 @@ impl<J: ChipJob> LacCluster<J> {
             &tenant_of,
             &[1],
             &mut usage,
+            &[u64::MAX],
             sched,
         )?;
         self.session.clock_cycles += run.stats.makespan_cycles;
@@ -769,6 +786,7 @@ impl<J: ChipJob> LacCluster<J> {
             assignment: run.assignment,
             wave_of: run.wave_of,
             waves: run.waves,
+            wave_end_cycles: run.wave_ends,
             idle_per_core: run.idle_per_core,
             transfers: run.transfers,
             stats: run.stats,
@@ -789,9 +807,23 @@ impl<J: ChipJob> LacCluster<J> {
         self.tenants.len()
     }
 
+    /// The policy knobs tenant `t` registered with.
+    pub fn tenant_config(&self, t: TenantId) -> &TenantConfig {
+        &self.tenants[t.index()].0
+    }
+
     /// The tenant's lifetime meters (updated only by completed rounds).
     pub fn tenant_session(&self, t: TenantId) -> &TenantSession {
         &self.tenants[t.index()].1
+    }
+
+    /// Model a gap between rounds: every chip sits powered but idle for
+    /// `cycles`. Only the cluster clock advances — the open-loop door the
+    /// traffic layer uses to fast-forward to the next arrival (the
+    /// cluster counterpart of
+    /// [`crate::service::LacService::advance_idle`]).
+    pub fn advance_idle(&mut self, cycles: u64) {
+        self.session.clock_cycles += cycles;
     }
 
     /// Graphs admitted and waiting for the next
@@ -821,6 +853,27 @@ impl<J: ChipJob> LacCluster<J> {
     /// [`TenantSession`]; on error the round's graphs are dropped and
     /// their in-flight cost drains.
     pub fn run_admitted(&mut self, sched: Scheduler) -> Result<ClusterRound<J::Output>, SimError> {
+        let boost = vec![u64::MAX; self.tenants.len()];
+        self.run_admitted_boosted(sched, &boost)
+    }
+
+    /// [`LacCluster::run_admitted`] with a per-tenant SLO boost —
+    /// identical semantics to
+    /// [`crate::service::LacService::run_admitted_boosted`]: `boost[t]` is
+    /// tenant `t`'s deadline slack in simulated cycles (`u64::MAX` =
+    /// unboosted), served least-slack-first by the fair-share planner on
+    /// every chip, without preemption and without changing any output
+    /// bits.
+    pub fn run_admitted_boosted(
+        &mut self,
+        sched: Scheduler,
+        boost: &[u64],
+    ) -> Result<ClusterRound<J::Output>, SimError> {
+        assert_eq!(
+            boost.len(),
+            self.tenants.len(),
+            "one boost slack per registered tenant"
+        );
         let pending = std::mem::take(&mut self.pending);
         let chips = self.chips.len();
         if pending.is_empty() {
@@ -832,6 +885,7 @@ impl<J: ChipJob> LacCluster<J> {
                     chip_cost: vec![0; chips],
                 },
                 waves: 0,
+                wave_end_cycles: Vec::new(),
                 transfers: Vec::new(),
                 stats: ClusterStats {
                     per_chip: self
@@ -878,6 +932,7 @@ impl<J: ChipJob> LacCluster<J> {
             &pool.tenant_of,
             &weights,
             &mut usage,
+            boost,
             sched,
         );
         let run = match run {
@@ -910,6 +965,7 @@ impl<J: ChipJob> LacCluster<J> {
             graphs: completions,
             partition,
             waves: run.waves,
+            wave_end_cycles: run.wave_ends,
             transfers: run.transfers,
             stats: run.stats,
         })
@@ -931,6 +987,7 @@ impl<J: ChipJob> LacCluster<J> {
         tenant_of: &[usize],
         weights: &[u64],
         usage: &mut [u64],
+        boost: &[u64],
         sched: Scheduler,
     ) -> Result<ClusterMultiRun<J::Output>, SimError>
     where
@@ -969,6 +1026,7 @@ impl<J: ChipJob> LacCluster<J> {
                 tenant_of,
                 weights,
                 usage,
+                boost,
                 sched,
                 |core, job| txs[core].send(job).expect("cluster worker hung up"),
                 || done_rx.recv().expect("cluster worker hung up"),

@@ -45,7 +45,8 @@ pub use error::SimError;
 pub use isa::{CmpUpdate, ExtOp, PeInstr, Program, ProgramBuilder, Source, Step};
 pub use lap::{Lap, LapRunSummary};
 pub use service::{
-    plan_wave, plan_wave_tenanted, GraphCompletion, GraphRun, GraphTicket, JobGraph, JobId,
-    LacService, Rejected, ServiceRound, ServiceSession, TenantConfig, TenantId, TenantSession,
+    plan_wave, plan_wave_tenanted, plan_wave_tenanted_slo, GraphCompletion, GraphRun, GraphTicket,
+    JobGraph, JobId, LacService, Rejected, ServiceRound, ServiceSession, TenantConfig, TenantId,
+    TenantSession,
 };
 pub use stats::ExecStats;

@@ -318,6 +318,33 @@ pub fn plan_wave_tenanted(
     weights: &[u64],
     cores: usize,
 ) -> Vec<Vec<usize>> {
+    let boost = vec![u64::MAX; weights.len()];
+    plan_wave_tenanted_slo(
+        ready, costs, priority, tenant_of, usage, weights, &boost, cores,
+    )
+}
+
+/// [`plan_wave_tenanted`] with a preemption-free SLO boost layered on top:
+/// `boost[t]` is tenant `t`'s current deadline slack in simulated cycles
+/// (`u64::MAX` means unboosted). Boosted tenants outrank every unboosted
+/// one, least slack first; ties — and the whole unboosted remainder —
+/// fall through to the exact weight-normalized fair-share deficit
+/// comparison. Dispatched boosted jobs still charge their tenant's usage,
+/// so fairness re-converges once the deadline pressure clears. Jobs
+/// already running are never preempted: the boost only reorders picks at
+/// wave boundaries. Still a pure function of its arguments, so boosted
+/// rounds stay bit-identical across reruns and host interleavings.
+#[allow(clippy::too_many_arguments)] // the planner's full deterministic context
+pub fn plan_wave_tenanted_slo(
+    ready: &[usize],
+    costs: &[u64],
+    priority: &[u64],
+    tenant_of: &[usize],
+    usage: &[u64],
+    weights: &[u64],
+    boost: &[u64],
+    cores: usize,
+) -> Vec<Vec<usize>> {
     assert!(cores >= 1, "a chip has at least one core");
     let mut buckets = vec![Vec::new(); cores];
     let mut local_usage = usage.to_vec();
@@ -328,10 +355,13 @@ pub fn plan_wave_tenanted(
             .enumerate()
             .min_by(|(_, &a), (_, &b)| {
                 let (ta, tb) = (tenant_of[a], tenant_of[b]);
+                // Deadline slack first (MAX = unboosted), then
                 // usage[ta]/weights[ta] vs usage[tb]/weights[tb], exactly.
                 let ua = local_usage[ta] as u128 * weights[tb].max(1) as u128;
                 let ub = local_usage[tb] as u128 * weights[ta].max(1) as u128;
-                ua.cmp(&ub)
+                boost[ta]
+                    .cmp(&boost[tb])
+                    .then_with(|| ua.cmp(&ub))
                     .then_with(|| priority[b].cmp(&priority[a]))
                     .then_with(|| a.cmp(&b))
             })
@@ -408,6 +438,10 @@ pub struct GraphRun<T> {
     /// How many dependency waves the run took (the graph's effective
     /// depth under this policy).
     pub waves: usize,
+    /// Simulated clock at the end of each wave, relative to the start of
+    /// the run (`wave_end_cycles[wave_of[j]]` is job `j`'s completion
+    /// tick — the sojourn-time anchor of the open-loop traffic layer).
+    pub wave_end_cycles: Vec<u64>,
     /// Simulated cycles each core spent waiting on dependencies (its
     /// waves' spans minus its own buckets). `busy + idle = makespan` per
     /// core.
@@ -438,6 +472,7 @@ pub(crate) struct MultiRun<T> {
     pub(crate) assignment: Vec<usize>,
     pub(crate) wave_of: Vec<usize>,
     pub(crate) waves: usize,
+    pub(crate) wave_ends: Vec<u64>,
     pub(crate) idle_per_core: Vec<u64>,
     pub(crate) stats: ChipStats,
     pub(crate) per_tenant: Vec<TenantDelta>,
@@ -527,6 +562,7 @@ pub(crate) fn drive_multi<T>(
     tenant_of: &[usize],
     weights: &[u64],
     usage: &mut [u64],
+    boost: &[u64],
     sched: Scheduler,
     cores: usize,
     mut dispatch: impl FnMut(usize, usize),
@@ -549,12 +585,13 @@ pub(crate) fn drive_multi<T>(
     let mut per_tenant = vec![TenantDelta::default(); weights.len()];
     let mut makespan = 0u64;
     let mut waves = 0usize;
+    let mut wave_ends: Vec<u64> = Vec::new();
 
     while !ready.is_empty() {
         let buckets = match sched {
-            Scheduler::FairShare => {
-                plan_wave_tenanted(&ready, costs, &priority, tenant_of, usage, weights, cores)
-            }
+            Scheduler::FairShare => plan_wave_tenanted_slo(
+                &ready, costs, &priority, tenant_of, usage, weights, boost, cores,
+            ),
             _ => plan_wave(sched, &ready, costs, &priority, cores),
         };
         let mut dispatched = 0usize;
@@ -596,6 +633,7 @@ pub(crate) fn drive_multi<T>(
             idle_per_core[c] += span - wave_cycles[c];
         }
         makespan += span;
+        wave_ends.push(makespan);
 
         // Undispatched ready jobs (the quantum-capped policy's backlog)
         // stay ready; children released by this wave join them.
@@ -627,6 +665,7 @@ pub(crate) fn drive_multi<T>(
         assignment,
         wave_of,
         waves,
+        wave_ends,
         idle_per_core,
         stats: ChipStats {
             per_core,
@@ -659,6 +698,7 @@ pub(crate) fn drive<T>(
         &tenant_of,
         &[1],
         &mut usage,
+        &[u64::MAX],
         sched,
         cores,
         dispatch,
@@ -669,6 +709,7 @@ pub(crate) fn drive<T>(
         assignment: run.assignment,
         wave_of: run.wave_of,
         waves: run.waves,
+        wave_end_cycles: run.wave_ends,
         idle_per_core: run.idle_per_core,
         stats: run.stats,
     })
@@ -720,15 +761,23 @@ pub struct TenantConfig {
     /// deterministic backpressure) any graph that would exceed it. `None`
     /// admits everything.
     pub max_inflight_cost: Option<u64>,
+    /// Latency SLO: the target sojourn (arrival → completion) in simulated
+    /// cycles. `None` means best-effort (no deadline). The scheduler never
+    /// reads this directly — the open-loop traffic layer (`lac-traffic`)
+    /// turns it into per-round deadline slack and feeds
+    /// [`plan_wave_tenanted_slo`] through
+    /// [`LacService::run_admitted_boosted`].
+    pub deadline_cycles: Option<u64>,
 }
 
 impl TenantConfig {
-    /// A tenant with weight 1 and no admission budget.
+    /// A tenant with weight 1, no admission budget and no latency SLO.
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
             weight: 1,
             max_inflight_cost: None,
+            deadline_cycles: None,
         }
     }
 
@@ -741,6 +790,12 @@ impl TenantConfig {
     /// Bound the tenant's admitted-but-uncompleted cost.
     pub fn with_admission_budget(mut self, max_inflight_cost: u64) -> Self {
         self.max_inflight_cost = Some(max_inflight_cost);
+        self
+    }
+
+    /// Set the latency SLO: target sojourn in simulated cycles.
+    pub fn with_deadline(mut self, deadline_cycles: u64) -> Self {
+        self.deadline_cycles = Some(deadline_cycles);
         self
     }
 }
@@ -1058,6 +1113,11 @@ pub struct ServiceRound<T> {
     pub graphs: Vec<GraphCompletion<T>>,
     /// Dependency waves the interleaved round took.
     pub waves: usize,
+    /// Simulated clock at the end of each wave, relative to the start of
+    /// the round: a graph completes at
+    /// `wave_end_cycles[max(wave_of)]` past the round's start — how the
+    /// open-loop traffic layer computes per-graph sojourn times.
+    pub wave_end_cycles: Vec<u64>,
     /// Per-core dependency-stall cycles (`busy + idle = makespan`).
     pub idle_per_core: Vec<u64>,
     /// Merged busy breakdown; `makespan_cycles` is the round's simulated
@@ -1329,12 +1389,35 @@ impl<J: ChipJob + 'static> LacService<J> {
     /// in-flight cost drains, and neither the service session nor the
     /// tenant meters advance — `Err` means "the round did not complete".
     pub fn run_admitted(&mut self, sched: Scheduler) -> Result<ServiceRound<J::Output>, SimError> {
+        let boost = vec![u64::MAX; self.tenants.len()];
+        self.run_admitted_boosted(sched, &boost)
+    }
+
+    /// [`LacService::run_admitted`] with a per-tenant SLO boost: `boost[t]`
+    /// is tenant `t`'s current deadline slack in simulated cycles
+    /// (`u64::MAX` = unboosted). Under [`Scheduler::FairShare`] the wave
+    /// planner ([`plan_wave_tenanted_slo`]) serves boosted tenants first,
+    /// least slack first, without preempting running jobs; other policies
+    /// ignore the boost. Because planning is cost-hint-only and outputs
+    /// are placement-independent, boosting changes *when* jobs run —
+    /// sojourn times, wave shapes — but never the output bits.
+    pub fn run_admitted_boosted(
+        &mut self,
+        sched: Scheduler,
+        boost: &[u64],
+    ) -> Result<ServiceRound<J::Output>, SimError> {
+        assert_eq!(
+            boost.len(),
+            self.tenants.len(),
+            "one boost slack per registered tenant"
+        );
         let pending = std::mem::take(&mut self.pending);
         let cores = self.txs.len();
         if pending.is_empty() {
             return Ok(ServiceRound {
                 graphs: Vec::new(),
                 waves: 0,
+                wave_end_cycles: Vec::new(),
                 idle_per_core: vec![0; cores],
                 stats: ChipStats {
                     per_core: vec![ExecStats::default(); cores],
@@ -1364,6 +1447,7 @@ impl<J: ChipJob + 'static> LacService<J> {
             &pool.tenant_of,
             &weights,
             &mut usage,
+            boost,
             sched,
             cores,
             |core, job| {
@@ -1401,6 +1485,7 @@ impl<J: ChipJob + 'static> LacService<J> {
         Ok(ServiceRound {
             graphs: completions,
             waves: run.waves,
+            wave_end_cycles: run.wave_ends,
             idle_per_core: run.idle_per_core,
             stats: run.stats,
         })

@@ -1,0 +1,484 @@
+//! The open-loop driver: replay an [`ArrivalTrace`] against a serving
+//! backend and account every request's sojourn time.
+//!
+//! Closed-loop benchmarking (submit a batch, measure its makespan) hides
+//! queueing: the next request conveniently waits for the previous one.
+//! Open-loop serving replays arrivals on their *own* clock — if the
+//! backend falls behind, the queue grows and sojourn times balloon,
+//! exactly like production. The driver here is the glue:
+//!
+//! 1. **Fast-forward** — with nothing admitted and the next arrival in
+//!    the future, advance the backend's simulated clock to it through
+//!    the `advance_idle` door (static energy keeps accruing; no busy
+//!    work is invented).
+//! 2. **Admit** — every arrival due by the current clock is stamped with
+//!    its `arrival_tick`, turned into a [`JobGraph`] by the caller's
+//!    factory, and offered to the tenant's admission door. Bounced
+//!    graphs (deterministic backpressure) retry in arrival order before
+//!    new work.
+//! 3. **Serve** — one `run_admitted` round executes everything admitted.
+//!    Tenants with a deadline SLO get a boost equal to their *deadline
+//!    slack* (earliest pending arrival's deadline minus now): the
+//!    fair-share planner serves boosted tenants least-slack-first,
+//!    preemption-free ([`lac_sim::plan_wave_tenanted_slo`]).
+//! 4. **Account** — each completed graph's sojourn (completion tick −
+//!    arrival tick, via the round's `wave_end_cycles`) lands in its
+//!    tenant's [`LatencyHistogram`].
+//!
+//! Every step is a pure function of the trace, the configs and the cost
+//! hints, so a whole open-loop run is bit-identical across reruns — and
+//! its *outputs* are bit-identical across scheduler policies and
+//! backends too (scheduling moves latencies, never results).
+
+use crate::hist::LatencyHistogram;
+use crate::trace::{Arrival, ArrivalTrace};
+use lac_sim::chip::ChipJob;
+use lac_sim::{
+    ClusterRound, GraphCompletion, GraphTicket, JobGraph, LacCluster, LacService, Rejected,
+    Scheduler, ServiceRound, SimError, TenantId,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// What one serving round hands back to the driver: per-graph completions
+/// plus the wave-end clocks that anchor sojourn accounting. The common
+/// projection of [`ServiceRound`] and [`ClusterRound`].
+#[derive(Clone, Debug)]
+pub struct RoundOutcome<T> {
+    /// Completed graphs, in admission (ticket) order.
+    pub completions: Vec<GraphCompletion<T>>,
+    /// Simulated clock at the end of each wave, relative to the round's
+    /// start.
+    pub wave_end_cycles: Vec<u64>,
+}
+
+/// A serving backend the open-loop driver can feed: the multi-tenant
+/// admission door, the boosted round door, the session clock and the idle
+/// fast-forward door. Implemented for [`LacService`] (one chip,
+/// persistent workers) and [`LacCluster`] (N chips, modeled transfers) —
+/// the driver is backend-agnostic, so the same trace replays identically
+/// against either.
+pub trait OpenLoopBackend<J: ChipJob> {
+    /// Offer a graph through tenant `t`'s admission door.
+    fn enqueue(&mut self, t: TenantId, graph: JobGraph<J>) -> Result<GraphTicket, Rejected<J>>;
+    /// Run every admitted graph in one round under `sched` with the
+    /// per-tenant SLO boost (indexed by tenant id; `u64::MAX` =
+    /// unboosted).
+    fn run_boosted(
+        &mut self,
+        sched: Scheduler,
+        boost: &[u64],
+    ) -> Result<RoundOutcome<J::Output>, SimError>;
+    /// The backend's session clock in simulated cycles.
+    fn clock(&self) -> u64;
+    /// Advance the session clock through an idle gap.
+    fn advance_idle(&mut self, cycles: u64);
+    /// Tenant `t`'s sojourn deadline, if it registered one.
+    fn deadline_of(&self, t: TenantId) -> Option<u64>;
+    /// Registered tenants (the boost vector's length).
+    fn num_tenants(&self) -> usize;
+}
+
+impl<J: ChipJob + 'static> OpenLoopBackend<J> for LacService<J> {
+    fn enqueue(&mut self, t: TenantId, graph: JobGraph<J>) -> Result<GraphTicket, Rejected<J>> {
+        LacService::enqueue(self, t, graph)
+    }
+
+    fn run_boosted(
+        &mut self,
+        sched: Scheduler,
+        boost: &[u64],
+    ) -> Result<RoundOutcome<J::Output>, SimError> {
+        let round: ServiceRound<J::Output> = self.run_admitted_boosted(sched, boost)?;
+        Ok(RoundOutcome {
+            completions: round.graphs,
+            wave_end_cycles: round.wave_end_cycles,
+        })
+    }
+
+    fn clock(&self) -> u64 {
+        self.session().clock_cycles
+    }
+
+    fn advance_idle(&mut self, cycles: u64) {
+        LacService::advance_idle(self, cycles);
+    }
+
+    fn deadline_of(&self, t: TenantId) -> Option<u64> {
+        self.tenant_config(t).deadline_cycles
+    }
+
+    fn num_tenants(&self) -> usize {
+        LacService::num_tenants(self)
+    }
+}
+
+impl<J: ChipJob> OpenLoopBackend<J> for LacCluster<J> {
+    fn enqueue(&mut self, t: TenantId, graph: JobGraph<J>) -> Result<GraphTicket, Rejected<J>> {
+        LacCluster::enqueue(self, t, graph)
+    }
+
+    fn run_boosted(
+        &mut self,
+        sched: Scheduler,
+        boost: &[u64],
+    ) -> Result<RoundOutcome<J::Output>, SimError> {
+        let round: ClusterRound<J::Output> = self.run_admitted_boosted(sched, boost)?;
+        Ok(RoundOutcome {
+            completions: round.graphs,
+            wave_end_cycles: round.wave_end_cycles,
+        })
+    }
+
+    fn clock(&self) -> u64 {
+        self.session().clock_cycles
+    }
+
+    fn advance_idle(&mut self, cycles: u64) {
+        LacCluster::advance_idle(self, cycles);
+    }
+
+    fn deadline_of(&self, t: TenantId) -> Option<u64> {
+        self.tenant_config(t).deadline_cycles
+    }
+
+    fn num_tenants(&self) -> usize {
+        LacCluster::num_tenants(self)
+    }
+}
+
+/// Knobs of one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// The wave-planning policy of every round. SLO boosting only takes
+    /// effect under [`Scheduler::FairShare`] (other policies ignore it).
+    pub sched: Scheduler,
+    /// Feed deadline slack to the planner ([`lac_sim::plan_wave_tenanted_slo`]).
+    /// Off = plain fair share; deadlines still meter misses either way.
+    pub slo_boost: bool,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            sched: Scheduler::FairShare,
+            slo_boost: true,
+        }
+    }
+}
+
+/// One served request: its arrival, when it completed, and its outputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletedRequest<T> {
+    /// The arrival that spawned the graph.
+    pub arrival: Arrival,
+    /// Absolute completion tick on the backend clock.
+    pub completion_tick: u64,
+    /// Sojourn: completion minus arrival, in simulated cycles.
+    pub sojourn_cycles: u64,
+    /// The graph's job outputs, in the graph's submission order.
+    pub outputs: Vec<T>,
+}
+
+/// One tenant's latency accounting over a whole open-loop run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantLatency {
+    /// Sojourn-time histogram (count, mean, p50/p99/p999).
+    pub hist: LatencyHistogram,
+    /// The tenant's SLO deadline, if any.
+    pub deadline_cycles: Option<u64>,
+    /// Completed requests whose sojourn exceeded the deadline.
+    pub deadline_misses: u64,
+}
+
+/// Everything one open-loop replay produces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenLoopReport<T> {
+    /// Every served request, in completion order (rounds in clock order,
+    /// admission order within a round).
+    pub completed: Vec<CompletedRequest<T>>,
+    /// Per trace stream (tenant index): sojourn histogram and SLO meters.
+    pub per_tenant: Vec<TenantLatency>,
+    /// Serving rounds the replay took.
+    pub rounds: u64,
+    /// Backend clock when the last request completed (absolute).
+    pub final_clock: u64,
+}
+
+/// Replay `trace` against `backend`: `tenants[s]` is the registered
+/// tenant id serving trace stream `s`, and `make_graph` turns each
+/// arrival into the graph to run (the per-request work — e.g. one small
+/// solver chain from `lac_kernels::SolverStream`).
+///
+/// Runs until every arrival is served. A graph bounced by admission
+/// backpressure retries, in arrival order, before newer work each round;
+/// if a bounced graph can never fit (its cost alone exceeds the tenant's
+/// budget with nothing in flight), the driver panics rather than spin.
+/// The replay is a pure function of `(trace, tenant configs, cfg, cost
+/// hints)`: reruns are bit-identical, and output bits are additionally
+/// identical across policies and backends.
+pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
+    backend: &mut B,
+    trace: &ArrivalTrace,
+    tenants: &[TenantId],
+    mut make_graph: impl FnMut(&Arrival) -> JobGraph<J>,
+    cfg: OpenLoopConfig,
+) -> Result<OpenLoopReport<J::Output>, SimError> {
+    assert_eq!(
+        tenants.len(),
+        trace.streams(),
+        "one registered tenant per trace stream"
+    );
+    // The trace's tick 0 is "now": arrivals land at base + tick, so a
+    // warm backend (non-zero clock) replays the same trace consistently.
+    let base = backend.clock();
+    let arrivals = trace.arrivals();
+
+    let mut per_tenant: Vec<TenantLatency> = tenants
+        .iter()
+        .map(|&t| TenantLatency {
+            hist: LatencyHistogram::new(),
+            deadline_cycles: backend.deadline_of(t),
+            deadline_misses: 0,
+        })
+        .collect();
+    let mut completed_reqs: Vec<CompletedRequest<J::Output>> = Vec::new();
+    // Admitted-but-unserved: admission seq → arrival position.
+    let mut inflight: BTreeMap<u64, usize> = BTreeMap::new();
+    // Bounced submissions, retried in arrival order.
+    let mut bounced: VecDeque<(usize, JobGraph<J>)> = VecDeque::new();
+    let mut next = 0usize;
+    let mut rounds = 0u64;
+
+    while next < arrivals.len() || !bounced.is_empty() || !inflight.is_empty() {
+        let clock = backend.clock();
+
+        // Fast-forward an idle backend to the next arrival.
+        if inflight.is_empty() && bounced.is_empty() {
+            let due = base + arrivals[next].tick;
+            if due > clock {
+                backend.advance_idle(due - clock);
+                continue;
+            }
+        }
+
+        // Retry bounced graphs first (their budgets may have drained).
+        while let Some((pos, graph)) = bounced.pop_front() {
+            match backend.enqueue(tenants[arrivals[pos].tenant], graph) {
+                Ok(ticket) => {
+                    inflight.insert(ticket.seq, pos);
+                }
+                Err(r) => {
+                    bounced.push_front((pos, r.graph));
+                    break;
+                }
+            }
+        }
+        // Admit everything due by now, in arrival order.
+        while next < arrivals.len() && base + arrivals[next].tick <= clock {
+            let a = &arrivals[next];
+            let graph = make_graph(a);
+            match backend.enqueue(tenants[a.tenant], graph) {
+                Ok(ticket) => {
+                    inflight.insert(ticket.seq, next);
+                }
+                Err(r) => bounced.push_back((next, r.graph)),
+            }
+            next += 1;
+        }
+
+        if inflight.is_empty() {
+            // Nothing admitted: every due graph bounced. With nothing in
+            // flight the budgets cannot drain further — this is permanent.
+            assert!(
+                bounced.is_empty(),
+                "open-loop deadlock: a graph's cost alone exceeds its tenant's \
+                 admission budget ({} bounced, nothing in flight)",
+                bounced.len()
+            );
+            continue; // no arrivals were due yet; fast-forward next pass
+        }
+
+        // Deadline slack per backend tenant: earliest pending arrival's
+        // deadline minus now (u64::MAX = unboosted).
+        let mut boost = vec![u64::MAX; backend.num_tenants()];
+        if cfg.slo_boost {
+            for &pos in inflight.values() {
+                let a = &arrivals[pos];
+                if let Some(d) = per_tenant[a.tenant].deadline_cycles {
+                    let slack = (base + a.tick).saturating_add(d).saturating_sub(clock);
+                    let slot = &mut boost[tenants[a.tenant].index()];
+                    *slot = (*slot).min(slack);
+                }
+            }
+        }
+
+        let outcome = backend.run_boosted(cfg.sched, &boost)?;
+        rounds += 1;
+        for completion in outcome.completions {
+            let pos = inflight
+                .remove(&completion.ticket.seq)
+                .expect("round completed a graph the driver never admitted");
+            let a = arrivals[pos];
+            let last_wave = completion.wave_of.iter().copied().max().unwrap_or(0);
+            let done = clock + outcome.wave_end_cycles.get(last_wave).copied().unwrap_or(0);
+            let sojourn = done - (base + a.tick);
+            let meters = &mut per_tenant[a.tenant];
+            meters.hist.record(sojourn);
+            if meters.deadline_cycles.is_some_and(|d| sojourn > d) {
+                meters.deadline_misses += 1;
+            }
+            completed_reqs.push(CompletedRequest {
+                arrival: a,
+                completion_tick: done,
+                sojourn_cycles: sojourn,
+                outputs: completion.outputs,
+            });
+        }
+    }
+
+    Ok(OpenLoopReport {
+        completed: completed_reqs,
+        per_tenant,
+        rounds,
+        final_clock: backend.clock(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ArrivalProcess;
+    use lac_sim::{ChipConfig, ClusterConfig, LacConfig, ProgramBuilder, ProgramJob, TenantConfig};
+
+    /// A tiny deterministic job: one idle program with a chosen cost.
+    fn idle_job(extra: usize, cost: u64) -> ProgramJob {
+        let cfg = LacConfig::default();
+        let mut b = ProgramBuilder::new(cfg.nr);
+        b.idle(8 + extra);
+        let mut j = ProgramJob::new(b.build());
+        j.cost = cost;
+        j
+    }
+
+    /// Two jobs in a chain per arrival, salted by the arrival identity.
+    fn request(a: &Arrival) -> JobGraph<ProgramJob> {
+        let mut g = JobGraph::new();
+        let salt = (a.index as usize + a.tenant) % 4;
+        let first = g.add(idle_job(salt, 40 + 10 * a.tenant as u64));
+        g.add_after(idle_job(salt + 1, 30), &[first]);
+        g
+    }
+
+    fn demo_trace() -> ArrivalTrace {
+        ArrivalTrace::generate(
+            11,
+            30_000,
+            &[
+                ArrivalProcess::Poisson { mean_gap: 400.0 },
+                ArrivalProcess::OnOff {
+                    mean_gap_on: 30.0,
+                    mean_burst: 6.0,
+                    mean_gap_off: 2_500.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn service_replay_serves_every_arrival_deterministically() {
+        let trace = demo_trace();
+        let run = || {
+            let mut svc: LacService<ProgramJob> =
+                LacService::new(ChipConfig::new(2, LacConfig::default()));
+            let ids = vec![
+                svc.add_tenant(TenantConfig::new("interactive").with_deadline(2_000)),
+                svc.add_tenant(TenantConfig::new("batch")),
+            ];
+            run_open_loop(&mut svc, &trace, &ids, request, OpenLoopConfig::default()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "open-loop replays must be bit-identical");
+        assert_eq!(a.completed.len(), trace.len());
+        assert_eq!(a.per_tenant[0].hist.count() as usize, trace.count_for(0));
+        let last_arrival = trace.arrivals().last().unwrap().tick;
+        assert!(
+            a.final_clock >= last_arrival,
+            "the clock covered every arrival"
+        );
+        assert!(a.rounds > 0);
+    }
+
+    #[test]
+    fn cluster_and_service_outputs_agree_bitwise() {
+        let trace = demo_trace();
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(2, LacConfig::default()));
+        let svc_ids = vec![
+            svc.add_tenant(TenantConfig::new("interactive").with_deadline(2_000)),
+            svc.add_tenant(TenantConfig::new("batch")),
+        ];
+        let s = run_open_loop(
+            &mut svc,
+            &trace,
+            &svc_ids,
+            request,
+            OpenLoopConfig::default(),
+        )
+        .unwrap();
+
+        let mut cluster: LacCluster<ProgramJob> = LacCluster::new(ClusterConfig::homogeneous(
+            2,
+            ChipConfig::new(1, LacConfig::default()),
+        ));
+        let cl_ids = vec![
+            cluster.add_tenant(TenantConfig::new("interactive").with_deadline(2_000)),
+            cluster.add_tenant(TenantConfig::new("batch")),
+        ];
+        let c = run_open_loop(
+            &mut cluster,
+            &trace,
+            &cl_ids,
+            request,
+            OpenLoopConfig::default(),
+        )
+        .unwrap();
+
+        // Outputs are backend- and placement-independent; latencies are
+        // not (different wave shapes), so compare outputs only.
+        let outs = |r: &OpenLoopReport<lac_sim::ExecStats>| {
+            let mut v: Vec<_> = r
+                .completed
+                .iter()
+                .map(|c| (c.arrival, c.outputs.clone()))
+                .collect();
+            v.sort_by_key(|(a, _)| (a.tenant, a.index));
+            v
+        };
+        assert_eq!(outs(&s), outs(&c));
+    }
+
+    #[test]
+    fn admission_backpressure_retries_and_completes() {
+        let trace = ArrivalTrace::generate(
+            3,
+            8_000,
+            &[ArrivalProcess::OnOff {
+                mean_gap_on: 10.0,
+                mean_burst: 10.0,
+                mean_gap_off: 1_000.0,
+            }],
+        );
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        // Budget fits one request (cost 40 + 30) but not two.
+        let ids = vec![svc.add_tenant(TenantConfig::new("tight").with_admission_budget(100))];
+        let report =
+            run_open_loop(&mut svc, &trace, &ids, request, OpenLoopConfig::default()).unwrap();
+        assert_eq!(report.completed.len(), trace.len(), "bounced work retried");
+        assert!(
+            svc.tenant_session(ids[0]).graphs_rejected > 0,
+            "backpressure engaged"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Fixed log-bucketed latency histogram with deterministic percentiles.
+//!
+//! Sojourn times span orders of magnitude under load (a lightly loaded
+//! chip completes in one round's makespan; an overloaded one queues for
+//! many), so linear buckets either waste memory or saturate. The classic
+//! serving-systems answer is a log-bucketed histogram with linear
+//! sub-buckets per octave (HdrHistogram's layout): constant *relative*
+//! resolution, constant memory, exact merge. This one is integer-only —
+//! bucket indexing is pure bit arithmetic — so recording and merging are
+//! bit-deterministic on every host, matching the simulator's
+//! reproducibility contract.
+
+/// Linear sub-buckets per power-of-two octave, as a bit count: 2^3 = 8
+/// sub-buckets, so a bucket's width is at most 1/8 of its value (12.5 %
+/// worst-case relative error on reported percentiles).
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below `SUBS` get exact unit buckets; above, each of the
+/// remaining `64 - SUB_BITS` octaves gets `SUBS` sub-buckets.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Map a value to its bucket index (pure bit arithmetic, total over u64).
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS here
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    SUBS + (msb - SUB_BITS) as usize * SUBS + sub
+}
+
+/// The largest value a bucket holds — what percentiles report, so a
+/// reported percentile is always an upper bound on the true one.
+fn bucket_upper(b: usize) -> u64 {
+    if b < SUBS {
+        return b as u64;
+    }
+    let octave = ((b - SUBS) / SUBS) as u32 + SUB_BITS;
+    let sub = ((b - SUBS) % SUBS) as u64;
+    // The bucket covers [ (SUBS+sub) << shift, (SUBS+sub+1) << shift ),
+    // where shift = octave - SUB_BITS.
+    ((SUBS as u64 + sub + 1) << (octave - SUB_BITS)).wrapping_sub(1)
+}
+
+/// A fixed-size log-bucketed histogram of simulated-cycle latencies.
+///
+/// * **Deterministic**: recording, merging and percentile extraction are
+///   integer-only pure functions — two runs that record the same
+///   multiset of values are bit-identical, whatever the host.
+/// * **Mergeable**: [`LatencyHistogram::merge`] adds counts bucket-wise;
+///   merge is exact, commutative and associative (property-tested in
+///   `tests/traffic_props.rs`).
+/// * **Bounded error**: a reported percentile is the upper bound of the
+///   sample's bucket — never below the true value and at most 12.5 %
+///   (1/8) above it, plus 1 for the unit buckets.
+///
+/// ```
+/// use lac_traffic::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert!(h.p50() >= 500 && h.p50() <= 563);    // within 12.5 %
+/// assert!(h.p99() >= 990 && h.p99() <= 1124);
+/// assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (all buckets pre-allocated: ~500 counters).
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one latency sample, in simulated cycles.
+    pub fn record(&mut self, cycles: u64) {
+        self.counts[bucket_of(cycles)] += 1;
+        self.count += 1;
+        self.sum += cycles as u128;
+        self.min = self.min.min(cycles);
+        self.max = self.max.max(cycles);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (0 on an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded samples (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`): the upper bound of the bucket
+    /// holding the sample of rank `ceil(q · count)`. Monotone in `q` by
+    /// construction — the cumulative scan only moves forward — hence
+    /// p50 ≤ p99 ≤ p999 always. Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median sojourn (see [`LatencyHistogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile sojourn — the open-loop serving gate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile sojourn.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Fold `other` into `self` bucket-wise. Exact: the merged histogram
+    /// equals one that recorded both sample multisets directly.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_line() {
+        // Exhaustive near the seams plus spot checks: bucket_of is
+        // monotone and bucket_upper is the last value of its bucket.
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket_of must be monotone at {v}");
+            assert!(bucket_upper(b) >= v, "upper({b}) < {v}");
+            if b > last {
+                assert_eq!(bucket_upper(last), v - 1, "seam at {v}");
+            }
+            last = b;
+        }
+        for shift in 3..64u32 {
+            let v = 1u64 << shift;
+            assert_eq!(bucket_of(bucket_upper(bucket_of(v))), bucket_of(v));
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+        assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_bounds_and_monotonicity() {
+        let mut h = LatencyHistogram::new();
+        for v in (1..=10_000u64).rev() {
+            h.record(v);
+        }
+        // Upper-bound property with 1/8 relative slack.
+        for (q, exact) in [(0.5, 5_000u64), (0.99, 9_900), (0.999, 9_990)] {
+            let got = h.percentile(q);
+            assert!(got >= exact, "{q}: {got} < exact {exact}");
+            assert!(
+                got <= exact + exact / 8 + 1,
+                "{q}: {got} too far above {exact}"
+            );
+        }
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+        assert_eq!(h.percentile(1.0), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..500u64 {
+            all.record(v * 17 + 3);
+            if v % 2 == 0 {
+                a.record(v * 17 + 3);
+            } else {
+                b.record(v * 17 + 3);
+            }
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        let mut flipped = b;
+        flipped.merge(&a);
+        assert_eq!(flipped, all, "merge is commutative");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.p99()), (0, 0, 0, 0));
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+    }
+}

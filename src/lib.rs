@@ -12,14 +12,17 @@
 //! - [`lac_kernels`] — algorithm→architecture microprogram generators.
 //! - [`lac_model`] — analytical performance / memory-hierarchy models.
 //! - [`lac_power`] — power & area models and platform comparisons.
+//! - [`lac_traffic`] — open-loop traffic layer: seeded arrival traces,
+//!   sojourn-time histograms (p50/p99/p999), SLO-aware serving.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the experiment map,
 //! and `docs/ARCHITECTURE.md` for the layer diagram (engine → chip →
-//! service → cluster) and the paper-concept glossary.
+//! service → cluster → traffic) and the paper-concept glossary.
 
 pub use lac_fpu;
 pub use lac_kernels;
 pub use lac_model;
 pub use lac_power;
 pub use lac_sim;
+pub use lac_traffic;
 pub use linalg_ref;
