@@ -1,0 +1,194 @@
+//! The failure drill: kill a chip mid-fleet and measure what recovery
+//! costs — while proving it never costs correctness.
+//!
+//! A 3-chip `LacCluster` serves a round of streamed solver requests
+//! (`lac_kernels::SolverStream`: CHOL → TRSM fan-out → SYRK chains,
+//! operands salted per request). The same round is then re-run under a
+//! sweep of deterministic `FaultPlan`s — chip 1 killed at tick 1, chip 1
+//! and chip 2 killed mid-makespan — and for every drill the harness
+//! asserts the headline resilience property before printing a row:
+//!
+//! * every request's outputs are **bit-identical** to the fault-free
+//!   round (and still verify against the independent `linalg-ref` chain);
+//! * the kill landed (the chip is dead, exactly one fault event) and the
+//!   event log shows the revoked executions and requeues;
+//! * the run's Chrome-trace export parses with `lac_bench`'s own JSON
+//!   parser and carries the fault/requeue instants.
+//!
+//! What the table reports is the *price* of survival: the faulted
+//! makespan vs the fault-free one (recovery overhead), how many
+//! executions the dying chip took down with it (discarded), and how many
+//! jobs were requeued onto survivors.
+//!
+//! `--json` / `--json-out` emit the perf points (archived by `run_all`,
+//! gated by `perf_compare` — a kill spec's `makespan_cycles` regresses
+//! when recovery gets slower).
+
+use lac_bench::json::Json;
+use lac_bench::{emit_json, f, json_mode, table};
+use lac_kernels::{KernelReport, SolverJob, SolverLoopParams, SolverStream};
+use lac_sim::{
+    ChipConfig, ClusterConfig, ClusterRound, FaultPlan, LacCluster, LacConfig, Scheduler,
+    TenantConfig, TraceEvent,
+};
+
+const CHIPS: usize = 3;
+const CORES_PER_CHIP: usize = 2;
+const REQUESTS: u64 = 8;
+const SEED_SALT: u64 = 1913;
+
+fn stream() -> SolverStream {
+    SolverStream::new(SolverLoopParams {
+        n: 8,
+        rounds: 1,
+        panels: 2,
+        width: 4,
+        salt: SEED_SALT,
+    })
+}
+
+/// One drill: a fresh cluster, the same admitted round, an optional kill.
+fn run_round(fault: Option<FaultPlan>) -> (ClusterRound<KernelReport>, LacCluster<SolverJob>) {
+    let mut cluster: LacCluster<SolverJob> = LacCluster::new(ClusterConfig::homogeneous(
+        CHIPS,
+        ChipConfig::new(CORES_PER_CHIP, LacConfig::default()),
+    ));
+    if let Some(plan) = fault {
+        cluster.inject_faults(plan);
+    }
+    let tenant = cluster.add_tenant(TenantConfig::new("drill"));
+    let s = stream();
+    for i in 0..REQUESTS {
+        cluster
+            .enqueue(tenant, s.request(0, i).graph().graph)
+            .expect("admission is unbounded here");
+    }
+    let round = cluster
+        .run_admitted(Scheduler::CriticalPath)
+        .expect("hazard-free drill round");
+    assert_eq!(
+        round.graphs.len(),
+        REQUESTS as usize,
+        "every request served"
+    );
+    (round, cluster)
+}
+
+fn count(round: &ClusterRound<KernelReport>, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+    round.events.count(pred)
+}
+
+fn main() {
+    // The fault-free reference round: outputs verified against the
+    // independent linalg-ref chain, makespan anchoring the overhead
+    // column and the mid-run kill ticks below.
+    let (baseline, _) = run_round(None);
+    let s = stream();
+    for (i, g) in baseline.graphs.iter().enumerate() {
+        s.request(0, i as u64)
+            .check_graph(&g.outputs)
+            .expect("drill outputs match linalg-ref");
+    }
+    let base_makespan = baseline.stats.makespan_cycles;
+    let mid = base_makespan / 2;
+
+    let drills: [(&str, Option<FaultPlan>); 4] = [
+        ("none", None),
+        ("kill-chip1@1", Some(FaultPlan::new().kill(1, 1))),
+        ("kill-chip1@mid", Some(FaultPlan::new().kill(1, mid))),
+        ("kill-chip2@mid", Some(FaultPlan::new().kill(2, mid))),
+    ];
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for (name, plan) in drills {
+        let (round, cluster) = run_round(plan.clone());
+
+        // The headline: chip loss changes the makespan, never the bits.
+        for (b, r) in baseline.graphs.iter().zip(&round.graphs) {
+            assert_eq!(b.ticket, r.ticket, "completion order is admission order");
+            assert_eq!(
+                b.outputs, r.outputs,
+                "drill '{name}' changed a request's output bits"
+            );
+        }
+
+        let requeues = count(&round, |e| matches!(e, TraceEvent::Requeue { .. }));
+        let discarded = count(&round, |e| {
+            matches!(
+                e,
+                TraceEvent::Job {
+                    discarded: true,
+                    ..
+                }
+            )
+        });
+        if let Some(plan) = &plan {
+            let killed = plan.kills()[0].chip;
+            assert!(cluster.dead_chips()[killed], "the kill must land");
+            assert_eq!(
+                count(&round, |e| matches!(e, TraceEvent::Fault { .. })),
+                1,
+                "one kill, one fault event"
+            );
+            assert!(requeues > 0, "drill '{name}' requeued nothing");
+        } else {
+            assert_eq!(requeues + discarded, 0, "fault-free rounds never requeue");
+        }
+
+        // The trace door stays honest under fire: the export is real
+        // JSON and the drill's instants are in it.
+        let doc = Json::parse(&round.events.to_chrome_trace())
+            .unwrap_or_else(|e| panic!("drill '{name}': chrome trace failed to parse: {e}"));
+        let trace_events = match doc.get("traceEvents") {
+            Some(Json::Arr(items)) => items.len(),
+            _ => panic!("drill '{name}': traceEvents must be an array"),
+        };
+        assert_eq!(trace_events, round.events.len());
+
+        let makespan = round.stats.makespan_cycles;
+        let overhead = makespan as f64 / base_makespan as f64;
+        rows.push(vec![
+            name.into(),
+            format!("{makespan}"),
+            f(overhead),
+            format!("{requeues}"),
+            format!("{discarded}"),
+            format!("{trace_events}"),
+        ]);
+        points.push(Json::obj([
+            ("bench", Json::from("failure_drill")),
+            ("chips", Json::from(CHIPS)),
+            ("tenants", Json::from(1u64)),
+            ("policy", Json::from(name)),
+            ("requests", Json::from(REQUESTS)),
+            ("makespan_cycles", Json::from(makespan)),
+            ("recovery_overhead", Json::from(overhead)),
+            ("requeued_jobs", Json::from(requeues)),
+            ("discarded_executions", Json::from(discarded)),
+        ]));
+    }
+
+    emit_json(Json::arr(points));
+    if !json_mode() {
+        table(
+            &format!(
+                "Failure drill — {REQUESTS} streamed solver requests (n=8, 1 round, 2 panels) \
+                 on a {CHIPS}-chip LacCluster ({CORES_PER_CHIP} cores/chip), critical-path \
+                 scheduling; each kill spec re-runs the identical round with a deterministic \
+                 FaultPlan. Asserted per drill: outputs bit-identical to fault-free (verified \
+                 vs linalg-ref), kill lands exactly once, Chrome trace parses \
+                 (fault-free makespan {base_makespan} cycles)"
+            ),
+            &[
+                "kill",
+                "makespan",
+                "overhead",
+                "requeues",
+                "discarded",
+                "events",
+            ],
+            &rows,
+        );
+    }
+}

@@ -76,6 +76,7 @@ fn emits_json(n: &str) -> bool {
         || n == "solver_loop"
         || n == "service_throughput"
         || n == "service_latency"
+        || n == "failure_drill"
 }
 
 /// Generator binaries built next to this one (no hard-coded list).

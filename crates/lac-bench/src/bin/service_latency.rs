@@ -82,12 +82,14 @@ fn replay(
     configs: &[TenantConfig],
     trace: &ArrivalTrace,
     slo_boost: bool,
+    max_round_cost: Option<u64>,
 ) -> OpenLoopReport<KernelReport> {
     let (mut c, ids) = cluster(chips, configs);
     let s = stream();
     let cfg = OpenLoopConfig {
         sched: Scheduler::FairShare,
         slo_boost,
+        max_round_cost,
     };
     let report = run_open_loop(
         &mut c,
@@ -136,13 +138,13 @@ fn main() {
         let trace = ArrivalTrace::generate(SEED, horizon, &[ArrivalProcess::Poisson { mean_gap }]);
         for chips in CHIPS_SWEEP {
             let tenants = [TenantConfig::new("poisson")];
-            let report = replay(chips, &tenants, &trace, false);
+            let report = replay(chips, &tenants, &trace, false, None);
             check_outputs(&report);
             // Bit-determinism: a fresh cluster reproduces the replay
             // exactly — sojourns, rounds, outputs and all.
             assert_eq!(
                 report,
-                replay(chips, &tenants, &trace, false),
+                replay(chips, &tenants, &trace, false, None),
                 "open-loop rerun diverged at {load_name} × {chips} chips"
             );
             let h = &report.per_tenant[0].hist;
@@ -222,8 +224,8 @@ fn main() {
             },
         ],
     );
-    let plain = replay(2, &slo_tenants, &slo_trace, false);
-    let boosted = replay(2, &slo_tenants, &slo_trace, true);
+    let plain = replay(2, &slo_tenants, &slo_trace, false, None);
+    let boosted = replay(2, &slo_tenants, &slo_trace, true, None);
     check_outputs(&boosted);
     // The boost reorders *when* requests run, never *what* they compute.
     assert_eq!(
@@ -271,6 +273,66 @@ fn main() {
                 Json::from(int_t.deadline_misses),
             ),
             ("batch_p99_sojourn_cycles", Json::from(bat_t.hist.p99())),
+        ]));
+    }
+
+    // Part 3 — round-quantum A/B: the overloaded 1-chip point again,
+    // with `max_round_cost` bounding how much backlog one round may
+    // admit. Unbounded rounds serve the whole queue at once, so every
+    // rider's sojourn includes the slowest graph's wave; the quantum
+    // splits the backlog into shorter rounds and flattens the tail —
+    // without touching a single output bit.
+    let q_factor = 2.0f64;
+    let q_gap = (unit as f64 / q_factor).max(1.0);
+    let q_trace = ArrivalTrace::generate(
+        SEED,
+        (q_gap * HORIZON_GAPS) as u64,
+        &[ArrivalProcess::Poisson { mean_gap: q_gap }],
+    );
+    let request_cost = stream().request(0, 0).graph().graph.total_cost();
+    let quantum = 2 * request_cost;
+    let tenants = [TenantConfig::new("poisson")];
+    let unbounded = replay(1, &tenants, &q_trace, false, None);
+    let quantized = replay(1, &tenants, &q_trace, false, Some(quantum));
+    check_outputs(&quantized);
+    assert_eq!(
+        output_bits(&unbounded),
+        output_bits(&quantized),
+        "round quantum changed output bits"
+    );
+    let (uh, qh) = (&unbounded.per_tenant[0].hist, &quantized.per_tenant[0].hist);
+    assert!(
+        qh.p99() < uh.p99(),
+        "round quantum did not improve p99 at {q_factor}x load on 1 chip: \
+         {} -> {} cycles",
+        uh.p99(),
+        qh.p99()
+    );
+    for (policy, rep) in [
+        ("fair-share-unbounded", &unbounded),
+        ("fair-share+quantum", &quantized),
+    ] {
+        let h = &rep.per_tenant[0].hist;
+        rows.push(vec![
+            "2.0x-q".into(),
+            "1".into(),
+            format!("{}", h.count()),
+            format!("{}", rep.rounds),
+            policy.into(),
+            format!("{}", h.p50()),
+            format!("{}", h.p99()),
+            format!("{}", h.p999()),
+        ]);
+        points.push(Json::obj([
+            ("bench", Json::from("service_latency_quantum")),
+            ("load", Json::from("2.0x")),
+            ("chips", Json::from(1u64)),
+            ("tenants", Json::from(1u64)),
+            ("policy", Json::from(policy)),
+            ("rounds", Json::from(rep.rounds)),
+            ("p50_sojourn_cycles", Json::from(h.p50())),
+            ("p99_sojourn_cycles", Json::from(h.p99())),
+            ("p999_sojourn_cycles", Json::from(h.p999())),
         ]));
     }
 

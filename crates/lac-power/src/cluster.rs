@@ -190,6 +190,81 @@ mod tests {
     }
 
     #[test]
+    fn requeue_under_chip_loss_conserves_energy_accounting() {
+        // Price a real faulted run: a chip dies mid-flight, its in-flight
+        // wave is revoked (the work ran — the energy was burned) and its
+        // jobs requeue onto the survivor. The accounting identities must
+        // hold exactly as on the fault-free path: totals decompose into
+        // chips + link, each per-chip entry is the chip model over the
+        // shared makespan (the dead chip keeps paying static power to the
+        // end), and the faulted run never costs less than the healthy one.
+        use lac_sim::{
+            ChipConfig, ClusterConfig, ExtOp, FaultPlan, JobGraph, LacCluster, LacConfig,
+            ProgramBuilder, ProgramJob, Scheduler, Source,
+        };
+        // One external load + one MAC + idle padding: real FLOPs, so the
+        // per-core efficiency terms stay finite (NaN never compares equal).
+        let job = |extra: usize, cost: u64| {
+            let cfg = LacConfig::default();
+            let mut b = ProgramBuilder::new(cfg.nr);
+            let t = b.push_step();
+            b.ext(t, ExtOp::Load { col: 0, addr: 0 });
+            b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
+            let t = b.push_step();
+            b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
+            b.idle(cfg.fpu.pipeline_depth + extra);
+            let mut j = ProgramJob::new(b.build());
+            j.cost = cost;
+            j
+        };
+        let graph = || -> JobGraph<ProgramJob> {
+            let mut g = JobGraph::new();
+            for k in 0..6 {
+                let a = g.add(job(k, 4));
+                let b1 = g.add_after(job(k + 1, 2), &[a]);
+                g.add_after(job(k, 3), &[a, b1]);
+            }
+            g
+        };
+        let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(2, LacConfig::default()));
+        let mut healthy: LacCluster<ProgramJob> = LacCluster::new(cfg.clone());
+        let base = healthy
+            .run_graph(&graph(), Scheduler::CriticalPath)
+            .unwrap();
+        let mut faulty: LacCluster<ProgramJob> =
+            LacCluster::new(cfg).with_fault_plan(FaultPlan::new().kill(1, 1));
+        let run = faulty.run_graph(&graph(), Scheduler::CriticalPath).unwrap();
+        assert_eq!(run.outputs, base.outputs, "fault must not change bits");
+
+        let m = ClusterEnergyModel::lap_default();
+        for (name, stats) in [("healthy", &base.stats), ("faulted", &run.stats)] {
+            let e = m.summarize(stats);
+            assert!(
+                (e.total_nj - e.chips_nj - e.link_nj).abs() < 1e-9,
+                "{name}: totals must decompose"
+            );
+            for (chip, entry) in stats.per_chip.iter().zip(&e.per_chip) {
+                assert_eq!(
+                    entry,
+                    &m.chip.summarize_over(chip, stats.makespan_cycles),
+                    "{name}: cluster pricing diverged from the chip model"
+                );
+            }
+            let direct: f64 = e.per_chip.iter().map(|c| c.total_nj).sum();
+            assert!((e.chips_nj - direct).abs() < 1e-9, "{name}");
+        }
+        let healthy_e = m.summarize(&base.stats);
+        let faulted_e = m.summarize(&run.stats);
+        assert!(
+            faulted_e.total_nj >= healthy_e.total_nj,
+            "revoked work stays metered and the makespan only grows: \
+             {} nJ faulted vs {} nJ healthy",
+            faulted_e.total_nj,
+            healthy_e.total_nj
+        );
+    }
+
+    #[test]
     fn doubling_chips_roughly_doubles_energy_at_equal_work_each() {
         let m = ClusterEnergyModel::lap_default();
         let e2 = m.summarize(&cluster_stats(2, 10_000, 0));

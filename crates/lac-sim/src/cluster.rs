@@ -58,13 +58,15 @@
 //! interconnect's per-word and static link energy on top.
 
 use crate::chip::{ChipConfig, ChipJob, ChipStats, LacChip, Scheduler};
-use crate::error::SimError;
+use crate::error::{HazardKind, SimError};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::service::{
     admit, cap_banked_credit, collect_wave, critical_paths, drain_inflight, plan_wave,
     plan_wave_tenanted_slo, run_one, settle_round, Done, FusedPool, GraphCompletion, GraphTicket,
     JobGraph, JobId, PendingGraph, Rejected, TenantConfig, TenantDelta, TenantId, TenantSession,
 };
 use crate::stats::ExecStats;
+use crate::trace::{EventLog, TraceEvent};
 use std::sync::atomic::AtomicBool;
 
 /// Static configuration of a cluster: N chips plus the inter-chip link
@@ -350,10 +352,16 @@ pub struct ClusterRun<T> {
     /// for every core.
     pub idle_per_core: Vec<Vec<u64>>,
     /// Every cross-chip payload movement, in completion order. One entry
-    /// per cut edge, exactly.
+    /// per cut edge, exactly, on the fault-free path; a fault's requeue
+    /// may re-charge an edge to move a durable output to a job's new
+    /// home.
     pub transfers: Vec<Transfer>,
     /// Per-chip and cluster-wide meters.
     pub stats: ClusterStats,
+    /// The run's observability log: job spans, transfers, faults,
+    /// requeues and idle fast-forwards, on the run-relative simulated
+    /// clock (export with [`EventLog::to_chrome_trace`]).
+    pub events: EventLog,
 }
 
 /// Everything one multi-tenant cluster round produces: per-graph
@@ -380,6 +388,10 @@ pub struct ClusterRound<T> {
     pub transfers: Vec<Transfer>,
     /// Per-chip and cluster-wide meters.
     pub stats: ClusterStats,
+    /// The round's observability log, on the round-relative simulated
+    /// clock (the open-loop driver rebases and merges these — see
+    /// [`EventLog::shift`]).
+    pub events: EventLog,
 }
 
 /// Lifetime meters of a [`LacCluster`], accumulated across every
@@ -409,6 +421,150 @@ struct ClusterMultiRun<T> {
     transfers: Vec<Transfer>,
     stats: ClusterStats,
     per_tenant: Vec<TenantDelta>,
+    events: EventLog,
+}
+
+/// Apply every scheduled fault whose tick is due by `base + clock` (see
+/// [`FaultPlan`] for the fault model): mark the chip dead, revoke the
+/// jobs it completed in the wave that just retired (`wave_completed`),
+/// and requeue every uncompleted job it owned onto the surviving chips —
+/// least remaining load first (ties to the lower chip index), jobs in id
+/// order. A requeued job whose parent completed *in an earlier wave* on
+/// a different chip pays one fresh modeled transfer to move the parent's
+/// durable output to its new home; parents completing in the current
+/// wave charge their edge through the normal release path afterwards,
+/// against the updated placement, so no edge is ever double-charged.
+///
+/// Called at wave boundaries only (after a wave's collection, at the top
+/// of the loop after a fast-forward, and before the first wave), which
+/// is what keeps fault handling bit-deterministic. Errors with
+/// [`HazardKind::AllChipsDead`] when a kill leaves no survivor.
+#[allow(clippy::too_many_arguments)] // the fault's full requeue context
+fn apply_due_faults<T>(
+    cfg: &ClusterConfig,
+    faults: &[FaultEvent],
+    applied: &mut [bool],
+    dead: &mut [bool],
+    base: u64,
+    clock: u64,
+    chip_of: &mut [usize],
+    costs: &[u64],
+    transfer_words: &[u64],
+    parents: &[Vec<usize>],
+    completed_mask: &[bool],
+    assignment: &[(usize, usize)],
+    in_wave: &mut [bool],
+    outputs: &mut [Option<T>],
+    wave_completed: &mut Vec<usize>,
+    ready_at: &mut [u64],
+    transfers: &mut Vec<Transfer>,
+    transferred_words: &mut u64,
+    transfer_cycles: &mut u64,
+    wave_events_start: usize,
+    events: &mut EventLog,
+) -> Result<(), SimError> {
+    let n = costs.len();
+    let chips = dead.len();
+    for (i, f) in faults.iter().enumerate() {
+        if f.tick > base + clock {
+            break; // sorted by tick: nothing further is due
+        }
+        if applied[i] {
+            continue;
+        }
+        applied[i] = true;
+        if dead[f.chip] {
+            continue; // killing a dead chip is a no-op
+        }
+        dead[f.chip] = true;
+        events.push(TraceEvent::Fault {
+            chip: f.chip,
+            tick: clock,
+        });
+        if dead.iter().all(|&d| d) {
+            return Err(SimError {
+                cycle: (base + clock) as usize,
+                pe: None,
+                kind: HazardKind::AllChipsDead { chips },
+            });
+        }
+        // Revoke the dying chip's in-flight wave: the work ran (and
+        // stays metered — the energy was burned) but its outputs are
+        // discarded and its children are not released.
+        wave_completed.retain(|&j| {
+            if assignment[j].0 != f.chip {
+                return true;
+            }
+            outputs[j] = None;
+            // The planner leaves dispatched jobs in `pending` until the
+            // end-of-wave sweep removes the `in_wave` ones — clearing the
+            // flag keeps the revoked job queued without duplicating it.
+            in_wave[j] = false;
+            for ev in events.events_mut()[wave_events_start..].iter_mut() {
+                if let TraceEvent::Job { job, discarded, .. } = ev {
+                    if *job == j {
+                        *discarded = true;
+                    }
+                }
+            }
+            false
+        });
+        // Requeue every uncompleted job off the dead chip, balancing by
+        // remaining cost over the survivors.
+        let mut load = vec![0u64; chips];
+        for j in 0..n {
+            if outputs[j].is_none() && !dead[chip_of[j]] {
+                load[chip_of[j]] += costs[j].max(1);
+            }
+        }
+        for j in 0..n {
+            if chip_of[j] != f.chip || outputs[j].is_some() {
+                continue;
+            }
+            let target = (0..chips)
+                .filter(|&c| !dead[c])
+                .min_by_key(|&c| (load[c], c))
+                .expect("a survivor exists");
+            load[target] += costs[j].max(1);
+            chip_of[j] = target;
+            events.push(TraceEvent::Requeue {
+                job: j,
+                from_chip: f.chip,
+                to_chip: target,
+                tick: clock,
+            });
+            // Completed parents' outputs are durable (the coordinator's
+            // results store); moving one to the job's new home costs one
+            // fresh hop when they sit on different chips.
+            for &p in &parents[j] {
+                if completed_mask[p] && chip_of[p] != target {
+                    let words = transfer_words[p].max(1);
+                    let cycles = cfg.transfer_cycles(words);
+                    transfers.push(Transfer {
+                        parent: JobId::from_index(p),
+                        child: JobId::from_index(j),
+                        from_chip: chip_of[p],
+                        to_chip: target,
+                        words,
+                        cycles,
+                    });
+                    *transferred_words += words;
+                    *transfer_cycles += cycles;
+                    ready_at[j] = ready_at[j].max(clock + cycles);
+                    events.push(TraceEvent::Transfer {
+                        parent: p,
+                        child: j,
+                        from_chip: chip_of[p],
+                        to_chip: target,
+                        words,
+                        start: clock,
+                        end: clock + cycles,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// The deterministic cluster coordinator: per wave, plan each chip's
@@ -421,6 +577,13 @@ struct ClusterMultiRun<T> {
 /// transfer model, so runs are bit-identical across reruns and host
 /// interleavings; with one chip and no cut edges this is exactly the
 /// single-chip wave loop.
+///
+/// Fault injection: `faults` (kills on the session clock, `base` =
+/// session clock at run start) is honored at wave boundaries through
+/// [`apply_due_faults`] — `chip_of` and `dead` are updated in place as
+/// chips die and their jobs requeue. The run's [`EventLog`] records job
+/// spans, transfers, faults, requeues and idle fast-forwards, all on the
+/// run-relative simulated clock.
 #[allow(clippy::too_many_arguments)] // the coordinator's full context is the point
 fn drive_cluster<T>(
     cfg: &ClusterConfig,
@@ -428,7 +591,10 @@ fn drive_cluster<T>(
     transfer_words: &[u64],
     parents: &[Vec<usize>],
     children: &[Vec<usize>],
-    chip_of: &[usize],
+    chip_of: &mut [usize],
+    dead: &mut [bool],
+    faults: &[FaultEvent],
+    base: u64,
     tenant_of: &[usize],
     weights: &[u64],
     usage: &mut [u64],
@@ -462,6 +628,10 @@ fn drive_cluster<T>(
     let mut jobs_per_core = vec![0u64; total_cores];
     let mut idle_per_core = vec![0u64; total_cores];
     let mut per_tenant = vec![TenantDelta::default(); weights.len()];
+    let mut job_cycles = vec![0u64; n];
+    let mut in_wave = vec![false; n];
+    let mut completed_mask = vec![false; n];
+    let mut applied = vec![false; faults.len()];
     let mut transfers: Vec<Transfer> = Vec::new();
     let mut transferred_words = 0u64;
     let mut transfer_cycles = 0u64;
@@ -469,8 +639,37 @@ fn drive_cluster<T>(
     let mut clock = 0u64;
     let mut waves = 0usize;
     let mut wave_ends: Vec<u64> = Vec::new();
+    let mut events = EventLog::new();
 
     while !pending.is_empty() {
+        // Faults due before any wave runs (at run start, or during a
+        // fast-forward gap) fire here; nothing is in flight, so there is
+        // nothing to revoke.
+        let mut no_wave: Vec<usize> = Vec::new();
+        apply_due_faults(
+            cfg,
+            faults,
+            &mut applied,
+            dead,
+            base,
+            clock,
+            chip_of,
+            costs,
+            transfer_words,
+            parents,
+            &completed_mask,
+            &assignment,
+            &mut in_wave,
+            &mut outputs,
+            &mut no_wave,
+            &mut ready_at,
+            &mut transfers,
+            &mut transferred_words,
+            &mut transfer_cycles,
+            events.len(),
+            &mut events,
+        )?;
+
         let ready: Vec<usize> = pending
             .iter()
             .copied()
@@ -478,14 +677,26 @@ fn drive_cluster<T>(
             .collect();
         if ready.is_empty() {
             // Every pending job is waiting on an in-flight transfer:
-            // fast-forward to the earliest arrival. The whole cluster
-            // idles through the gap.
-            let next = pending.iter().map(|&j| ready_at[j]).min().unwrap();
+            // fast-forward to the earliest arrival — clamped to the next
+            // scheduled fault, so a kill falling inside the gap still
+            // fires at its own tick. The whole cluster idles through.
+            let next_ready = pending.iter().map(|&j| ready_at[j]).min().unwrap();
+            let next_fault = faults
+                .iter()
+                .zip(applied.iter())
+                .filter(|(f, &a)| !a && !dead[f.chip] && f.tick > base + clock)
+                .map(|(f, _)| f.tick - base)
+                .min();
+            let next = next_fault.map_or(next_ready, |ft| next_ready.min(ft));
             let gap = next - clock;
             for idle in idle_per_core.iter_mut() {
                 *idle += gap;
             }
             transfer_stall_cycles += gap;
+            events.push(TraceEvent::IdleFastForward {
+                start: clock,
+                end: next,
+            });
             clock = next;
             continue;
         }
@@ -493,9 +704,13 @@ fn drive_cluster<T>(
         // Plan chip by chip in chip order; FairShare usage is charged as
         // each chip's buckets are fixed, so later chips see earlier
         // chips' picks — one global deficit account, deterministically.
-        let mut in_wave = vec![false; n];
+        in_wave.iter_mut().for_each(|w| *w = false);
+        let mut by_core: Vec<Vec<usize>> = vec![Vec::new(); total_cores];
         let mut dispatched = 0usize;
         for chip in 0..chips {
+            if dead[chip] {
+                continue; // requeue keeps dead chips out of chip_of too
+            }
             let chip_ready: Vec<usize> = ready
                 .iter()
                 .copied()
@@ -524,6 +739,7 @@ fn drive_cluster<T>(
                     wave_of[j] = waves;
                     in_wave[j] = true;
                     dispatch_slot[j] = (g, pos);
+                    by_core[g].push(j);
                     let t = tenant_of[j];
                     per_tenant[t].wait_cycles += clock - ready_at[j];
                     per_tenant[t].cost_dispatched += costs[j].max(1);
@@ -534,6 +750,7 @@ fn drive_cluster<T>(
             }
         }
         waves += 1;
+        let wave_start = clock;
 
         let mut wave_cycles = vec![0u64; total_cores];
         // Same failure and metering semantics as `drive_multi`, by
@@ -549,6 +766,7 @@ fn drive_cluster<T>(
             &mut jobs_per_core,
             &mut per_tenant,
             &mut outputs,
+            &mut job_cycles,
         )?;
 
         let span = wave_cycles.iter().copied().max().unwrap_or(0);
@@ -558,11 +776,60 @@ fn drive_cluster<T>(
         clock += span;
         wave_ends.push(clock);
 
+        // Log the wave's job spans: a core runs its bucket in position
+        // order, so starts are prefix sums of the per-job busy cycles.
+        let wave_events_start = events.len();
+        for bucket in &by_core {
+            let mut t = wave_start;
+            for &j in bucket {
+                let (chip, core) = assignment[j];
+                events.push(TraceEvent::Job {
+                    job: j,
+                    tenant: tenant_of[j],
+                    chip,
+                    core,
+                    start: t,
+                    end: t + job_cycles[j],
+                    discarded: false,
+                });
+                t += job_cycles[j];
+            }
+        }
+
+        // A kill whose tick fell inside this wave fires now, at the
+        // boundary: it discards the dying chip's slice of the wave and
+        // requeues its jobs before any child is released.
+        apply_due_faults(
+            cfg,
+            faults,
+            &mut applied,
+            dead,
+            base,
+            clock,
+            chip_of,
+            costs,
+            transfer_words,
+            parents,
+            &completed_mask,
+            &assignment,
+            &mut in_wave,
+            &mut outputs,
+            &mut completed,
+            &mut ready_at,
+            &mut transfers,
+            &mut transferred_words,
+            &mut transfer_cycles,
+            wave_events_start,
+            &mut events,
+        )?;
+
         // Release children; a cross-chip edge delays the child by the
         // modeled transfer and records the charge (exactly once per cut
-        // edge — a parent completes exactly once).
+        // edge on the fault-free path — a parent completes exactly once;
+        // requeues may re-charge an edge to the child's new home).
         completed.sort_unstable();
         for &j in &completed {
+            completed_mask[j] = true;
             for &child in &children[j] {
                 let arrival = if chip_of[child] != chip_of[j] {
                     let words = transfer_words[j].max(1);
@@ -577,6 +844,15 @@ fn drive_cluster<T>(
                     });
                     transferred_words += words;
                     transfer_cycles += cycles;
+                    events.push(TraceEvent::Transfer {
+                        parent: j,
+                        child,
+                        from_chip: chip_of[j],
+                        to_chip: chip_of[child],
+                        words,
+                        start: clock,
+                        end: clock + cycles,
+                    });
                     clock + cycles
                 } else {
                     clock
@@ -589,7 +865,8 @@ fn drive_cluster<T>(
             }
         }
         // Undispatched ready jobs (the quantum-capped policy's backlog)
-        // stay pending; newly released children joined them above.
+        // stay pending; newly released children and fault-revoked jobs
+        // joined them above (revocation clears `in_wave`).
         pending.retain(|&j| !in_wave[j]);
         pending.sort_unstable();
     }
@@ -639,6 +916,7 @@ fn drive_cluster<T>(
             aggregate,
         },
         per_tenant,
+        events,
     })
 }
 
@@ -681,6 +959,8 @@ pub struct LacCluster<J: ChipJob> {
     pending: Vec<PendingGraph<J>>,
     next_seq: u64,
     session: ClusterSession,
+    fault_plan: FaultPlan,
+    dead: Vec<bool>,
 }
 
 impl<J: ChipJob> LacCluster<J> {
@@ -689,7 +969,8 @@ impl<J: ChipJob> LacCluster<J> {
     /// default [`Partitioner::CostBins`].
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(!cfg.chips.is_empty(), "a cluster has at least one chip");
-        let chips = cfg.chips.iter().map(|&c| LacChip::new(c)).collect();
+        let chips: Vec<LacChip> = cfg.chips.iter().map(|&c| LacChip::new(c)).collect();
+        let dead = vec![false; chips.len()];
         Self {
             cfg,
             partitioner: Partitioner::CostBins,
@@ -698,6 +979,8 @@ impl<J: ChipJob> LacCluster<J> {
             pending: Vec::new(),
             next_seq: 0,
             session: ClusterSession::default(),
+            fault_plan: FaultPlan::new(),
+            dead,
         }
     }
 
@@ -705,6 +988,78 @@ impl<J: ChipJob> LacCluster<J> {
     pub fn with_partitioner(mut self, p: Partitioner) -> Self {
         self.partitioner = p;
         self
+    }
+
+    /// Install a fault-injection schedule, builder-style (see
+    /// [`LacCluster::inject_faults`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inject_faults(plan);
+        self
+    }
+
+    /// Merge `plan`'s scheduled kills into the cluster's fault plan.
+    /// Ticks are on the session clock ([`ClusterSession::clock_cycles`]);
+    /// each kill fires at the first wave boundary at or after its tick
+    /// and persists — a dead chip stays dead across rounds. See
+    /// [`FaultPlan`] for the full fault model.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        for k in plan.kills() {
+            assert!(
+                k.chip < self.chips.len(),
+                "fault plan kills chip {} of a {}-chip cluster",
+                k.chip,
+                self.chips.len()
+            );
+        }
+        self.fault_plan.merge(plan);
+    }
+
+    /// The installed fault schedule (applied kills included).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Which chips have died so far, by chip index.
+    pub fn dead_chips(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Chips still alive (new rounds are partitioned over these only).
+    pub fn alive_chips(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+
+    /// Partition over the *alive* chips only, then remap onto real chip
+    /// indices — a dead chip never receives new work. Errors with
+    /// [`HazardKind::AllChipsDead`] when no chip survives.
+    fn partition_alive(
+        &self,
+        costs: &[u64],
+        parents: &[Vec<usize>],
+    ) -> Result<Partition, SimError> {
+        let chips = self.chips.len();
+        let alive: Vec<usize> = (0..chips).filter(|&c| !self.dead[c]).collect();
+        if alive.is_empty() {
+            return Err(SimError {
+                cycle: self.session.clock_cycles as usize,
+                pe: None,
+                kind: HazardKind::AllChipsDead { chips },
+            });
+        }
+        let part = partition_costs(self.partitioner, costs, parents, alive.len());
+        if alive.len() == chips {
+            return Ok(part);
+        }
+        let chip_of: Vec<usize> = part.chip_of.iter().map(|&c| alive[c]).collect();
+        let mut chip_cost = vec![0u64; chips];
+        for (i, &cost) in part.chip_cost.iter().enumerate() {
+            chip_cost[alive[i]] = cost;
+        }
+        Ok(Partition {
+            chip_of,
+            cut_edges: part.cut_edges,
+            chip_cost,
+        })
     }
 
     /// The cluster's static configuration.
@@ -755,21 +1110,20 @@ impl<J: ChipJob> LacCluster<J> {
     ) -> Result<ClusterRun<J::Output>, SimError> {
         let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint()).collect();
         let transfer_words: Vec<u64> = graph.jobs.iter().map(|j| j.transfer_words()).collect();
-        let partition = partition_costs(
-            self.partitioner,
+        let partition = self.partition_alive(
             &costs.iter().map(|&c| c.max(1)).collect::<Vec<_>>(),
             &graph.parents,
-            self.chips.len(),
-        );
+        )?;
         let tenant_of = vec![0usize; costs.len()];
         let mut usage = [0u64];
+        let mut chip_of = partition.chip_of.clone();
         let run = self.run_scoped(
             |job| &graph.jobs[job],
             &costs,
             &transfer_words,
             &graph.parents,
             &graph.children,
-            &partition.chip_of,
+            &mut chip_of,
             &tenant_of,
             &[1],
             &mut usage,
@@ -790,6 +1144,7 @@ impl<J: ChipJob> LacCluster<J> {
             idle_per_core: run.idle_per_core,
             transfers: run.transfers,
             stats: run.stats,
+            events: run.events,
         })
     }
 
@@ -905,20 +1260,26 @@ impl<J: ChipJob> LacCluster<J> {
                     transfer_stall_cycles: 0,
                     aggregate: ExecStats::default(),
                 },
+                events: EventLog::new(),
             });
         }
 
         let pool = FusedPool::new(pending);
-        let partition = partition_costs(
-            self.partitioner,
+        let partition = match self.partition_alive(
             &pool.costs.iter().map(|&c| c.max(1)).collect::<Vec<_>>(),
             &pool.parents,
-            chips,
-        );
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                drain_inflight(&mut self.tenants, &pool);
+                return Err(e);
+            }
+        };
         let weights: Vec<u64> = self.tenants.iter().map(|(c, _)| c.weight.max(1)).collect();
         let mut usage: Vec<u64> = self.tenants.iter().map(|(_, s)| s.cost_completed).collect();
         cap_banked_credit(&mut usage, &weights, &pool.backlog(self.tenants.len()));
 
+        let mut chip_of = partition.chip_of.clone();
         let run = self.run_scoped(
             |job| {
                 let (g, local) = pool.owner[job];
@@ -928,7 +1289,7 @@ impl<J: ChipJob> LacCluster<J> {
             &pool.transfer_words,
             &pool.parents,
             &pool.children,
-            &partition.chip_of,
+            &mut chip_of,
             &pool.tenant_of,
             &weights,
             &mut usage,
@@ -968,13 +1329,16 @@ impl<J: ChipJob> LacCluster<J> {
             wave_end_cycles: run.wave_ends,
             transfers: run.transfers,
             stats: run.stats,
+            events: run.events,
         })
     }
 
     /// Spawn one scoped worker per core per chip and drive the fused job
     /// pool through [`drive_cluster`]. `job_of` resolves a pool index to
     /// the job to run (identity for [`LacCluster::run_graph`], the owner
-    /// map for rounds).
+    /// map for rounds). `chip_of` is mutable because a fault requeues
+    /// jobs off the dead chip in place; chips killed during the run stay
+    /// marked in `self.dead` for every later round.
     #[allow(clippy::too_many_arguments)] // mirrors the coordinator it feeds
     fn run_scoped<'j>(
         &mut self,
@@ -983,7 +1347,7 @@ impl<J: ChipJob> LacCluster<J> {
         transfer_words: &[u64],
         parents: &[Vec<usize>],
         children: &[Vec<usize>],
-        chip_of: &[usize],
+        chip_of: &mut [usize],
         tenant_of: &[usize],
         weights: &[u64],
         usage: &mut [u64],
@@ -993,12 +1357,16 @@ impl<J: ChipJob> LacCluster<J> {
     where
         J: 'j,
     {
+        let faults: Vec<FaultEvent> = self.fault_plan.kills().to_vec();
+        let base = self.session.clock_cycles;
         let cfg = &self.cfg;
+        let chips = &mut self.chips;
+        let dead = &mut self.dead;
         let abort = AtomicBool::new(false);
         std::thread::scope(|scope| {
             let (done_tx, done_rx) = std::sync::mpsc::channel::<Done<J::Output>>();
             let mut txs = Vec::with_capacity(cfg.total_cores());
-            for chip in self.chips.iter_mut() {
+            for chip in chips.iter_mut() {
                 for eng in chip.shards_mut().iter_mut() {
                     let core = txs.len();
                     let (tx, rx) = std::sync::mpsc::channel::<usize>();
@@ -1023,6 +1391,9 @@ impl<J: ChipJob> LacCluster<J> {
                 parents,
                 children,
                 chip_of,
+                dead,
+                &faults,
+                base,
                 tenant_of,
                 weights,
                 usage,
@@ -1287,5 +1658,139 @@ mod tests {
         let run = cluster.run_graph(&diamonds(2), Scheduler::Fifo).unwrap();
         assert_eq!(run.outputs.len(), 8);
         assert_eq!(cluster.session().graphs_run, 1);
+    }
+
+    #[test]
+    fn chip_loss_preserves_output_bits() {
+        use crate::fault::FaultPlan;
+        let cfg = ClusterConfig::homogeneous(3, ChipConfig::new(2, LacConfig::default()));
+        let mut healthy: LacCluster<ProgramJob> = LacCluster::new(cfg.clone());
+        let baseline = healthy
+            .run_graph(&diamonds(6), Scheduler::CriticalPath)
+            .unwrap();
+
+        let mut faulty: LacCluster<ProgramJob> =
+            LacCluster::new(cfg).with_fault_plan(FaultPlan::new().kill(1, 1));
+        let run = faulty
+            .run_graph(&diamonds(6), Scheduler::CriticalPath)
+            .unwrap();
+        assert_eq!(
+            run.outputs, baseline.outputs,
+            "chip loss must never change output bits"
+        );
+        assert!(
+            run.stats.makespan_cycles >= baseline.stats.makespan_cycles,
+            "losing a chip cannot speed the run up"
+        );
+        assert!(faulty.dead_chips()[1]);
+        assert_eq!(faulty.alive_chips(), 2);
+        // The log tells the story: exactly one fault, at least one requeue,
+        // and no job ever lands on the dead chip after its fault tick.
+        let ev = run.events.events();
+        let fault_tick = ev
+            .iter()
+            .find_map(|e| match *e {
+                TraceEvent::Fault { chip, tick } => {
+                    assert_eq!(chip, 1);
+                    Some(tick)
+                }
+                _ => None,
+            })
+            .expect("fault recorded");
+        assert_eq!(
+            run.events.count(|e| matches!(e, TraceEvent::Fault { .. })),
+            1
+        );
+        assert!(
+            run.events
+                .count(|e| matches!(e, TraceEvent::Requeue { .. }))
+                > 0
+        );
+        for e in ev {
+            if let TraceEvent::Job {
+                chip,
+                start,
+                discarded,
+                ..
+            } = *e
+            {
+                if chip == 1 && !discarded {
+                    assert!(start < fault_tick, "dead chip ran a job after dying");
+                }
+            }
+        }
+        // A later run still works, on survivors only.
+        let run2 = faulty
+            .run_graph(&diamonds(6), Scheduler::CriticalPath)
+            .unwrap();
+        assert_eq!(run2.outputs, baseline.outputs);
+        assert!(run2.events.count(|e| matches!(e, TraceEvent::Fault { .. })) == 0);
+        for &(chip, _) in &run2.assignment {
+            assert_ne!(chip, 1, "dead chip must not receive new work");
+        }
+    }
+
+    #[test]
+    fn exactly_once_and_metering_under_chip_loss() {
+        use crate::fault::FaultPlan;
+        let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(2, LacConfig::default()));
+        let mut cluster: LacCluster<ProgramJob> =
+            LacCluster::new(cfg).with_fault_plan(FaultPlan::new().kill(0, 1));
+        let run = cluster
+            .run_graph(&diamonds(5), Scheduler::CriticalPath)
+            .unwrap();
+        // Exactly once: every job has exactly one non-discarded Job event.
+        let n = 5 * 4;
+        let mut runs = vec![0usize; n];
+        let mut discarded = vec![0usize; n];
+        for e in run.events.events() {
+            if let TraceEvent::Job {
+                job, discarded: d, ..
+            } = *e
+            {
+                if d {
+                    discarded[job] += 1;
+                } else {
+                    runs[job] += 1;
+                }
+            }
+        }
+        assert!(
+            runs.iter().all(|&r| r == 1),
+            "each job retires exactly once"
+        );
+        assert!(
+            discarded.iter().sum::<usize>() > 0,
+            "the kill at tick 1 lands mid-wave and revokes work"
+        );
+        // Revoked work stays metered: per-core busy + idle still
+        // reconstructs the makespan on every core, dead or alive.
+        for chip in 0..2 {
+            for core in 0..run.idle_per_core[chip].len() {
+                assert_eq!(
+                    run.stats.per_chip[chip].per_core[core].cycles + run.idle_per_core[chip][core],
+                    run.stats.makespan_cycles,
+                    "chip {chip} core {core}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn killing_every_chip_is_a_hard_error() {
+        use crate::error::HazardKind;
+        use crate::fault::FaultPlan;
+        let cfg = ClusterConfig::homogeneous(2, ChipConfig::new(1, LacConfig::default()));
+        let mut cluster: LacCluster<ProgramJob> =
+            LacCluster::new(cfg).with_fault_plan(FaultPlan::new().kill(0, 0).kill(1, 0));
+        let err = cluster
+            .run_graph(&diamonds(2), Scheduler::Fifo)
+            .unwrap_err();
+        assert_eq!(err.kind, HazardKind::AllChipsDead { chips: 2 });
+        // With both chips dead, even a fresh graph cannot be placed.
+        let err2 = cluster
+            .run_graph(&diamonds(1), Scheduler::Fifo)
+            .unwrap_err();
+        assert_eq!(err2.kind, HazardKind::AllChipsDead { chips: 2 });
     }
 }

@@ -89,6 +89,14 @@ pub enum HazardKind {
     },
     /// Bus-to-bus forwarding in a single cycle is not implementable.
     BusToBusSameCycle,
+    /// A fault plan killed every chip in the cluster: no survivor is
+    /// left to requeue in-flight work onto (see
+    /// `lac_sim::FaultPlan`). `cycle` carries the session-clock tick the
+    /// last chip died at.
+    AllChipsDead {
+        /// Total chips in the cluster — all of them dead.
+        chips: usize,
+    },
 }
 
 impl fmt::Display for SimError {

@@ -28,10 +28,12 @@ pub mod config;
 pub mod core;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod isa;
 pub mod lap;
 pub mod service;
 pub mod stats;
+pub mod trace;
 
 pub use crate::core::{ExternalMem, Lac};
 pub use chip::{ChipConfig, ChipJob, ChipStats, LacChip, ProgramJob, Scheduler};
@@ -42,6 +44,7 @@ pub use cluster::{
 pub use config::LacConfig;
 pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan};
 pub use isa::{CmpUpdate, ExtOp, PeInstr, Program, ProgramBuilder, Source, Step};
 pub use lap::{Lap, LapRunSummary};
 pub use service::{
@@ -50,3 +53,4 @@ pub use service::{
     TenantSession,
 };
 pub use stats::ExecStats;
+pub use trace::{EventLog, TraceEvent};

@@ -488,6 +488,11 @@ pub(crate) struct MultiRun<T> {
 /// chip/service coordinator ([`drive_multi`]) and the cluster coordinator
 /// (`crate::cluster`), so failure and metering semantics can never drift
 /// between deployment layers.
+///
+/// `job_cycles[j]` receives job `j`'s own busy cycles on completion —
+/// the per-job span the cluster coordinator's event log reconstructs
+/// start/end ticks from (a core runs its bucket in position order, so a
+/// job's start is the wave's start plus its bucket predecessors' spans).
 #[allow(clippy::too_many_arguments)] // the wave's full accounting context
 pub(crate) fn collect_wave<T>(
     dispatched: usize,
@@ -499,6 +504,7 @@ pub(crate) fn collect_wave<T>(
     jobs_per_core: &mut [u64],
     per_tenant: &mut [TenantDelta],
     outputs: &mut [Option<T>],
+    job_cycles: &mut [u64],
 ) -> Result<Vec<usize>, SimError> {
     let mut completed: Vec<usize> = Vec::with_capacity(dispatched);
     let mut first_err: Option<((usize, usize), SimError)> = None;
@@ -508,6 +514,7 @@ pub(crate) fn collect_wave<T>(
         let slot = dispatch_slot[done.job];
         match done.outcome {
             JobOutcome::Completed(out, delta) => {
+                job_cycles[done.job] = delta.cycles;
                 wave_cycles[done.core] += delta.cycles;
                 per_core[done.core].merge(&delta);
                 jobs_per_core[done.core] += 1;
@@ -583,6 +590,7 @@ pub(crate) fn drive_multi<T>(
     let mut jobs_per_core = vec![0u64; cores];
     let mut idle_per_core = vec![0u64; cores];
     let mut per_tenant = vec![TenantDelta::default(); weights.len()];
+    let mut job_cycles = vec![0u64; n];
     let mut makespan = 0u64;
     let mut waves = 0usize;
     let mut wave_ends: Vec<u64> = Vec::new();
@@ -626,6 +634,7 @@ pub(crate) fn drive_multi<T>(
             &mut jobs_per_core,
             &mut per_tenant,
             &mut outputs,
+            &mut job_cycles,
         )?;
 
         let span = wave_cycles.iter().copied().max().unwrap_or(0);

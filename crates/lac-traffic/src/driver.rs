@@ -29,15 +29,80 @@
 //! hints, so a whole open-loop run is bit-identical across reruns — and
 //! its *outputs* are bit-identical across scheduler policies and
 //! backends too (scheduling moves latencies, never results).
+//!
+//! Failures are typed, never panics: a graph that can *never* fit its
+//! tenant's admission budget surfaces as
+//! [`OpenLoopError::AdmissionDeadlock`], and a backend that hands back a
+//! truncated wave clock (violating the [`OpenLoopBackend::run_boosted`]
+//! contract) surfaces as [`OpenLoopError::TruncatedWaveClock`] instead of
+//! silently mis-accounting sojourns.
 
 use crate::hist::LatencyHistogram;
 use crate::trace::{Arrival, ArrivalTrace};
 use lac_sim::chip::ChipJob;
 use lac_sim::{
-    ClusterRound, GraphCompletion, GraphTicket, JobGraph, LacCluster, LacService, Rejected,
-    Scheduler, ServiceRound, SimError, TenantId,
+    ClusterRound, EventLog, GraphCompletion, GraphTicket, JobGraph, LacCluster, LacService,
+    Rejected, Scheduler, ServiceRound, SimError, TenantId, TraceEvent,
 };
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Why an open-loop replay stopped early.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpenLoopError {
+    /// The backend failed a serving round (a hard simulation hazard).
+    Sim(SimError),
+    /// Admission wedged permanently: every due graph bounced with nothing
+    /// in flight, so no budget can ever drain. The classic trigger is a
+    /// graph whose cost alone exceeds its tenant's admission budget.
+    AdmissionDeadlock {
+        /// Bounced submissions stuck in the retry queue.
+        bounced: usize,
+    },
+    /// A round's `wave_end_cycles` was shorter than the waves its
+    /// completions reference — the backend broke the
+    /// [`OpenLoopBackend::run_boosted`] contract, and sojourns could not
+    /// be accounted.
+    TruncatedWaveClock {
+        /// The wave index a completion pointed at.
+        last_wave: usize,
+        /// Entries the round's wave clock actually had.
+        waves: usize,
+    },
+}
+
+impl fmt::Display for OpenLoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenLoopError::Sim(e) => write!(f, "serving round failed: {e}"),
+            OpenLoopError::AdmissionDeadlock { bounced } => write!(
+                f,
+                "open-loop deadlock: a graph's cost alone exceeds its tenant's \
+                 admission budget ({bounced} bounced, nothing in flight)"
+            ),
+            OpenLoopError::TruncatedWaveClock { last_wave, waves } => write!(
+                f,
+                "backend returned a truncated wave clock: completion in wave \
+                 {last_wave} but only {waves} wave-end entries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OpenLoopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpenLoopError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for OpenLoopError {
+    fn from(e: SimError) -> Self {
+        OpenLoopError::Sim(e)
+    }
+}
 
 /// What one serving round hands back to the driver: per-graph completions
 /// plus the wave-end clocks that anchor sojourn accounting. The common
@@ -49,6 +114,10 @@ pub struct RoundOutcome<T> {
     /// Simulated clock at the end of each wave, relative to the round's
     /// start.
     pub wave_end_cycles: Vec<u64>,
+    /// The round's event log, on the round-relative clock (empty for
+    /// backends that don't trace). The driver rebases it onto the session
+    /// clock and merges it into [`OpenLoopReport::events`].
+    pub events: EventLog,
 }
 
 /// A serving backend the open-loop driver can feed: the multi-tenant
@@ -63,6 +132,13 @@ pub trait OpenLoopBackend<J: ChipJob> {
     /// Run every admitted graph in one round under `sched` with the
     /// per-tenant SLO boost (indexed by tenant id; `u64::MAX` =
     /// unboosted).
+    ///
+    /// Contract: on success, `wave_end_cycles` must have one entry per
+    /// wave of the round, and every completion's `wave_of` entries must
+    /// index into it — the driver anchors sojourn accounting on
+    /// `wave_end_cycles[last_wave]` and errors with
+    /// [`OpenLoopError::TruncatedWaveClock`] on a violation rather than
+    /// fabricating a completion tick.
     fn run_boosted(
         &mut self,
         sched: Scheduler,
@@ -92,6 +168,7 @@ impl<J: ChipJob + 'static> OpenLoopBackend<J> for LacService<J> {
         Ok(RoundOutcome {
             completions: round.graphs,
             wave_end_cycles: round.wave_end_cycles,
+            events: EventLog::new(),
         })
     }
 
@@ -126,6 +203,7 @@ impl<J: ChipJob> OpenLoopBackend<J> for LacCluster<J> {
         Ok(RoundOutcome {
             completions: round.graphs,
             wave_end_cycles: round.wave_end_cycles,
+            events: round.events,
         })
     }
 
@@ -155,6 +233,16 @@ pub struct OpenLoopConfig {
     /// Feed deadline slack to the planner ([`lac_sim::plan_wave_tenanted_slo`]).
     /// Off = plain fair share; deadlines still meter misses either way.
     pub slo_boost: bool,
+    /// Bound head-of-line blocking: stop admitting into a round once its
+    /// admitted cost reaches this quantum (deferred work leads the next
+    /// round, still in arrival order). Rounds run to completion, so a
+    /// huge backlog admitted at once makes every rider wait for the
+    /// slowest; a quantum trades a little throughput for shorter rounds
+    /// and a flatter tail. At least one graph is always admitted into an
+    /// empty round, so a quantum can never deadlock the replay. `None`
+    /// (the default) admits everything due — bit-identical to the
+    /// pre-quantum driver. Output bits never change either way.
+    pub max_round_cost: Option<u64>,
 }
 
 impl Default for OpenLoopConfig {
@@ -162,6 +250,7 @@ impl Default for OpenLoopConfig {
         Self {
             sched: Scheduler::FairShare,
             slo_boost: true,
+            max_round_cost: None,
         }
     }
 }
@@ -202,6 +291,13 @@ pub struct OpenLoopReport<T> {
     pub rounds: u64,
     /// Backend clock when the last request completed (absolute).
     pub final_clock: u64,
+    /// The replay's merged event log on the backend's session clock:
+    /// each round's log rebased by the round's start tick, plus the
+    /// driver's own idle fast-forwards. Empty events between rounds mean
+    /// the backend doesn't trace (the single-chip [`LacService`]);
+    /// cluster backends record job spans, transfers, faults and
+    /// requeues. Export with [`lac_sim::EventLog::to_chrome_trace`].
+    pub events: EventLog,
 }
 
 /// Replay `trace` against `backend`: `tenants[s]` is the registered
@@ -212,17 +308,18 @@ pub struct OpenLoopReport<T> {
 /// Runs until every arrival is served. A graph bounced by admission
 /// backpressure retries, in arrival order, before newer work each round;
 /// if a bounced graph can never fit (its cost alone exceeds the tenant's
-/// budget with nothing in flight), the driver panics rather than spin.
-/// The replay is a pure function of `(trace, tenant configs, cfg, cost
-/// hints)`: reruns are bit-identical, and output bits are additionally
-/// identical across policies and backends.
+/// budget with nothing in flight), the driver returns
+/// [`OpenLoopError::AdmissionDeadlock`] rather than spin. The replay is a
+/// pure function of `(trace, tenant configs, cfg, cost hints)`: reruns
+/// are bit-identical, and output bits are additionally identical across
+/// policies, backends and [`OpenLoopConfig::max_round_cost`] settings.
 pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
     backend: &mut B,
     trace: &ArrivalTrace,
     tenants: &[TenantId],
     mut make_graph: impl FnMut(&Arrival) -> JobGraph<J>,
     cfg: OpenLoopConfig,
-) -> Result<OpenLoopReport<J::Output>, SimError> {
+) -> Result<OpenLoopReport<J::Output>, OpenLoopError> {
     assert_eq!(
         tenants.len(),
         trace.streams(),
@@ -248,6 +345,7 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
     let mut bounced: VecDeque<(usize, JobGraph<J>)> = VecDeque::new();
     let mut next = 0usize;
     let mut rounds = 0u64;
+    let mut events = EventLog::new();
 
     while next < arrivals.len() || !bounced.is_empty() || !inflight.is_empty() {
         let clock = backend.clock();
@@ -257,14 +355,33 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
             let due = base + arrivals[next].tick;
             if due > clock {
                 backend.advance_idle(due - clock);
+                events.push(TraceEvent::IdleFastForward {
+                    start: clock,
+                    end: due,
+                });
                 continue;
             }
         }
 
+        // The round's admitted-cost quantum: once `max_round_cost` is
+        // reached (and something is in flight — at least one graph always
+        // enters an empty round, the no-deadlock guarantee), further work
+        // defers to the next round, still in arrival order.
+        let mut round_cost = 0u64;
+        let quantum_full = |round_cost: u64, inflight: &BTreeMap<u64, usize>| {
+            cfg.max_round_cost.is_some_and(|q| round_cost >= q) && !inflight.is_empty()
+        };
+
         // Retry bounced graphs first (their budgets may have drained).
         while let Some((pos, graph)) = bounced.pop_front() {
+            if quantum_full(round_cost, &inflight) {
+                bounced.push_front((pos, graph));
+                break;
+            }
+            let cost = graph.total_cost();
             match backend.enqueue(tenants[arrivals[pos].tenant], graph) {
                 Ok(ticket) => {
+                    round_cost += cost;
                     inflight.insert(ticket.seq, pos);
                 }
                 Err(r) => {
@@ -273,12 +390,19 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
                 }
             }
         }
-        // Admit everything due by now, in arrival order.
-        while next < arrivals.len() && base + arrivals[next].tick <= clock {
+        // Admit everything due by now, in arrival order (bounced work
+        // above keeps its head start).
+        while next < arrivals.len()
+            && base + arrivals[next].tick <= clock
+            && bounced.is_empty()
+            && !quantum_full(round_cost, &inflight)
+        {
             let a = &arrivals[next];
             let graph = make_graph(a);
+            let cost = graph.total_cost();
             match backend.enqueue(tenants[a.tenant], graph) {
                 Ok(ticket) => {
+                    round_cost += cost;
                     inflight.insert(ticket.seq, next);
                 }
                 Err(r) => bounced.push_back((next, r.graph)),
@@ -287,14 +411,14 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
         }
 
         if inflight.is_empty() {
-            // Nothing admitted: every due graph bounced. With nothing in
-            // flight the budgets cannot drain further — this is permanent.
-            assert!(
-                bounced.is_empty(),
-                "open-loop deadlock: a graph's cost alone exceeds its tenant's \
-                 admission budget ({} bounced, nothing in flight)",
-                bounced.len()
-            );
+            if !bounced.is_empty() {
+                // Nothing admitted and every due graph bounced. With
+                // nothing in flight the budgets cannot drain further —
+                // this is permanent, not backpressure.
+                return Err(OpenLoopError::AdmissionDeadlock {
+                    bounced: bounced.len(),
+                });
+            }
             continue; // no arrivals were due yet; fast-forward next pass
         }
 
@@ -314,13 +438,22 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
 
         let outcome = backend.run_boosted(cfg.sched, &boost)?;
         rounds += 1;
+        let mut round_events = outcome.events;
+        round_events.shift(clock);
+        events.extend(round_events);
         for completion in outcome.completions {
             let pos = inflight
                 .remove(&completion.ticket.seq)
                 .expect("round completed a graph the driver never admitted");
             let a = arrivals[pos];
             let last_wave = completion.wave_of.iter().copied().max().unwrap_or(0);
-            let done = clock + outcome.wave_end_cycles.get(last_wave).copied().unwrap_or(0);
+            let done = clock
+                + outcome.wave_end_cycles.get(last_wave).copied().ok_or(
+                    OpenLoopError::TruncatedWaveClock {
+                        last_wave,
+                        waves: outcome.wave_end_cycles.len(),
+                    },
+                )?;
             let sojourn = done - (base + a.tick);
             let meters = &mut per_tenant[a.tenant];
             meters.hist.record(sojourn);
@@ -341,6 +474,7 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
         per_tenant,
         rounds,
         final_clock: backend.clock(),
+        events,
     })
 }
 
@@ -480,5 +614,188 @@ mod tests {
             svc.tenant_session(ids[0]).graphs_rejected > 0,
             "backpressure engaged"
         );
+    }
+
+    #[test]
+    fn bounced_work_is_served_in_arrival_order() {
+        // Same setup as above: a budget that fits one request at a time
+        // forces every burst through the bounce-retry path. Requests of a
+        // stream must still complete in arrival order — a newer arrival
+        // never overtakes an older bounced one.
+        let trace = ArrivalTrace::generate(
+            3,
+            8_000,
+            &[ArrivalProcess::OnOff {
+                mean_gap_on: 10.0,
+                mean_burst: 10.0,
+                mean_gap_off: 1_000.0,
+            }],
+        );
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        let ids = vec![svc.add_tenant(TenantConfig::new("tight").with_admission_budget(100))];
+        let report =
+            run_open_loop(&mut svc, &trace, &ids, request, OpenLoopConfig::default()).unwrap();
+        let indices: Vec<u64> = report.completed.iter().map(|c| c.arrival.index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted, "a newer arrival overtook a bounced one");
+    }
+
+    #[test]
+    fn impossible_graph_is_a_typed_deadlock_not_a_panic() {
+        let trace =
+            ArrivalTrace::generate(7, 2_000, &[ArrivalProcess::Poisson { mean_gap: 500.0 }]);
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        // Budget 50 can never admit a cost-70 request, even empty.
+        let ids = vec![svc.add_tenant(TenantConfig::new("starved").with_admission_budget(50))];
+        let err =
+            run_open_loop(&mut svc, &trace, &ids, request, OpenLoopConfig::default()).unwrap_err();
+        match err {
+            OpenLoopError::AdmissionDeadlock { bounced } => assert!(bounced >= 1),
+            other => panic!("expected AdmissionDeadlock, got {other:?}"),
+        }
+        // The error carries a readable message and chains nothing.
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    /// A backend that delegates to [`LacService`] but drops the last
+    /// wave-end entry — modeling a backend that violates the
+    /// [`OpenLoopBackend::run_boosted`] wave-clock contract.
+    struct TruncatingBackend(LacService<ProgramJob>);
+
+    impl OpenLoopBackend<ProgramJob> for TruncatingBackend {
+        fn enqueue(
+            &mut self,
+            t: TenantId,
+            graph: JobGraph<ProgramJob>,
+        ) -> Result<GraphTicket, Rejected<ProgramJob>> {
+            self.0.enqueue(t, graph)
+        }
+        fn run_boosted(
+            &mut self,
+            sched: Scheduler,
+            boost: &[u64],
+        ) -> Result<RoundOutcome<lac_sim::ExecStats>, SimError> {
+            let mut out = OpenLoopBackend::run_boosted(&mut self.0, sched, boost)?;
+            out.wave_end_cycles.clear();
+            Ok(out)
+        }
+        fn clock(&self) -> u64 {
+            OpenLoopBackend::<ProgramJob>::clock(&self.0)
+        }
+        fn advance_idle(&mut self, cycles: u64) {
+            OpenLoopBackend::<ProgramJob>::advance_idle(&mut self.0, cycles);
+        }
+        fn deadline_of(&self, t: TenantId) -> Option<u64> {
+            OpenLoopBackend::<ProgramJob>::deadline_of(&self.0, t)
+        }
+        fn num_tenants(&self) -> usize {
+            OpenLoopBackend::<ProgramJob>::num_tenants(&self.0)
+        }
+    }
+
+    #[test]
+    fn truncated_wave_clock_is_a_typed_error_not_a_zero_sojourn() {
+        let trace =
+            ArrivalTrace::generate(7, 2_000, &[ArrivalProcess::Poisson { mean_gap: 500.0 }]);
+        let mut backend =
+            TruncatingBackend(LacService::new(ChipConfig::new(1, LacConfig::default())));
+        let ids = vec![backend.0.add_tenant(TenantConfig::new("t"))];
+        let err = run_open_loop(
+            &mut backend,
+            &trace,
+            &ids,
+            request,
+            OpenLoopConfig::default(),
+        )
+        .unwrap_err();
+        match err {
+            OpenLoopError::TruncatedWaveClock { waves, .. } => assert_eq!(waves, 0),
+            other => panic!("expected TruncatedWaveClock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_quantum_changes_latency_never_bits() {
+        let trace = demo_trace();
+        let run = |max_round_cost: Option<u64>| {
+            let mut svc: LacService<ProgramJob> =
+                LacService::new(ChipConfig::new(2, LacConfig::default()));
+            let ids = vec![
+                svc.add_tenant(TenantConfig::new("interactive").with_deadline(2_000)),
+                svc.add_tenant(TenantConfig::new("batch")),
+            ];
+            let cfg = OpenLoopConfig {
+                max_round_cost,
+                ..OpenLoopConfig::default()
+            };
+            run_open_loop(&mut svc, &trace, &ids, request, cfg).unwrap()
+        };
+        let unbounded = run(None);
+        let quantized = run(Some(100));
+        assert_eq!(quantized.completed.len(), trace.len(), "everything served");
+        assert!(
+            quantized.rounds >= unbounded.rounds,
+            "a quantum can only split rounds, never merge them"
+        );
+        // Output bits are identical; only latencies may move.
+        let outs = |r: &OpenLoopReport<lac_sim::ExecStats>| {
+            let mut v: Vec<_> = r
+                .completed
+                .iter()
+                .map(|c| (c.arrival, c.outputs.clone()))
+                .collect();
+            v.sort_by_key(|(a, _)| (a.tenant, a.index));
+            v
+        };
+        assert_eq!(outs(&unbounded), outs(&quantized));
+        // Reruns under a quantum stay bit-identical end to end.
+        assert_eq!(run(Some(100)), quantized);
+    }
+
+    #[test]
+    fn cluster_replay_exports_a_merged_event_log() {
+        let trace = demo_trace();
+        let mut cluster: LacCluster<ProgramJob> = LacCluster::new(ClusterConfig::homogeneous(
+            2,
+            ChipConfig::new(1, LacConfig::default()),
+        ));
+        let ids = vec![
+            cluster.add_tenant(TenantConfig::new("interactive").with_deadline(2_000)),
+            cluster.add_tenant(TenantConfig::new("batch")),
+        ];
+        let report = run_open_loop(
+            &mut cluster,
+            &trace,
+            &ids,
+            request,
+            OpenLoopConfig::default(),
+        )
+        .unwrap();
+        use lac_sim::TraceEvent;
+        let jobs = report.events.count(|e| matches!(e, TraceEvent::Job { .. }));
+        assert_eq!(jobs, 2 * trace.len(), "every job of every request logged");
+        assert!(
+            report
+                .events
+                .count(|e| matches!(e, TraceEvent::IdleFastForward { .. }))
+                > 0,
+            "the driver logs its fast-forwards"
+        );
+        // Merged timestamps are absolute: the last job end matches the
+        // final clock's ballpark and never exceeds it.
+        let max_end = report
+            .events
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::Job { end, .. } => Some(end),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert!(max_end <= report.final_clock);
     }
 }

@@ -39,8 +39,8 @@ pub mod hist;
 pub mod trace;
 
 pub use driver::{
-    run_open_loop, CompletedRequest, OpenLoopBackend, OpenLoopConfig, OpenLoopReport, RoundOutcome,
-    TenantLatency,
+    run_open_loop, CompletedRequest, OpenLoopBackend, OpenLoopConfig, OpenLoopError,
+    OpenLoopReport, RoundOutcome, TenantLatency,
 };
 pub use hist::LatencyHistogram;
 pub use trace::{Arrival, ArrivalProcess, ArrivalTrace};

@@ -86,6 +86,7 @@ fn main() {
             OpenLoopConfig {
                 sched: Scheduler::FairShare,
                 slo_boost,
+                ..OpenLoopConfig::default()
             },
         )
         .expect("hazard-free open-loop replay")

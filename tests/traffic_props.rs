@@ -181,7 +181,11 @@ fn open_loop_replays_are_deterministic_across_policies() {
                 &trace,
                 &ids,
                 request,
-                OpenLoopConfig { sched, slo_boost },
+                OpenLoopConfig {
+                    sched,
+                    slo_boost,
+                    ..OpenLoopConfig::default()
+                },
             )
             .unwrap()
         };
