@@ -63,6 +63,8 @@ fn is_generator_name(n: &str) -> bool {
         || n.starts_with("cluster")
         || n.starts_with("solver")
         || n.starts_with("service")
+        || n.starts_with("dynamic")
+        || n.starts_with("sim_")
 }
 
 /// Generators that support `--json-out <path>`: they print their table
@@ -77,6 +79,8 @@ fn emits_json(n: &str) -> bool {
         || n == "service_throughput"
         || n == "service_latency"
         || n == "failure_drill"
+        || n == "dynamic_solver"
+        || n == "sim_speed"
 }
 
 /// Generator binaries built next to this one (no hard-coded list).

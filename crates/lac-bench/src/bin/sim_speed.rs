@@ -1,0 +1,104 @@
+//! Simulator-throughput micro-bench: host seconds per simulated
+//! megacycle.
+//!
+//! Everything else in `lac-bench` reports *simulated* cycles — machine
+//! numbers that never move between hosts. This bin measures the one thing
+//! those reports hide: how fast the simulator itself chews through them.
+//! A fixed solver-loop graph (`SolverLoopWorkload`) is served repeatedly
+//! on a `LacService` at 1 and 4 cores, wall-clock timed, and reported as
+//! `host_seconds_per_megacycle` / `megacycles_per_host_second`.
+//!
+//! The host-time fields are machine-dependent by design and therefore
+//! **ungated** — they are archived for trend-watching, not regression
+//! gating. The `makespan_cycles` of the timed graph *is* gated: it pins
+//! that the workload being timed hasn't silently changed shape, so two
+//! archives' host numbers are comparable.
+
+use lac_bench::json::Json;
+use lac_bench::{emit_json, f, json_mode, table};
+use lac_kernels::{SolverLoopParams, SolverLoopWorkload};
+use lac_sim::{ChipConfig, LacConfig, LacService, Scheduler};
+use std::time::Instant;
+
+/// Timed submissions per row (after one untimed warmup).
+const RUNS: u32 = 4;
+
+fn main() {
+    let w = SolverLoopWorkload::new(SolverLoopParams {
+        n: 16,
+        rounds: 6,
+        panels: 4,
+        width: 8,
+        salt: 4242,
+    });
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+
+    for cores in [1usize, 4] {
+        let mut svc = LacService::new(ChipConfig::new(cores, LacConfig::default()));
+        // Warmup: spin up the persistent workers and fault in the code
+        // paths outside the timed region.
+        let warm = svc
+            .submit(w.graph().graph, Scheduler::CriticalPath)
+            .expect("warmup run");
+        w.check_graph(&warm.outputs)
+            .expect("outputs match linalg-ref");
+
+        let start = Instant::now();
+        let mut simulated_cycles = 0u64;
+        for _ in 0..RUNS {
+            let run = svc
+                .submit(w.graph().graph, Scheduler::CriticalPath)
+                .expect("timed run");
+            simulated_cycles += run.stats.makespan_cycles;
+        }
+        let host_seconds = start.elapsed().as_secs_f64();
+
+        // The simulated side is exact and repeatable; only host time varies.
+        assert_eq!(
+            simulated_cycles,
+            RUNS as u64 * warm.stats.makespan_cycles,
+            "timed runs must replay the warmup bit for bit"
+        );
+        let megacycles = simulated_cycles as f64 / 1e6;
+        let sec_per_mc = host_seconds / megacycles;
+        rows.push(vec![
+            format!("{cores}"),
+            format!("{}", w.graph().graph.len()),
+            format!("{}", warm.stats.makespan_cycles),
+            format!("{RUNS}"),
+            format!("{:.3}", sec_per_mc),
+            f(megacycles / host_seconds),
+        ]);
+        points.push(Json::obj([
+            ("bench", Json::from("sim_speed")),
+            ("cores", Json::from(cores)),
+            ("jobs", Json::from(w.graph().graph.len())),
+            ("runs", Json::from(RUNS as u64)),
+            ("makespan_cycles", Json::from(warm.stats.makespan_cycles)),
+            ("host_seconds_per_megacycle", Json::from(sec_per_mc)),
+            (
+                "megacycles_per_host_second",
+                Json::from(megacycles / host_seconds),
+            ),
+        ]));
+    }
+
+    emit_json(Json::arr(points));
+    if !json_mode() {
+        table(
+            "Simulator throughput — host seconds per simulated megacycle \
+             (host fields machine-dependent, ungated; makespan gated to pin \
+             the timed workload)",
+            &[
+                "cores",
+                "jobs",
+                "makespan_cycles",
+                "runs",
+                "host_s/Mcycle",
+                "Mcycle/host_s",
+            ],
+            &rows,
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! regenerates everything (that is what EXPERIMENTS.md records).
 
 pub mod json;
+pub mod trace_io;
 
 use std::fmt::Display;
 

@@ -1,0 +1,727 @@
+//! Batched IPDDP: a fleet of interior-point differential dynamic
+//! programming solves — the continuation subsystem's scheduler stress
+//! test.
+//!
+//! Following Pavlov, Shames & Manzie (see PAPERS.md), each fleet member
+//! solves a box-constrained discrete-time optimal-control problem
+//!
+//! ```text
+//!     min Σₜ ½xₜᵀQxₜ + ½uₜᵀRuₜ + ½x_TᵀQf·x_T
+//!     s.t. xₜ₊₁ = A·xₜ + B·uₜ,   |uₜⱼ| < u_max
+//! ```
+//!
+//! by primal log-barrier DDP: the control bound enters the stage cost as
+//! `−μ·Σⱼ[log(u_max−uⱼ) + log(u_max+uⱼ)]`, each **backward sweep**
+//! factors one tiny `nu × nu` `Q_uu` block per timestep (Riccati chain),
+//! and the **forward pass** rolls the gains out through a backtracking
+//! line search. The barrier weight `μ` shrinks geometrically once the
+//! gain gradient stalls at the current `μ`; a member is converged when
+//! both `μ` and the gradient are below tolerance.
+//!
+//! The LAC-shaped property is the *batch*: one sweep of the fleet is
+//! `members × horizon` independent little CHOL+TRSM factorizations
+//! (thousands at bench sizes), chained per member but parallel across
+//! members — and members converge after *different* sweep counts, so
+//! the appended segments shrink as the fleet drains. That non-uniform,
+//! convergence-driven completion is exactly what
+//! [`lac_sim::dynamic`] exists to schedule; determinism of every
+//! trajectory and sweep count across policies/backends/reruns is the
+//! subsystem's acceptance test.
+//!
+//! [`IpddpFleet::reference`] re-runs every member in pure `linalg-ref`
+//! arithmetic; [`IpddpFleet::check`] verifies convergence, strict bound
+//! feasibility and agreement of the final control trajectories.
+
+use crate::chol::blocked_cholesky_run;
+use crate::ippmm::{backward_solve, forward_solve, inf_norm, mat_tvec, mat_vec};
+use crate::solver::step_report;
+use crate::trsm::blocked_trsm_run;
+use crate::workload::{demo_value, Details, KernelReport};
+use lac_sim::dynamic::{Continue, DynamicGraph, DynamicOutcome};
+use lac_sim::{ChipJob, JobGraph, LacEngine, SimError};
+use linalg_ref::{cholesky, Matrix};
+use std::sync::{Arc, Mutex};
+
+/// State dimension of every member (fixed to the core's register size).
+const NX: usize = 4;
+/// Control dimension of every member.
+const NU: usize = 4;
+/// Initial barrier weight.
+const MU0: f64 = 0.1;
+/// Geometric barrier shrink factor.
+const MU_SHRINK: f64 = 0.2;
+/// Line-search step fractions tried in order (α = 2⁻ᵏ).
+const LS_STEPS: usize = 16;
+
+/// Shape and stopping rule of one IPDDP fleet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IpddpParams {
+    /// Fleet size — independent trajectory optimizations batched into
+    /// one dynamic request.
+    pub members: usize,
+    /// Horizon `T`: timesteps per trajectory, factorizations per sweep
+    /// per member.
+    pub horizon: usize,
+    /// Gradient tolerance (max over `t` of `‖kₜ‖∞`) *and* final barrier
+    /// floor: a member is converged when `grad ≤ tol` at `μ ≤ tol`.
+    pub tol: f64,
+    /// Hard cap on sweeps per member; the continuation stops appending
+    /// there even if unconverged (flagged by [`IpddpFleet::check`]).
+    pub max_sweeps: usize,
+    /// Seed for the deterministic demo dynamics and start states.
+    pub salt: u64,
+}
+
+impl Default for IpddpParams {
+    /// Eight members over a 12-step horizon at `1e-6` — big enough for
+    /// visibly non-uniform completion, small enough for tests.
+    fn default() -> Self {
+        Self {
+            members: 8,
+            horizon: 12,
+            tol: 1e-6,
+            max_sweeps: 80,
+            salt: 80,
+        }
+    }
+}
+
+/// A candidate forward pass: the new state and control trajectories plus
+/// the barrier-augmented cost they achieve.
+type Trajectory = (Vec<Vec<f64>>, Vec<Vec<f64>>, f64);
+
+/// One member's immutable problem data.
+struct DdpProblem {
+    /// Member index within the fleet (labels reports).
+    index: usize,
+    horizon: usize,
+    /// Control box half-width; varies per member so completion is
+    /// non-uniform (tighter boxes need more barrier continuation).
+    umax: f64,
+    /// State transition (`nx × nx`, spectral radius < 1).
+    a: Matrix,
+    /// Control matrix (`nx × nu`).
+    b: Matrix,
+    /// Start state.
+    x0: Vec<f64>,
+    /// Stage state weight (diagonal value).
+    qx: f64,
+    /// Stage control weight (diagonal value).
+    ru: f64,
+    /// Terminal state weight (diagonal value).
+    qf: f64,
+    tol: f64,
+}
+
+impl DdpProblem {
+    fn new(index: usize, horizon: usize, tol: f64, salt: u64) -> Self {
+        let s = salt.wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let a = Matrix::from_fn(NX, NX, |i, j| {
+            0.1 * demo_value(i, j, s) + if i == j { 0.85 } else { 0.0 }
+        });
+        let b = Matrix::from_fn(NX, NU, |i, j| demo_value(i, j, s + 1));
+        let x0 = (0..NX).map(|i| 2.0 * demo_value(i, 5, s + 2)).collect();
+        Self {
+            index,
+            horizon,
+            umax: 0.4 + 0.1 * (index % 5) as f64,
+            a,
+            b,
+            x0,
+            qx: 1.0,
+            ru: 0.1,
+            qf: 10.0,
+            tol,
+        }
+    }
+
+    /// Barrier value at `u` (`∞` if infeasible).
+    fn barrier(&self, u: &[f64], mu: f64) -> f64 {
+        let mut s = 0.0;
+        for &uj in u {
+            let (lo, hi) = (self.umax + uj, self.umax - uj);
+            if lo <= 0.0 || hi <= 0.0 {
+                return f64::INFINITY;
+            }
+            s -= mu * (lo.ln() + hi.ln());
+        }
+        s
+    }
+
+    /// Total trajectory cost including barrier terms.
+    fn cost(&self, xs: &[Vec<f64>], us: &[Vec<f64>], mu: f64) -> f64 {
+        let mut j = 0.0;
+        for t in 0..self.horizon {
+            j += 0.5 * self.qx * xs[t].iter().map(|v| v * v).sum::<f64>();
+            j += 0.5 * self.ru * us[t].iter().map(|v| v * v).sum::<f64>();
+            j += self.barrier(&us[t], mu);
+        }
+        j + 0.5 * self.qf * xs[self.horizon].iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Roll `x0` forward under controls produced by the affine gain
+    /// policy `u = ū + α·k + K·(x − x̄)`; `None` if any control leaves
+    /// the box.
+    #[allow(clippy::too_many_arguments)]
+    fn rollout(
+        &self,
+        alpha: f64,
+        xs: &[Vec<f64>],
+        us: &[Vec<f64>],
+        ks: &[Vec<f64>],
+        kks: &[Matrix],
+        mu: f64,
+    ) -> Option<Trajectory> {
+        let mut nx = vec![self.x0.clone()];
+        let mut nu_traj = Vec::with_capacity(self.horizon);
+        for t in 0..self.horizon {
+            let dx: Vec<f64> = (0..NX).map(|i| nx[t][i] - xs[t][i]).collect();
+            let u: Vec<f64> = (0..NU)
+                .map(|i| {
+                    us[t][i]
+                        + alpha * ks[t][i]
+                        + (0..NX).map(|j| kks[t][(i, j)] * dx[j]).sum::<f64>()
+                })
+                .collect();
+            if u.iter().any(|&uj| uj.abs() >= self.umax) {
+                return None;
+            }
+            let ax = mat_vec(&self.a, &nx[t]);
+            let bu = mat_vec(&self.b, &u);
+            nx.push((0..NX).map(|i| ax[i] + bu[i]).collect());
+            nu_traj.push(u);
+        }
+        let cost = self.cost(&nx, &nu_traj, mu);
+        Some((nx, nu_traj, cost))
+    }
+
+    /// One backward step at timestep `t`: the Q-expansion, the `Q_uu`
+    /// factor `L` (passed in from whichever twin factored it), the gains
+    /// and the value-function recursion. Shared bit-for-bit by the
+    /// device and reference twins. Returns the `(Q_u, Q_ux)` panel so
+    /// the device twin can charge the TRSM against the real right-hand
+    /// sides.
+    fn backward_step(&self, st: &mut DdpState, t: usize, l: &Matrix) -> (Vec<f64>, Matrix) {
+        let (vx, vxx) = (st.vx.clone(), st.vxx.clone());
+        let at_vx = mat_tvec(&self.a, &vx);
+        let bt_vx = mat_tvec(&self.b, &vx);
+        let qu: Vec<f64> = (0..NU)
+            .map(|i| {
+                let uj = st.us[t][i];
+                self.ru * uj + st.mu * (1.0 / (self.umax - uj) - 1.0 / (self.umax + uj)) + bt_vx[i]
+            })
+            .collect();
+        let qx: Vec<f64> = (0..NX).map(|i| self.qx * st.xs[t][i] + at_vx[i]).collect();
+        let vxx_a = mul(&vxx, &self.a);
+        let vxx_b = mul(&vxx, &self.b);
+        let qxx = Matrix::from_fn(NX, NX, |i, j| {
+            col_dot(&self.a, i, &vxx_a, j) + if i == j { self.qx } else { 0.0 }
+        });
+        let qux = Matrix::from_fn(NU, NX, |i, j| col_dot(&self.b, i, &vxx_a, j));
+        // k = −Q_uu⁻¹·Q_u and K = −Q_uu⁻¹·Q_ux from the caller's factor.
+        let k: Vec<f64> = backward_solve(l, &forward_solve(l, &qu))
+            .iter()
+            .map(|v| -v)
+            .collect();
+        let mut kk = Matrix::zeros(NU, NX);
+        for j in 0..NX {
+            let col: Vec<f64> = (0..NU).map(|i| qux[(i, j)]).collect();
+            let s = backward_solve(l, &forward_solve(l, &col));
+            for i in 0..NU {
+                kk[(i, j)] = -s[i];
+            }
+        }
+        // V recursion with the exact (not Newton-approximate) terms:
+        //   Vx  = Qx + Kᵀ(Q_uu·k + Q_u) + Q_uxᵀ·k
+        //   Vxx = Qxx + Kᵀ·Q_uu·K + Kᵀ·Q_ux + Q_uxᵀ·K, symmetrized.
+        let quu = self.quu(st, t, &vxx_b);
+        let quu_k = mat_vec(&quu, &k);
+        let new_vx: Vec<f64> = (0..NX)
+            .map(|i| {
+                qx[i]
+                    + (0..NU)
+                        .map(|u| kk[(u, i)] * (quu_k[u] + qu[u]) + qux[(u, i)] * k[u])
+                        .sum::<f64>()
+            })
+            .collect();
+        let quu_kk = mul(&quu, &kk);
+        let raw = Matrix::from_fn(NX, NX, |i, j| {
+            qxx[(i, j)]
+                + (0..NU)
+                    .map(|u| {
+                        kk[(u, i)] * quu_kk[(u, j)]
+                            + kk[(u, i)] * qux[(u, j)]
+                            + qux[(u, i)] * kk[(u, j)]
+                    })
+                    .sum::<f64>()
+        });
+        st.vx = new_vx;
+        st.vxx = Matrix::from_fn(NX, NX, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]));
+        st.ks[t] = k;
+        st.kks[t] = kk;
+        (qu, qux)
+    }
+
+    /// `Q_uu = R + diag(barrier″) + Bᵀ·Vxx·B` at timestep `t`.
+    fn quu(&self, st: &DdpState, t: usize, vxx_b: &Matrix) -> Matrix {
+        Matrix::from_fn(NU, NU, |i, j| {
+            let mut v = col_dot(&self.b, i, vxx_b, j);
+            if i == j {
+                let uj = st.us[t][i];
+                let (lo, hi) = (self.umax + uj, self.umax - uj);
+                v += self.ru + st.mu * (1.0 / (hi * hi) + 1.0 / (lo * lo));
+            }
+            v
+        })
+    }
+
+    /// The forward pass closing one sweep: line search, trajectory
+    /// update, gradient measurement and the barrier schedule. Returns
+    /// `(grad, μ_pre)` — convergence is judged at the *pre-update* `μ`
+    /// so the decision matches the sweep that was actually run.
+    fn forward_pass(&self, st: &mut DdpState) -> (f64, f64) {
+        let mu_pre = st.mu;
+        let grad = st.ks.iter().map(|k| inf_norm(k)).fold(0.0, f64::max);
+        let cost_old = self.cost(&st.xs, &st.us, st.mu);
+        for k in 0..LS_STEPS {
+            let alpha = 0.5f64.powi(k as i32);
+            if let Some((xs, us, cost)) =
+                self.rollout(alpha, &st.xs, &st.us, &st.ks, &st.kks, st.mu)
+            {
+                if cost < cost_old + 1e-12 {
+                    st.xs = xs;
+                    st.us = us;
+                    st.cost = cost;
+                    break;
+                }
+            }
+        }
+        // Shrink the barrier once this μ's subproblem has stalled.
+        if grad <= self.tol.max(st.mu) && st.mu > self.tol {
+            st.mu = (st.mu * MU_SHRINK).max(self.tol);
+        }
+        (grad, mu_pre)
+    }
+
+    /// Converged at `(grad, μ_pre)`?
+    fn converged(&self, grad: f64, mu_pre: f64) -> bool {
+        grad <= self.tol && mu_pre <= self.tol
+    }
+}
+
+/// `M · N`.
+fn mul(m: &Matrix, n: &Matrix) -> Matrix {
+    Matrix::from_fn(m.rows(), n.cols(), |i, j| {
+        (0..m.cols()).map(|k| m[(i, k)] * n[(k, j)]).sum()
+    })
+}
+
+/// `(column i of M)ᵀ · (column j of N)` — the `MᵀN` entry without
+/// forming the transpose.
+fn col_dot(m: &Matrix, i: usize, n: &Matrix, j: usize) -> f64 {
+    (0..m.rows()).map(|k| m[(k, i)] * n[(k, j)]).sum()
+}
+
+/// One member's mutable solve state, shared by its chain of jobs.
+struct DdpState {
+    xs: Vec<Vec<f64>>,
+    us: Vec<Vec<f64>>,
+    cost: f64,
+    mu: f64,
+    vx: Vec<f64>,
+    vxx: Matrix,
+    ks: Vec<Vec<f64>>,
+    kks: Vec<Matrix>,
+}
+
+impl DdpState {
+    fn fresh(p: &DdpProblem) -> Self {
+        // Zero controls are strictly interior, so the start is feasible.
+        let us = vec![vec![0.0; NU]; p.horizon];
+        let mut xs = vec![p.x0.clone()];
+        for t in 0..p.horizon {
+            let ax = mat_vec(&p.a, &xs[t]);
+            xs.push(ax);
+        }
+        let cost = p.cost(&xs, &us, MU0);
+        Self {
+            xs,
+            us,
+            cost,
+            mu: MU0,
+            vx: vec![0.0; NX],
+            vxx: Matrix::zeros(NX, NX),
+            ks: vec![vec![0.0; NU]; p.horizon],
+            kks: vec![Matrix::zeros(NU, NX); p.horizon],
+        }
+    }
+}
+
+/// Ground truth for one member from [`IpddpFleet::reference`].
+pub struct DdpReference {
+    /// Final control trajectory, one `nu`-vector per timestep.
+    pub us: Vec<Vec<f64>>,
+    /// Final cost (at the terminal barrier weight).
+    pub cost: f64,
+    /// Sweeps the member took to converge.
+    pub sweeps: usize,
+}
+
+/// The batched IPDDP fleet workload.
+pub struct IpddpFleet {
+    /// The fleet's shape and stopping rule.
+    pub params: IpddpParams,
+    members: Vec<Arc<DdpProblem>>,
+}
+
+impl IpddpFleet {
+    /// A fleet shaped by `params` over deterministic demo dynamics.
+    pub fn new(params: IpddpParams) -> Self {
+        assert!(params.members >= 1 && params.horizon >= 1 && params.max_sweeps >= 1);
+        let members = (0..params.members)
+            .map(|i| Arc::new(DdpProblem::new(i, params.horizon, params.tol, params.salt)))
+            .collect();
+        Self { params, members }
+    }
+
+    /// The default registry-sized fleet.
+    pub fn demo() -> Self {
+        Self::new(IpddpParams::default())
+    }
+
+    /// Cost hint of one member's sweep chain — what one appended sweep
+    /// charges against the tenant's admission budget.
+    pub fn sweep_cost(&self) -> u64 {
+        self.params.horizon as u64 * per_step_cost()
+    }
+
+    /// The fleet as one dynamic request: sweep 0 for every member fused
+    /// into the initial graph, then a continuation that re-appends
+    /// chains only for members whose closing job reported "not
+    /// converged" — so segments shrink as the fleet drains.
+    pub fn dynamic(&self) -> DynamicGraph<DdpJob> {
+        let states: Vec<Arc<Mutex<DdpState>>> = self
+            .members
+            .iter()
+            .map(|p| Arc::new(Mutex::new(DdpState::fresh(p))))
+            .collect();
+        let all: Vec<usize> = (0..self.members.len()).collect();
+        let initial = self.sweep_graph(&states, &all, 0);
+        let members = self.members.clone();
+        let horizon = self.params.horizon;
+        let max_sweeps = self.params.max_sweeps;
+        let mut active = all;
+        DynamicGraph::new(initial, move |seg: usize, outputs: &[KernelReport]| {
+            // Member active[j]'s closing job is the last of its
+            // `horizon`-long chain within this segment's graph.
+            let mut still = Vec::new();
+            for (j, &m) in active.iter().enumerate() {
+                let closing = &outputs[j * horizon + horizon - 1];
+                let Details::Ddp { grad, mu, .. } = &closing.details else {
+                    continue;
+                };
+                if !members[m].converged(*grad, *mu) {
+                    still.push(m);
+                }
+            }
+            active = still;
+            if active.is_empty() || seg + 1 >= max_sweeps {
+                return Continue::Done;
+            }
+            let mut g = JobGraph::new();
+            for &m in &active {
+                let chain = sweep_chain(&members[m], &states[m], seg + 1);
+                g.append(chain);
+            }
+            Continue::Append(g)
+        })
+    }
+
+    /// Sweep `sweep` for the given member subset, fused into one graph.
+    fn sweep_graph(
+        &self,
+        states: &[Arc<Mutex<DdpState>>],
+        members: &[usize],
+        sweep: usize,
+    ) -> JobGraph<DdpJob> {
+        let mut g = JobGraph::new();
+        for &m in members {
+            g.append(sweep_chain(&self.members[m], &states[m], sweep));
+        }
+        g
+    }
+
+    /// Every member solved in pure `linalg-ref` arithmetic.
+    pub fn reference(&self) -> Result<Vec<DdpReference>, String> {
+        self.members
+            .iter()
+            .map(|p| {
+                let mut st = DdpState::fresh(p);
+                for sweep in 0..self.params.max_sweeps {
+                    for t in (0..p.horizon).rev() {
+                        if t == p.horizon - 1 {
+                            st.vx = st.xs[p.horizon].iter().map(|&x| p.qf * x).collect();
+                            st.vxx =
+                                Matrix::from_fn(NX, NX, |i, j| if i == j { p.qf } else { 0.0 });
+                        }
+                        let vxx_b = mul(&st.vxx, &p.b);
+                        let quu = p.quu(&st, t, &vxx_b);
+                        let l = cholesky(&quu).map_err(|e| {
+                            format!("ipddp reference m{} sweep {sweep} t{t}: {e:?}", p.index)
+                        })?;
+                        p.backward_step(&mut st, t, &l);
+                    }
+                    let (grad, mu_pre) = p.forward_pass(&mut st);
+                    if p.converged(grad, mu_pre) {
+                        return Ok(DdpReference {
+                            us: st.us,
+                            cost: st.cost,
+                            sweeps: sweep + 1,
+                        });
+                    }
+                }
+                Err(format!(
+                    "ipddp reference m{}: no convergence within {} sweeps",
+                    p.index, self.params.max_sweeps
+                ))
+            })
+            .collect()
+    }
+
+    /// Verify a dynamic run: every member's last closing report must say
+    /// converged, its controls must be strictly inside the box, and its
+    /// trajectory and cost must match the `linalg-ref` reference twin.
+    pub fn check(&self, outcome: &DynamicOutcome<KernelReport>) -> Result<(), String> {
+        let reference = self.reference()?;
+        for (m, (p, r)) in self.members.iter().zip(&reference).enumerate() {
+            // The closing job labels itself with the member index; take
+            // the last sweep's report for this member.
+            let tag = format!("ipddp-m{m}-");
+            let last = outcome
+                .segments
+                .iter()
+                .flatten()
+                .filter(|rep| rep.kernel.starts_with(&tag))
+                .fold(None, |_, rep| Some(rep))
+                .ok_or_else(|| format!("ipddp: no closing report for member {m}"))?;
+            let Details::Ddp { u, cost, grad, mu } = &last.details else {
+                return Err(format!(
+                    "ipddp m{m}: closing report carries foreign details"
+                ));
+            };
+            if !p.converged(*grad, *mu) {
+                return Err(format!(
+                    "ipddp m{m}: not converged (grad {grad:.2e}, mu {mu:.2e})"
+                ));
+            }
+            let mut max_diff = 0.0f64;
+            for t in 0..p.horizon {
+                for i in 0..NU {
+                    let uij = u[(i, t)];
+                    if uij.abs() >= p.umax {
+                        return Err(format!(
+                            "ipddp m{m}: u[{i},{t}] = {uij} breaches the |u| < {} box",
+                            p.umax
+                        ));
+                    }
+                    max_diff = max_diff.max((uij - r.us[t][i]).abs());
+                }
+            }
+            if max_diff > 1e-4 * (1.0 + p.umax) {
+                return Err(format!(
+                    "ipddp m{m}: device controls differ from linalg-ref by {max_diff:.2e}"
+                ));
+            }
+            let cost_diff = (cost - r.cost).abs() / (1.0 + r.cost.abs());
+            if cost_diff > 1e-6 {
+                return Err(format!(
+                    "ipddp m{m}: device cost differs from linalg-ref by {cost_diff:.2e}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scheduler cost hint of one timestep's job (4×4 CHOL + 4×8 TRSM).
+fn per_step_cost() -> u64 {
+    let (nu, nx) = (NU as u64, NX as u64);
+    nu * nu * nu / 3 + nu * nu * (nx + 4)
+}
+
+/// One member's sweep as a chain of `horizon` jobs, `t = T−1` first so
+/// job ids ascend as the Riccati recursion descends.
+fn sweep_chain(p: &Arc<DdpProblem>, st: &Arc<Mutex<DdpState>>, sweep: usize) -> JobGraph<DdpJob> {
+    let mut g = JobGraph::new();
+    let mut prev = None;
+    for t in (0..p.horizon).rev() {
+        let job = DdpJob {
+            problem: Arc::clone(p),
+            state: Arc::clone(st),
+            t,
+            sweep,
+        };
+        let id = match prev {
+            None => g.add(job),
+            Some(prev) => g.add_after(job, &[prev]),
+        };
+        prev = Some(id);
+    }
+    g
+}
+
+/// One timestep of one member's backward sweep as a chip job; the `t = 0`
+/// job additionally folds the forward pass and closes the sweep with a
+/// [`Details::Ddp`] report.
+pub struct DdpJob {
+    problem: Arc<DdpProblem>,
+    state: Arc<Mutex<DdpState>>,
+    t: usize,
+    sweep: usize,
+}
+
+impl ChipJob for DdpJob {
+    type Output = KernelReport;
+
+    fn cost_hint(&self) -> u64 {
+        per_step_cost().max(1)
+    }
+
+    fn transfer_words(&self) -> u64 {
+        (NU * (NU + 1) / 2 + NU * (1 + NX)) as u64
+    }
+
+    fn run_on(&self, eng: &mut LacEngine) -> Result<KernelReport, SimError> {
+        let p = &self.problem;
+        let t = self.t;
+        // Assemble Q_uu from the incoming value function (seeding it at
+        // the terminal step), factor it on the device, and run the
+        // Riccati recursion around the factor.
+        let quu = {
+            let mut st = self.state.lock().expect("ddp state poisoned");
+            if t == p.horizon - 1 {
+                st.vx = st.xs[p.horizon].iter().map(|&x| p.qf * x).collect();
+                st.vxx = Matrix::from_fn(NX, NX, |i, j| if i == j { p.qf } else { 0.0 });
+            }
+            let vxx_b = mul(&st.vxx, &p.b);
+            p.quu(&st, t, &vxx_b)
+        };
+        let (l, mut stats) = blocked_cholesky_run(eng.core_mut(), &quu)?;
+        let (qu, qux) = {
+            let mut st = self.state.lock().expect("ddp state poisoned");
+            p.backward_step(&mut st, t, &l)
+        };
+        // The gains need Q_uu⁻¹·[Q_u | Q_ux]: run the forward half as a
+        // blocked TRSM so the device pays for the panel. The recursion
+        // itself solved both halves host-side inside `backward_step`,
+        // bit-identically to the reference twin.
+        let panel = Matrix::from_fn(NU, (1 + NX).div_ceil(4) * 4, |i, j| {
+            if j == 0 {
+                qu[i]
+            } else if j <= NX {
+                qux[(i, j - 1)]
+            } else {
+                0.0
+            }
+        });
+        let (_, trsm_stats) = blocked_trsm_run(eng.core_mut(), &l, &panel)?;
+        stats.merge(&trsm_stats);
+        if t == 0 {
+            let (grad, mu_pre, u, cost) = {
+                let mut st = self.state.lock().expect("ddp state poisoned");
+                let (grad, mu_pre) = p.forward_pass(&mut st);
+                let u = Matrix::from_fn(NU, p.horizon, |i, tt| st.us[tt][i]);
+                (grad, mu_pre, u, st.cost)
+            };
+            Ok(step_report(
+                eng,
+                &format!("ipddp-m{}-sweep-{}", p.index, self.sweep),
+                stats,
+                Details::Ddp {
+                    u,
+                    cost,
+                    grad,
+                    mu: mu_pre,
+                },
+            ))
+        } else {
+            Ok(step_report(
+                eng,
+                &format!("ipddp-m{}-t{}", p.index, t),
+                stats,
+                Details::Cholesky { l },
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_sim::dynamic::run_dynamic;
+    use lac_sim::{ChipConfig, LacConfig, LacService, Scheduler, TenantConfig};
+
+    #[test]
+    fn reference_members_converge_non_uniformly() {
+        let fleet = IpddpFleet::new(IpddpParams {
+            members: 5,
+            ..IpddpParams::default()
+        });
+        let refs = fleet.reference().unwrap();
+        let sweeps: Vec<usize> = refs.iter().map(|r| r.sweeps).collect();
+        assert!(sweeps.iter().all(|&s| s >= 5), "{sweeps:?}");
+        assert!(
+            sweeps.windows(2).any(|w| w[0] != w[1]),
+            "members should converge after different sweep counts: {sweeps:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_converges_and_checks_out() {
+        let fleet = IpddpFleet::new(IpddpParams {
+            members: 3,
+            horizon: 8,
+            ..IpddpParams::default()
+        });
+        let mut svc: LacService<DdpJob> = LacService::new(ChipConfig::new(3, LacConfig::default()));
+        let t = svc.add_tenant(TenantConfig::new("ddp"));
+        let run = run_dynamic(&mut svc, vec![(t, fleet.dynamic())], Scheduler::FairShare).unwrap();
+        fleet.check(&run.outcomes[0]).unwrap();
+        let out = &run.outcomes[0];
+        assert!(out.iterations() >= 5);
+        // Segments shrink as members converge: the last sweep holds
+        // fewer jobs than the first.
+        let first = out.segments.first().unwrap().len();
+        let last = out.segments.last().unwrap().len();
+        assert!(last < first, "fleet should drain ({first} -> {last} jobs)");
+    }
+
+    #[test]
+    fn sweep_counts_are_identical_across_policies() {
+        let fleet = IpddpFleet::new(IpddpParams {
+            members: 2,
+            horizon: 8,
+            ..IpddpParams::default()
+        });
+        let mut shapes = Vec::new();
+        for sched in [
+            Scheduler::Fifo,
+            Scheduler::LeastLoaded,
+            Scheduler::FairShare,
+        ] {
+            let mut svc: LacService<DdpJob> =
+                LacService::new(ChipConfig::new(2, LacConfig::default()));
+            let t = svc.add_tenant(TenantConfig::new("ddp"));
+            let run = run_dynamic(&mut svc, vec![(t, fleet.dynamic())], sched).unwrap();
+            fleet.check(&run.outcomes[0]).unwrap();
+            shapes.push(
+                run.outcomes[0]
+                    .segments
+                    .iter()
+                    .map(|s| s.len())
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert!(shapes.windows(2).all(|s| s[0] == s[1]), "{shapes:?}");
+    }
+}

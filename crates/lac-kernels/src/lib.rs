@@ -36,6 +36,8 @@
 pub mod chol;
 pub mod fft;
 pub mod gemm;
+pub mod ipddp;
+pub mod ippmm;
 pub mod layout;
 pub mod lu;
 pub mod qr;
@@ -50,6 +52,8 @@ pub mod workload;
 pub use chol::CholReport;
 pub use fft::Fft64Report;
 pub use gemm::{gemm_program, GemmParams, GemmReport};
+pub use ipddp::{DdpJob, DdpReference, IpddpFleet, IpddpParams};
+pub use ippmm::{IpmJob, IpmReference, IppmmParams, IppmmWorkload};
 pub use layout::{ALayout, GemmDataLayout};
 pub use lu::{pack_to_factors, LuOptions, LuReport};
 pub use qr::QrPanelReport;

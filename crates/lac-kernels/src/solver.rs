@@ -136,7 +136,7 @@ fn add_sym_update(a: &mut Matrix, s_lower: &Matrix) {
 
 /// Meter one graph step into the engine session and wrap it in the uniform
 /// report (unlike [`finish`] this does not count a whole workload).
-fn step_report(
+pub(crate) fn step_report(
     eng: &mut LacEngine,
     name: &str,
     stats: ExecStats,
@@ -155,7 +155,10 @@ fn step_report(
 
 /// `S = X·Xᵀ` (lower) on the device via the §5.2 SYRK schedule, from a
 /// zeroed accumulator.
-fn device_syrk(eng: &mut LacEngine, x: &Matrix) -> Result<(Matrix, ExecStats), SimError> {
+pub(crate) fn device_syrk(
+    eng: &mut LacEngine,
+    x: &Matrix,
+) -> Result<(Matrix, ExecStats), SimError> {
     let (mc, kc) = (x.rows(), x.cols());
     let lay = SyrkDataLayout::new(mc, kc);
     let mut image = vec![0.0; lay.total_words()];

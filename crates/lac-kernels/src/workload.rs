@@ -187,6 +187,38 @@ pub enum Details {
         /// The system matrix after the last update.
         final_a: Matrix,
     },
+    /// Post-step iterate and residuals emitted by the closing job of one
+    /// IP-PMM interior-point iteration ([`crate::ippmm`]) — what the
+    /// iteration's continuation decides convergence from.
+    Ipm {
+        /// Primal iterate after the step (`n × 1`).
+        x: Matrix,
+        /// Equality multiplier after the step (`m × 1`).
+        y: Matrix,
+        /// Bound multiplier after the step (`n × 1`).
+        z: Matrix,
+        /// ∞-norm of the primal residual `b − Ax` after the step.
+        rp: f64,
+        /// ∞-norm of the dual residual `c + Qx − Aᵀy − z` after the step.
+        rd: f64,
+        /// Complementarity measure `xᵀz / n` after the step.
+        mu: f64,
+    },
+    /// Post-sweep summary emitted by the closing job of one IPDDP
+    /// backward/forward sweep ([`crate::ipddp`]) — what the fleet
+    /// member's continuation decides convergence from.
+    Ddp {
+        /// Control trajectory after the sweep (`nu × T`).
+        u: Matrix,
+        /// Total objective of the new nominal trajectory (stage +
+        /// terminal quadratic cost, barrier excluded).
+        cost: f64,
+        /// ∞-norm of the feedforward gains — the sweep's stationarity
+        /// measure.
+        grad: f64,
+        /// Barrier weight after the sweep.
+        mu: f64,
+    },
 }
 
 /// Meter a finished run into the session and assemble the uniform report.

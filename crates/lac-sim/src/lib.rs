@@ -26,6 +26,7 @@ pub mod chip;
 pub mod cluster;
 pub mod config;
 pub mod core;
+pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -42,6 +43,10 @@ pub use cluster::{
     Partitioner, Transfer,
 };
 pub use config::LacConfig;
+pub use dynamic::{
+    run_dynamic, Continuation, ContinuationBackend, Continue, DynamicError, DynamicGraph,
+    DynamicOutcome, DynamicRun,
+};
 pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan};

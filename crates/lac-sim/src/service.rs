@@ -217,6 +217,19 @@ impl<J> JobGraph<J> {
         );
         (offset..self.jobs.len()).map(JobId).collect()
     }
+
+    /// Map every job through `f`, preserving the dependency structure
+    /// (ids and edges) exactly. This is what lets heterogeneous clients
+    /// share one serving backend: wrap each workload's job type into a
+    /// common enum without touching the graph shape (see
+    /// [`crate::dynamic::DynamicGraph::map_job`]).
+    pub fn map<K>(self, f: impl FnMut(J) -> K) -> JobGraph<K> {
+        JobGraph {
+            jobs: self.jobs.into_iter().map(f).collect(),
+            parents: self.parents,
+            children: self.children,
+        }
+    }
 }
 
 impl<J: ChipJob> JobGraph<J> {

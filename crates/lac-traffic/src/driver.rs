@@ -40,6 +40,7 @@
 use crate::hist::LatencyHistogram;
 use crate::trace::{Arrival, ArrivalTrace};
 use lac_sim::chip::ChipJob;
+use lac_sim::dynamic::{Continuation, Continue, DynamicGraph, DynamicOutcome};
 use lac_sim::{
     ClusterRound, EventLog, GraphCompletion, GraphTicket, JobGraph, LacCluster, LacService,
     Rejected, Scheduler, ServiceRound, SimError, TenantId, TraceEvent,
@@ -478,6 +479,265 @@ pub fn run_open_loop<J: ChipJob, B: OpenLoopBackend<J>>(
     })
 }
 
+/// One served *dynamic* request: its arrival, when its **final** segment
+/// completed, and the full [`DynamicOutcome`] (per-segment outputs plus
+/// the appended-cost accounting).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicCompleted<T> {
+    /// The arrival that spawned the request.
+    pub arrival: Arrival,
+    /// Absolute tick the request's last segment completed at.
+    pub completion_tick: u64,
+    /// Sojourn of the whole solve: final-segment completion minus
+    /// arrival, in simulated cycles — convergence time, not
+    /// first-segment time.
+    pub sojourn_cycles: u64,
+    /// Everything the request ran, segment by segment.
+    pub outcome: DynamicOutcome<T>,
+}
+
+/// Everything one dynamic open-loop replay produces.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicOpenLoopReport<T> {
+    /// Every served request, in final-completion order.
+    pub completed: Vec<DynamicCompleted<T>>,
+    /// Per trace stream (tenant index): whole-solve sojourn histogram
+    /// and SLO meters.
+    pub per_tenant: Vec<TenantLatency>,
+    /// Serving rounds the replay took.
+    pub rounds: u64,
+    /// Backend clock when the last request completed (absolute).
+    pub final_clock: u64,
+    /// The replay's merged event log (see [`OpenLoopReport::events`]).
+    pub events: EventLog,
+}
+
+/// An in-flight dynamic request's driver-side state.
+struct DynReq<J: ChipJob> {
+    cont: Box<dyn Continuation<J>>,
+    segment: usize,
+    outcome: DynamicOutcome<J::Output>,
+}
+
+/// Replay `trace` against `backend` where each arrival is a
+/// **convergence-driven** request: `make_request` yields a
+/// [`DynamicGraph`] whose continuation decides, from each completed
+/// segment's outputs, whether to append a successor segment
+/// (`lac_sim::dynamic`). The open-loop analogue of
+/// [`lac_sim::dynamic::run_dynamic`], and the dynamic analogue of
+/// [`run_open_loop`] — the fixed-graph driver is untouched and
+/// bit-compatible with its committed baselines.
+///
+/// Differences from the fixed driver:
+///
+/// * **Sojourn** is measured to the request's *final* segment — time to
+///   convergence, not time to first result.
+/// * **Appended segments** re-enter through the same admission door as
+///   new arrivals and are charged against the tenant's
+///   `max_inflight_cost` budget. One pending-admission queue, keyed by
+///   arrival position, merges bounced graphs and appended segments so
+///   continuations of older arrivals always go first and new arrivals
+///   never overtake them.
+/// * **Deadlock** keeps the same shape: if everything pending bounced
+///   with nothing in flight, budgets can never drain and the driver
+///   returns [`OpenLoopError::AdmissionDeadlock`].
+///
+/// Like the fixed driver, the replay is a pure function of `(trace,
+/// tenant configs, cfg, cost hints)`; outputs — including every
+/// request's *segment count* — are bit-identical across policies,
+/// backends and reruns.
+pub fn run_open_loop_dynamic<J: ChipJob, B: OpenLoopBackend<J>>(
+    backend: &mut B,
+    trace: &ArrivalTrace,
+    tenants: &[TenantId],
+    mut make_request: impl FnMut(&Arrival) -> DynamicGraph<J>,
+    cfg: OpenLoopConfig,
+) -> Result<DynamicOpenLoopReport<J::Output>, OpenLoopError> {
+    assert_eq!(
+        tenants.len(),
+        trace.streams(),
+        "one registered tenant per trace stream"
+    );
+    let base = backend.clock();
+    let arrivals = trace.arrivals();
+
+    let mut per_tenant: Vec<TenantLatency> = tenants
+        .iter()
+        .map(|&t| TenantLatency {
+            hist: LatencyHistogram::new(),
+            deadline_cycles: backend.deadline_of(t),
+            deadline_misses: 0,
+        })
+        .collect();
+    let mut completed_reqs: Vec<DynamicCompleted<J::Output>> = Vec::new();
+    // Driver state per arrival position, dropped when its request is done.
+    let mut reqs: BTreeMap<usize, DynReq<J>> = BTreeMap::new();
+    // Admitted-but-unserved: admission seq → arrival position.
+    let mut inflight: BTreeMap<u64, usize> = BTreeMap::new();
+    // Graphs awaiting admission — bounced retries *and* freshly appended
+    // segments — keyed by arrival position so older requests go first.
+    let mut pending: BTreeMap<usize, JobGraph<J>> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut rounds = 0u64;
+    let mut events = EventLog::new();
+
+    while next < arrivals.len() || !pending.is_empty() || !inflight.is_empty() {
+        let clock = backend.clock();
+
+        // Fast-forward an idle backend to the next arrival.
+        if inflight.is_empty() && pending.is_empty() {
+            let due = base + arrivals[next].tick;
+            if due > clock {
+                backend.advance_idle(due - clock);
+                events.push(TraceEvent::IdleFastForward {
+                    start: clock,
+                    end: due,
+                });
+                continue;
+            }
+        }
+
+        let mut round_cost = 0u64;
+        let quantum_full = |round_cost: u64, inflight: &BTreeMap<u64, usize>| {
+            cfg.max_round_cost.is_some_and(|q| round_cost >= q) && !inflight.is_empty()
+        };
+
+        // Admit pending work first (bounced graphs whose budgets may have
+        // drained, and appended segments), oldest arrival first.
+        while let Some((&pos, _)) = pending.iter().next() {
+            if quantum_full(round_cost, &inflight) {
+                break;
+            }
+            let graph = pending.remove(&pos).expect("pending key vanished");
+            let cost = graph.total_cost();
+            match backend.enqueue(tenants[arrivals[pos].tenant], graph) {
+                Ok(ticket) => {
+                    round_cost += cost;
+                    reqs.get_mut(&pos)
+                        .expect("pending without state")
+                        .outcome
+                        .total_cost += cost;
+                    inflight.insert(ticket.seq, pos);
+                }
+                Err(r) => {
+                    pending.insert(pos, r.graph);
+                    break;
+                }
+            }
+        }
+        // Admit new arrivals due by now — only once nothing older is
+        // still waiting for admission, so arrival order holds.
+        while next < arrivals.len()
+            && base + arrivals[next].tick <= clock
+            && pending.is_empty()
+            && !quantum_full(round_cost, &inflight)
+        {
+            let a = &arrivals[next];
+            let (graph, cont) = make_request(a).into_parts();
+            let cost = graph.total_cost();
+            let mut req = DynReq {
+                cont,
+                segment: 0,
+                outcome: DynamicOutcome {
+                    segments: Vec::new(),
+                    jobs: 0,
+                    total_cost: 0,
+                    appended_cost: 0,
+                },
+            };
+            match backend.enqueue(tenants[a.tenant], graph) {
+                Ok(ticket) => {
+                    round_cost += cost;
+                    req.outcome.total_cost = cost;
+                    inflight.insert(ticket.seq, next);
+                }
+                Err(r) => {
+                    pending.insert(next, r.graph);
+                }
+            }
+            reqs.insert(next, req);
+            next += 1;
+        }
+
+        if inflight.is_empty() {
+            if !pending.is_empty() {
+                // Nothing in flight and the oldest pending graph bounced:
+                // no budget can ever drain, so this is permanent.
+                return Err(OpenLoopError::AdmissionDeadlock {
+                    bounced: pending.len(),
+                });
+            }
+            continue; // no arrivals were due yet; fast-forward next pass
+        }
+
+        let mut boost = vec![u64::MAX; backend.num_tenants()];
+        if cfg.slo_boost {
+            for &pos in inflight.values() {
+                let a = &arrivals[pos];
+                if let Some(d) = per_tenant[a.tenant].deadline_cycles {
+                    let slack = (base + a.tick).saturating_add(d).saturating_sub(clock);
+                    let slot = &mut boost[tenants[a.tenant].index()];
+                    *slot = (*slot).min(slack);
+                }
+            }
+        }
+
+        let outcome = backend.run_boosted(cfg.sched, &boost)?;
+        rounds += 1;
+        let mut round_events = outcome.events;
+        round_events.shift(clock);
+        events.extend(round_events);
+        for completion in outcome.completions {
+            let pos = inflight
+                .remove(&completion.ticket.seq)
+                .expect("round completed a graph the driver never admitted");
+            let req = reqs.get_mut(&pos).expect("completion without state");
+            let decision = req.cont.next(req.segment, &completion.outputs);
+            req.outcome.jobs += completion.outputs.len();
+            req.outcome.segments.push(completion.outputs);
+            match decision {
+                Continue::Append(g) => {
+                    req.segment += 1;
+                    req.outcome.appended_cost += g.total_cost();
+                    pending.insert(pos, g);
+                }
+                Continue::Done => {
+                    let a = arrivals[pos];
+                    let last_wave = completion.wave_of.iter().copied().max().unwrap_or(0);
+                    let done = clock
+                        + outcome.wave_end_cycles.get(last_wave).copied().ok_or(
+                            OpenLoopError::TruncatedWaveClock {
+                                last_wave,
+                                waves: outcome.wave_end_cycles.len(),
+                            },
+                        )?;
+                    let sojourn = done - (base + a.tick);
+                    let meters = &mut per_tenant[a.tenant];
+                    meters.hist.record(sojourn);
+                    if meters.deadline_cycles.is_some_and(|d| sojourn > d) {
+                        meters.deadline_misses += 1;
+                    }
+                    let req = reqs.remove(&pos).expect("request state vanished");
+                    completed_reqs.push(DynamicCompleted {
+                        arrival: a,
+                        completion_tick: done,
+                        sojourn_cycles: sojourn,
+                        outcome: req.outcome,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(DynamicOpenLoopReport {
+        completed: completed_reqs,
+        per_tenant,
+        rounds,
+        final_clock: backend.clock(),
+        events,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,6 +1013,127 @@ mod tests {
         assert_eq!(outs(&unbounded), outs(&quantized));
         // Reruns under a quantum stay bit-identical end to end.
         assert_eq!(run(Some(100)), quantized);
+    }
+
+    /// A dynamic request that appends `extra` one-job segments after its
+    /// initial graph — segment count decided from its own outputs (each
+    /// job's stats are non-empty, proving the continuation saw them).
+    fn dynamic_request(a: &Arrival, extra: usize) -> DynamicGraph<ProgramJob> {
+        let mut g = JobGraph::new();
+        let salt = (a.index as usize + a.tenant) % 4;
+        g.add(idle_job(salt, 40 + 10 * a.tenant as u64));
+        let mut left = extra;
+        DynamicGraph::new(g, move |_seg, outputs: &[lac_sim::ExecStats]| {
+            assert!(!outputs.is_empty());
+            if left == 0 {
+                return Continue::Done;
+            }
+            left -= 1;
+            let mut g = JobGraph::new();
+            g.add(idle_job(1, 30));
+            Continue::Append(g)
+        })
+    }
+
+    #[test]
+    fn dynamic_replay_serves_every_request_to_convergence() {
+        let trace = demo_trace();
+        let run = || {
+            let mut svc: LacService<ProgramJob> =
+                LacService::new(ChipConfig::new(2, LacConfig::default()));
+            let ids = vec![
+                svc.add_tenant(TenantConfig::new("interactive").with_deadline(4_000)),
+                svc.add_tenant(TenantConfig::new("batch")),
+            ];
+            run_open_loop_dynamic(
+                &mut svc,
+                &trace,
+                &ids,
+                |a| dynamic_request(a, (a.index % 3) as usize),
+                OpenLoopConfig::default(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a.completed.len(), trace.len(), "every request converged");
+        for c in &a.completed {
+            let want = (c.arrival.index % 3) as usize + 1;
+            assert_eq!(
+                c.outcome.segments.len(),
+                want,
+                "segment counts follow the continuation"
+            );
+            assert_eq!(c.outcome.jobs, want);
+        }
+        assert_eq!(a, run(), "dynamic replays must be bit-identical");
+    }
+
+    #[test]
+    fn dynamic_appended_segments_respect_the_admission_budget() {
+        // A budget that fits exactly one graph at a time forces every
+        // appended segment through the bounce-retry path; the replay must
+        // still finish with every segment served.
+        let trace = ArrivalTrace::generate(
+            3,
+            8_000,
+            &[ArrivalProcess::OnOff {
+                mean_gap_on: 10.0,
+                mean_burst: 6.0,
+                mean_gap_off: 1_500.0,
+            }],
+        );
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        let ids = vec![svc.add_tenant(TenantConfig::new("tight").with_admission_budget(60))];
+        let report = run_open_loop_dynamic(
+            &mut svc,
+            &trace,
+            &ids,
+            |a| dynamic_request(a, 2),
+            OpenLoopConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.completed.len(), trace.len());
+        assert!(report
+            .completed
+            .iter()
+            .all(|c| c.outcome.segments.len() == 3));
+        assert_eq!(
+            svc.tenant_session(ids[0]).inflight_cost,
+            0,
+            "budget fully drained"
+        );
+    }
+
+    #[test]
+    fn dynamic_unadmittable_segment_is_a_typed_deadlock() {
+        let trace =
+            ArrivalTrace::generate(7, 2_000, &[ArrivalProcess::Poisson { mean_gap: 600.0 }]);
+        let mut svc: LacService<ProgramJob> =
+            LacService::new(ChipConfig::new(1, LacConfig::default()));
+        // Budget 45 admits the cost-40 initial graph but can never admit
+        // the appended cost-70 segment.
+        let ids = vec![svc.add_tenant(TenantConfig::new("starved").with_admission_budget(45))];
+        let err = run_open_loop_dynamic(
+            &mut svc,
+            &trace,
+            &ids,
+            |_| {
+                let mut g = JobGraph::new();
+                g.add(idle_job(0, 40));
+                DynamicGraph::new(g, |_seg, _out: &[lac_sim::ExecStats]| {
+                    let mut g = JobGraph::new();
+                    g.add(idle_job(1, 70));
+                    Continue::Append(g)
+                })
+            },
+            OpenLoopConfig::default(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, OpenLoopError::AdmissionDeadlock { .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

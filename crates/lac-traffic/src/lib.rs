@@ -28,6 +28,14 @@
 //!   priority boost (least deadline slack first) layered on the
 //!   fair-share scheduler — which reorders *when* jobs run but, because
 //!   outputs are placement-independent, never changes output bits.
+//! * [`run_open_loop_dynamic`] — the same replay for
+//!   *convergence-driven* requests: each arrival is a
+//!   [`lac_sim::dynamic::DynamicGraph`] whose continuation appends
+//!   segments until its residual converges. Continuations of live
+//!   requests re-admit **before** younger arrivals (arrival order is
+//!   preserved), appended segments are charged against the tenant's
+//!   admission budget like any fresh graph, and the sojourn clock runs
+//!   to the *final* segment — convergence time, not first-segment time.
 //!
 //! Everything here is planned from ticks, cost hints and seeds — never
 //! host timing — so open-loop runs are bit-identical across reruns,
@@ -39,8 +47,9 @@ pub mod hist;
 pub mod trace;
 
 pub use driver::{
-    run_open_loop, CompletedRequest, OpenLoopBackend, OpenLoopConfig, OpenLoopError,
-    OpenLoopReport, RoundOutcome, TenantLatency,
+    run_open_loop, run_open_loop_dynamic, CompletedRequest, DynamicCompleted,
+    DynamicOpenLoopReport, OpenLoopBackend, OpenLoopConfig, OpenLoopError, OpenLoopReport,
+    RoundOutcome, TenantLatency,
 };
 pub use hist::LatencyHistogram;
 pub use trace::{Arrival, ArrivalProcess, ArrivalTrace};

@@ -195,6 +195,53 @@ impl ArrivalTrace {
         }
     }
 
+    /// Rebuild a trace from its parts — the replay half of file
+    /// capture/replay (`lac_bench::trace_io` serializes the parts to
+    /// JSON). Validates every invariant [`ArrivalTrace::generate`]
+    /// guarantees, so a replayed trace is indistinguishable from a
+    /// generated one: arrivals sorted by `(tick, tenant, index)`, ticks
+    /// in `[1, horizon]`, tenants within `streams`, and per-tenant
+    /// indices dense from 0.
+    pub fn from_parts(
+        arrivals: Vec<Arrival>,
+        horizon: u64,
+        streams: usize,
+    ) -> Result<Self, String> {
+        let mut next_index = vec![0u64; streams];
+        let mut last = None;
+        for (i, a) in arrivals.iter().enumerate() {
+            if a.tenant >= streams {
+                return Err(format!(
+                    "arrival {i}: tenant {} out of range (streams = {streams})",
+                    a.tenant
+                ));
+            }
+            if a.tick < 1 || a.tick > horizon {
+                return Err(format!(
+                    "arrival {i}: tick {} outside [1, {horizon}]",
+                    a.tick
+                ));
+            }
+            let key = (a.tick, a.tenant, a.index);
+            if last.is_some_and(|l| l >= key) {
+                return Err(format!("arrival {i}: not sorted by (tick, tenant, index)"));
+            }
+            last = Some(key);
+            if a.index != next_index[a.tenant] {
+                return Err(format!(
+                    "arrival {i}: tenant {} index {} breaks the dense sequence (expected {})",
+                    a.tenant, a.index, next_index[a.tenant]
+                ));
+            }
+            next_index[a.tenant] += 1;
+        }
+        Ok(Self {
+            arrivals,
+            horizon,
+            streams,
+        })
+    }
+
     /// All arrivals, sorted by `(tick, tenant, index)`.
     pub fn arrivals(&self) -> &[Arrival] {
         &self.arrivals
@@ -251,6 +298,46 @@ mod tests {
         assert!(!a.is_empty());
         let c = ArrivalTrace::generate(43, 100_000, &procs);
         assert_ne!(a, c, "a different seed changes the trace");
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let procs = [
+            ArrivalProcess::Poisson { mean_gap: 97.0 },
+            ArrivalProcess::OnOff {
+                mean_gap_on: 5.0,
+                mean_burst: 8.0,
+                mean_gap_off: 900.0,
+            },
+        ];
+        let trace = ArrivalTrace::generate(9, 50_000, &procs);
+        let rebuilt =
+            ArrivalTrace::from_parts(trace.arrivals().to_vec(), trace.horizon(), trace.streams())
+                .unwrap();
+        assert_eq!(rebuilt, trace);
+
+        // Each invariant violation is a typed error, not a bad trace.
+        let a = trace.arrivals().to_vec();
+        assert!(
+            ArrivalTrace::from_parts(a.clone(), 50_000, 1).is_err(),
+            "tenant range"
+        );
+        assert!(
+            ArrivalTrace::from_parts(a.clone(), 10, 2).is_err(),
+            "tick past horizon"
+        );
+        let mut unsorted = a.clone();
+        unsorted.swap(0, 1);
+        assert!(
+            ArrivalTrace::from_parts(unsorted, 50_000, 2).is_err(),
+            "sortedness"
+        );
+        let mut sparse = a;
+        sparse.remove(0);
+        assert!(
+            ArrivalTrace::from_parts(sparse, 50_000, 2).is_err(),
+            "dense indices"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! - [`lac_model`] — analytical performance / memory-hierarchy models.
 //! - [`lac_power`] — power & area models and platform comparisons.
 //! - [`lac_traffic`] — open-loop traffic layer: seeded arrival traces,
-//!   sojourn-time histograms (p50/p99/p999), SLO-aware serving.
+//!   sojourn-time histograms (p50/p99/p999), SLO-aware serving, and the
+//!   dynamic replay door for convergence-driven requests.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the experiment map,
 //! and `docs/ARCHITECTURE.md` for the layer diagram (engine → chip →
@@ -26,3 +27,13 @@ pub use lac_power;
 pub use lac_sim;
 pub use lac_traffic;
 pub use linalg_ref;
+
+// The continuation subsystem, flattened: the dynamic-graph API spans
+// three crates (trait + driver in `lac_sim::dynamic`, convergence-driven
+// clients in `lac_kernels`, the open-loop replay door in `lac_traffic`),
+// so the pieces a dynamic client touches are re-exported here together.
+pub use lac_kernels::{IpddpFleet, IpddpParams, IppmmParams, IppmmWorkload};
+pub use lac_sim::dynamic::{
+    run_dynamic, Continuation, Continue, DynamicGraph, DynamicOutcome, DynamicRun,
+};
+pub use lac_traffic::{run_open_loop_dynamic, DynamicCompleted, DynamicOpenLoopReport};
