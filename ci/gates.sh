@@ -35,6 +35,20 @@ if [ -n "$hits" ]; then
   fail=1
 fi
 
+# Gate 3: Source decoding is confined to the two execution backends.
+# Only the interpreter (core.rs) and the compiler (compile.rs) may match
+# on `Source` variants; a decode anywhere else would be a third place the
+# operand semantics live, free to drift from the differential suite's
+# bit-identity contract.
+hits=$(grep -rnE 'Source::[A-Za-z_]+(\([^)]*\))?[[:space:]]*=>' --include='*.rs' \
+  ./crates ./src ./tests ./examples 2>/dev/null \
+  | grep -v 'crates/lac-sim/src/core\.rs\|crates/lac-sim/src/compile\.rs' || true)
+if [ -n "$hits" ]; then
+  echo "Source decoded outside the execution backends (core.rs / compile.rs):"
+  echo "$hits"
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "all grep gates passed"
 fi

@@ -41,8 +41,8 @@ use std::process::ExitCode;
 const DEFAULT_TOLERANCE: f64 = 0.15;
 
 /// Fields that identify a point within its benchmark file.
-const IDENTITY_FIELDS: [&str; 8] = [
-    "bench", "chips", "tenants", "cores", "rounds", "policy", "load", "slo",
+const IDENTITY_FIELDS: [&str; 9] = [
+    "bench", "backend", "chips", "tenants", "cores", "rounds", "policy", "load", "slo",
 ];
 
 fn identity(point: &Json) -> String {

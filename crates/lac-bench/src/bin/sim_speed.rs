@@ -1,27 +1,46 @@
 //! Simulator-throughput micro-bench: host seconds per simulated
-//! megacycle.
+//! megacycle, interpreter vs compiled backend.
 //!
 //! Everything else in `lac-bench` reports *simulated* cycles — machine
 //! numbers that never move between hosts. This bin measures the one thing
 //! those reports hide: how fast the simulator itself chews through them.
 //! A fixed solver-loop graph (`SolverLoopWorkload`) is served repeatedly
-//! on a `LacService` at 1 and 4 cores, wall-clock timed, and reported as
-//! `host_seconds_per_megacycle` / `megacycles_per_host_second`.
+//! on a `LacService` at 1 and 4 cores, once per [`ExecBackend`],
+//! wall-clock timed, and reported as `host_seconds_per_megacycle` /
+//! `megacycles_per_host_second`.
 //!
 //! The host-time fields are machine-dependent by design and therefore
 //! **ungated** — they are archived for trend-watching, not regression
-//! gating. The `makespan_cycles` of the timed graph *is* gated: it pins
-//! that the workload being timed hasn't silently changed shape, so two
-//! archives' host numbers are comparable.
+//! gating. Three things *are* pinned:
+//!
+//! * `makespan_cycles` of the timed graph, so two archives' host numbers
+//!   time the same workload;
+//! * cross-backend makespan equality, asserted here — the backends are
+//!   bit-identical by contract (see `docs/PERFORMANCE.md`);
+//! * `compiled_speedup` at 1 core: the measured compiled/interpreter
+//!   throughput ratio, clamped to the contractual floor of 3× so the
+//!   archived value is host-independent. `perf_compare` gates it as a
+//!   worse-if-lower metric; the raw ratio is archived alongside as
+//!   `compiled_over_interpreter_measured`.
 
 use lac_bench::json::Json;
 use lac_bench::{emit_json, f, json_mode, table};
 use lac_kernels::{SolverLoopParams, SolverLoopWorkload};
-use lac_sim::{ChipConfig, LacConfig, LacService, Scheduler};
+use lac_sim::{ChipConfig, ExecBackend, LacConfig, LacService, Scheduler};
 use std::time::Instant;
 
 /// Timed submissions per row (after one untimed warmup).
 const RUNS: u32 = 4;
+
+/// Contractual compiled-over-interpreter throughput floor at 1 core.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+fn backend_name(b: ExecBackend) -> &'static str {
+    match b {
+        ExecBackend::Interpreter => "interpreter",
+        ExecBackend::Compiled => "compiled",
+    }
+}
 
 fn main() {
     let w = SolverLoopWorkload::new(SolverLoopParams {
@@ -35,53 +54,100 @@ fn main() {
     let mut points = Vec::new();
 
     for cores in [1usize, 4] {
-        let mut svc = LacService::new(ChipConfig::new(cores, LacConfig::default()));
-        // Warmup: spin up the persistent workers and fault in the code
-        // paths outside the timed region.
-        let warm = svc
-            .submit(w.graph().graph, Scheduler::CriticalPath)
-            .expect("warmup run");
-        w.check_graph(&warm.outputs)
-            .expect("outputs match linalg-ref");
-
-        let start = Instant::now();
-        let mut simulated_cycles = 0u64;
-        for _ in 0..RUNS {
-            let run = svc
+        let mut makespans = Vec::new();
+        let mut rates = Vec::new();
+        for backend in [ExecBackend::Interpreter, ExecBackend::Compiled] {
+            let cfg = LacConfig {
+                backend,
+                ..LacConfig::default()
+            };
+            let mut svc = LacService::new(ChipConfig::new(cores, cfg));
+            // Warmup: spin up the persistent workers, fault in the code
+            // paths, and (for the compiled backend) populate the
+            // service-wide compile cache outside the timed region.
+            let warm = svc
                 .submit(w.graph().graph, Scheduler::CriticalPath)
-                .expect("timed run");
-            simulated_cycles += run.stats.makespan_cycles;
-        }
-        let host_seconds = start.elapsed().as_secs_f64();
+                .expect("warmup run");
+            w.check_graph(&warm.outputs)
+                .expect("outputs match linalg-ref");
 
-        // The simulated side is exact and repeatable; only host time varies.
+            let start = Instant::now();
+            let mut simulated_cycles = 0u64;
+            for _ in 0..RUNS {
+                let run = svc
+                    .submit(w.graph().graph, Scheduler::CriticalPath)
+                    .expect("timed run");
+                simulated_cycles += run.stats.makespan_cycles;
+            }
+            let host_seconds = start.elapsed().as_secs_f64();
+
+            // The simulated side is exact and repeatable; only host time
+            // varies.
+            assert_eq!(
+                simulated_cycles,
+                RUNS as u64 * warm.stats.makespan_cycles,
+                "timed runs must replay the warmup bit for bit"
+            );
+            let megacycles = simulated_cycles as f64 / 1e6;
+            let sec_per_mc = host_seconds / megacycles;
+            makespans.push(warm.stats.makespan_cycles);
+            rates.push(megacycles / host_seconds);
+            rows.push(vec![
+                format!("{cores}"),
+                backend_name(backend).to_string(),
+                format!("{}", w.graph().graph.len()),
+                format!("{}", warm.stats.makespan_cycles),
+                format!("{RUNS}"),
+                format!("{:.3}", sec_per_mc),
+                f(megacycles / host_seconds),
+            ]);
+            points.push(Json::obj([
+                ("bench", Json::from("sim_speed")),
+                ("backend", Json::from(backend_name(backend))),
+                ("cores", Json::from(cores)),
+                ("jobs", Json::from(w.graph().graph.len())),
+                ("runs", Json::from(RUNS as u64)),
+                ("makespan_cycles", Json::from(warm.stats.makespan_cycles)),
+                ("host_seconds_per_megacycle", Json::from(sec_per_mc)),
+                (
+                    "megacycles_per_host_second",
+                    Json::from(megacycles / host_seconds),
+                ),
+            ]));
+        }
+
+        // Bit-identical backends must simulate the same machine.
         assert_eq!(
-            simulated_cycles,
-            RUNS as u64 * warm.stats.makespan_cycles,
-            "timed runs must replay the warmup bit for bit"
+            makespans[0], makespans[1],
+            "interpreter and compiled backends disagree on makespan at {cores} cores"
         );
-        let megacycles = simulated_cycles as f64 / 1e6;
-        let sec_per_mc = host_seconds / megacycles;
-        rows.push(vec![
-            format!("{cores}"),
-            format!("{}", w.graph().graph.len()),
-            format!("{}", warm.stats.makespan_cycles),
-            format!("{RUNS}"),
-            format!("{:.3}", sec_per_mc),
-            f(megacycles / host_seconds),
-        ]);
-        points.push(Json::obj([
-            ("bench", Json::from("sim_speed")),
-            ("cores", Json::from(cores)),
-            ("jobs", Json::from(w.graph().graph.len())),
-            ("runs", Json::from(RUNS as u64)),
-            ("makespan_cycles", Json::from(warm.stats.makespan_cycles)),
-            ("host_seconds_per_megacycle", Json::from(sec_per_mc)),
-            (
-                "megacycles_per_host_second",
-                Json::from(megacycles / host_seconds),
-            ),
-        ]));
+
+        // Gate the speedup contract where the measurement is cleanest: a
+        // single worker core, no thread-scheduling noise.
+        if cores == 1 {
+            let measured = rates[1] / rates[0];
+            assert!(
+                measured >= SPEEDUP_FLOOR,
+                "compiled backend is only {measured:.2}x the interpreter at 1 core \
+                 (contract: >= {SPEEDUP_FLOOR}x)"
+            );
+            points.push(Json::obj([
+                ("bench", Json::from("sim_speed")),
+                ("backend", Json::from("ratio")),
+                ("cores", Json::from(cores)),
+                ("compiled_speedup", Json::from(measured.min(SPEEDUP_FLOOR))),
+                ("compiled_over_interpreter_measured", Json::from(measured)),
+            ]));
+            rows.push(vec![
+                format!("{cores}"),
+                "ratio".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("{measured:.2}x"),
+            ]);
+        }
     }
 
     emit_json(Json::arr(points));
@@ -89,9 +155,10 @@ fn main() {
         table(
             "Simulator throughput — host seconds per simulated megacycle \
              (host fields machine-dependent, ungated; makespan gated to pin \
-             the timed workload)",
+             the timed workload; compiled_speedup gated at its 3x floor)",
             &[
                 "cores",
+                "backend",
                 "jobs",
                 "makespan_cycles",
                 "runs",

@@ -32,6 +32,6 @@ pub use comparator::{magnitude_ge, magnitude_max_index};
 pub use mac::{FpuConfig, MacUnit, Precision};
 pub use pipeline::Pipeline;
 pub use special::{
-    div_goldschmidt, recip_newton_raphson, rsqrt_newton_raphson, sqrt_via_rsqrt, DivSqrtImpl,
-    DivSqrtOp, SpecialFnUnit,
+    compute as divsqrt_compute, div_goldschmidt, recip_newton_raphson, rsqrt_newton_raphson,
+    sqrt_via_rsqrt, DivSqrtImpl, DivSqrtOp, SpecialFnUnit,
 };

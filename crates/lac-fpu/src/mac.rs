@@ -168,22 +168,39 @@ impl MacUnit {
         if let Some(op) = self.pipe.step() {
             let a = if op.negate { -op.a } else { op.a };
             match op.addend {
-                None => {
-                    if self.cfg.exponent_extension {
-                        self.acc.mac(a, op.b);
-                    } else {
-                        // Narrow accumulator: normalize every step, so
-                        // overflow behaves like plain f64 (the baseline the
-                        // extension fixes).
-                        let v = self.round(self.acc.normalize() + a * op.b);
-                        self.acc = ExtendedAccumulator::from_f64(v);
-                    }
-                }
-                Some(c) => {
-                    self.result = Some(self.round(c + a * op.b));
-                }
+                None => self.apply_retired_mac(a, op.b),
+                Some(c) => self.result = Some(self.apply_retired_fma(a, op.b, c)),
             }
         }
+    }
+
+    /// Apply the retirement arithmetic of an accumulating MAC directly:
+    /// `acc += a_signed * b`, with the same wide/narrow accumulator
+    /// behavior as [`MacUnit::step`]. Operands must already be rounded to
+    /// the configured precision and carry the product sign (the pipeline
+    /// rounds at issue and signs at retire; the two commute because
+    /// negation is exact). This is the retire door the decode-once
+    /// compiled backend in `lac-sim` uses to skip the pipeline queue while
+    /// staying bit-identical to the interpreter.
+    #[inline]
+    pub fn apply_retired_mac(&mut self, a_signed: f64, b: f64) {
+        if self.cfg.exponent_extension {
+            self.acc.mac(a_signed, b);
+        } else {
+            // Narrow accumulator: normalize every step, so overflow
+            // behaves like plain f64 (the baseline the extension fixes).
+            let v = self.round(self.acc.normalize() + a_signed * b);
+            self.acc = ExtendedAccumulator::from_f64(v);
+        }
+    }
+
+    /// The retirement arithmetic of a free-standing FMA: `c + a_signed*b`
+    /// rounded to the configured precision. Same contract as
+    /// [`MacUnit::apply_retired_mac`]: operands pre-rounded, sign
+    /// pre-applied.
+    #[inline]
+    pub fn apply_retired_fma(&self, a_signed: f64, b: f64, c: f64) -> f64 {
+        self.round(c + a_signed * b)
     }
 
     /// Drain the pipeline (advance until empty), returning cycles spent.

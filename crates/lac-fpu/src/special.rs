@@ -167,6 +167,20 @@ pub fn div_goldschmidt(a: f64, b: f64, iters: usize) -> f64 {
 /// from an 8-bit seed exceed the 53-bit double-precision mantissa.
 pub const DEFAULT_NR_ITERS: usize = 3;
 
+/// The functional result of `op` on `(a, b)` at the modeled iteration
+/// counts — exactly what [`SpecialFnUnit::issue`] latches. `b` is ignored
+/// except for [`DivSqrtOp::Divide`]. Exposed so the decode-once compiled
+/// backend in `lac-sim` can produce bit-identical SFU results without
+/// driving the latency model.
+pub fn compute(op: DivSqrtOp, a: f64, b: f64) -> f64 {
+    match op {
+        DivSqrtOp::Reciprocal => recip_newton_raphson(a, DEFAULT_NR_ITERS),
+        DivSqrtOp::Divide => div_goldschmidt(a, b, DEFAULT_NR_ITERS),
+        DivSqrtOp::Sqrt => sqrt_via_rsqrt(a, DEFAULT_NR_ITERS),
+        DivSqrtOp::InvSqrt => rsqrt_newton_raphson(a, DEFAULT_NR_ITERS),
+    }
+}
+
 /// A latency-modeled special-function unit: issue an op, result retires
 /// after [`DivSqrtImpl::latency`] cycles. Single outstanding op (the
 /// dissertation's SFU is unpipelined).
@@ -193,12 +207,7 @@ impl SpecialFnUnit {
     /// Issue `op` on operand(s); `b` is ignored except for Divide.
     /// Errors if the unit is busy.
     pub fn issue(&mut self, op: DivSqrtOp, a: f64, b: f64) -> Result<(), ()> {
-        let result = match op {
-            DivSqrtOp::Reciprocal => recip_newton_raphson(a, DEFAULT_NR_ITERS),
-            DivSqrtOp::Divide => div_goldschmidt(a, b, DEFAULT_NR_ITERS),
-            DivSqrtOp::Sqrt => sqrt_via_rsqrt(a, DEFAULT_NR_ITERS),
-            DivSqrtOp::InvSqrt => rsqrt_newton_raphson(a, DEFAULT_NR_ITERS),
-        };
+        let result = compute(op, a, b);
         self.issue_precomputed(op, result)
     }
 

@@ -36,6 +36,16 @@ pub(crate) fn cholesky_kernel_run(
     let nr = lac.config().nr;
     let p = lac.config().fpu.pipeline_depth;
     let q = lac.config().divsqrt.latency(DivSqrtOp::InvSqrt);
+    let prog = crate::memo::program("chol", &[nr as u64, p as u64, q as u64], || {
+        cholesky_kernel_program(nr, p, q)
+    });
+    let stats = lac.run(&prog, mem)?;
+    Ok(CholReport { stats })
+}
+
+/// The `nr × nr` Cholesky microprogram — a pure function of the shape
+/// (mesh size, FPU depth `p`, inverse-square-root latency `q`).
+fn cholesky_kernel_program(nr: usize, p: usize, q: usize) -> lac_sim::Program {
     let addr = |i: usize, j: usize| if i >= j { j * nr + i } else { i * nr + j };
 
     let mut b = ProgramBuilder::new(nr);
@@ -127,9 +137,7 @@ pub(crate) fn cholesky_kernel_run(
         }
     }
 
-    let prog = b.build();
-    let stats = lac.run(&prog, mem)?;
-    Ok(CholReport { stats })
+    b.build()
 }
 
 /// Blocked right-looking Cholesky of a `K × K` SPD matrix (`K = k·nr`):

@@ -392,7 +392,25 @@ pub(crate) fn gemm_run(
         b_words_needed <= lac.config().sram_b_words,
         "B panel does not fit the local store"
     );
-    let prog = gemm_program(nr, p, lay, params);
+    let prog = crate::memo::program(
+        "gemm",
+        &[
+            nr as u64,
+            p as u64,
+            lay.mc as u64,
+            lay.kc as u64,
+            lay.n as u64,
+            lay.a_off as u64,
+            lay.b_off as u64,
+            lay.c_off as u64,
+            params.mc as u64,
+            params.kc as u64,
+            params.n as u64,
+            params.overlap as u64,
+            params.negate as u64,
+        ],
+        || gemm_program(nr, p, lay, params),
+    );
     let stats = lac.run(&prog, mem)?;
     let useful = (params.mc * params.kc * params.n) as u64;
     Ok(GemmReport {

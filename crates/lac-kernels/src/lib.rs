@@ -12,9 +12,10 @@
 //! Every kernel is exposed through the unified [`Workload`] trait and run
 //! on a [`lac_sim::LacEngine`] session (see [`workload`]); [`registry`]
 //! enumerates one canonical instance of each for data-driven harnesses.
-//! (The pre-engine free functions — `run_gemm`, `run_blocked_cholesky`, …
-//! — went through a deprecation cycle and have been removed; drive the
-//! corresponding `*Workload` instead.)
+//! Program generators are pure functions of the job *shape*, so each
+//! distinct shape's program is built once and shared process-wide — see
+//! `docs/PERFORMANCE.md` for how that feeds the simulator's compile
+//! cache.
 //!
 //! All kernels are functionally verified against `linalg-ref` in their tests,
 //! and their measured cycle counts are compared against the dissertation's
@@ -40,6 +41,7 @@ pub mod ipddp;
 pub mod ippmm;
 pub mod layout;
 pub mod lu;
+mod memo;
 pub mod qr;
 pub mod solver;
 pub mod symm;

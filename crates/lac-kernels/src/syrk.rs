@@ -115,15 +115,49 @@ pub(crate) fn syrk_run(
     let p = lac.config().fpu.pipeline_depth;
     let SyrkParams { mc, kc, negate } = *params;
     assert!(mc % nr == 0 && kc % nr == 0);
-    let alay = ALayout::new(mc, kc, nr);
     assert!(
-        alay.words_per_pe() <= lac.config().sram_a_words,
+        ALayout::new(mc, kc, nr).words_per_pe() <= lac.config().sram_a_words,
         "A block too large"
     );
     assert!(
         kc <= lac.config().sram_b_words,
         "Aᵀ panel too large for B memory"
     );
+    let prog = crate::memo::program(
+        "syrk",
+        &[
+            nr as u64,
+            p as u64,
+            lay.mc as u64,
+            lay.kc as u64,
+            lay.c_off as u64,
+            mc as u64,
+            kc as u64,
+            negate as u64,
+        ],
+        || syrk_program(nr, p, lay, params),
+    );
+    let stats = lac.run(&prog, mem)?;
+    let nblocks = mc / nr;
+    let tiles = (nblocks * (nblocks + 1) / 2) as u64;
+    let useful = tiles * (nr * nr * kc) as u64;
+    Ok(SyrkReport {
+        stats,
+        useful_macs: useful,
+        utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
+    })
+}
+
+/// The blocked-SYRK microprogram — a pure function of the shape (mesh
+/// size, FPU depth, operand layout and block parameters).
+fn syrk_program(
+    nr: usize,
+    p: usize,
+    lay: &SyrkDataLayout,
+    params: &SyrkParams,
+) -> lac_sim::Program {
+    let SyrkParams { mc, kc, negate } = *params;
+    let alay = ALayout::new(mc, kc, nr);
 
     let nblocks = mc / nr;
     let mut b = ProgramBuilder::new(nr);
@@ -264,15 +298,7 @@ pub(crate) fn syrk_run(
         }
     }
 
-    let prog = b.build();
-    let stats = lac.run(&prog, mem)?;
-    let tiles = (nblocks * (nblocks + 1) / 2) as u64;
-    let useful = tiles * (nr * nr * kc) as u64;
-    Ok(SyrkReport {
-        stats,
-        useful_macs: useful,
-        utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
-    })
+    b.build()
 }
 
 #[cfg(test)]

@@ -49,6 +49,24 @@ pub(crate) fn trsm_stacked_run(
         m <= lac.config().sram_b_words,
         "B panel too large for B memory"
     );
+    let prog = crate::memo::program(
+        "trsm-stacked",
+        &[nr as u64, p as u64, q as u64, m as u64],
+        || trsm_stacked_program(nr, p, q, m),
+    );
+    let stats = lac.run(&prog, mem)?;
+    // scale multiplies (nr·W) + rank-1 update MACs (W·nr(nr-1)/2)
+    let useful = (nr * w + w * nr * (nr - 1) / 2) as u64;
+    Ok(TrsmReport {
+        stats,
+        useful_macs: useful,
+        utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
+    })
+}
+
+/// The stacked-TRSM microprogram — a pure function of the shape (mesh
+/// size, FPU depth `p`, reciprocal latency `q`, stacked tile count `m`).
+fn trsm_stacked_program(nr: usize, p: usize, q: usize, m: usize) -> lac_sim::Program {
     let l_addr = |i: usize, j: usize| j * nr + i;
     let b_addr = |i: usize, j: usize| nr * nr + j * nr + i;
 
@@ -157,15 +175,7 @@ pub(crate) fn trsm_stacked_run(
         }
     }
 
-    let prog = b.build();
-    let stats = lac.run(&prog, mem)?;
-    // scale multiplies (nr·W) + rank-1 update MACs (W·nr(nr-1)/2)
-    let useful = (nr * w + w * nr * (nr - 1) / 2) as u64;
-    Ok(TrsmReport {
-        stats,
-        useful_macs: useful,
-        utilization: useful as f64 / (stats.cycles as f64 * (nr * nr) as f64),
-    })
+    b.build()
 }
 
 /// Blocked TRSM (Figure 5.7): solve `L X = B` for `L` lower-triangular

@@ -31,6 +31,7 @@
 //! from each wave's slowest bucket in *simulated* cycles, which is
 //! independent of host scheduling.
 
+use crate::compile::ProgramCache;
 use crate::config::LacConfig;
 use crate::engine::LacEngine;
 use crate::error::SimError;
@@ -366,23 +367,44 @@ impl ChipStats {
 pub struct LacChip {
     cfg: ChipConfig,
     shards: Vec<LacEngine>,
+    program_cache: ProgramCache,
 }
 
 impl LacChip {
-    /// Build every shard per [`ChipConfig::shard_config`].
+    /// Build every shard per [`ChipConfig::shard_config`]. All shards
+    /// share one compile cache, so a program dispatched to every core
+    /// compiles once (see [`LacChip::program_cache`]).
     pub fn new(cfg: ChipConfig) -> Self {
+        Self::with_program_cache(cfg, ProgramCache::new())
+    }
+
+    /// Like [`LacChip::new`], but the shards join an external compile
+    /// cache — [`crate::cluster::LacCluster`] spans one cache across all
+    /// of its chips this way.
+    pub fn with_program_cache(cfg: ChipConfig, cache: ProgramCache) -> Self {
         assert!(cfg.cores >= 1, "a chip has at least one core");
         cfg.assert_budget_conserved();
         let shards = (0..cfg.cores)
             .map(|core| {
-                let mut b = LacEngine::builder().config(cfg.shard_config(core));
+                let mut b = LacEngine::builder()
+                    .config(cfg.shard_config(core))
+                    .program_cache(cache.clone());
                 if let Some(words) = cfg.mem_words_per_core {
                     b = b.mem_words(words);
                 }
                 b.build()
             })
             .collect();
-        Self { cfg, shards }
+        Self {
+            cfg,
+            shards,
+            program_cache: cache,
+        }
+    }
+
+    /// The compile cache shared by every shard of this chip.
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.program_cache
     }
 
     /// The chip's static configuration.

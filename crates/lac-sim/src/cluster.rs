@@ -58,6 +58,7 @@
 //! interconnect's per-word and static link energy on top.
 
 use crate::chip::{ChipConfig, ChipJob, ChipStats, LacChip, Scheduler};
+use crate::compile::ProgramCache;
 use crate::error::{HazardKind, SimError};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::service::{
@@ -961,15 +962,23 @@ pub struct LacCluster<J: ChipJob> {
     session: ClusterSession,
     fault_plan: FaultPlan,
     dead: Vec<bool>,
+    program_cache: ProgramCache,
 }
 
 impl<J: ChipJob> LacCluster<J> {
     /// Build every chip of `cfg` (each chip's bandwidth budget splits
     /// across its cores per [`ChipConfig::shard_config`]) with the
-    /// default [`Partitioner::CostBins`].
+    /// default [`Partitioner::CostBins`]. Every core of every chip joins
+    /// one cluster-wide compile cache, so a program replicated across the
+    /// whole fleet compiles once (see [`LacCluster::program_cache`]).
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(!cfg.chips.is_empty(), "a cluster has at least one chip");
-        let chips: Vec<LacChip> = cfg.chips.iter().map(|&c| LacChip::new(c)).collect();
+        let program_cache = ProgramCache::new();
+        let chips: Vec<LacChip> = cfg
+            .chips
+            .iter()
+            .map(|&c| LacChip::with_program_cache(c, program_cache.clone()))
+            .collect();
         let dead = vec![false; chips.len()];
         Self {
             cfg,
@@ -981,7 +990,13 @@ impl<J: ChipJob> LacCluster<J> {
             session: ClusterSession::default(),
             fault_plan: FaultPlan::new(),
             dead,
+            program_cache,
         }
+    }
+
+    /// The compile cache shared by every core of every chip.
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.program_cache
     }
 
     /// Override the placement policy (see [`Partitioner`]).

@@ -2,6 +2,30 @@
 
 use lac_fpu::{DivSqrtImpl, FpuConfig};
 
+/// Which execution backend [`crate::Lac::run`](crate::core::Lac::run)
+/// dispatches a program to.
+///
+/// Both backends are bit-identical — same memory and accumulator bits,
+/// same [`crate::ExecStats`], same hazard errors — the choice is purely a
+/// host-speed trade (see `docs/PERFORMANCE.md`). The compiled backend
+/// falls back to the interpreter per program whenever lowering is not
+/// applicable (a program that would hazard, or one that carries pipeline
+/// state in or out), so selecting it is always safe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecBackend {
+    /// The cycle-by-cycle reference interpreter: decodes every `Source`
+    /// of every PE on every cycle. Keep for debugging and as the
+    /// semantics oracle the differential suite checks the compiled
+    /// backend against.
+    Interpreter,
+    /// Decode-once lowering: each distinct program is compiled to a flat
+    /// op tape with pre-resolved operand offsets (memoized in a
+    /// [`crate::ProgramCache`], shareable cluster-wide) and replayed
+    /// without per-cycle decode.
+    #[default]
+    Compiled,
+}
+
 /// Configuration of one Linear Algebra Core.
 ///
 /// Defaults follow the dissertation's canonical design point: a 4×4 mesh,
@@ -28,6 +52,10 @@ pub struct LacConfig {
     pub ext_words_per_cycle: Option<usize>,
     /// Whether the comparator extension (§A.2, pivot search) is present.
     pub comparator_extension: bool,
+    /// Which execution backend [`crate::core::Lac::run`] uses. Purely a
+    /// host-speed knob: results, stats, and errors are bit-identical
+    /// either way.
+    pub backend: ExecBackend,
 }
 
 impl Default for LacConfig {
@@ -42,6 +70,7 @@ impl Default for LacConfig {
             divsqrt: DivSqrtImpl::Isolated,
             ext_words_per_cycle: None,
             comparator_extension: false,
+            backend: ExecBackend::default(),
         }
     }
 }

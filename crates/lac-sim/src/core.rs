@@ -1,6 +1,16 @@
 //! The cycle-by-cycle execution engine for one LAC.
+//!
+//! Two backends share this module's architectural state (see
+//! [`crate::config::ExecBackend`]): the reference **interpreter** below,
+//! which decodes every [`Source`] of every PE on every cycle, and the
+//! decode-once **compiled** backend in [`mod@crate::compile`], which lowers a
+//! program to a flat op tape once and replays it. Both address the same
+//! unified state arena (`Lac::state`, laid out by the compile module's
+//! private `ArenaLayout`), so a
+//! core can switch backends between programs with bit-identical results.
 
-use crate::config::LacConfig;
+use crate::compile::ProgramCache;
+use crate::config::{ExecBackend, LacConfig};
 use crate::error::{HazardKind, SimError};
 use crate::isa::{ExtOp, Program, Source, Step};
 use crate::stats::ExecStats;
@@ -52,16 +62,62 @@ impl ExternalMem {
     }
 }
 
-/// Architectural state of one PE.
+/// Architectural state of one PE that is *not* plain words (the word
+/// state — SRAMs and the register file — lives in the core's unified
+/// arena, see [`ArenaLayout`]).
 #[derive(Clone, Debug)]
-struct PeState {
-    sram_a: Vec<f64>,
-    sram_b: Vec<f64>,
-    rf: Vec<f64>,
-    mac: MacUnit,
-    mac_result: Option<f64>,
-    sfu: Option<SpecialFnUnit>,
-    sfu_result: Option<f64>,
+pub(crate) struct PeState {
+    pub(crate) mac: MacUnit,
+    pub(crate) mac_result: Option<f64>,
+    pub(crate) sfu: Option<SpecialFnUnit>,
+    pub(crate) sfu_result: Option<f64>,
+}
+
+/// Offsets of each PE's word-state regions inside the core's flat arena:
+/// `[ sram_a (all PEs) | sram_b (all PEs) | rf (all PEs) ]`. The compiled
+/// backend appends its execution regions (buses, latches, pipeline slots,
+/// constants, temps) after `words`; those bases are derived per config in
+/// [`crate::compile`] so offsets stay valid across same-config shards.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArenaLayout {
+    sram_a_words: usize,
+    sram_b_words: usize,
+    rf_entries: usize,
+    sram_b_base: usize,
+    rf_base: usize,
+    /// Total architectural words (the compiled suffix starts here).
+    pub(crate) words: usize,
+}
+
+impl ArenaLayout {
+    pub(crate) fn new(cfg: &LacConfig) -> Self {
+        let pes = cfg.nr * cfg.nr;
+        let sram_b_base = pes * cfg.sram_a_words;
+        let rf_base = sram_b_base + pes * cfg.sram_b_words;
+        Self {
+            sram_a_words: cfg.sram_a_words,
+            sram_b_words: cfg.sram_b_words,
+            rf_entries: cfg.rf_entries,
+            sram_b_base,
+            rf_base,
+            words: rf_base + pes * cfg.rf_entries,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn sram_a(&self, pe: usize, addr: usize) -> usize {
+        pe * self.sram_a_words + addr
+    }
+
+    #[inline]
+    pub(crate) fn sram_b(&self, pe: usize, addr: usize) -> usize {
+        self.sram_b_base + pe * self.sram_b_words + addr
+    }
+
+    #[inline]
+    pub(crate) fn rf(&self, pe: usize, idx: usize) -> usize {
+        self.rf_base + pe * self.rf_entries + idx
+    }
 }
 
 /// Per-cycle port-usage counters for one PE (reset each cycle).
@@ -95,10 +151,15 @@ enum Commit {
 
 /// One simulated Linear Algebra Core.
 pub struct Lac {
-    cfg: LacConfig,
-    pes: Vec<PeState>,
+    pub(crate) cfg: LacConfig,
+    pub(crate) pes: Vec<PeState>,
+    /// Unified word-state arena (SRAMs + register files, then the compiled
+    /// backend's execution regions — grown on demand, prefix preserved).
+    pub(crate) state: Vec<f64>,
+    pub(crate) layout: ArenaLayout,
     stats: ExecStats,
     scratch: Scratch,
+    cache: ProgramCache,
 }
 
 impl Lac {
@@ -118,9 +179,6 @@ impl Lac {
                     || (cfg.divsqrt == DivSqrtImpl::DiagonalPes && r == c)
                     || (cfg.divsqrt == DivSqrtImpl::Isolated && idx == 0);
                 PeState {
-                    sram_a: vec![0.0; cfg.sram_a_words],
-                    sram_b: vec![0.0; cfg.sram_b_words],
-                    rf: vec![0.0; cfg.rf_entries],
                     mac: MacUnit::new(cfg.fpu),
                     mac_result: None,
                     sfu: has_sfu.then(|| SpecialFnUnit::new(cfg.divsqrt)),
@@ -128,12 +186,29 @@ impl Lac {
                 }
             })
             .collect();
+        let layout = ArenaLayout::new(&cfg);
         Self {
             cfg,
             pes,
+            state: vec![0.0; layout.words],
+            layout,
             stats: ExecStats::default(),
             scratch: Scratch::default(),
+            cache: ProgramCache::new(),
         }
+    }
+
+    /// Replace the core's compile cache with a shared one (the door
+    /// `LacChip`/`LacService`/`LacCluster` use so every same-config shard
+    /// compiles each distinct program shape once). Handles are cheap
+    /// clones of one shared store.
+    pub fn set_program_cache(&mut self, cache: ProgramCache) {
+        self.cache = cache;
+    }
+
+    /// The compile cache this core resolves programs through.
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.cache
     }
 
     /// The configuration the core was built with.
@@ -153,13 +228,15 @@ impl Lac {
     /// Direct (test/preload) access to a PE's A memory.
     pub fn sram_a_mut(&mut self, r: usize, c: usize) -> &mut [f64] {
         let i = self.pe_index(r, c);
-        &mut self.pes[i].sram_a
+        let base = self.layout.sram_a(i, 0);
+        &mut self.state[base..base + self.cfg.sram_a_words]
     }
 
     /// Direct (test/preload) access to a PE's B memory.
     pub fn sram_b_mut(&mut self, r: usize, c: usize) -> &mut [f64] {
         let i = self.pe_index(r, c);
-        &mut self.pes[i].sram_b
+        let base = self.layout.sram_b(i, 0);
+        &mut self.state[base..base + self.cfg.sram_b_words]
     }
 
     /// Read a PE's accumulator (test/verification access; does not check the
@@ -170,7 +247,7 @@ impl Lac {
 
     /// Read a PE's register (test/verification access).
     pub fn reg(&self, r: usize, c: usize, idx: usize) -> f64 {
-        self.pes[self.pe_index(r, c)].rf[idx]
+        self.state[self.layout.rf(self.pe_index(r, c), idx)]
     }
 
     /// A PE's wide accumulator (the extended-format read port, §A.2).
@@ -179,13 +256,38 @@ impl Lac {
     }
 
     /// Execute a whole program against `mem`, returning the run's stats.
+    ///
+    /// Dispatches on [`LacConfig::backend`]: the interpreter walks the
+    /// program cycle by cycle; the compiled backend replays a memoized
+    /// decode-once lowering (falling back to the interpreter for programs
+    /// the lowering does not cover). The two are bit-identical.
     pub fn run(&mut self, prog: &Program, mem: &mut ExternalMem) -> Result<ExecStats, SimError> {
+        match self.cfg.backend {
+            ExecBackend::Interpreter => self.run_interpreted(prog, mem),
+            ExecBackend::Compiled => self.run_compiled(prog, mem),
+        }
+    }
+
+    /// Execute a whole program on the reference interpreter, regardless of
+    /// the configured backend (the semantics oracle and the fallback door
+    /// of [`Lac::run_compiled`]).
+    pub fn run_interpreted(
+        &mut self,
+        prog: &Program,
+        mem: &mut ExternalMem,
+    ) -> Result<ExecStats, SimError> {
         assert_eq!(prog.nr, self.cfg.nr, "program/mesh dimension mismatch");
         let start = self.stats;
         for (t, step) in prog.steps.iter().enumerate() {
             self.exec_step(t, step, mem)?;
         }
         Ok(self.stats.since(&start))
+    }
+
+    /// Crate-internal: the stats accumulator (the compiled backend merges
+    /// a run's static counters in one shot).
+    pub(crate) fn stats_mut(&mut self) -> &mut ExecStats {
+        &mut self.stats
     }
 
     fn exec_step(&mut self, t: usize, step: &Step, mem: &mut ExternalMem) -> Result<(), SimError> {
@@ -333,7 +435,7 @@ impl Lac {
                     }
                     let v =
                         self.resolve(t, (r, c), cmp.value, row_bus, col_bus, &mut port_use[idx])?;
-                    let cur = self.pes[idx].rf[cmp.val_reg];
+                    let cur = self.state[self.layout.rf(idx, cmp.val_reg)];
                     self.stats.cmp_ops += 1;
                     if !lac_fpu::magnitude_ge(cur, v) {
                         commits.push(Commit::Reg(idx, cmp.val_reg, v));
@@ -483,9 +585,9 @@ impl Lac {
         // --- phase 5: commit writes ---------------------------------------
         for cmt in commits.drain(..) {
             match cmt {
-                Commit::SramA(idx, addr, v) => self.pes[idx].sram_a[addr] = v,
-                Commit::SramB(idx, addr, v) => self.pes[idx].sram_b[addr] = v,
-                Commit::Reg(idx, ridx, v) => self.pes[idx].rf[ridx] = v,
+                Commit::SramA(idx, addr, v) => self.state[self.layout.sram_a(idx, addr)] = v,
+                Commit::SramB(idx, addr, v) => self.state[self.layout.sram_b(idx, addr)] = v,
+                Commit::Reg(idx, ridx, v) => self.state[self.layout.rf(idx, ridx)] = v,
                 Commit::AccLoad(idx, v) => self.pes[idx].mac.load_acc(v),
                 Commit::Ext(addr, v) => mem.write(addr, v),
             }
@@ -579,7 +681,7 @@ impl Lac {
                 }
                 ports.sram_a += 1;
                 self.stats.sram_a_reads += 1;
-                Ok(self.pes[idx].sram_a[addr])
+                Ok(self.state[self.layout.sram_a(idx, addr)])
             }
             Source::SramB(addr) => {
                 if addr >= self.cfg.sram_b_words {
@@ -591,7 +693,7 @@ impl Lac {
                 }
                 ports.sram_b += 1;
                 self.stats.sram_b_reads += 1;
-                Ok(self.pes[idx].sram_b[addr])
+                Ok(self.state[self.layout.sram_b(idx, addr)])
             }
             Source::Reg(ridx) => {
                 if ridx >= self.cfg.rf_entries {
@@ -602,7 +704,7 @@ impl Lac {
                 }
                 ports.rf_reads += 1;
                 self.stats.rf_reads += 1;
-                Ok(self.pes[idx].rf[ridx])
+                Ok(self.state[self.layout.rf(idx, ridx)])
             }
             Source::Acc => {
                 if !self.pes[idx].mac.idle() {

@@ -28,6 +28,7 @@
 //! All three meter into the session accumulator, so a session's numbers
 //! are complete no matter how its workloads stage memory.
 
+use crate::compile::ProgramCache;
 use crate::config::LacConfig;
 use crate::core::{ExternalMem, Lac};
 use crate::error::SimError;
@@ -39,10 +40,11 @@ use crate::stats::ExecStats;
 const DEFAULT_MEM_WORDS: usize = 1 << 16;
 
 /// Builder for [`LacEngine`] — `LacEngine::builder().config(cfg).build()`.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LacEngineBuilder {
     cfg: LacConfig,
     mem_words: Option<usize>,
+    program_cache: Option<ProgramCache>,
 }
 
 impl LacEngineBuilder {
@@ -58,10 +60,24 @@ impl LacEngineBuilder {
         self
     }
 
+    /// Share an external compile cache instead of a per-core one, so
+    /// sibling cores (a chip's shards, a service's workers, a whole
+    /// cluster) compile each distinct program once. Cache entries are
+    /// keyed by configuration fingerprint as well, so sharing across
+    /// heterogeneous cores is safe.
+    pub fn program_cache(mut self, cache: ProgramCache) -> Self {
+        self.program_cache = Some(cache);
+        self
+    }
+
     /// Construct the engine: a fresh core plus a zeroed memory bank.
     pub fn build(self) -> LacEngine {
+        let mut lac = Lac::new(self.cfg);
+        if let Some(cache) = self.program_cache {
+            lac.set_program_cache(cache);
+        }
         LacEngine {
-            lac: Lac::new(self.cfg),
+            lac,
             mem: ExternalMem::new(self.mem_words.unwrap_or(DEFAULT_MEM_WORDS)),
             session: ExecStats::default(),
             programs_run: 0,

@@ -198,12 +198,29 @@ impl Step {
 }
 
 /// A complete microprogram for one LAC.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Program {
     /// Mesh dimension the program was generated for.
     pub nr: usize,
     /// One [`Step`] per simulated cycle.
     pub steps: Vec<Step>,
+    /// Structural hash, memoized on first use (see
+    /// [`Program::structural_hash`]). Cleared by `clone`.
+    hash: std::sync::OnceLock<u128>,
+}
+
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        // The memoized hash is deliberately *not* carried over: a clone is
+        // the one legitimate way to obtain a mutable program again (the
+        // fields are public), and a stale hash on a mutated clone would
+        // alias another program in the compile cache.
+        Program {
+            nr: self.nr,
+            steps: self.steps.clone(),
+            hash: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl Program {
@@ -215,6 +232,20 @@ impl Program {
     /// True when the program has no steps.
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
+    }
+
+    /// A 128-bit structural hash of the program: two independent passes
+    /// over `nr`, every non-idle [`PeInstr`] (with its step and PE
+    /// position) and every [`ExtOp`]. Idle steps and idle PEs contribute
+    /// only their count, so pipeline-drain padding hashes in O(1) per
+    /// step. This is the [`crate::ProgramCache`] key.
+    ///
+    /// The value is memoized on first call — treat a `Program` as
+    /// immutable once it has been executed (kernel generators build via
+    /// [`ProgramBuilder`] and never mutate afterwards; `clone()` resets
+    /// the memo on the copy).
+    pub fn structural_hash(&self) -> u128 {
+        *self.hash.get_or_init(|| crate::compile::hash_program(self))
     }
 }
 
@@ -286,6 +317,7 @@ impl ProgramBuilder {
         Program {
             nr: self.nr,
             steps: self.steps,
+            hash: std::sync::OnceLock::new(),
         }
     }
 }

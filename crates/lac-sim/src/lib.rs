@@ -24,6 +24,7 @@
 
 pub mod chip;
 pub mod cluster;
+pub mod compile;
 pub mod config;
 pub mod core;
 pub mod dynamic;
@@ -42,7 +43,8 @@ pub use cluster::{
     ClusterConfig, ClusterRound, ClusterRun, ClusterSession, ClusterStats, LacCluster, Partition,
     Partitioner, Transfer,
 };
-pub use config::LacConfig;
+pub use compile::{compile, CacheStats, CompiledProgram, FallbackReason, ProgramCache};
+pub use config::{ExecBackend, LacConfig};
 pub use dynamic::{
     run_dynamic, Continuation, ContinuationBackend, Continue, DynamicError, DynamicGraph,
     DynamicOutcome, DynamicRun,

@@ -58,6 +58,7 @@
 //! order, so shared-state workloads stay bit-deterministic.
 
 use crate::chip::{ChipConfig, ChipJob, ChipStats, Scheduler};
+use crate::compile::ProgramCache;
 use crate::engine::LacEngine;
 use crate::error::SimError;
 use crate::stats::ExecStats;
@@ -1234,20 +1235,26 @@ pub struct LacService<J: ChipJob + 'static> {
     tenants: Vec<(TenantConfig, TenantSession)>,
     pending: Vec<PendingGraph<J>>,
     next_seq: u64,
+    program_cache: ProgramCache,
 }
 
 impl<J: ChipJob + 'static> LacService<J> {
     /// Build the shards (per-core bandwidth split per
     /// [`ChipConfig::shard_config`]) and spawn one worker thread per core.
+    /// All workers share one compile cache, so a program fanned out across
+    /// cores compiles once (see [`LacService::program_cache`]).
     pub fn new(cfg: ChipConfig) -> Self {
         assert!(cfg.cores >= 1, "a chip has at least one core");
         cfg.assert_budget_conserved();
+        let program_cache = ProgramCache::new();
         let abort = Arc::new(AtomicBool::new(false));
         let (done_tx, done_rx) = channel::<Done<J::Output>>();
         let mut txs = Vec::with_capacity(cfg.cores);
         let mut handles = Vec::with_capacity(cfg.cores);
         for core in 0..cfg.cores {
-            let mut b = LacEngine::builder().config(cfg.shard_config(core));
+            let mut b = LacEngine::builder()
+                .config(cfg.shard_config(core))
+                .program_cache(program_cache.clone());
             if let Some(words) = cfg.mem_words_per_core {
                 b = b.mem_words(words);
             }
@@ -1275,12 +1282,18 @@ impl<J: ChipJob + 'static> LacService<J> {
             tenants: Vec::new(),
             pending: Vec::new(),
             next_seq: 0,
+            program_cache,
         }
     }
 
     /// The underlying chip configuration.
     pub fn config(&self) -> &ChipConfig {
         &self.cfg
+    }
+
+    /// The compile cache shared by every worker core of this service.
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.program_cache
     }
 
     /// Number of worker cores.
