@@ -27,7 +27,7 @@ use lac_bench::json::Json;
 use lac_bench::{emit_json, f, json_mode, pct, table};
 use lac_kernels::{SolverFleet, SolverJob, SolverLoopParams};
 use lac_power::ClusterEnergyModel;
-use lac_sim::{ChipConfig, ClusterConfig, LacCluster, LacConfig, Partitioner, Scheduler};
+use lac_sim::{ChipConfig, ClusterConfig, LacCluster, LacConfig, Partitioner, Scheduler, SimMode};
 
 const CHIPS_SWEEP: [usize; 3] = [1, 2, 4];
 const CORES_SWEEP: [usize; 2] = [2, 4];
@@ -182,6 +182,65 @@ fn main() {
             (
                 "striping_slowdown",
                 Json::from(run.stats.makespan_cycles as f64 / binned as f64),
+            ),
+        ]));
+
+        // Event-core overlap point: the same striped stress fleet under
+        // `SimMode::Event` — cut-edge transfers fly while both endpoint
+        // chips compute instead of stalling the wave barrier. The event
+        // core's acceptance gate: bit-identical outputs, deterministic
+        // rerun, and a makespan strictly below the wave coordinator's.
+        let chip = ChipConfig::new(cores, LacConfig::default());
+        let mut event_cluster: LacCluster<SolverJob> =
+            LacCluster::new(ClusterConfig::homogeneous(chips, chip).with_sim_mode(SimMode::Event))
+                .with_partitioner(Partitioner::Striped);
+        let efleet = SolverFleet::new(base_params(), FLEET);
+        let erun = event_cluster
+            .run_graph(&efleet.graph, Scheduler::CriticalPath)
+            .expect("event mode changes clocks, not correctness");
+        assert_eq!(erun.outputs, run.outputs, "event mode changed output bits");
+        assert!(
+            erun.stats.makespan_cycles < run.stats.makespan_cycles,
+            "overlap must beat the barrier: event {} vs wave {}",
+            erun.stats.makespan_cycles,
+            run.stats.makespan_cycles
+        );
+        let refleet = SolverFleet::new(base_params(), FLEET);
+        let ererun = event_cluster
+            .run_graph(&refleet.graph, Scheduler::CriticalPath)
+            .expect("event rerun");
+        assert_eq!(erun.outputs, ererun.outputs, "event rerun diverged");
+        assert_eq!(erun.stats, ererun.stats, "event rerun stats diverged");
+        let ee = energy_model.summarize(&erun.stats);
+        rows.push(vec![
+            format!("{chips}"),
+            format!("{cores}"),
+            "striped-event".into(),
+            format!("{}", erun.stats.makespan_cycles),
+            format!("{}", erun.waves),
+            format!("{}", erun.stats.transferred_words),
+            pct(erun.stats.utilization(nr)),
+            f(erun.stats.speedup()),
+            f(ee.total_nj / 1000.0),
+            f(ee.gflops_per_w),
+        ]);
+        points.push(Json::obj([
+            ("bench", Json::from("cluster_scaling_event_overlap")),
+            ("chips", Json::from(chips)),
+            ("cores", Json::from(cores)),
+            ("policy", Json::from("striped-event")),
+            ("makespan_cycles", Json::from(erun.stats.makespan_cycles)),
+            (
+                "transferred_words",
+                Json::from(erun.stats.transferred_words),
+            ),
+            (
+                "transfer_stall_cycles",
+                Json::from(erun.stats.transfer_stall_cycles),
+            ),
+            (
+                "event_wave_makespan_ratio",
+                Json::from(erun.stats.makespan_cycles as f64 / run.stats.makespan_cycles as f64),
             ),
         ]));
     }

@@ -66,6 +66,7 @@ fn gate_for(field: &str) -> Option<Gate> {
         || field == "clock_cycles"
         || field.ends_with("_clock_cycles")
         || field.contains("sojourn")
+        || field.ends_with("_makespan_ratio")
     {
         Some(Gate::WorseIfHigher)
     } else if field.contains("throughput") || field.contains("speedup") {

@@ -35,6 +35,7 @@ use crate::compile::ProgramCache;
 use crate::config::LacConfig;
 use crate::engine::LacEngine;
 use crate::error::SimError;
+use crate::event::{drive_event_graph, SimMode};
 use crate::isa::Program;
 use crate::service::{drive, plan_wave, run_one, Done, GraphRun, JobGraph};
 use crate::stats::ExecStats;
@@ -205,22 +206,35 @@ pub struct ChipConfig {
     pub ext_words_per_cycle_total: Option<usize>,
     /// Initial engine-owned bank size per shard, words.
     pub mem_words_per_core: Option<usize>,
+    /// Which coordinator drives graph runs: lock-step waves (the
+    /// default, the compatibility mode) or the discrete-event core (see
+    /// [`crate::event`]). Outputs are bit-identical either way; clocks
+    /// may differ.
+    pub sim_mode: SimMode,
 }
 
 impl ChipConfig {
-    /// `cores` identical cores, no bandwidth cap, default bank size.
+    /// `cores` identical cores, no bandwidth cap, default bank size,
+    /// wave coordination.
     pub fn new(cores: usize, core: LacConfig) -> Self {
         Self {
             cores,
             core,
             ext_words_per_cycle_total: None,
             mem_words_per_core: None,
+            sim_mode: SimMode::Wave,
         }
     }
 
     /// Set the aggregate bandwidth budget (words/cycle for the whole chip).
     pub fn with_bandwidth_budget(mut self, words_per_cycle: usize) -> Self {
         self.ext_words_per_cycle_total = Some(words_per_cycle);
+        self
+    }
+
+    /// Select the coordinator ([`SimMode::Wave`] is the default).
+    pub fn with_sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
         self
     }
 
@@ -458,6 +472,7 @@ impl LacChip {
         sched: Scheduler,
     ) -> Result<GraphRun<J::Output>, SimError> {
         let cores = self.shards.len();
+        let mode = self.cfg.sim_mode;
         let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint()).collect();
         let abort = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|scope| {
@@ -477,15 +492,28 @@ impl LacChip {
                     }
                 });
             }
-            drive(
-                &costs,
-                &graph.parents,
-                &graph.children,
-                sched,
-                cores,
-                |core, job| txs[core].send(job).expect("chip worker hung up"),
-                || done_rx.recv().expect("chip worker hung up"),
-            )
+            let dispatch = |core: usize, job| txs[core].send(job).expect("chip worker hung up");
+            let collect = || done_rx.recv().expect("chip worker hung up");
+            match mode {
+                SimMode::Wave => drive(
+                    &costs,
+                    &graph.parents,
+                    &graph.children,
+                    sched,
+                    cores,
+                    dispatch,
+                    collect,
+                ),
+                SimMode::Event => drive_event_graph(
+                    &costs,
+                    &graph.parents,
+                    &graph.children,
+                    sched,
+                    cores,
+                    dispatch,
+                    collect,
+                ),
+            }
             // `txs` drop here, closing the submission channels; the scoped
             // workers drain and exit, and the scope joins them.
         })

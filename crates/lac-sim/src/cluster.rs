@@ -60,6 +60,7 @@
 use crate::chip::{ChipConfig, ChipJob, ChipStats, LacChip, Scheduler};
 use crate::compile::ProgramCache;
 use crate::error::{HazardKind, SimError};
+use crate::event::{drive_event, EventRun, EventTopology, SimMode};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::service::{
     admit, cap_banked_credit, collect_wave, critical_paths, drain_inflight, plan_wave,
@@ -85,15 +86,23 @@ pub struct ClusterConfig {
     /// Fixed latency of one chip-to-chip hop, in simulated cycles, paid
     /// by every cross-chip edge regardless of payload size.
     pub hop_latency_cycles: u64,
+    /// Which coordinator drives cluster runs: lock-step waves (the
+    /// default, the compatibility mode) or the discrete-event core (see
+    /// [`crate::event`]), which overlaps cut-edge transfers with compute
+    /// and models per-link contention. Outputs are bit-identical either
+    /// way; clocks may differ.
+    pub sim_mode: SimMode,
 }
 
 impl ClusterConfig {
     /// A cluster of `chips` identical chips with the default link model
     /// (4 words/cycle, 200-cycle hop — a PCIe-class link next to an
-    /// on-chip fabric).
+    /// on-chip fabric). The coordinator mode is inherited from the chip
+    /// config.
     pub fn homogeneous(chips: usize, chip: ChipConfig) -> Self {
         assert!(chips >= 1, "a cluster has at least one chip");
         Self {
+            sim_mode: chip.sim_mode,
             chips: vec![chip; chips],
             link_words_per_cycle: 4,
             hop_latency_cycles: 200,
@@ -105,6 +114,12 @@ impl ClusterConfig {
         assert!(words_per_cycle >= 1, "a link moves at least one word/cycle");
         self.link_words_per_cycle = words_per_cycle;
         self.hop_latency_cycles = hop_latency_cycles;
+        self
+    }
+
+    /// Select the coordinator ([`SimMode::Wave`] is the default).
+    pub fn with_sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
         self
     }
 
@@ -921,6 +936,60 @@ fn drive_cluster<T>(
     })
 }
 
+/// Package an event-mode run into the shape the cluster doors consume:
+/// split the flat per-core stats back into per-chip [`ChipStats`] (every
+/// chip reports the cluster makespan, exactly like wave mode), and read
+/// the sorted distinct completion ticks as the wave clock. Event-mode
+/// `transfer_stall_cycles` are the all-cores-idle gaps the heap hopped
+/// over; per core, `busy + idle + stall = makespan`.
+fn package_event_run<T>(cfg: &ClusterConfig, run: EventRun<T>) -> ClusterMultiRun<T> {
+    let chips = cfg.chips.len();
+    let mut chip_base = vec![0usize; chips];
+    for c in 1..chips {
+        chip_base[c] = chip_base[c - 1] + cfg.chips[c - 1].cores;
+    }
+    let mut aggregate = ExecStats::default();
+    for s in &run.per_core {
+        aggregate.merge(s);
+    }
+    let mut per_chip = Vec::with_capacity(chips);
+    let mut idle_nested = Vec::with_capacity(chips);
+    for (chip, &base) in chip_base.iter().enumerate() {
+        let range = base..base + cfg.chips[chip].cores;
+        let chip_cores: Vec<ExecStats> = run.per_core[range.clone()].to_vec();
+        let mut chip_aggregate = ExecStats::default();
+        for s in &chip_cores {
+            chip_aggregate.merge(s);
+        }
+        per_chip.push(ChipStats {
+            per_core: chip_cores,
+            jobs_per_core: run.jobs_per_core[range.clone()].to_vec(),
+            makespan_cycles: run.makespan,
+            aggregate: chip_aggregate,
+        });
+        idle_nested.push(run.idle_per_core[range].to_vec());
+    }
+    ClusterMultiRun {
+        outputs: run.outputs,
+        assignment: run.assignment,
+        wave_of: run.wave_of,
+        waves: run.wave_ends.len(),
+        wave_ends: run.wave_ends,
+        idle_per_core: idle_nested,
+        transfers: run.transfers,
+        stats: ClusterStats {
+            per_chip,
+            makespan_cycles: run.makespan,
+            transferred_words: run.transferred_words,
+            transfer_cycles: run.transfer_cycles,
+            transfer_stall_cycles: run.stall_cycles,
+            aggregate,
+        },
+        per_tenant: run.per_tenant,
+        events: run.events,
+    }
+}
+
 /// A multi-chip deployment: N [`LacChip`]s behind one deterministic
 /// partition-and-coordinate front door, with cluster-wide multi-tenant
 /// admission.
@@ -1399,24 +1468,54 @@ impl<J: ChipJob> LacCluster<J> {
                     });
                 }
             }
-            drive_cluster(
-                cfg,
-                costs,
-                transfer_words,
-                parents,
-                children,
-                chip_of,
-                dead,
-                &faults,
-                base,
-                tenant_of,
-                weights,
-                usage,
-                boost,
-                sched,
-                |core, job| txs[core].send(job).expect("cluster worker hung up"),
-                || done_rx.recv().expect("cluster worker hung up"),
-            )
+            let dispatch = |core: usize, job| txs[core].send(job).expect("cluster worker hung up");
+            let collect = || done_rx.recv().expect("cluster worker hung up");
+            match cfg.sim_mode {
+                SimMode::Wave => drive_cluster(
+                    cfg,
+                    costs,
+                    transfer_words,
+                    parents,
+                    children,
+                    chip_of,
+                    dead,
+                    &faults,
+                    base,
+                    tenant_of,
+                    weights,
+                    usage,
+                    boost,
+                    sched,
+                    dispatch,
+                    collect,
+                ),
+                SimMode::Event => {
+                    let topo = EventTopology {
+                        cores_per_chip: cfg.chips.iter().map(|c| c.cores).collect(),
+                        link_words_per_cycle: cfg.link_words_per_cycle,
+                        hop_latency_cycles: cfg.hop_latency_cycles,
+                    };
+                    drive_event(
+                        &topo,
+                        costs,
+                        transfer_words,
+                        parents,
+                        children,
+                        chip_of,
+                        dead,
+                        &faults,
+                        base,
+                        tenant_of,
+                        weights,
+                        usage,
+                        boost,
+                        sched,
+                        dispatch,
+                        collect,
+                    )
+                    .map(|run| package_event_run(cfg, run))
+                }
+            }
             // `txs` drop here; the scoped workers drain and the scope
             // joins them.
         })
@@ -1627,6 +1726,7 @@ mod tests {
             ],
             link_words_per_cycle: 4,
             hop_latency_cycles: 10,
+            sim_mode: SimMode::Wave,
         };
         assert_eq!(cfg.total_cores(), 4);
         let mut cluster: LacCluster<ProgramJob> = LacCluster::new(cfg);

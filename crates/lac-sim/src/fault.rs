@@ -4,12 +4,16 @@
 //! A [`FaultPlan`] is a set of "kill chip *k* at tick *t*" events on the
 //! cluster's **session clock** (the same absolute clock
 //! [`crate::cluster::ClusterSession::clock_cycles`] meters and the
-//! open-loop traffic layer schedules arrivals on). Because the simulated
-//! clock only moves at wave boundaries and fast-forwards, a kill is
-//! applied at the first wave boundary at or after its tick — which makes
-//! fault handling exactly as deterministic as the rest of the stack: the
-//! same plan against the same workload produces bit-identical runs,
-//! requeues and event logs.
+//! open-loop traffic layer schedules arrivals on). Under the default
+//! wave coordinator the simulated clock only moves at wave boundaries
+//! and fast-forwards, so a kill is applied at the first wave boundary at
+//! or after its tick; under [`crate::event::SimMode::Event`] the kill is
+//! just another heap event and fires at its **exact** tick (faults order
+//! before transfer arrivals and job completions on the same tick, so the
+//! revocation set stays conservative). Either way fault handling is
+//! exactly as deterministic as the rest of the stack: the same plan
+//! against the same workload produces bit-identical runs, requeues and
+//! event logs.
 //!
 //! What a kill means (the fault model, property-tested in
 //! `tests/fault_props.rs`):

@@ -30,6 +30,7 @@ pub mod core;
 pub mod dynamic;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod fault;
 pub mod isa;
 pub mod lap;
@@ -51,6 +52,7 @@ pub use dynamic::{
 };
 pub use engine::{LacEngine, LacEngineBuilder};
 pub use error::SimError;
+pub use event::SimMode;
 pub use fault::{FaultEvent, FaultPlan};
 pub use isa::{CmpUpdate, ExtOp, PeInstr, Program, ProgramBuilder, Source, Step};
 pub use lap::{Lap, LapRunSummary};

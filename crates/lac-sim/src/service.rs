@@ -61,6 +61,7 @@ use crate::chip::{ChipConfig, ChipJob, ChipStats, Scheduler};
 use crate::compile::ProgramCache;
 use crate::engine::LacEngine;
 use crate::error::SimError;
+use crate::event::{drive_event_graph, drive_event_single, SimMode};
 use crate::stats::ExecStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -1320,23 +1321,36 @@ impl<J: ChipJob + 'static> LacService<J> {
         self.abort.store(false, Ordering::Relaxed);
         let costs: Vec<u64> = graph.jobs.iter().map(|j| j.cost_hint()).collect();
         let graph = Arc::new(graph);
-        let run = drive(
-            &costs,
-            &graph.parents,
-            &graph.children,
-            sched,
-            self.txs.len(),
-            |core, job| {
-                self.txs[core]
-                    .send(WorkerMsg::Run {
-                        graph: Arc::clone(&graph),
-                        job,
-                        tag: job,
-                    })
-                    .expect("service worker hung up");
-            },
-            || self.done_rx.recv().expect("service worker hung up"),
-        )?;
+        let dispatch = |core: usize, job: usize| {
+            self.txs[core]
+                .send(WorkerMsg::Run {
+                    graph: Arc::clone(&graph),
+                    job,
+                    tag: job,
+                })
+                .expect("service worker hung up");
+        };
+        let collect = || self.done_rx.recv().expect("service worker hung up");
+        let run = match self.cfg.sim_mode {
+            SimMode::Wave => drive(
+                &costs,
+                &graph.parents,
+                &graph.children,
+                sched,
+                self.txs.len(),
+                dispatch,
+                collect,
+            )?,
+            SimMode::Event => drive_event_graph(
+                &costs,
+                &graph.parents,
+                &graph.children,
+                sched,
+                self.txs.len(),
+                dispatch,
+                collect,
+            )?,
+        };
         for c in 0..self.session.per_core.len() {
             self.session.per_core[c].merge(&run.stats.per_core[c]);
             self.session.jobs_per_core[c] += run.stats.jobs_per_core[c];
@@ -1475,28 +1489,45 @@ impl<J: ChipJob + 'static> LacService<J> {
 
         let txs = &self.txs;
         let done_rx = &self.done_rx;
-        let run = drive_multi(
-            &pool.costs,
-            &pool.parents,
-            &pool.children,
-            &pool.tenant_of,
-            &weights,
-            &mut usage,
-            boost,
-            sched,
-            cores,
-            |core, job| {
-                let (g, local) = pool.owner[job];
-                txs[core]
-                    .send(WorkerMsg::Run {
-                        graph: Arc::clone(&pool.graphs[g]),
-                        job: local,
-                        tag: job,
-                    })
-                    .expect("service worker hung up");
-            },
-            || done_rx.recv().expect("service worker hung up"),
-        );
+        let dispatch = |core: usize, job: usize| {
+            let (g, local) = pool.owner[job];
+            txs[core]
+                .send(WorkerMsg::Run {
+                    graph: Arc::clone(&pool.graphs[g]),
+                    job: local,
+                    tag: job,
+                })
+                .expect("service worker hung up");
+        };
+        let collect = || done_rx.recv().expect("service worker hung up");
+        let run = match self.cfg.sim_mode {
+            SimMode::Wave => drive_multi(
+                &pool.costs,
+                &pool.parents,
+                &pool.children,
+                &pool.tenant_of,
+                &weights,
+                &mut usage,
+                boost,
+                sched,
+                cores,
+                dispatch,
+                collect,
+            ),
+            SimMode::Event => drive_event_single(
+                &pool.costs,
+                &pool.parents,
+                &pool.children,
+                &pool.tenant_of,
+                &weights,
+                &mut usage,
+                boost,
+                sched,
+                cores,
+                dispatch,
+                collect,
+            ),
+        };
         let run = match run {
             Ok(run) => run,
             Err(e) => {

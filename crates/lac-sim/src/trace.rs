@@ -6,9 +6,19 @@
 //! [`EventLog`] of [`TraceEvent`]s: job executions (with core placement
 //! and discard marks), inter-chip transfers, fault injections, requeues
 //! and idle fast-forwards. The log is part of the deterministic result —
-//! it is reconstructed purely from the wave plan, the per-job busy
-//! cycles and the transfer model, never from host timing, so reruns
-//! produce bit-identical logs.
+//! it is reconstructed purely from the schedule (the wave plan, or the
+//! event core's heap order under [`crate::event::SimMode::Event`]), the
+//! per-job busy cycles and the transfer model, never from host timing,
+//! so reruns produce bit-identical logs.
+//!
+//! Under `SimMode::Event`, spans genuinely **overlap**: a transfer's
+//! `[start, end)` interval can interleave with job spans on both
+//! endpoint chips, and job spans on different cores no longer align to
+//! shared wave boundaries. Consumers must not assume spans on one
+//! timeline are disjoint; the Chrome-trace export below handles overlap
+//! natively (each span is its own `X` event), and the per-component
+//! accounting invariant becomes `busy + idle + stall = makespan` per
+//! core (property-tested in `tests/event_props.rs`).
 //!
 //! [`EventLog::to_chrome_trace`] renders the log in Chrome trace-format
 //! JSON (the `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)

@@ -10,7 +10,11 @@
 //! 1. **Fast-forward** — with nothing admitted and the next arrival in
 //!    the future, advance the backend's simulated clock to it through
 //!    the `advance_idle` door (static energy keeps accruing; no busy
-//!    work is invented).
+//!    work is invented). This is an *event-horizon hop*: the next
+//!    arrival is the earliest event the idle backend can observe, so
+//!    jumping straight to it is exactly what the discrete-event core
+//!    (`lac_sim::SimMode::Event`) does with its heap inside a round —
+//!    the driver does the same hop between rounds, one layer up.
 //! 2. **Admit** — every arrival due by the current clock is stamped with
 //!    its `arrival_tick`, turned into a [`JobGraph`] by the caller's
 //!    factory, and offered to the tenant's admission door. Bounced

@@ -17,31 +17,16 @@
 // NB: the vendored proptest! shim's matcher does not accept `///` doc
 // comments on the test fns — use `//` comments inside the block.
 
-use lap::lac_kernels::{IpddpParams, IppmmParams, IppmmWorkload, KernelReport};
+mod common;
+
+use common::{qp, ALL_POLICIES};
+use lap::lac_kernels::{IpddpParams, IppmmWorkload, KernelReport};
 use lap::lac_sim::dynamic::{run_dynamic, DynamicError, DynamicRun};
 use lap::lac_sim::{
     ChipConfig, ClusterConfig, FaultPlan, LacCluster, LacConfig, LacService, Scheduler,
     TenantConfig,
 };
 use proptest::prelude::*;
-
-/// A small-but-real interior-point solve: every segment is one IPM
-/// iteration (factor → solve → schur → step) on the device.
-fn qp(salt: u64) -> IppmmWorkload {
-    IppmmWorkload::new(IppmmParams {
-        n: 8,
-        m: 4,
-        salt,
-        ..IppmmParams::default()
-    })
-}
-
-const POLICIES: [Scheduler; 4] = [
-    Scheduler::Fifo,
-    Scheduler::LeastLoaded,
-    Scheduler::CriticalPath,
-    Scheduler::FairShare,
-];
 
 fn run_on_service(
     w: &IppmmWorkload,
@@ -74,7 +59,7 @@ proptest! {
 
         // Policies and core counts move *when* jobs run, never what they
         // compute — or how many segments the continuation appends.
-        for sched in POLICIES {
+        for sched in ALL_POLICIES {
             for cores in [1usize, 3] {
                 let (run, _) = run_on_service(&w, cores, sched);
                 prop_assert_eq!(&run, &base, "policy/core sweep diverged");

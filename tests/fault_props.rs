@@ -18,112 +18,17 @@
 //!   instants, and an open-loop replay over a dying cluster merges round
 //!   logs onto one absolute timeline.
 
+mod common;
+
+use common::{check_exactly_once, policy, random_sized_dag, SizedJob};
 use lac_bench::json::Json;
 use lap::lac_power::ClusterEnergyModel;
 use lap::lac_sim::{
-    ChipConfig, ChipJob, ClusterConfig, ExecStats, FaultPlan, JobGraph, LacCluster, LacConfig,
-    LacEngine, Scheduler, SimError, TenantConfig, TraceEvent,
+    ChipConfig, ClusterConfig, ExecStats, FaultPlan, JobGraph, LacCluster, LacConfig, Scheduler,
+    TenantConfig, TraceEvent,
 };
-use lap::lac_sim::{ExtOp, ProgramBuilder, Source};
 use lap::lac_traffic::{run_open_loop, Arrival, ArrivalProcess, ArrivalTrace, OpenLoopConfig};
 use proptest::prelude::*;
-
-const POLICIES: [Scheduler; 3] = [
-    Scheduler::Fifo,
-    Scheduler::LeastLoaded,
-    Scheduler::CriticalPath,
-];
-
-fn policy(which: u8) -> Scheduler {
-    POLICIES[which as usize % 3]
-}
-
-/// A MAC-and-idle program job with an explicit cost hint and transfer
-/// size (the same shape the cluster property tests use).
-#[derive(Clone)]
-struct SizedJob {
-    extra: usize,
-    cost: u64,
-    words: u64,
-}
-
-impl ChipJob for SizedJob {
-    type Output = ExecStats;
-
-    fn cost_hint(&self) -> u64 {
-        self.cost
-    }
-
-    fn transfer_words(&self) -> u64 {
-        self.words
-    }
-
-    fn run_on(&self, eng: &mut LacEngine) -> Result<ExecStats, SimError> {
-        let cfg = LacConfig::default();
-        let mut b = ProgramBuilder::new(cfg.nr);
-        let t = b.push_step();
-        b.ext(t, ExtOp::Load { col: 0, addr: 0 });
-        b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
-        let t = b.push_step();
-        b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
-        b.idle(cfg.fpu.pipeline_depth + self.extra);
-        eng.run_program(&b.build())
-    }
-}
-
-/// Build a pseudo-random DAG of [`SizedJob`]s: job `j > 0` gets up to two
-/// parents drawn from `seeds` (a sentinel leaves some jobs as roots).
-fn random_dag(extras: &[usize], seeds: &[u64]) -> JobGraph<SizedJob> {
-    let mut graph = JobGraph::new();
-    let mut ids = Vec::new();
-    for (j, &extra) in extras.iter().enumerate() {
-        let mut parents = Vec::new();
-        if j > 0 {
-            for take in 0..2usize {
-                let seed = seeds[(2 * j + take) % seeds.len()];
-                if !seed.is_multiple_of(3) {
-                    parents.push(ids[(seed as usize) % j]);
-                }
-            }
-        }
-        parents.dedup();
-        let id = graph.add_after(
-            SizedJob {
-                extra,
-                cost: 1 + (extra as u64) * 7 % 13,
-                words: 1 + (extra as u64) * 11 % 29,
-            },
-            &parents,
-        );
-        ids.push(id);
-    }
-    graph
-}
-
-/// Exactly-once over an event log: every job has exactly one
-/// non-discarded execution; the count of discarded ones comes back.
-fn check_exactly_once(events: &lap::lac_sim::EventLog, n: usize) -> Result<usize, String> {
-    let mut retired = vec![0usize; n];
-    let mut discarded = 0usize;
-    for e in events.events() {
-        if let TraceEvent::Job {
-            job, discarded: d, ..
-        } = *e
-        {
-            if d {
-                discarded += 1;
-            } else {
-                retired[job] += 1;
-            }
-        }
-    }
-    for (j, &r) in retired.iter().enumerate() {
-        if r != 1 {
-            return Err(format!("job {j} retired {r} times"));
-        }
-    }
-    Ok(discarded)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -140,7 +45,7 @@ proptest! {
     ) {
         let sched = policy(which);
         let cfg = ClusterConfig::homogeneous(chips, ChipConfig::new(cores, LacConfig::default()));
-        let graph = random_dag(&extras, &seeds);
+        let graph = random_sized_dag(&extras, &seeds);
 
         let mut healthy: LacCluster<SizedJob> = LacCluster::new(cfg.clone());
         let baseline = healthy.run_graph(&graph, sched).unwrap();
@@ -227,7 +132,7 @@ proptest! {
             let a = c.add_tenant(TenantConfig::new("a"));
             let b = c.add_tenant(TenantConfig::new("b").with_weight(2));
             for (i, t) in [a, b, a].into_iter().enumerate() {
-                let g = random_dag(&extras, &seeds[i % seeds.len()..]
+                let g = random_sized_dag(&extras, &seeds[i % seeds.len()..]
                     .iter().copied().chain(seeds.iter().copied()).take(seeds.len())
                     .collect::<Vec<_>>());
                 c.enqueue(t, g).unwrap();

@@ -9,121 +9,13 @@
 //! * named shapes (chain, diamond, fan-out) produce the wave structure
 //!   they must.
 
+mod common;
+
+use common::{any_policy, mac_job, policy, random_log_dag, ALL_POLICIES, POLICIES};
 use lap::lac_sim::{
-    plan_wave, ChipConfig, ChipJob, ExecStats, JobGraph, LacChip, LacConfig, LacEngine, LacService,
-    ProgramJob, Scheduler, SimError,
+    plan_wave, ChipConfig, ExecStats, JobGraph, LacChip, LacConfig, LacService, Scheduler,
 };
-use lap::lac_sim::{ExtOp, ProgramBuilder, Source};
 use proptest::prelude::*;
-use std::sync::{Arc, Mutex};
-
-/// The full-dispatch policies (every wave drains the ready set — what the
-/// wave-planning work-conservation shape assumes). The quantum-capped
-/// `FairShare` joins [`ALL_POLICIES`] for the policy-independent
-/// invariants; its own planner properties live in
-/// `tests/service_props.rs`.
-const POLICIES: [Scheduler; 3] = [
-    Scheduler::Fifo,
-    Scheduler::LeastLoaded,
-    Scheduler::CriticalPath,
-];
-
-const ALL_POLICIES: [Scheduler; 4] = [
-    Scheduler::Fifo,
-    Scheduler::LeastLoaded,
-    Scheduler::CriticalPath,
-    Scheduler::FairShare,
-];
-
-fn policy(which: u8) -> Scheduler {
-    POLICIES[which as usize % 3]
-}
-
-fn any_policy(which: u8) -> Scheduler {
-    ALL_POLICIES[which as usize % 4]
-}
-
-fn mac_job(extra: usize) -> ProgramJob {
-    let cfg = LacConfig::default();
-    let mut b = ProgramBuilder::new(cfg.nr);
-    let t = b.push_step();
-    b.ext(t, ExtOp::Load { col: 0, addr: 0 });
-    b.pe_mut(t, 0, 0).reg_write = Some((0, Source::ColBus));
-    let t = b.push_step();
-    b.pe_mut(t, 0, 0).mac = Some((Source::Reg(0), Source::Reg(0)));
-    b.idle(cfg.fpu.pipeline_depth + extra);
-    ProgramJob::new(b.build())
-}
-
-/// A job that appends its id to a shared log when it runs — the probe for
-/// the parents-run-first invariant. (Same-wave log order is host-timing
-/// dependent; parent→child pairs never share a wave, so their relative
-/// order is not.)
-struct LogJob {
-    id: usize,
-    inner: ProgramJob,
-    log: Arc<Mutex<Vec<usize>>>,
-}
-
-impl ChipJob for LogJob {
-    type Output = ExecStats;
-
-    fn cost_hint(&self) -> u64 {
-        self.inner.cost_hint()
-    }
-
-    fn run_on(&self, eng: &mut LacEngine) -> Result<ExecStats, SimError> {
-        let out = self.inner.run_on(eng)?;
-        self.log.lock().unwrap().push(self.id);
-        Ok(out)
-    }
-}
-
-/// Build a pseudo-random DAG: job `j > 0` gets up to two parents drawn
-/// from `seeds` (values index earlier jobs; a sentinel leaves some jobs
-/// as roots). Returns the graph, its edges, and the shared log.
-#[allow(clippy::type_complexity)]
-fn random_dag(
-    extras: &[usize],
-    seeds: &[u64],
-) -> (
-    JobGraph<LogJob>,
-    Vec<(usize, usize)>,
-    Arc<Mutex<Vec<usize>>>,
-) {
-    let log = Arc::new(Mutex::new(Vec::new()));
-    let mut graph = JobGraph::new();
-    let mut edges = Vec::new();
-    let mut ids = Vec::new();
-    for (j, &extra) in extras.iter().enumerate() {
-        let mut parents = Vec::new();
-        if j > 0 {
-            for take in 0..2usize {
-                let seed = seeds[(2 * j + take) % seeds.len()];
-                // ~1 in 3 candidate slots stays empty, keeping a mix of
-                // roots, chains and joins.
-                if !seed.is_multiple_of(3) {
-                    let p = (seed as usize) % j;
-                    parents.push(ids[p]);
-                    edges.push((p, j));
-                }
-            }
-        }
-        let id = graph.add_after(
-            LogJob {
-                id: j,
-                inner: mac_job(extra),
-                log: Arc::clone(&log),
-            },
-            &parents,
-        );
-        assert_eq!(id.index(), j);
-        ids.push(id);
-    }
-    edges.sort_unstable();
-    edges.dedup();
-    (graph, edges, log)
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -135,7 +27,7 @@ proptest! {
         cores in 1usize..=5,
         which in any::<u8>(),
     ) {
-        let (graph, edges, log) = random_dag(&extras, &seeds);
+        let (graph, edges, log) = random_log_dag(&extras, &seeds);
         let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
         let run = chip.run_graph(&graph, any_policy(which)).unwrap();
 
@@ -183,11 +75,11 @@ proptest! {
         let mut baseline: Option<Vec<ExecStats>> = None;
         for sched in ALL_POLICIES {
             // Scoped-chip backend…
-            let (graph, _, _) = random_dag(&extras, &seeds);
+            let (graph, _, _) = random_log_dag(&extras, &seeds);
             let mut chip = LacChip::new(ChipConfig::new(cores, LacConfig::default()));
             let chip_run = chip.run_graph(&graph, sched).unwrap();
             // …and the persistent service must agree bit for bit.
-            let (graph, _, _) = random_dag(&extras, &seeds);
+            let (graph, _, _) = random_log_dag(&extras, &seeds);
             let mut svc = LacService::new(ChipConfig::new(cores, LacConfig::default()));
             let svc_run = svc.submit(graph, sched).unwrap();
             prop_assert_eq!(&chip_run.outputs, &svc_run.outputs);
